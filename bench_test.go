@@ -1,0 +1,295 @@
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper, plus the design-choice ablations from DESIGN.md and
+// throughput benchmarks for the substrates.
+//
+// The figure benchmarks report the paper's metrics alongside timing:
+//
+//	normE% — normalised instruction-cache energy (figures 4a/5a/6a)
+//	ED     — normalised energy-delay product x1000 (figures 4b/5b/6b)
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package wayplace
+
+import (
+	"sync"
+	"testing"
+
+	"wayplace/internal/bench"
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/experiment"
+	"wayplace/internal/layout"
+	"wayplace/internal/sim"
+)
+
+// figBench is the representative workload for the per-figure
+// benchmarks (the full 23-benchmark sweep lives in cmd/wpbench; a
+// testing.B iteration must stay in the tens of milliseconds).
+const figBench = "crc"
+
+var (
+	suiteOnce sync.Once
+	suiteVal  *experiment.Suite
+	suiteErr  error
+)
+
+func suite(b *testing.B) *experiment.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suiteVal, suiteErr = experiment.NewSuiteOf([]string{figBench})
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+// runScheme executes the figure workload under one configuration and
+// reports the paper's metrics.
+func runScheme(b *testing.B, icfg cache.Config, scheme energy.Scheme, wp uint32) {
+	b.Helper()
+	s := suite(b)
+	w := s.Workloads[0]
+	cfg := sim.Default()
+	cfg.ICache = icfg
+	cfg.MaxInstrs = experiment.MaxInstrs
+	base, err := s.Run(w, icfg, energy.Baseline, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := w.Original
+	if scheme == energy.WayPlacement {
+		prog = w.Placed
+	}
+	var last *sim.RunStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last, err = sim.Run(prog, cfg.WithScheme(scheme, wp))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(100*energy.NormICache(last.Energy, base.Energy), "normE%")
+	b.ReportMetric(1000*energy.EDProduct(last.Energy, last.Cycles, base.Energy, base.Cycles), "ED*1000")
+	b.ReportMetric(float64(last.Instrs)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// --- Figure 1: the motivating example -----------------------------
+
+func BenchmarkFig1TagComparisons(b *testing.B) {
+	cfg := cache.Config{SizeBytes: 32, Ways: 4, LineBytes: 4}
+	b.Run("baseline", func(b *testing.B) {
+		e, _ := cache.NewBaseline(cfg)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Fetch(0x04, false)
+			e.Fetch(0x08, false)
+			e.Fetch(0x20, false)
+		}
+		b.ReportMetric(float64(e.Cache().Stats.TagComparisons)/float64(b.N), "cmp/3fetch")
+	})
+	b.Run("wayplace", func(b *testing.B) {
+		e, _ := cache.NewWayPlacement(cfg, cache.WPOracleFunc(func(uint32) bool { return true }))
+		e.Fetch(0x3c, false) // warm the hint
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Fetch(0x04, false)
+			e.Fetch(0x08, false)
+			e.Fetch(0x20, false)
+		}
+	})
+}
+
+// --- Table 1 / Figure 4: the initial evaluation --------------------
+
+func BenchmarkFig4InitialEvaluation(b *testing.B) {
+	icfg := experiment.XScaleICache()
+	b.Run("baseline", func(b *testing.B) { runScheme(b, icfg, energy.Baseline, 0) })
+	b.Run("waymem", func(b *testing.B) { runScheme(b, icfg, energy.WayMemoization, 0) })
+	b.Run("wayplace", func(b *testing.B) { runScheme(b, icfg, energy.WayPlacement, experiment.InitialWPSize) })
+}
+
+// --- Figure 5: way-placement area sweep -----------------------------
+
+func BenchmarkFig5AreaSweep(b *testing.B) {
+	icfg := experiment.XScaleICache()
+	for _, kb := range experiment.Fig5Sizes {
+		kb := kb
+		b.Run(byteName(kb), func(b *testing.B) {
+			runScheme(b, icfg, energy.WayPlacement, uint32(kb)<<10)
+		})
+	}
+}
+
+// --- Figure 6: cache size / associativity sweep ---------------------
+
+func BenchmarkFig6CacheSweep(b *testing.B) {
+	for _, kb := range experiment.Fig6Sizes {
+		for _, ways := range experiment.Fig6Ways {
+			icfg := cache.Config{SizeBytes: kb << 10, Ways: ways, LineBytes: 32}
+			name := byteName(kb) + "/" + wayName(ways)
+			b.Run(name+"/waymem", func(b *testing.B) { runScheme(b, icfg, energy.WayMemoization, 0) })
+			b.Run(name+"/wayplace", func(b *testing.B) {
+				runScheme(b, icfg, energy.WayPlacement, experiment.InitialWPSize)
+			})
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------
+
+func ablationScheme(b *testing.B, mutate func(*sim.Config), placed bool) {
+	b.Helper()
+	s := suite(b)
+	w := s.Workloads[0]
+	icfg := experiment.XScaleICache()
+	base, err := s.Run(w, icfg, energy.Baseline, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.ICache = icfg
+	cfg.MaxInstrs = experiment.MaxInstrs
+	cfg.Scheme = energy.WayPlacement
+	cfg.WPSize = 2 << 10 // scarce area: where the choices matter
+	mutate(&cfg)
+	prog := w.Original
+	if placed {
+		prog = w.Placed
+	}
+	var last *sim.RunStats
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		last, err = sim.Run(prog, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(100*energy.NormICache(last.Energy, base.Energy), "normE%")
+}
+
+func BenchmarkAblationLayout(b *testing.B) {
+	b.Run("placed", func(b *testing.B) { ablationScheme(b, func(*sim.Config) {}, true) })
+	b.Run("original", func(b *testing.B) { ablationScheme(b, func(*sim.Config) {}, false) })
+}
+
+func BenchmarkAblationHint(b *testing.B) {
+	b.Run("hintbit", func(b *testing.B) { ablationScheme(b, func(*sim.Config) {}, true) })
+	b.Run("oracle", func(b *testing.B) {
+		ablationScheme(b, func(c *sim.Config) { c.OracleHint = true }, true)
+	})
+}
+
+func BenchmarkAblationSameLine(b *testing.B) {
+	b.Run("on", func(b *testing.B) { ablationScheme(b, func(*sim.Config) {}, true) })
+	b.Run("off", func(b *testing.B) {
+		ablationScheme(b, func(c *sim.Config) { c.NoSameLine = true }, true)
+	})
+}
+
+func BenchmarkAblationReplacement(b *testing.B) {
+	b.Run("roundrobin", func(b *testing.B) { ablationScheme(b, func(*sim.Config) {}, true) })
+	b.Run("lru", func(b *testing.B) {
+		ablationScheme(b, func(c *sim.Config) { c.ICache.Policy = cache.LRU }, true)
+	})
+}
+
+// --- Substrate throughput -------------------------------------------
+
+func BenchmarkSimulatorFunctional(b *testing.B) {
+	s := suite(b)
+	w := s.Workloads[0]
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		prof, _, err := sim.ProfileRun(w.Original, experiment.MaxInstrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += prof.TotalInstrs(w.Unit)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+func BenchmarkLayoutPass(b *testing.B) {
+	s := suite(b)
+	w := s.Workloads[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.Link(w.Unit, w.Profile, experiment.TextBase); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildSuiteProgram(b *testing.B) {
+	bm, err := bench.ByName("sha")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bm.Build(bench.Large); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCacheFetchEngines(b *testing.B) {
+	cfg := experiment.XScaleICache()
+	addrs := make([]uint32, 4096)
+	pc := uint32(0)
+	seed := uint64(99)
+	for i := range addrs {
+		addrs[i] = pc
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		if seed%8 == 0 {
+			pc = uint32(seed>>32) % (16 << 10) &^ 3
+		} else {
+			pc += 4
+		}
+	}
+	b.Run("baseline", func(b *testing.B) {
+		e, _ := cache.NewBaseline(cfg)
+		for i := 0; i < b.N; i++ {
+			e.Fetch(addrs[i%len(addrs)], false)
+		}
+	})
+	b.Run("wayplace", func(b *testing.B) {
+		e, _ := cache.NewWayPlacement(cfg, cache.WPOracleFunc(func(a uint32) bool { return a < 16<<10 }))
+		for i := 0; i < b.N; i++ {
+			e.Fetch(addrs[i%len(addrs)], false)
+		}
+	})
+	b.Run("waymem", func(b *testing.B) {
+		e, _ := cache.NewWayMemoization(cfg)
+		for i := 0; i < b.N; i++ {
+			e.Fetch(addrs[i%len(addrs)], false)
+		}
+	})
+}
+
+// --- helpers ---------------------------------------------------------
+
+func byteName(kb int) string {
+	const d = "0123456789"
+	if kb >= 10 {
+		return string([]byte{d[kb/10], d[kb%10]}) + "KB"
+	}
+	return string([]byte{d[kb]}) + "KB"
+}
+
+func wayName(w int) string {
+	const d = "0123456789"
+	if w >= 10 {
+		return string([]byte{d[w/10], d[w%10]}) + "way"
+	}
+	return string([]byte{d[w]}) + "way"
+}

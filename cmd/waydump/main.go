@@ -1,0 +1,92 @@
+// Command waydump inspects (and optionally executes) a linked binary
+// image written by waylink -o: header, symbols, block map,
+// disassembly and a functional run.
+//
+// Usage:
+//
+//	waylink -bench sha -o sha.wpl
+//	waydump -in sha.wpl -blocks -disas 12 -run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wayplace/internal/cpu"
+	"wayplace/internal/mem"
+	"wayplace/internal/obj"
+)
+
+func main() {
+	in := flag.String("in", "", "image file to inspect")
+	showSyms := flag.Bool("syms", false, "list symbols")
+	showBlocks := flag.Bool("blocks", false, "list placed blocks")
+	disas := flag.Int("disas", 0, "disassemble the first N instructions")
+	doRun := flag.Bool("run", false, "execute the image functionally and print the checksum")
+	flag.Parse()
+
+	if *in == "" {
+		fail(fmt.Errorf("need -in <file>"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fail(err)
+	}
+	p, err := obj.ReadImage(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s: %d instructions (%d bytes) at base %#x, entry %#x\n",
+		*in, len(p.Code), p.Size(), p.Base, p.Entry)
+	fmt.Printf("data: %d bytes at %#x; %d symbols, %d blocks\n",
+		len(p.Data), p.DataBase, len(p.Syms), len(p.Placed))
+
+	if *showSyms {
+		fmt.Println("\nsymbols:")
+		for _, pl := range p.Placed {
+			fmt.Printf("  %08x %s\n", pl.Addr, pl.Block.Sym)
+		}
+	}
+	if *showBlocks {
+		fmt.Println("\nblocks:")
+		for _, pl := range p.Placed {
+			kind := "fall"
+			switch {
+			case pl.Block.IsCall:
+				kind = "call " + pl.Block.BranchSym
+			case pl.Block.BranchSym != "":
+				kind = "br " + pl.Block.BranchSym
+			case pl.Block.FallSym == "":
+				kind = "end"
+			}
+			fmt.Printf("  %08x %-28s %3d instrs  %s\n",
+				pl.Addr, pl.Block.Sym, pl.Block.NumInstrs(), kind)
+		}
+	}
+	if *disas > 0 {
+		fmt.Println("\ndisassembly:")
+		for i := 0; i < *disas && i < len(p.Code); i++ {
+			addr := p.Base + uint32(4*i)
+			if blk := p.BlockAt(i); blk != nil && blk.Addr == addr {
+				fmt.Printf("%s:\n", blk.Block.Sym)
+			}
+			fmt.Printf("  %08x: %08x  %v\n", addr, p.Words[i], p.Code[i])
+		}
+	}
+	if *doRun {
+		c := cpu.New(p, mem.New(mem.DefaultConfig()))
+		res, err := c.Run(2_000_000_000)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nrun: %d instructions, checksum %#x\n", res.Instrs, c.Regs[0])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "waydump: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Command waylink exercises the link-time way-placement pass on one
+// benchmark: it profiles the training input, relays the binary and
+// prints what the pass did — chain weights, where the hot code landed
+// and the way-placement-area coverage at each candidate size.
+//
+// Usage:
+//
+//	waylink -bench sha [-top 12] [-disas 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wayplace/internal/bench"
+	"wayplace/internal/cfg"
+	"wayplace/internal/experiment"
+	"wayplace/internal/layout"
+	"wayplace/internal/profile"
+	"wayplace/internal/sim"
+)
+
+func main() {
+	name := flag.String("bench", "sha", "benchmark name")
+	top := flag.Int("top", 12, "how many chains to list")
+	disas := flag.Int("disas", 0, "disassemble the first N instructions of the placed binary")
+	saveProfile := flag.String("saveprofile", "", "write the training profile to this file")
+	loadProfile := flag.String("loadprofile", "", "read the profile from this file instead of profiling")
+	out := flag.String("o", "", "write the placed binary image to this file (inspect with waydump)")
+	flag.Parse()
+
+	bm, err := bench.ByName(*name)
+	if err != nil {
+		fail(err)
+	}
+	unit, err := bm.Build(bench.Small)
+	if err != nil {
+		fail(err)
+	}
+	var prof *profile.Profile
+	if *loadProfile != "" {
+		f, err := os.Open(*loadProfile)
+		if err != nil {
+			fail(err)
+		}
+		prof, err = profile.Read(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		small, err := layout.LinkOriginal(unit, experiment.TextBase)
+		if err != nil {
+			fail(err)
+		}
+		prof, _, err = sim.ProfileRun(small, experiment.MaxInstrs)
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *saveProfile != "" {
+		f, err := os.Create(*saveProfile)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := prof.WriteTo(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "profile written to %s"+"\n", *saveProfile)
+	}
+
+	largeUnit, err := bm.Build(bench.Large)
+	if err != nil {
+		fail(err)
+	}
+	g, err := cfg.Build(largeUnit)
+	if err != nil {
+		fail(err)
+	}
+	chains := cfg.Chains(g)
+	sort.SliceStable(chains, func(i, j int) bool {
+		return chains[i].Weight(prof) > chains[j].Weight(prof)
+	})
+
+	placed, err := layout.Link(largeUnit, prof, experiment.TextBase)
+	if err != nil {
+		fail(err)
+	}
+	orig, err := layout.LinkOriginal(largeUnit, experiment.TextBase)
+	if err != nil {
+		fail(err)
+	}
+
+	total := prof.TotalInstrs(largeUnit)
+	fmt.Printf("%s: %d blocks in %d chains, image %d bytes\n",
+		*name, len(g.Nodes), len(chains), placed.Size())
+	fmt.Printf("profiled dynamic instructions (training input): %d\n\n", total)
+
+	fmt.Printf("%-4s %-28s %10s %8s %7s\n", "#", "chain head", "weight", "bytes", "share")
+	for i, c := range chains {
+		if i >= *top {
+			fmt.Printf("     ... %d more chains\n", len(chains)-*top)
+			break
+		}
+		w := c.Weight(prof)
+		fmt.Printf("%-4d %-28s %10d %8d %6.2f%%\n",
+			i+1, c.First().Block.Sym, w, c.Size(), 100*float64(w)/float64(total))
+	}
+
+	fmt.Printf("\nway-placement-area coverage (dynamic instructions inside the area)\n")
+	fmt.Printf("%-10s %12s %12s\n", "area", "placed", "original")
+	for _, kb := range []uint32{1, 2, 4, 8, 16} {
+		fmt.Printf("%7dKB %11.2f%% %11.2f%%\n", kb,
+			100*layout.Coverage(placed, prof, kb<<10),
+			100*layout.Coverage(orig, prof, kb<<10))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := placed.WriteImage(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "placed binary written to %s"+"\n", *out)
+	}
+
+	if *disas > 0 {
+		fmt.Printf("\nfirst %d instructions of the placed binary\n", *disas)
+		for i := 0; i < *disas && i < len(placed.Code); i++ {
+			addr := placed.Base + uint32(4*i)
+			if blk := placed.BlockAt(i); blk != nil && blk.Addr == addr {
+				fmt.Printf("%s:\n", blk.Block.Sym)
+			}
+			fmt.Printf("  %08x: %08x  %v\n", addr, placed.Words[i], placed.Code[i])
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "waylink: %v\n", err)
+	os.Exit(1)
+}

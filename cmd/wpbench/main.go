@@ -1,0 +1,173 @@
+// Command wpbench regenerates the paper's evaluation: Table 1 and
+// figures 4, 5 and 6. With no flags it runs everything.
+//
+// Usage:
+//
+//	wpbench [-table1] [-fig4] [-fig5] [-fig6] [-benchmarks a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wayplace/internal/bench"
+	"wayplace/internal/experiment"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "print the baseline configuration table")
+	fig4 := flag.Bool("fig4", false, "reproduce figure 4 (initial evaluation)")
+	fig5 := flag.Bool("fig5", false, "reproduce figure 5 (way-placement area sweep)")
+	fig6 := flag.Bool("fig6", false, "reproduce figure 6 (cache parameter sweep)")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	extensions := flag.Bool("extensions", false, "run the RAM-tag and adaptive-area extensions")
+	subset := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 23)")
+	csvDir := flag.String("csv", "", "also write figN.csv files into this directory")
+	flag.Parse()
+
+	all := !*table1 && !*fig4 && !*fig5 && !*fig6 && !*ablations && !*extensions
+	names := bench.Names()
+	if *subset != "" {
+		names = strings.Split(*subset, ",")
+	}
+
+	if *table1 || all {
+		fmt.Print(experiment.Table1(experiment.XScaleICache()))
+		fmt.Println()
+	}
+	if !*fig4 && !*fig5 && !*fig6 && !*ablations && !*extensions && !all {
+		return
+	}
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "preparing %d benchmarks (build, profile, relink)...\n", len(names))
+	suite, err := experiment.NewSuiteOf(names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wpbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "prepared in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *fig4 || all {
+		run("figure 4", func() (string, error) {
+			r, err := suite.Figure4()
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV(*csvDir, "fig4.csv", func(w io.Writer) error {
+				return experiment.CSVFig4(w, r)
+			}); err != nil {
+				return "", err
+			}
+			return experiment.FormatFig4(r), nil
+		})
+	}
+	if *fig5 || all {
+		run("figure 5", func() (string, error) {
+			r, err := suite.Figure5()
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV(*csvDir, "fig5.csv", func(w io.Writer) error {
+				return experiment.CSVFig5(w, r)
+			}); err != nil {
+				return "", err
+			}
+			return experiment.FormatFig5(r), nil
+		})
+	}
+	if *fig6 || all {
+		run("figure 6", func() (string, error) {
+			r, err := suite.Figure6()
+			if err != nil {
+				return "", err
+			}
+			if err := writeCSV(*csvDir, "fig6.csv", func(w io.Writer) error {
+				return experiment.CSVFig6(w, r)
+			}); err != nil {
+				return "", err
+			}
+			return experiment.FormatFig6(r), nil
+		})
+	}
+	if *extensions || all {
+		run("extension: RAM-tag arrays", func() (string, error) {
+			rows, err := suite.ExtensionRAMTag()
+			if err != nil {
+				return "", err
+			}
+			return experiment.FormatRAMTag(rows), nil
+		})
+		run("extension: adaptive area", func() (string, error) {
+			rows, err := suite.ExtensionAdaptive()
+			if err != nil {
+				return "", err
+			}
+			return experiment.FormatAdaptive(rows), nil
+		})
+		run("extension: profile transfer", func() (string, error) {
+			rows, err := suite.ExtensionProfileTransfer()
+			if err != nil {
+				return "", err
+			}
+			return experiment.FormatTransfer(rows), nil
+		})
+	}
+	if *ablations || all {
+		type abl struct {
+			title string
+			fn    func() ([]experiment.AblationRow, error)
+		}
+		for _, a := range []abl{
+			{"code layout", suite.AblationLayout},
+			{"way-hint prediction", suite.AblationHint},
+			{"same-line tag skip", suite.AblationSameLine},
+			{"replacement policy", suite.AblationReplacement},
+		} {
+			a := a
+			run("ablation: "+a.title, func() (string, error) {
+				rows, err := a.fn()
+				if err != nil {
+					return "", err
+				}
+				return experiment.FormatAblation(a.title, rows), nil
+			})
+		}
+	}
+}
+
+// writeCSV writes one figure's CSV file when -csv is set.
+func writeCSV(dir, name string, emit func(io.Writer) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(name string, f func() (string, error)) {
+	start := time.Now()
+	out, err := f()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wpbench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+	fmt.Fprintf(os.Stderr, "%s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
+	fmt.Println()
+}

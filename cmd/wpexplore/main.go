@@ -1,0 +1,121 @@
+// Command wpexplore explores design-space dimensions around the
+// paper's configuration that the evaluation holds fixed: cache line
+// size, page size (way-placement-bit granularity), replacement policy
+// and array organisation. Each sweep varies one dimension with
+// everything else at the Table 1 defaults and reports suite-average
+// normalised I-cache energy for way-placement (16KB area).
+//
+// Usage:
+//
+//	wpexplore [-dim line|page|policy|style|all] [-benchmarks a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wayplace/internal/bench"
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/experiment"
+	"wayplace/internal/sim"
+	"wayplace/internal/tlb"
+)
+
+func main() {
+	dim := flag.String("dim", "all", "dimension to sweep: line, page, policy, style or all")
+	subset := flag.String("benchmarks", "sha,susan_c,crc,patricia", "benchmark subset")
+	flag.Parse()
+
+	names := bench.Names()
+	if *subset != "" {
+		names = strings.Split(*subset, ",")
+	}
+	suite, err := experiment.NewSuiteOf(names)
+	if err != nil {
+		fail(err)
+	}
+
+	avg := func(mutate func(*sim.Config)) (float64, float64) {
+		var eSum, edSum float64
+		for _, w := range suite.Workloads {
+			cfg := sim.Default()
+			cfg.MaxInstrs = experiment.MaxInstrs
+			mutate(&cfg)
+
+			baseCfg := cfg
+			baseCfg.Scheme = energy.Baseline
+			baseCfg.WPSize = 0
+			base, err := sim.Run(w.Original, baseCfg)
+			if err != nil {
+				fail(err)
+			}
+			wpCfg := cfg
+			wpCfg.Scheme = energy.WayPlacement
+			if wpCfg.WPSize == 0 {
+				wpCfg.WPSize = experiment.InitialWPSize
+			}
+			wp, err := sim.Run(w.Placed, wpCfg)
+			if err != nil {
+				fail(err)
+			}
+			if wp.Checksum != base.Checksum {
+				fail(fmt.Errorf("%s: checksum mismatch", w.Name))
+			}
+			eSum += energy.NormICache(wp.Energy, base.Energy)
+			edSum += energy.EDProduct(wp.Energy, wp.Cycles, base.Energy, base.Cycles)
+		}
+		n := float64(len(suite.Workloads))
+		return eSum / n, edSum / n
+	}
+
+	want := func(d string) bool { return *dim == "all" || *dim == d }
+
+	if want("line") {
+		fmt.Println("line-size sweep (32KB, 32-way):")
+		for _, lb := range []int{16, 32, 64} {
+			e, ed := avg(func(c *sim.Config) {
+				c.ICache.LineBytes = lb
+				c.DCache.LineBytes = lb
+			})
+			fmt.Printf("  %2dB lines: I$ energy %.1f%%  ED %.3f\n", lb, 100*e, ed)
+		}
+		fmt.Println()
+	}
+	if want("page") {
+		fmt.Println("page-size sweep (way-placement-bit granularity):")
+		for _, pb := range []int{1 << 10, 2 << 10, 4 << 10} {
+			e, ed := avg(func(c *sim.Config) {
+				c.ITLB = tlb.Config{Entries: 32, PageBytes: pb}
+			})
+			fmt.Printf("  %2dKB pages: I$ energy %.1f%%  ED %.3f\n", pb>>10, 100*e, ed)
+		}
+		fmt.Println()
+	}
+	if want("policy") {
+		fmt.Println("replacement-policy sweep:")
+		for _, p := range []cache.Policy{cache.RoundRobin, cache.LRU} {
+			e, ed := avg(func(c *sim.Config) { c.ICache.Policy = p })
+			fmt.Printf("  %-12s I$ energy %.1f%%  ED %.3f\n", p, 100*e, ed)
+		}
+		fmt.Println()
+	}
+	if want("style") {
+		fmt.Println("array-organisation sweep (8-way, where RAM-tag caches live):")
+		for _, st := range []energy.ArrayStyle{energy.CAMTag, energy.RAMTag} {
+			e, ed := avg(func(c *sim.Config) {
+				c.ICache.Ways = 8
+				c.DCache.Ways = 8
+				c.Style = st
+			})
+			fmt.Printf("  %-8s I$ energy %.1f%%  ED %.3f\n", st, 100*e, ed)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "wpexplore: %v\n", err)
+	os.Exit(1)
+}

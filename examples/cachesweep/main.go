@@ -1,0 +1,60 @@
+// Cachesweep runs one suite benchmark across cache sizes and
+// associativities — a miniature of the paper's figure 6 — printing
+// normalised instruction-cache energy and the ED product for
+// way-placement and way-memoization.
+//
+// Run with:
+//
+//	go run ./examples/cachesweep [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/experiment"
+)
+
+func main() {
+	name := "sha"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	suite, err := experiment.NewSuiteOf([]string{name})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cachesweep: %v\n", err)
+		os.Exit(1)
+	}
+	w := suite.Workloads[0]
+
+	fmt.Printf("%s across cache configurations (16KB way-placement area)\n", name)
+	fmt.Printf("%-14s %10s %10s %10s %10s\n", "config", "waymem E", "wayplc E", "waymem ED", "wayplc ED")
+	for _, kb := range []int{8, 16, 32} {
+		for _, ways := range []int{8, 16, 32} {
+			icfg := cache.Config{SizeBytes: kb << 10, Ways: ways, LineBytes: 32}
+			base, err := suite.Run(w, icfg, energy.Baseline, 0)
+			if err != nil {
+				panic(err)
+			}
+			wm, err := suite.Run(w, icfg, energy.WayMemoization, 0)
+			if err != nil {
+				panic(err)
+			}
+			wp, err := suite.Run(w, icfg, energy.WayPlacement, experiment.InitialWPSize)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("%3dKB %2d-way  %9.1f%% %9.1f%% %10.3f %10.3f\n",
+				kb, ways,
+				100*energy.NormICache(wm.Energy, base.Energy),
+				100*energy.NormICache(wp.Energy, base.Energy),
+				energy.EDProduct(wm.Energy, wm.Cycles, base.Energy, base.Cycles),
+				energy.EDProduct(wp.Energy, wp.Cycles, base.Energy, base.Cycles))
+		}
+	}
+	fmt.Println("\nnote the shape of the paper's figure 6: way-placement always wins,")
+	fmt.Println("savings grow with associativity, and at 8 ways way-memoization's")
+	fmt.Println("link storage costs more than its avoided tag checks.")
+}

@@ -1,0 +1,3 @@
+module wayplace
+
+go 1.22

@@ -1,0 +1,469 @@
+// Package asm provides a builder API for constructing programs in the
+// repository's ARM-like ISA. It plays the role of the compiler front
+// end: benchmark generators use it to express functions, loops and
+// calls, and it lowers them to the symbolic basic blocks consumed by
+// the link-time way-placement pass.
+//
+// Control-flow discipline: instructions are appended to the current
+// block; any branch, call or return seals the block (a basic block has
+// one terminator). Labels started with Block become branch targets.
+// Call continuations are anonymous blocks chained by a fall-through
+// constraint, which is exactly the call/return-site pairing the layout
+// pass must respect.
+//
+// Data discipline: static data addresses are assigned here, before
+// code layout, and never move afterwards; code loads them as absolute
+// immediates (MOVW/MOVT pairs). The final binary therefore needs no
+// data relocations, and re-laying-out the code cannot perturb data —
+// mirroring the paper's scheme, which reorders only the text section.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+// DefaultDataBase is where the data segment starts unless overridden.
+// It sits far above any realistic code image.
+const DefaultDataBase = 0x0040_0000
+
+// Builder accumulates functions and data for one program.
+type Builder struct {
+	name     string
+	funcs    []*FuncBuilder
+	byName   map[string]*FuncBuilder
+	dataBase uint32
+	data     []byte
+	errs     []error
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:     name,
+		byName:   make(map[string]*FuncBuilder),
+		dataBase: DefaultDataBase,
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("asm: %s: "+format, append([]any{b.name}, args...)...))
+}
+
+// Func starts a new function. The entry block carries the function
+// name as its symbol.
+func (b *Builder) Func(name string) *FuncBuilder {
+	if _, dup := b.byName[name]; dup {
+		b.errf("duplicate function %s", name)
+	}
+	f := &FuncBuilder{b: b, name: name, labels: make(map[string]bool)}
+	f.startBlock(name, true)
+	b.funcs = append(b.funcs, f)
+	b.byName[name] = f
+	return f
+}
+
+// Data appends raw bytes to the data segment and returns their
+// absolute address.
+func (b *Builder) Data(bytes []byte) uint32 {
+	addr := b.dataBase + uint32(len(b.data))
+	b.data = append(b.data, bytes...)
+	return addr
+}
+
+// Words appends 32-bit little-endian words to the data segment and
+// returns the address of the first.
+func (b *Builder) Words(ws ...uint32) uint32 {
+	buf := make([]byte, 4*len(ws))
+	for i, w := range ws {
+		binary.LittleEndian.PutUint32(buf[4*i:], w)
+	}
+	return b.Data(buf)
+}
+
+// Zeros reserves n zero bytes in the data segment and returns their
+// address.
+func (b *Builder) Zeros(n int) uint32 {
+	return b.Data(make([]byte, n))
+}
+
+// NextDataAddr returns the address the next Data/Words call will
+// allocate at. Front ends use it to serialise self-referential data
+// structures (hash chains, tries) with absolute pointers.
+func (b *Builder) NextDataAddr() uint32 {
+	return b.dataBase + uint32(len(b.data))
+}
+
+// Align pads the data segment to the given power-of-two boundary.
+func (b *Builder) Align(n int) {
+	for len(b.data)%n != 0 {
+		b.data = append(b.data, 0)
+	}
+}
+
+// Build validates the program and lowers it to an object unit.
+func (b *Builder) Build() (*obj.Unit, error) {
+	u := &obj.Unit{Name: b.name, DataBase: b.dataBase, Data: append([]byte(nil), b.data...)}
+	for _, f := range b.funcs {
+		of, err := f.finish()
+		if err != nil {
+			return nil, err
+		}
+		u.Funcs = append(u.Funcs, of)
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return u, nil
+}
+
+// MustBuild is Build for programmatically generated programs that are
+// known to be well-formed; it panics on error.
+func (b *Builder) MustBuild() *obj.Unit {
+	u, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// blockRef is a branch pending resolution: blocks are identified by
+// local label (within the function) or by function name (calls).
+type blockState struct {
+	sym       string
+	labels    []string // local labels ("" for anonymous continuations)
+	instrs    []isa.Instr
+	branchRef string // local label or function name for BL
+	isCall    bool
+	sealed    bool
+	fallsTo   int // index of fall-through block in fn.blocks, -1 none
+}
+
+// FuncBuilder builds one function as a sequence of blocks.
+type FuncBuilder struct {
+	b      *Builder
+	name   string
+	blocks []*blockState
+	cur    *blockState
+	labels map[string]bool
+	anon   int
+}
+
+func (f *FuncBuilder) startBlock(sym string, entry bool) *blockState {
+	s := &blockState{sym: sym, fallsTo: -1}
+	f.blocks = append(f.blocks, s)
+	f.cur = s
+	return s
+}
+
+// Block starts (or continues into) a labelled block. If the current
+// block is unsealed and non-empty it falls through into the new one;
+// if it is empty (e.g. a label right at function entry or right after
+// a conditional branch) the label attaches to the current block.
+func (f *FuncBuilder) Block(label string) *FuncBuilder {
+	if f.labels[label] {
+		f.b.errf("function %s: duplicate label %s", f.name, label)
+	}
+	f.labels[label] = true
+	if f.cur != nil && !f.cur.sealed && len(f.cur.instrs) == 0 {
+		f.cur.labels = append(f.cur.labels, label)
+		return f
+	}
+	prev := f.cur
+	n := len(f.blocks)
+	f.startBlock(f.name+"."+label, false)
+	f.cur.labels = append(f.cur.labels, label)
+	if prev != nil && !prev.sealed {
+		prev.fallsTo = n
+	}
+	return f
+}
+
+func (f *FuncBuilder) anonBlock() {
+	f.anon++
+	prev := f.cur
+	n := len(f.blocks)
+	f.startBlock(fmt.Sprintf("%s.$%d", f.name, f.anon), false)
+	if prev != nil && !prev.sealed {
+		prev.fallsTo = n
+	}
+}
+
+func (f *FuncBuilder) emit(i isa.Instr) *FuncBuilder {
+	if f.cur.sealed {
+		f.anonBlock()
+	}
+	f.cur.instrs = append(f.cur.instrs, i)
+	return f
+}
+
+// --- ALU and data-movement helpers ---
+
+// Op3 emits a three-register ALU operation rd = rn OP rm.
+func (f *FuncBuilder) Op3(op isa.Op, rd, rn, rm isa.Reg) *FuncBuilder {
+	return f.emit(isa.Instr{Op: op, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// OpI emits a register-immediate ALU operation rd = rn OP imm.
+func (f *FuncBuilder) OpI(op isa.Op, rd, rn isa.Reg, imm int32) *FuncBuilder {
+	return f.emit(isa.Instr{Op: op, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// Add emits rd = rn + rm.
+func (f *FuncBuilder) Add(rd, rn, rm isa.Reg) *FuncBuilder { return f.Op3(isa.ADD, rd, rn, rm) }
+
+// Sub emits rd = rn - rm.
+func (f *FuncBuilder) Sub(rd, rn, rm isa.Reg) *FuncBuilder { return f.Op3(isa.SUB, rd, rn, rm) }
+
+// Mul emits rd = rn * rm.
+func (f *FuncBuilder) Mul(rd, rn, rm isa.Reg) *FuncBuilder { return f.Op3(isa.MUL, rd, rn, rm) }
+
+// Addi emits rd = rn + imm.
+func (f *FuncBuilder) Addi(rd, rn isa.Reg, imm int32) *FuncBuilder {
+	return f.OpI(isa.ADDI, rd, rn, imm)
+}
+
+// Subi emits rd = rn - imm.
+func (f *FuncBuilder) Subi(rd, rn isa.Reg, imm int32) *FuncBuilder {
+	return f.OpI(isa.SUBI, rd, rn, imm)
+}
+
+// Mov emits rd = rm.
+func (f *FuncBuilder) Mov(rd, rm isa.Reg) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.MOV, Rd: rd, Rm: rm})
+}
+
+// Mvn emits rd = ^rm.
+func (f *FuncBuilder) Mvn(rd, rm isa.Reg) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.MVN, Rd: rd, Rm: rm})
+}
+
+// Movi loads a small immediate (0..65535) into rd.
+func (f *FuncBuilder) Movi(rd isa.Reg, imm uint16) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.MOVW, Rd: rd, Imm: int32(imm)})
+}
+
+// Li loads an arbitrary 32-bit constant, emitting MOVW and, when
+// needed, MOVT — exactly how a compiler materialises data addresses.
+func (f *FuncBuilder) Li(rd isa.Reg, v uint32) *FuncBuilder {
+	f.emit(isa.Instr{Op: isa.MOVW, Rd: rd, Imm: int32(v & 0xffff)})
+	if hi := v >> 16; hi != 0 {
+		f.emit(isa.Instr{Op: isa.MOVT, Rd: rd, Imm: int32(hi)})
+	}
+	return f
+}
+
+// Nop emits a no-op.
+func (f *FuncBuilder) Nop() *FuncBuilder { return f.emit(isa.Instr{Op: isa.NOP}) }
+
+// --- comparison helpers ---
+
+// Cmp emits flags(rn - rm).
+func (f *FuncBuilder) Cmp(rn, rm isa.Reg) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.CMP, Rn: rn, Rm: rm})
+}
+
+// Cmpi emits flags(rn - imm).
+func (f *FuncBuilder) Cmpi(rn isa.Reg, imm int32) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.CMPI, Rn: rn, Imm: imm})
+}
+
+// Tst emits flags(rn & rm).
+func (f *FuncBuilder) Tst(rn, rm isa.Reg) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.TST, Rn: rn, Rm: rm})
+}
+
+// --- memory helpers ---
+
+// Ldr emits rd = mem32[rn+imm].
+func (f *FuncBuilder) Ldr(rd, rn isa.Reg, imm int32) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.LDR, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// Str emits mem32[rn+imm] = rd.
+func (f *FuncBuilder) Str(rd, rn isa.Reg, imm int32) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.STR, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// Ldrb emits rd = zext(mem8[rn+imm]).
+func (f *FuncBuilder) Ldrb(rd, rn isa.Reg, imm int32) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.LDRB, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// Strb emits mem8[rn+imm] = rd.
+func (f *FuncBuilder) Strb(rd, rn isa.Reg, imm int32) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.STRB, Rd: rd, Rn: rn, Imm: imm})
+}
+
+// Ldrx emits rd = mem32[rn+rm].
+func (f *FuncBuilder) Ldrx(rd, rn, rm isa.Reg) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.LDRX, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// Strx emits mem32[rn+rm] = rd.
+func (f *FuncBuilder) Strx(rd, rn, rm isa.Reg) *FuncBuilder {
+	return f.emit(isa.Instr{Op: isa.STRX, Rd: rd, Rn: rn, Rm: rm})
+}
+
+// --- control flow ---
+
+// B emits a conditional branch to a local label and seals the block;
+// building continues in an anonymous fall-through block. With isa.AL
+// the branch is unconditional and nothing falls through.
+func (f *FuncBuilder) B(cond isa.Cond, label string) *FuncBuilder {
+	f.emit(isa.Instr{Op: isa.B, Cond: cond})
+	sealed := f.cur
+	sealed.branchRef = label
+	sealed.sealed = true
+	if cond != isa.AL {
+		sealed.fallsTo = len(f.blocks)
+		f.anonBlock()
+	}
+	return f
+}
+
+// Beq, Bne, Blt, Ble, Bgt, Bge, Blo, Bhs are common-condition wrappers.
+func (f *FuncBuilder) Beq(label string) *FuncBuilder { return f.B(isa.EQ, label) }
+
+// Bne branches when the Z flag is clear.
+func (f *FuncBuilder) Bne(label string) *FuncBuilder { return f.B(isa.NE, label) }
+
+// Blt branches on signed less-than.
+func (f *FuncBuilder) Blt(label string) *FuncBuilder { return f.B(isa.LT, label) }
+
+// Ble branches on signed less-or-equal.
+func (f *FuncBuilder) Ble(label string) *FuncBuilder { return f.B(isa.LE, label) }
+
+// Bgt branches on signed greater-than.
+func (f *FuncBuilder) Bgt(label string) *FuncBuilder { return f.B(isa.GT, label) }
+
+// Bge branches on signed greater-or-equal.
+func (f *FuncBuilder) Bge(label string) *FuncBuilder { return f.B(isa.GE, label) }
+
+// Blo branches on unsigned less-than.
+func (f *FuncBuilder) Blo(label string) *FuncBuilder { return f.B(isa.LO, label) }
+
+// Bhs branches on unsigned greater-or-equal.
+func (f *FuncBuilder) Bhs(label string) *FuncBuilder { return f.B(isa.HS, label) }
+
+// Jmp emits an unconditional branch to a local label.
+func (f *FuncBuilder) Jmp(label string) *FuncBuilder { return f.B(isa.AL, label) }
+
+// Call emits BL to another function. The block is sealed and the
+// continuation (the return point) starts a new anonymous block bound
+// to it by a fall-through constraint.
+func (f *FuncBuilder) Call(fn string) *FuncBuilder {
+	f.emit(isa.Instr{Op: isa.BL, Cond: isa.AL})
+	sealed := f.cur
+	sealed.branchRef = fn
+	sealed.isCall = true
+	sealed.sealed = true
+	sealed.fallsTo = len(f.blocks)
+	f.anonBlock()
+	return f
+}
+
+// SaveLR emits the standard non-leaf prologue: push the link register
+// onto the stack so nested calls do not clobber it.
+func (f *FuncBuilder) SaveLR() *FuncBuilder {
+	f.Subi(isa.SP, isa.SP, 4)
+	return f.Str(isa.LR, isa.SP, 0)
+}
+
+// RestoreLR emits the matching epilogue: pop the link register.
+func (f *FuncBuilder) RestoreLR() *FuncBuilder {
+	f.Ldr(isa.LR, isa.SP, 0)
+	return f.Addi(isa.SP, isa.SP, 4)
+}
+
+// Push spills registers to the stack (descending, one word each).
+func (f *FuncBuilder) Push(regs ...isa.Reg) *FuncBuilder {
+	f.Subi(isa.SP, isa.SP, int32(4*len(regs)))
+	for i, r := range regs {
+		f.Str(r, isa.SP, int32(4*i))
+	}
+	return f
+}
+
+// Pop reloads registers pushed by Push (same order).
+func (f *FuncBuilder) Pop(regs ...isa.Reg) *FuncBuilder {
+	for i, r := range regs {
+		f.Ldr(r, isa.SP, int32(4*i))
+	}
+	return f.Addi(isa.SP, isa.SP, int32(4*len(regs)))
+}
+
+// Ret emits a return and seals the block.
+func (f *FuncBuilder) Ret() *FuncBuilder {
+	f.emit(isa.Instr{Op: isa.RET})
+	f.cur.sealed = true
+	return f
+}
+
+// Halt emits HALT and seals the block.
+func (f *FuncBuilder) Halt() *FuncBuilder {
+	f.emit(isa.Instr{Op: isa.HALT})
+	f.cur.sealed = true
+	return f
+}
+
+// finish resolves local labels and produces the object function.
+func (f *FuncBuilder) finish() (*obj.Func, error) {
+	// Drop trailing empty anonymous blocks (a function ending in Ret
+	// leaves one open if nothing followed).
+	blocks := f.blocks
+	for len(blocks) > 0 {
+		last := blocks[len(blocks)-1]
+		if len(last.instrs) == 0 && len(last.labels) == 0 {
+			blocks = blocks[:len(blocks)-1]
+			continue
+		}
+		break
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("asm: function %s is empty", f.name)
+	}
+	symOf := make(map[string]string) // local label -> global sym
+	for _, s := range blocks {
+		for _, l := range s.labels {
+			symOf[l] = s.sym
+		}
+	}
+	of := &obj.Func{Name: f.name}
+	for i, s := range blocks {
+		if len(s.instrs) == 0 {
+			return nil, fmt.Errorf("asm: function %s: empty block %s (label with no code?)", f.name, s.sym)
+		}
+		ob := &obj.Block{Sym: s.sym, Func: f.name, Index: i, Instrs: s.instrs, IsCall: s.isCall}
+		if s.branchRef != "" {
+			if s.isCall {
+				if _, ok := f.b.byName[s.branchRef]; !ok {
+					return nil, fmt.Errorf("asm: function %s calls undefined function %s", f.name, s.branchRef)
+				}
+				ob.BranchSym = s.branchRef // function entry symbol
+			} else {
+				sym, ok := symOf[s.branchRef]
+				if !ok {
+					return nil, fmt.Errorf("asm: function %s branches to undefined label %s", f.name, s.branchRef)
+				}
+				ob.BranchSym = sym
+			}
+		}
+		if s.fallsTo >= 0 {
+			if s.fallsTo >= len(blocks) {
+				return nil, fmt.Errorf("asm: function %s: block %s falls off the end of the function", f.name, s.sym)
+			}
+			ob.FallSym = blocks[s.fallsTo].sym
+		} else if !s.sealed {
+			return nil, fmt.Errorf("asm: function %s: block %s has no terminator", f.name, s.sym)
+		}
+		of.Blocks = append(of.Blocks, ob)
+	}
+	return of, nil
+}

@@ -1,0 +1,401 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+// buildCountdown is a tiny two-function program used across the tests:
+// main calls work(10) in a loop structure; work counts its argument
+// down to zero.
+func buildCountdown(t *testing.T) *obj.Unit {
+	t.Helper()
+	b := NewBuilder("countdown")
+
+	f := b.Func("main")
+	f.Movi(isa.R0, 10)
+	f.Call("work")
+	f.Halt()
+
+	w := b.Func("work")
+	w.Block("loop")
+	w.Subi(isa.R0, isa.R0, 1)
+	w.Cmpi(isa.R0, 0)
+	w.Bgt("loop")
+	w.Ret()
+
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return u
+}
+
+func TestBuildCountdownStructure(t *testing.T) {
+	u := buildCountdown(t)
+	if len(u.Funcs) != 2 {
+		t.Fatalf("got %d functions, want 2", len(u.Funcs))
+	}
+	main := u.Funcs[0]
+	if main.Name != "main" || main.Blocks[0].Sym != "main" {
+		t.Fatalf("main entry block mis-named: %+v", main.Blocks[0])
+	}
+	// main: [movi, bl] -> call, then continuation [halt].
+	if len(main.Blocks) != 2 {
+		t.Fatalf("main has %d blocks, want 2: %+v", len(main.Blocks), main.Blocks)
+	}
+	if !main.Blocks[0].IsCall || main.Blocks[0].BranchSym != "work" {
+		t.Errorf("main entry block should be a call to work: %+v", main.Blocks[0])
+	}
+	if main.Blocks[0].FallSym != main.Blocks[1].Sym {
+		t.Errorf("call continuation not chained: %q vs %q", main.Blocks[0].FallSym, main.Blocks[1].Sym)
+	}
+
+	work := u.Funcs[1]
+	// work: loop block (label attached to entry) + ret block.
+	if len(work.Blocks) != 2 {
+		t.Fatalf("work has %d blocks, want 2", len(work.Blocks))
+	}
+	if work.Blocks[0].Sym != "work" {
+		t.Errorf("loop label should alias the entry block, got %q", work.Blocks[0].Sym)
+	}
+	if work.Blocks[0].BranchSym != "work" {
+		t.Errorf("loop back-edge should target the entry block, got %q", work.Blocks[0].BranchSym)
+	}
+	if work.Blocks[0].FallSym != work.Blocks[1].Sym {
+		t.Errorf("conditional branch fall-through not recorded")
+	}
+}
+
+func TestLinkPatchesBranches(t *testing.T) {
+	u := buildCountdown(t)
+	p, err := obj.Link(u, obj.OriginalOrder(u), 0x1000)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if p.Entry != 0x1000 {
+		t.Errorf("entry = %#x, want 0x1000", p.Entry)
+	}
+	// Image: main: movi, bl | halt || work: subi, cmpi, bgt | ret
+	if len(p.Code) != 7 {
+		t.Fatalf("code has %d instructions, want 7", len(p.Code))
+	}
+	workAddr, ok := p.AddrOf("work")
+	if !ok {
+		t.Fatal("no symbol for work")
+	}
+	// The BL at index 1 must reach workAddr: target = pc+4+disp*4.
+	bl := p.Code[1]
+	if bl.Op != isa.BL {
+		t.Fatalf("instr 1 is %v, want bl", bl)
+	}
+	pc := p.Base + 4
+	if got := pc + 4 + uint32(bl.Imm)*4; got != workAddr {
+		t.Errorf("bl reaches %#x, want %#x", got, workAddr)
+	}
+	// The BGT at index 5 must loop back to workAddr (negative disp).
+	bgt := p.Code[5]
+	if bgt.Op != isa.B || bgt.Cond != isa.GT {
+		t.Fatalf("instr 5 is %v, want bgt", bgt)
+	}
+	pc = p.Base + 5*4
+	if got := uint32(int64(pc) + 4 + int64(bgt.Imm)*4); got != workAddr {
+		t.Errorf("bgt reaches %#x, want %#x", got, workAddr)
+	}
+	if bgt.Imm >= 0 {
+		t.Errorf("back-edge displacement should be negative, got %d", bgt.Imm)
+	}
+	// Every word must decode back to its Code entry.
+	for i, w := range p.Words {
+		d, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("word %d does not decode: %v", i, err)
+		}
+		if d != p.Code[i] {
+			t.Errorf("word %d decodes to %v, want %v", i, d, p.Code[i])
+		}
+	}
+}
+
+func TestLinkRejectsBrokenOrders(t *testing.T) {
+	u := buildCountdown(t)
+	orig := obj.OriginalOrder(u)
+
+	// Reversing violates the call/return fall-through pairing.
+	rev := make([]*obj.Block, len(orig))
+	for i, b := range orig {
+		rev[len(orig)-1-i] = b
+	}
+	if _, err := obj.Link(u, rev, 0x1000); err == nil {
+		t.Error("Link accepted an order violating fall-through constraints")
+	}
+
+	// Dropping a block must fail.
+	if _, err := obj.Link(u, orig[:len(orig)-1], 0x1000); err == nil {
+		t.Error("Link accepted an incomplete order")
+	}
+
+	// Duplicating a block must fail.
+	dup := append(append([]*obj.Block(nil), orig...), orig[0])
+	if _, err := obj.Link(u, dup, 0x1000); err == nil {
+		t.Error("Link accepted a duplicated block")
+	}
+
+	// Misaligned base must fail.
+	if _, err := obj.Link(u, orig, 0x1001); err == nil {
+		t.Error("Link accepted a misaligned base")
+	}
+}
+
+func TestLinkRequiresMain(t *testing.T) {
+	b := NewBuilder("nomain")
+	f := b.Func("helper")
+	f.Ret()
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if _, err := obj.Link(u, obj.OriginalOrder(u), 0); err == nil ||
+		!strings.Contains(err.Error(), "main") {
+		t.Errorf("Link without main: err = %v, want mention of main", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	t.Run("undefined label", func(t *testing.T) {
+		b := NewBuilder("t")
+		f := b.Func("main")
+		f.Movi(isa.R0, 1)
+		f.Beq("nowhere")
+		f.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted a branch to an undefined label")
+		}
+	})
+	t.Run("undefined callee", func(t *testing.T) {
+		b := NewBuilder("t")
+		f := b.Func("main")
+		f.Call("ghost")
+		f.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted a call to an undefined function")
+		}
+	})
+	t.Run("missing terminator", func(t *testing.T) {
+		b := NewBuilder("t")
+		f := b.Func("main")
+		f.Movi(isa.R0, 1)
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted a function with no terminator")
+		}
+	})
+	t.Run("duplicate function", func(t *testing.T) {
+		b := NewBuilder("t")
+		b.Func("main").Halt()
+		b.Func("main").Halt()
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted duplicate function names")
+		}
+	})
+	t.Run("duplicate label", func(t *testing.T) {
+		b := NewBuilder("t")
+		f := b.Func("main")
+		f.Block("x")
+		f.Movi(isa.R0, 1)
+		f.Block("x")
+		f.Halt()
+		if _, err := b.Build(); err == nil {
+			t.Error("Build accepted duplicate labels")
+		}
+	})
+}
+
+func TestDataSegment(t *testing.T) {
+	b := NewBuilder("t")
+	a1 := b.Words(1, 2, 3)
+	a2 := b.Data([]byte{9})
+	b.Align(4)
+	a3 := b.Zeros(8)
+	f := b.Func("main")
+	f.Li(isa.R0, a1)
+	f.Halt()
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if a1 != DefaultDataBase {
+		t.Errorf("first alloc at %#x, want %#x", a1, DefaultDataBase)
+	}
+	if a2 != a1+12 {
+		t.Errorf("second alloc at %#x, want %#x", a2, a1+12)
+	}
+	if a3%4 != 0 {
+		t.Errorf("aligned alloc at %#x not 4-aligned", a3)
+	}
+	if len(u.Data) != 24 {
+		t.Errorf("data image %d bytes, want 24", len(u.Data))
+	}
+	if u.Data[0] != 1 || u.Data[4] != 2 || u.Data[8] != 3 || u.Data[12] != 9 {
+		t.Errorf("data image content wrong: % x", u.Data[:16])
+	}
+}
+
+func TestLiEmitsMovtOnlyWhenNeeded(t *testing.T) {
+	b := NewBuilder("t")
+	f := b.Func("main")
+	f.Li(isa.R1, 0x1234)
+	f.Li(isa.R2, 0xdead_beef)
+	f.Halt()
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ins := u.Funcs[0].Blocks[0].Instrs
+	if len(ins) != 4 {
+		t.Fatalf("got %d instrs, want 4 (movw, movw, movt, halt)", len(ins))
+	}
+	if ins[0].Op != isa.MOVW || ins[1].Op != isa.MOVW || ins[2].Op != isa.MOVT {
+		t.Errorf("unexpected sequence: %v %v %v", ins[0], ins[1], ins[2])
+	}
+	if ins[1].Imm != int32(0xbeef) || ins[2].Imm != int32(0xdead) {
+		t.Errorf("movw/movt halves wrong: %v %v", ins[1], ins[2])
+	}
+}
+
+func TestBranchMidStreamSplitsBlock(t *testing.T) {
+	b := NewBuilder("t")
+	f := b.Func("main")
+	f.Movi(isa.R0, 1)
+	f.Cmpi(isa.R0, 0)
+	f.Beq("done") // seals, opens anonymous fall-through
+	f.Movi(isa.R1, 2)
+	f.Block("done")
+	f.Halt()
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	blocks := u.Funcs[0].Blocks
+	if len(blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(blocks))
+	}
+	if blocks[0].FallSym != blocks[1].Sym {
+		t.Errorf("first block should fall into the anonymous block")
+	}
+	if blocks[0].BranchSym != blocks[2].Sym {
+		t.Errorf("branch should target done block, got %q", blocks[0].BranchSym)
+	}
+	if blocks[1].FallSym != blocks[2].Sym {
+		t.Errorf("anonymous block should fall into done")
+	}
+}
+
+func TestProgramIndexHelpers(t *testing.T) {
+	u := buildCountdown(t)
+	p, err := obj.Link(u, obj.OriginalOrder(u), 0x2000)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if i, ok := p.IndexOf(0x2000); !ok || i != 0 {
+		t.Errorf("IndexOf(base) = %d,%v", i, ok)
+	}
+	if _, ok := p.IndexOf(0x1ffc); ok {
+		t.Error("IndexOf below base succeeded")
+	}
+	if _, ok := p.IndexOf(0x2001); ok {
+		t.Error("IndexOf misaligned succeeded")
+	}
+	if _, ok := p.IndexOf(p.Base + p.Size()); ok {
+		t.Error("IndexOf past end succeeded")
+	}
+	if blk := p.BlockAt(0); blk == nil || blk.Block.Sym != "main" {
+		t.Errorf("BlockAt(0) = %+v, want main", blk)
+	}
+	last := len(p.Code) - 1
+	if blk := p.BlockAt(last); blk == nil || blk.Block.Func != "work" {
+		t.Errorf("BlockAt(last) = %+v, want work block", blk)
+	}
+	if p.BlockAt(-1) != nil || p.BlockAt(len(p.Code)) != nil {
+		t.Error("BlockAt out of range should be nil")
+	}
+}
+
+func TestPushPopEmission(t *testing.T) {
+	b := NewBuilder("t")
+	f := b.Func("main")
+	f.Push(isa.R1, isa.R2)
+	f.Pop(isa.R1, isa.R2)
+	f.Halt()
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ins := u.Funcs[0].Blocks[0].Instrs
+	want := []isa.Instr{
+		{Op: isa.SUBI, Rd: isa.SP, Rn: isa.SP, Imm: 8},
+		{Op: isa.STR, Rd: isa.R1, Rn: isa.SP, Imm: 0},
+		{Op: isa.STR, Rd: isa.R2, Rn: isa.SP, Imm: 4},
+		{Op: isa.LDR, Rd: isa.R1, Rn: isa.SP, Imm: 0},
+		{Op: isa.LDR, Rd: isa.R2, Rn: isa.SP, Imm: 4},
+		{Op: isa.ADDI, Rd: isa.SP, Rn: isa.SP, Imm: 8},
+		{Op: isa.HALT, Cond: isa.AL},
+	}
+	if len(ins) != len(want) {
+		t.Fatalf("emitted %d instrs, want %d: %v", len(ins), len(want), ins)
+	}
+	for i := range want {
+		got := ins[i]
+		got.Cond = isa.AL // terminators carry AL; normalise
+		want[i].Cond = isa.AL
+		if got != want[i] {
+			t.Errorf("instr %d = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+func TestSaveRestoreLREmission(t *testing.T) {
+	b := NewBuilder("t")
+	f := b.Func("main")
+	f.Halt()
+	h := b.Func("helper")
+	h.SaveLR()
+	h.RestoreLR()
+	h.Ret()
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	ins := u.Funcs[1].Blocks[0].Instrs
+	if len(ins) != 5 {
+		t.Fatalf("got %d instrs, want 5", len(ins))
+	}
+	if ins[0].Op != isa.SUBI || ins[0].Rd != isa.SP || ins[0].Imm != 4 {
+		t.Errorf("prologue[0] = %v", ins[0])
+	}
+	if ins[1].Op != isa.STR || ins[1].Rd != isa.LR {
+		t.Errorf("prologue[1] = %v", ins[1])
+	}
+	if ins[2].Op != isa.LDR || ins[2].Rd != isa.LR {
+		t.Errorf("epilogue[0] = %v", ins[2])
+	}
+	if ins[3].Op != isa.ADDI || ins[3].Rd != isa.SP {
+		t.Errorf("epilogue[1] = %v", ins[3])
+	}
+}
+
+func TestNextDataAddr(t *testing.T) {
+	b := NewBuilder("t")
+	if b.NextDataAddr() != DefaultDataBase {
+		t.Errorf("fresh NextDataAddr = %#x", b.NextDataAddr())
+	}
+	b.Data([]byte{1, 2, 3})
+	if got := b.NextDataAddr(); got != DefaultDataBase+3 {
+		t.Errorf("NextDataAddr after 3 bytes = %#x", got)
+	}
+	if got := b.Data([]byte{9}); got != DefaultDataBase+3 {
+		t.Errorf("next alloc at %#x, want advertised address", got)
+	}
+}

@@ -1,0 +1,337 @@
+package bench
+
+import (
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("rawcaudio", "IMA ADPCM speech encoder (MiBench telecomm/adpcm rawcaudio)",
+		func(in Input) (*obj.Unit, error) { return buildADPCM(in, true) })
+	register("rawdaudio", "IMA ADPCM speech decoder (MiBench telecomm/adpcm rawdaudio)",
+		func(in Input) (*obj.Unit, error) { return buildADPCM(in, false) })
+}
+
+// IMA ADPCM tables (the standard ones, as in MiBench's adpcm.c).
+var adpcmIndexTable = []int32{-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8}
+
+var adpcmStepTable = []int32{
+	7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+	19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+	50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+	130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+	337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+	876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+	2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+	5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+	15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+}
+
+// adpcmSamples synthesises a speech-like 16-bit sample stream: a
+// smoothly-slewing carrier chasing a randomly re-aimed target (the
+// envelope/formant motion of speech) plus low-level noise. The slew
+// rate is kept within what a 4-bit ADPCM codec can track, as real
+// speech is.
+func adpcmSamples(in Input) []int32 {
+	n := in.pick(3_000, 26_000)
+	r := newRNG(0xadc)
+	out := make([]int32, n)
+	var v, target int32
+	for i := range out {
+		if i%64 == 0 {
+			target = int32(r.intn(20001) - 10000)
+		}
+		v += (target - v) >> 4
+		v += int32(r.intn(41) - 20)
+		out[i] = clamp16(v)
+	}
+	return out
+}
+
+func clamp16(v int32) int32 {
+	if v > 32767 {
+		return 32767
+	}
+	if v < -32768 {
+		return -32768
+	}
+	return v
+}
+
+// adpcmEncode is the Go reference encoder; it mirrors the simulated
+// program instruction for instruction.
+func adpcmEncode(samples []int32) []int32 {
+	valpred, index := int32(0), int32(0)
+	step := adpcmStepTable[0]
+	out := make([]int32, len(samples))
+	for i, sample := range samples {
+		diff := sample - valpred
+		sign := int32(0)
+		if diff < 0 {
+			sign = 8
+			diff = -diff
+		}
+		delta := int32(0)
+		vpdiff := step >> 3
+		if diff >= step {
+			delta = 4
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 2
+			diff -= step
+			vpdiff += step
+		}
+		step >>= 1
+		if diff >= step {
+			delta |= 1
+			vpdiff += step
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		valpred = clamp16(valpred)
+		delta |= sign
+		index += adpcmIndexTable[delta]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		step = adpcmStepTable[index]
+		out[i] = delta
+	}
+	return out
+}
+
+// adpcmDecode is the Go reference decoder.
+func adpcmDecode(codes []int32) []int32 {
+	valpred, index := int32(0), int32(0)
+	step := adpcmStepTable[0]
+	out := make([]int32, len(codes))
+	for i, delta := range codes {
+		index += adpcmIndexTable[delta]
+		if index < 0 {
+			index = 0
+		}
+		if index > 88 {
+			index = 88
+		}
+		sign := delta & 8
+		delta &= 7
+		vpdiff := step >> 3
+		if delta&4 != 0 {
+			vpdiff += step
+		}
+		if delta&2 != 0 {
+			vpdiff += step >> 1
+		}
+		if delta&1 != 0 {
+			vpdiff += step >> 2
+		}
+		if sign != 0 {
+			valpred -= vpdiff
+		} else {
+			valpred += vpdiff
+		}
+		valpred = clamp16(valpred)
+		step = adpcmStepTable[index]
+		out[i] = valpred
+	}
+	return out
+}
+
+// adpcmRef returns the checksum the program computes: the sum of its
+// outputs (codes for the encoder, samples for the decoder).
+func adpcmRef(in Input, encode bool) uint32 {
+	var outs []int32
+	if encode {
+		outs = adpcmEncode(adpcmSamples(in))
+	} else {
+		outs = adpcmDecode(adpcmEncode(adpcmSamples(in)))
+	}
+	var sum uint32
+	for _, v := range outs {
+		sum += uint32(v)
+	}
+	return sum
+}
+
+// buildADPCM emits the encoder or decoder. State registers across the
+// sample loop:
+//
+//	R0 checksum  R1 input ptr  R2 samples left  R3 valpred
+//	R4 index     R5 step       R6-R10 temps     R11 step table
+//	R12 index table
+func buildADPCM(in Input, encode bool) (*obj.Unit, error) {
+	b := asm.NewBuilder("adpcm")
+	addAppShell(b, 0xe187, 10)
+	stepTab := b.Words(u32s(adpcmStepTable)...)
+	idxTab := b.Words(u32s(adpcmIndexTable)...)
+
+	var input []int32
+	if encode {
+		input = adpcmSamples(in)
+	} else {
+		input = adpcmEncode(adpcmSamples(in))
+	}
+	buf := b.Words(u32s(input)...)
+
+	// emitClampValpred clamps R3 to [-32768, 32767].
+	emitClampValpred := func(f *asm.FuncBuilder) {
+		f.Li(isa.R6, 32767)
+		f.Cmp(isa.R3, isa.R6)
+		f.Ble("nohigh")
+		f.Mov(isa.R3, isa.R6)
+		f.Block("nohigh")
+		f.Li(isa.R6, uint32(0xffff8000)) // -32768
+		f.Cmp(isa.R3, isa.R6)
+		f.Bge("nolow")
+		f.Mov(isa.R3, isa.R6)
+		f.Block("nolow")
+	}
+	// emitClampIndex clamps R4 to [0, 88] and reloads step into R5.
+	emitClampIndex := func(f *asm.FuncBuilder) {
+		f.Cmpi(isa.R4, 0)
+		f.Bge("idxlo")
+		f.Movi(isa.R4, 0)
+		f.Block("idxlo")
+		f.Cmpi(isa.R4, 88)
+		f.Ble("idxhi")
+		f.Movi(isa.R4, 88)
+		f.Block("idxhi")
+		f.OpI(isa.LSLI, isa.R6, isa.R4, 2)
+		f.Ldrx(isa.R5, isa.R11, isa.R6)
+	}
+
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R1, buf)
+	f.Li(isa.R2, uint32(len(input)))
+	f.Movi(isa.R3, 0) // valpred
+	f.Movi(isa.R4, 0) // index
+	f.Li(isa.R11, stepTab)
+	f.Li(isa.R12, idxTab)
+	f.Ldr(isa.R5, isa.R11, 0) // step = stepTable[0]
+	f.Block("loop")
+	f.Ldr(isa.R7, isa.R1, 0) // sample or code
+
+	if encode {
+		// diff = sample - valpred; sign in R9.
+		f.Sub(isa.R7, isa.R7, isa.R3)
+		f.Movi(isa.R9, 0)
+		f.Cmpi(isa.R7, 0)
+		f.Bge("pos")
+		f.Movi(isa.R9, 8)
+		f.Movi(isa.R6, 0)
+		f.Sub(isa.R7, isa.R6, isa.R7)
+		f.Block("pos")
+		f.Movi(isa.R8, 0)                   // delta
+		f.OpI(isa.ASRI, isa.R10, isa.R5, 3) // vpdiff = step>>3
+		f.Cmp(isa.R7, isa.R5)
+		f.Blt("b4")
+		f.Movi(isa.R8, 4)
+		f.Sub(isa.R7, isa.R7, isa.R5)
+		f.Add(isa.R10, isa.R10, isa.R5)
+		f.Block("b4")
+		f.OpI(isa.ASRI, isa.R5, isa.R5, 1)
+		f.Cmp(isa.R7, isa.R5)
+		f.Blt("b2")
+		f.OpI(isa.ORRI, isa.R8, isa.R8, 2)
+		f.Sub(isa.R7, isa.R7, isa.R5)
+		f.Add(isa.R10, isa.R10, isa.R5)
+		f.Block("b2")
+		f.OpI(isa.ASRI, isa.R5, isa.R5, 1)
+		f.Cmp(isa.R7, isa.R5)
+		f.Blt("b1")
+		f.OpI(isa.ORRI, isa.R8, isa.R8, 1)
+		f.Add(isa.R10, isa.R10, isa.R5)
+		f.Block("b1")
+		// valpred +/-= vpdiff
+		f.Cmpi(isa.R9, 0)
+		f.Beq("addv")
+		f.Sub(isa.R3, isa.R3, isa.R10)
+		f.Jmp("clamped")
+		f.Block("addv")
+		f.Add(isa.R3, isa.R3, isa.R10)
+		f.Block("clamped")
+		emitClampValpred(f)
+		f.Op3(isa.ORR, isa.R8, isa.R8, isa.R9) // delta |= sign
+		// index += indexTable[delta]
+		f.OpI(isa.LSLI, isa.R6, isa.R8, 2)
+		f.Ldrx(isa.R6, isa.R12, isa.R6)
+		f.Add(isa.R4, isa.R4, isa.R6)
+		emitClampIndex(f)
+		f.Add(isa.R0, isa.R0, isa.R8) // checksum += delta
+	} else {
+		// index += indexTable[delta]; clamp; split sign/magnitude.
+		f.OpI(isa.LSLI, isa.R6, isa.R7, 2)
+		f.Ldrx(isa.R6, isa.R12, isa.R6)
+		f.Add(isa.R4, isa.R4, isa.R6)
+		f.Cmpi(isa.R4, 0)
+		f.Bge("ilo")
+		f.Movi(isa.R4, 0)
+		f.Block("ilo")
+		f.Cmpi(isa.R4, 88)
+		f.Ble("ihi")
+		f.Movi(isa.R4, 88)
+		f.Block("ihi")
+		f.OpI(isa.ANDI, isa.R9, isa.R7, 8) // sign
+		f.OpI(isa.ANDI, isa.R8, isa.R7, 7) // magnitude
+		f.OpI(isa.ASRI, isa.R10, isa.R5, 3)
+		f.OpI(isa.ANDI, isa.R6, isa.R8, 4)
+		f.Cmpi(isa.R6, 0)
+		f.Beq("d4")
+		f.Add(isa.R10, isa.R10, isa.R5)
+		f.Block("d4")
+		f.OpI(isa.ANDI, isa.R6, isa.R8, 2)
+		f.Cmpi(isa.R6, 0)
+		f.Beq("d2")
+		f.OpI(isa.ASRI, isa.R6, isa.R5, 1)
+		f.Add(isa.R10, isa.R10, isa.R6)
+		f.Block("d2")
+		f.OpI(isa.ANDI, isa.R6, isa.R8, 1)
+		f.Cmpi(isa.R6, 0)
+		f.Beq("d1")
+		f.OpI(isa.ASRI, isa.R6, isa.R5, 2)
+		f.Add(isa.R10, isa.R10, isa.R6)
+		f.Block("d1")
+		f.Cmpi(isa.R9, 0)
+		f.Beq("addv")
+		f.Sub(isa.R3, isa.R3, isa.R10)
+		f.Jmp("clamped")
+		f.Block("addv")
+		f.Add(isa.R3, isa.R3, isa.R10)
+		f.Block("clamped")
+		emitClampValpred(f)
+		// step = stepTable[index]
+		f.OpI(isa.LSLI, isa.R6, isa.R4, 2)
+		f.Ldrx(isa.R5, isa.R11, isa.R6)
+		f.Add(isa.R0, isa.R0, isa.R3) // checksum += valpred
+	}
+
+	f.Addi(isa.R1, isa.R1, 4)
+	f.Subi(isa.R2, isa.R2, 1)
+	f.Cmpi(isa.R2, 0)
+	f.Bgt("loop")
+	f.Halt()
+	addRuntime(b)
+	return b.Build()
+}
+
+// u32s reinterprets a signed slice as unsigned words for the data
+// segment.
+func u32s(vs []int32) []uint32 {
+	out := make([]uint32, len(vs))
+	for i, v := range vs {
+		out[i] = uint32(v)
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"testing"
+
+	"wayplace/internal/cpu"
+	"wayplace/internal/isa"
+	"wayplace/internal/layout"
+	"wayplace/internal/mem"
+	"wayplace/internal/obj"
+	"wayplace/internal/profile"
+)
+
+const textBase = 0x0001_0000
+
+// execute links (original order) and runs a unit functionally,
+// returning the checksum and dynamic instruction count.
+func execute(t *testing.T, u *obj.Unit) (uint32, uint64) {
+	t.Helper()
+	p, err := obj.Link(u, obj.OriginalOrder(u), textBase)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	c := cpu.New(p, mem.New(mem.DefaultConfig()))
+	res, err := c.Run(200_000_000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c.Regs[isa.R0], res.Instrs
+}
+
+func build(t *testing.T, name string, in Input) *obj.Unit {
+	t.Helper()
+	bm, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := bm.Build(in)
+	if err != nil {
+		t.Fatalf("%s/%v Build: %v", name, in, err)
+	}
+	return u
+}
+
+func TestCRCMatchesReference(t *testing.T) {
+	for _, in := range []Input{Small, Large} {
+		got, _ := execute(t, build(t, "crc", in))
+		if want := crcRef(crcInput(in)); got != want {
+			t.Errorf("crc/%v checksum = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+func TestSHAMatchesReference(t *testing.T) {
+	for _, in := range []Input{Small, Large} {
+		got, _ := execute(t, build(t, "sha", in))
+		if want := shaRef(shaInput(in)); got != want {
+			t.Errorf("sha/%v checksum = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+func TestBitcountMatchesReference(t *testing.T) {
+	for _, in := range []Input{Small, Large} {
+		got, _ := execute(t, build(t, "bitcount", in))
+		if want := bitcountRef(bitcountInput(in)); got != want {
+			t.Errorf("bitcount/%v checksum = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+// TestSuiteInvariants runs every registered benchmark on both inputs
+// and checks the properties the experiment harness relies on.
+func TestSuiteInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite run in -short mode")
+	}
+	for _, bm := range All() {
+		bm := bm
+		t.Run(bm.Name, func(t *testing.T) {
+			t.Parallel()
+			us := build(t, bm.Name, Small)
+			ul := build(t, bm.Name, Large)
+
+			// Same code for both inputs: identical block symbol
+			// sequences (profiles carry over, as in the paper).
+			bs, bl := us.Blocks(), ul.Blocks()
+			if len(bs) != len(bl) {
+				t.Fatalf("block counts differ between inputs: %d vs %d", len(bs), len(bl))
+			}
+			for i := range bs {
+				if bs[i].Sym != bl[i].Sym || bs[i].NumInstrs() != bl[i].NumInstrs() {
+					t.Fatalf("code differs between inputs at block %d: %s vs %s",
+						i, bs[i].Sym, bl[i].Sym)
+				}
+			}
+
+			sumS, nS := execute(t, us)
+			sumL, nL := execute(t, ul)
+			if sumS == 0xdead || sumL == 0xdead {
+				t.Fatal("benchmark hit its error trap")
+			}
+			if nL < 400_000 {
+				t.Errorf("large input runs only %d instructions, want >= 400k", nL)
+			}
+			if nL > 20_000_000 {
+				t.Errorf("large input runs %d instructions, too slow for the sweep harness", nL)
+			}
+			if nS >= nL/2 {
+				t.Errorf("small input (%d instrs) not meaningfully smaller than large (%d)", nS, nL)
+			}
+			if nS < 10_000 {
+				t.Errorf("small input runs only %d instructions — too little to profile", nS)
+			}
+
+			// The layout pass must accept the program and profiling
+			// must find at least one dominant chain.
+			p, err := obj.Link(us, obj.OriginalOrder(us), textBase)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cpu.New(p, mem.New(mem.DefaultConfig()))
+			res, err := c.Run(200_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prof := profile.FromInstrCounts(p, res.InstrCounts)
+			opt, err := layout.Link(ul, prof, textBase)
+			if err != nil {
+				t.Fatalf("layout over profile: %v", err)
+			}
+			// The optimised layout must preserve semantics.
+			c2 := cpu.New(opt, mem.New(mem.DefaultConfig()))
+			if _, err := c2.Run(200_000_000); err != nil {
+				t.Fatalf("optimised binary faulted: %v", err)
+			}
+			if c2.Regs[isa.R0] != sumL {
+				t.Fatalf("optimised layout changed the checksum: %#x vs %#x",
+					c2.Regs[isa.R0], sumL)
+			}
+		})
+	}
+}
+
+func TestSuiteHas23Benchmarks(t *testing.T) {
+	names := Names()
+	if len(names) != 23 {
+		t.Fatalf("suite has %d benchmarks, want 23: %v", len(names), names)
+	}
+	if names[0] != "bitcount" || names[len(names)-1] != "fft_i" {
+		t.Errorf("figure order wrong: first=%s last=%s", names[0], names[len(names)-1])
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted an unknown benchmark")
+	}
+}
+
+func TestInputString(t *testing.T) {
+	if Small.String() != "small" || Large.String() != "large" {
+		t.Error("input names wrong")
+	}
+}
+
+func TestSusanMatchesReference(t *testing.T) {
+	for _, m := range []struct {
+		name string
+		mode susanMode
+	}{{"susan_c", susanCorners}, {"susan_e", susanEdges}, {"susan_s", susanSmooth}} {
+		for _, in := range []Input{Small, Large} {
+			got, _ := execute(t, build(t, m.name, in))
+			if want := susanRef(in, m.mode); got != want {
+				t.Errorf("%s/%v checksum = %#x, want %#x", m.name, in, got, want)
+			}
+		}
+	}
+}
+
+func TestTiffFamilyMatchesReference(t *testing.T) {
+	cases := []struct {
+		name string
+		ref  func(Input) uint32
+	}{
+		{"tiff2bw", tiff2bwRef},
+		{"tiff2rgba", tiff2rgbaRef},
+		{"tiffdither", tiffditherRef},
+		{"tiffmedian", tiffmedianRef},
+	}
+	for _, c := range cases {
+		for _, in := range []Input{Small, Large} {
+			got, _ := execute(t, build(t, c.name, in))
+			if want := c.ref(in); got != want {
+				t.Errorf("%s/%v checksum = %#x, want %#x", c.name, in, got, want)
+			}
+		}
+	}
+}
+
+func TestCryptoMatchesReference(t *testing.T) {
+	for _, enc := range []bool{true, false} {
+		name := "blowfish_d"
+		if enc {
+			name = "blowfish_e"
+		}
+		for _, in := range []Input{Small, Large} {
+			got, _ := execute(t, build(t, name, in))
+			if want := bfRef(in, enc); got != want {
+				t.Errorf("%s/%v checksum = %#x, want %#x", name, in, got, want)
+			}
+		}
+		name = "rijndael_d"
+		if enc {
+			name = "rijndael_e"
+		}
+		for _, in := range []Input{Small, Large} {
+			got, _ := execute(t, build(t, name, in))
+			if want := rjRef(in, enc); got != want {
+				t.Errorf("%s/%v checksum = %#x, want %#x", name, in, got, want)
+			}
+		}
+	}
+}
+
+func TestBlowfishDecryptRecoversPlaintext(t *testing.T) {
+	// The Feistel structure must actually invert: decrypting the
+	// ciphertext yields the plaintext again (checked in Go — the
+	// simulated kernels share the exact same arithmetic).
+	k := bfExpandKey()
+	xl, xr := uint32(0x01234567), uint32(0x89abcdef)
+	cl, cr := k.encrypt(xl, xr)
+	dl, dr := k.decrypt(cl, cr)
+	if dl != xl || dr != xr {
+		t.Errorf("decrypt(encrypt(x)) = %#x,%#x want %#x,%#x", dl, dr, xl, xr)
+	}
+}
+
+func TestADPCMMatchesReference(t *testing.T) {
+	for _, enc := range []bool{true, false} {
+		name := "rawdaudio"
+		if enc {
+			name = "rawcaudio"
+		}
+		for _, in := range []Input{Small, Large} {
+			got, _ := execute(t, build(t, name, in))
+			if want := adpcmRef(in, enc); got != want {
+				t.Errorf("%s/%v checksum = %#x, want %#x", name, in, got, want)
+			}
+		}
+	}
+}
+
+func TestFFTMatchesReference(t *testing.T) {
+	for _, inv := range []bool{false, true} {
+		name := "fft"
+		if inv {
+			name = "fft_i"
+		}
+		for _, in := range []Input{Small, Large} {
+			got, _ := execute(t, build(t, name, in))
+			if want := fftRef(in, inv); got != want {
+				t.Errorf("%s/%v checksum = %#x, want %#x", name, in, got, want)
+			}
+		}
+	}
+}
+
+func TestPatriciaMatchesReference(t *testing.T) {
+	for _, in := range []Input{Small, Large} {
+		got, _ := execute(t, build(t, "patricia", in))
+		if want := patriciaRef(in); got != want {
+			t.Errorf("patricia/%v checksum = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+func TestIspellMatchesReference(t *testing.T) {
+	for _, in := range []Input{Small, Large} {
+		got, _ := execute(t, build(t, "ispell", in))
+		if want := ispellRef(in); got != want {
+			t.Errorf("ispell/%v checksum = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+func TestRsynthMatchesReference(t *testing.T) {
+	for _, in := range []Input{Small, Large} {
+		got, _ := execute(t, build(t, "rsynth", in))
+		if want := rsynthRef(in); got != want {
+			t.Errorf("rsynth/%v checksum = %#x, want %#x", in, got, want)
+		}
+	}
+}
+
+func TestJpegMatchesReference(t *testing.T) {
+	for _, enc := range []bool{true, false} {
+		name := "djpeg"
+		if enc {
+			name = "cjpeg"
+		}
+		for _, in := range []Input{Small, Large} {
+			got, _ := execute(t, build(t, name, in))
+			if want := jpegRef(in, enc); got != want {
+				t.Errorf("%s/%v checksum = %#x, want %#x", name, in, got, want)
+			}
+		}
+	}
+}
+
+// runCounts executes a program functionally and returns the
+// per-instruction execution counters.
+func runCounts(t *testing.T, p *obj.Program) []uint64 {
+	t.Helper()
+	c := cpu.New(p, mem.New(mem.DefaultConfig()))
+	res, err := c.Run(200_000_000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res.InstrCounts
+}

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"math/bits"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("bitcount", "four bit-counting algorithms over a word stream (MiBench automotive/bitcount)",
+		buildBitcount)
+}
+
+// nibbleTable is the 16-entry popcount table used by the table-driven
+// counters (as in MiBench's bitcount).
+var nibbleTable = []uint32{0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4}
+
+func bitcountInput(in Input) []uint32 {
+	return newRNG(0xb17c).words(in.pick(3_000, 24_000))
+}
+
+// bitcountRef mirrors the program: each input word is counted by one
+// of four methods selected round-robin, and the counts accumulate.
+func bitcountRef(ws []uint32) uint32 {
+	var sum uint32
+	for i, w := range ws {
+		switch i & 3 {
+		case 0: // shift-and-mask over all 32 bits
+			for k := 0; k < 32; k++ {
+				sum += w >> k & 1
+			}
+		case 1: // nibble table
+			for w != 0 {
+				sum += nibbleTable[w&0xf]
+				w >>= 4
+			}
+		case 2: // Kernighan
+			for w != 0 {
+				w &= w - 1
+				sum++
+			}
+		default: // byte-parallel via nibble table, unrolled
+			sum += uint32(bits.OnesCount32(w))
+		}
+	}
+	return sum
+}
+
+// buildBitcount emits main plus four counting functions; main
+// dispatches each word to one of them round-robin, which gives the
+// benchmark its characteristic multi-kernel instruction mix.
+func buildBitcount(in Input) (*obj.Unit, error) {
+	b := asm.NewBuilder("bitcount")
+	addAppShell(b, 0x1caa, 10)
+	words := bitcountInput(in)
+	tab := b.Words(nibbleTable...)
+	data := b.Words(words...)
+
+	// Convention: counters take the word in R1, return the count in
+	// R2; they may clobber R3-R6.
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Movi(isa.R0, 0) // checksum accumulator
+	f.Li(isa.R7, data)
+	f.Li(isa.R8, uint32(len(words)))
+	f.Movi(isa.R9, 0) // method selector
+	f.Block("loop")
+	f.Ldr(isa.R1, isa.R7, 0)
+	f.OpI(isa.ANDI, isa.R10, isa.R9, 3)
+	f.Cmpi(isa.R10, 0)
+	f.Beq("m0")
+	f.Cmpi(isa.R10, 1)
+	f.Beq("m1")
+	f.Cmpi(isa.R10, 2)
+	f.Beq("m2")
+	f.Call("cnt_unrolled")
+	f.Jmp("done")
+	f.Block("m0")
+	f.Call("cnt_shift")
+	f.Jmp("done")
+	f.Block("m1")
+	f.Call("cnt_table")
+	f.Jmp("done")
+	f.Block("m2")
+	f.Call("cnt_kernighan")
+	f.Block("done")
+	f.Add(isa.R0, isa.R0, isa.R2)
+	f.Addi(isa.R7, isa.R7, 4)
+	f.Addi(isa.R9, isa.R9, 1)
+	f.Subi(isa.R8, isa.R8, 1)
+	f.Cmpi(isa.R8, 0)
+	f.Bgt("loop")
+	f.Halt()
+
+	// cnt_shift: test all 32 bit positions.
+	s := b.Func("cnt_shift")
+	s.Movi(isa.R2, 0)
+	s.Movi(isa.R3, 32)
+	s.Mov(isa.R4, isa.R1)
+	s.Block("bits")
+	s.OpI(isa.ANDI, isa.R5, isa.R4, 1)
+	s.Add(isa.R2, isa.R2, isa.R5)
+	s.OpI(isa.LSRI, isa.R4, isa.R4, 1)
+	s.Subi(isa.R3, isa.R3, 1)
+	s.Cmpi(isa.R3, 0)
+	s.Bgt("bits")
+	s.Ret()
+
+	// cnt_table: nibble-at-a-time with an early exit when the word
+	// runs out of set bits.
+	tb := b.Func("cnt_table")
+	tb.Movi(isa.R2, 0)
+	tb.Mov(isa.R4, isa.R1)
+	tb.Li(isa.R6, tab)
+	tb.Block("nib")
+	tb.Cmpi(isa.R4, 0)
+	tb.Beq("out")
+	tb.OpI(isa.ANDI, isa.R5, isa.R4, 0xf)
+	tb.OpI(isa.LSLI, isa.R5, isa.R5, 2)
+	tb.Ldrx(isa.R5, isa.R6, isa.R5)
+	tb.Add(isa.R2, isa.R2, isa.R5)
+	tb.OpI(isa.LSRI, isa.R4, isa.R4, 4)
+	tb.Jmp("nib")
+	tb.Block("out")
+	tb.Ret()
+
+	// cnt_kernighan: clear the lowest set bit until zero.
+	k := b.Func("cnt_kernighan")
+	k.Movi(isa.R2, 0)
+	k.Mov(isa.R4, isa.R1)
+	k.Block("kloop")
+	k.Cmpi(isa.R4, 0)
+	k.Beq("kout")
+	k.Subi(isa.R5, isa.R4, 1)
+	k.Op3(isa.AND, isa.R4, isa.R4, isa.R5)
+	k.Addi(isa.R2, isa.R2, 1)
+	k.Jmp("kloop")
+	k.Block("kout")
+	k.Ret()
+
+	// cnt_unrolled: eight table lookups, straight-line (no early
+	// exit) — the "fast" variant in MiBench.
+	u := b.Func("cnt_unrolled")
+	u.Movi(isa.R2, 0)
+	u.Li(isa.R6, tab)
+	for sh := 0; sh < 32; sh += 4 {
+		u.OpI(isa.LSRI, isa.R5, isa.R1, int32(sh))
+		u.OpI(isa.ANDI, isa.R5, isa.R5, 0xf)
+		u.OpI(isa.LSLI, isa.R5, isa.R5, 2)
+		u.Ldrx(isa.R5, isa.R6, isa.R5)
+		u.Add(isa.R2, isa.R2, isa.R5)
+	}
+	u.Ret()
+
+	addRuntime(b)
+	return b.Build()
+}

@@ -1,0 +1,332 @@
+package bench
+
+import (
+	"math"
+	"math/bits"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("fft", "fixed-point radix-2 FFT over waveform frames (MiBench telecomm/fft)",
+		func(in Input) (*obj.Unit, error) { return buildFFT(in, false) })
+	register("fft_i", "inverse fixed-point FFT with rescaling pass (MiBench telecomm/fft -i)",
+		func(in Input) (*obj.Unit, error) { return buildFFT(in, true) })
+}
+
+// fftShape returns transform length and frame count per input.
+func fftShape(in Input) (n, frames int) {
+	if in == Small {
+		return 256, 2
+	}
+	return 1024, 6
+}
+
+// fftTwiddles returns Q15 cosine/sine tables of n/2 entries
+// (negated sine for the inverse transform).
+func fftTwiddles(n int, inverse bool) (cos, sin []int32) {
+	cos = make([]int32, n/2)
+	sin = make([]int32, n/2)
+	for i := range cos {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		c := int32(math.Round(32767 * math.Cos(a)))
+		s := int32(math.Round(-32767 * math.Sin(a)))
+		if inverse {
+			s = -s
+		}
+		cos[i], sin[i] = c, s
+	}
+	return cos, sin
+}
+
+// fftFrame synthesises one Q15 input frame.
+func fftFrame(n, frame int) (re, im []int32) {
+	r := newRNG(uint32(0xff7 + frame*977))
+	re = make([]int32, n)
+	im = make([]int32, n)
+	for i := range re {
+		re[i] = int32(r.intn(8192)) - 4096
+		im[i] = int32(r.intn(8192)) - 4096
+	}
+	return re, im
+}
+
+// fftRef mirrors the simulated kernel: per-stage scaling by 1/2 keeps
+// every value within Q15, so all products fit in 32 bits — exactly
+// what the MiBench fixed-point kernel does.
+func fftRef(in Input, inverse bool) uint32 {
+	n, frames := fftShape(in)
+	cos, sin := fftTwiddles(n, inverse)
+	logN := bits.TrailingZeros(uint(n))
+	var sum uint32
+	for fr := 0; fr < frames; fr++ {
+		re, im := fftFrame(n, fr)
+		// Bit-reversal permutation.
+		for i := 0; i < n; i++ {
+			j := int(bits.Reverse32(uint32(i)) >> (32 - logN))
+			if j > i {
+				re[i], re[j] = re[j], re[i]
+				im[i], im[j] = im[j], im[i]
+			}
+		}
+		// Butterflies.
+		for size := 2; size <= n; size <<= 1 {
+			half := size / 2
+			step := n / size
+			for base := 0; base < n; base += size {
+				for k := 0; k < half; k++ {
+					wr, wi := cos[k*step], sin[k*step]
+					a, b := base+k, base+k+half
+					tr := (wr*re[b] - wi*im[b]) >> 15
+					ti := (wr*im[b] + wi*re[b]) >> 15
+					re[b] = (re[a] - tr) >> 1
+					im[b] = (im[a] - ti) >> 1
+					re[a] = (re[a] + tr) >> 1
+					im[a] = (im[a] + ti) >> 1
+				}
+			}
+		}
+		if inverse {
+			// Rescaling pass: undo the per-stage 1/2 by shifting the
+			// magnitude back up (saturating at Q15).
+			for i := 0; i < n; i++ {
+				re[i] = clamp16(re[i] << 2)
+				im[i] = clamp16(im[i] << 2)
+			}
+		}
+		for i := 0; i < n; i++ {
+			sum += uint32(re[i])*3 + uint32(im[i])
+		}
+	}
+	return sum
+}
+
+// buildFFT emits:
+//
+//	main: frame loop -> bitrev -> fft_stages (-> rescale) -> fold
+//	bitrev: permutation pass
+//	fft_stages: triple-nested butterfly loops                [hot]
+//	rescale: inverse-only extra pass
+//	fold: checksum accumulation
+//
+// The frame data for all frames is pre-placed in the data segment;
+// "loading a frame" advances a base pointer, as the MiBench driver
+// does over its input wave file.
+func buildFFT(in Input, inverse bool) (*obj.Unit, error) {
+	n, frames := fftShape(in)
+	cosT, sinT := fftTwiddles(n, inverse)
+	logN := bits.TrailingZeros(uint(n))
+
+	b := asm.NewBuilder("fft")
+	addAppShell(b, 0x846f, 13)
+	cosAddr := b.Words(u32s(cosT)...)
+	sinAddr := b.Words(u32s(sinT)...)
+	var frameWords []uint32
+	for fr := 0; fr < frames; fr++ {
+		re, im := fftFrame(n, fr)
+		frameWords = append(frameWords, u32s(re)...)
+		frameWords = append(frameWords, u32s(im)...)
+	}
+	frameAddr := b.Words(frameWords...)
+	// Bit-reversal index table (computed by the front end, as
+	// fixed-point FFT implementations ship precomputed tables).
+	rev := make([]uint32, n)
+	for i := range rev {
+		rev[i] = uint32(bits.Reverse32(uint32(i)) >> (32 - logN))
+	}
+	revAddr := b.Words(rev...)
+
+	frameBytes := uint32(8 * n) // re[n] + im[n] words
+
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R12, frameAddr)
+	f.Movi(isa.R11, uint16(frames))
+	f.Block("frames")
+	f.Call("rt_tick")
+	f.Push(isa.R11, isa.R12)
+	f.Call("bitrev")
+	f.Call("fft_stages")
+	if inverse {
+		f.Call("rescale")
+	}
+	f.Call("fold")
+	f.Pop(isa.R11, isa.R12)
+	f.Li(isa.R1, frameBytes)
+	f.Add(isa.R12, isa.R12, isa.R1)
+	f.Subi(isa.R11, isa.R11, 1)
+	f.Cmpi(isa.R11, 0)
+	f.Bgt("frames")
+	f.Halt()
+
+	// bitrev: swap re/im pairs per the precomputed table.
+	// R12 = frame base (re at +0, im at +4n).
+	bv := b.Func("bitrev")
+	bv.Li(isa.R1, revAddr)
+	bv.Movi(isa.R2, 0) // i
+	bv.Block("loop")
+	bv.OpI(isa.LSLI, isa.R3, isa.R2, 2)
+	bv.Ldrx(isa.R4, isa.R1, isa.R3) // j
+	bv.Cmp(isa.R4, isa.R2)
+	bv.Ble("skip")
+	// swap re[i], re[j] and im[i], im[j]
+	bv.OpI(isa.LSLI, isa.R5, isa.R4, 2) // j*4
+	bv.Ldrx(isa.R6, isa.R12, isa.R3)    // re[i]
+	bv.Ldrx(isa.R7, isa.R12, isa.R5)    // re[j]
+	bv.Strx(isa.R7, isa.R12, isa.R3)
+	bv.Strx(isa.R6, isa.R12, isa.R5)
+	bv.Li(isa.R8, uint32(4*n))
+	bv.Add(isa.R9, isa.R12, isa.R8) // im base
+	bv.Ldrx(isa.R6, isa.R9, isa.R3)
+	bv.Ldrx(isa.R7, isa.R9, isa.R5)
+	bv.Strx(isa.R7, isa.R9, isa.R3)
+	bv.Strx(isa.R6, isa.R9, isa.R5)
+	bv.Block("skip")
+	bv.Addi(isa.R2, isa.R2, 1)
+	bv.Cmpi(isa.R2, int32(n))
+	bv.Blt("loop")
+	bv.Ret()
+
+	// fft_stages: R12 = frame base. Uses the stack for loop state:
+	// [sp+0]=size [sp+4]=base [sp+8]=k
+	st := b.Func("fft_stages")
+	st.Subi(isa.SP, isa.SP, 12)
+	st.Movi(isa.R1, 2)
+	st.Str(isa.R1, isa.SP, 0) // size = 2
+	st.Block("sizes")
+	st.Movi(isa.R1, 0)
+	st.Str(isa.R1, isa.SP, 4) // base = 0
+	st.Block("bases")
+	st.Movi(isa.R1, 0)
+	st.Str(isa.R1, isa.SP, 8) // k = 0
+	st.Block("ks")
+	// Load loop state: R1=size R2=base R3=k.
+	st.Ldr(isa.R1, isa.SP, 0)
+	st.Ldr(isa.R2, isa.SP, 4)
+	st.Ldr(isa.R3, isa.SP, 8)
+	// R4 = half = size>>1, R5 = step = n/size
+	st.OpI(isa.LSRI, isa.R4, isa.R1, 1)
+	st.Li(isa.R5, uint32(n))
+	st.Movi(isa.R6, 0)
+	st.Block("divloop") // step = n >> log2(size): compute by shifting
+	st.Cmpi(isa.R1, 1)
+	st.Ble("divdone")
+	st.OpI(isa.LSRI, isa.R1, isa.R1, 1)
+	st.OpI(isa.LSRI, isa.R5, isa.R5, 1)
+	st.Jmp("divloop")
+	st.Block("divdone")
+	// twiddle index = k*step; addresses: a = base+k, b = a+half
+	st.Mul(isa.R6, isa.R3, isa.R5)
+	st.OpI(isa.LSLI, isa.R6, isa.R6, 2)
+	st.Li(isa.R7, cosAddr)
+	st.Ldrx(isa.R8, isa.R7, isa.R6) // wr
+	st.Li(isa.R7, sinAddr)
+	st.Ldrx(isa.R9, isa.R7, isa.R6) // wi
+	st.Add(isa.R5, isa.R2, isa.R3)  // a index
+	st.Add(isa.R6, isa.R5, isa.R4)  // b index
+	st.OpI(isa.LSLI, isa.R5, isa.R5, 2)
+	st.OpI(isa.LSLI, isa.R6, isa.R6, 2)
+	// R10 = re[b], R7 = im[b]
+	st.Ldrx(isa.R10, isa.R12, isa.R6)
+	st.Li(isa.R1, uint32(4*n))
+	st.Add(isa.R11, isa.R12, isa.R1) // im base
+	st.Ldrx(isa.R7, isa.R11, isa.R6)
+	// tr = (wr*re[b] - wi*im[b]) >> 15  -> R2 (base reloaded later)
+	st.Mul(isa.R2, isa.R8, isa.R10)
+	st.Mul(isa.R3, isa.R9, isa.R7)
+	st.Sub(isa.R2, isa.R2, isa.R3)
+	st.OpI(isa.ASRI, isa.R2, isa.R2, 15) // tr
+	// ti = (wr*im[b] + wi*re[b]) >> 15 -> R3
+	st.Mul(isa.R3, isa.R8, isa.R7)
+	st.Mul(isa.R10, isa.R9, isa.R10)
+	st.Add(isa.R3, isa.R3, isa.R10)
+	st.OpI(isa.ASRI, isa.R3, isa.R3, 15) // ti
+	// re[a/b] update
+	st.Ldrx(isa.R8, isa.R12, isa.R5) // re[a]
+	st.Sub(isa.R9, isa.R8, isa.R2)
+	st.OpI(isa.ASRI, isa.R9, isa.R9, 1)
+	st.Strx(isa.R9, isa.R12, isa.R6)
+	st.Add(isa.R9, isa.R8, isa.R2)
+	st.OpI(isa.ASRI, isa.R9, isa.R9, 1)
+	st.Strx(isa.R9, isa.R12, isa.R5)
+	// im[a/b] update
+	st.Ldrx(isa.R8, isa.R11, isa.R5) // im[a]
+	st.Sub(isa.R9, isa.R8, isa.R3)
+	st.OpI(isa.ASRI, isa.R9, isa.R9, 1)
+	st.Strx(isa.R9, isa.R11, isa.R6)
+	st.Add(isa.R9, isa.R8, isa.R3)
+	st.OpI(isa.ASRI, isa.R9, isa.R9, 1)
+	st.Strx(isa.R9, isa.R11, isa.R5)
+	// k++ < half?
+	st.Ldr(isa.R3, isa.SP, 8)
+	st.Addi(isa.R3, isa.R3, 1)
+	st.Str(isa.R3, isa.SP, 8)
+	st.Cmp(isa.R3, isa.R4)
+	st.Blt("ks")
+	// base += size; < n?
+	st.Ldr(isa.R1, isa.SP, 0)
+	st.Ldr(isa.R2, isa.SP, 4)
+	st.Add(isa.R2, isa.R2, isa.R1)
+	st.Str(isa.R2, isa.SP, 4)
+	st.Cmpi(isa.R2, int32(n))
+	st.Blt("bases")
+	// size <<= 1; <= n?
+	st.OpI(isa.LSLI, isa.R1, isa.R1, 1)
+	st.Str(isa.R1, isa.SP, 0)
+	st.Cmpi(isa.R1, int32(n))
+	st.Ble("sizes")
+	st.Addi(isa.SP, isa.SP, 12)
+	st.Ret()
+
+	// rescale (inverse only): saturating <<2 on every word.
+	if inverse {
+		rs := b.Func("rescale")
+		rs.Mov(isa.R1, isa.R12)
+		rs.Li(isa.R2, uint32(2*n)) // re then im, contiguous
+		rs.Block("loop")
+		rs.Ldr(isa.R3, isa.R1, 0)
+		rs.OpI(isa.LSLI, isa.R3, isa.R3, 2)
+		rs.Li(isa.R4, 32767)
+		rs.Cmp(isa.R3, isa.R4)
+		rs.Ble("hi")
+		rs.Mov(isa.R3, isa.R4)
+		rs.Block("hi")
+		rs.Li(isa.R4, uint32(0xffff8000))
+		rs.Cmp(isa.R3, isa.R4)
+		rs.Bge("lo")
+		rs.Mov(isa.R3, isa.R4)
+		rs.Block("lo")
+		rs.Str(isa.R3, isa.R1, 0)
+		rs.Addi(isa.R1, isa.R1, 4)
+		rs.Subi(isa.R2, isa.R2, 1)
+		rs.Cmpi(isa.R2, 0)
+		rs.Bgt("loop")
+		rs.Ret()
+	}
+
+	// fold: sum += re[i]*3 + im[i].
+	fo := b.Func("fold")
+	fo.Mov(isa.R1, isa.R12)
+	fo.Li(isa.R4, uint32(4*n))
+	fo.Add(isa.R2, isa.R1, isa.R4) // im base
+	fo.Li(isa.R3, uint32(n))
+	fo.Block("loop")
+	fo.Ldr(isa.R5, isa.R1, 0)
+	fo.Ldr(isa.R6, isa.R2, 0)
+	fo.OpI(isa.LSLI, isa.R7, isa.R5, 1)
+	fo.Add(isa.R5, isa.R5, isa.R7) // re*3
+	fo.Add(isa.R0, isa.R0, isa.R5)
+	fo.Add(isa.R0, isa.R0, isa.R6)
+	fo.Addi(isa.R1, isa.R1, 4)
+	fo.Addi(isa.R2, isa.R2, 4)
+	fo.Subi(isa.R3, isa.R3, 1)
+	fo.Cmpi(isa.R3, 0)
+	fo.Bgt("loop")
+	fo.Ret()
+
+	addRuntime(b)
+	return b.Build()
+}

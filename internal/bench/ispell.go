@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("ispell", "hashed dictionary lookup with string compares (MiBench office/ispell)",
+		buildIspell)
+}
+
+const ispellBuckets = 256
+
+// ispellWord makes a lowercase pseudo-word.
+func ispellWord(r *rng) string {
+	n := 3 + r.intn(8)
+	w := make([]byte, n)
+	for i := range w {
+		w[i] = byte('a' + r.intn(26))
+	}
+	return string(w)
+}
+
+// ispellDict returns the dictionary words (deduplicated).
+func ispellDict() []string {
+	r := newRNG(0x15be)
+	seen := make(map[string]bool)
+	var dict []string
+	for len(dict) < 1200 {
+		w := ispellWord(r)
+		if !seen[w] {
+			seen[w] = true
+			dict = append(dict, w)
+		}
+	}
+	return dict
+}
+
+// ispellQueries returns the query stream: a mix of dictionary words
+// and probable misses.
+func ispellQueries(in Input) []string {
+	dict := ispellDict()
+	r := newRNG(0xdeeb)
+	n := in.pick(900, 7000)
+	qs := make([]string, n)
+	for i := range qs {
+		if r.intn(3) != 0 {
+			qs[i] = dict[r.intn(len(dict))]
+		} else {
+			qs[i] = ispellWord(r)
+		}
+	}
+	return qs
+}
+
+// ispellHash is djb2-xor, mirrored by the simulated kernel.
+func ispellHash(w string) uint32 {
+	h := uint32(5381)
+	for i := 0; i < len(w); i++ {
+		h = h*33 ^ uint32(w[i])
+	}
+	return h
+}
+
+// ispellRef mirrors the program: count hits, checksum mixes the hash
+// of every hit word.
+func ispellRef(in Input) uint32 {
+	dict := make(map[string]bool)
+	for _, w := range ispellDict() {
+		dict[w] = true
+	}
+	var sum uint32
+	for _, q := range ispellQueries(in) {
+		if dict[q] {
+			sum += ispellHash(q)
+		} else {
+			sum++
+		}
+	}
+	return sum
+}
+
+// buildIspell lays the hash table out in the data segment (the real
+// ispell builds its hash file offline, too): a bucket array of node
+// pointers, nodes of {next, strptr}, and NUL-terminated strings.
+func buildIspell(in Input) (*obj.Unit, error) {
+	dict := ispellDict()
+	queries := ispellQueries(in)
+
+	b := asm.NewBuilder("ispell")
+	addAppShell(b, 0xfa8a, 8)
+
+	// Strings blob.
+	strAddr := make(map[string]uint32, len(dict))
+	for _, w := range dict {
+		strAddr[w] = b.Data(append([]byte(w), 0))
+	}
+	b.Align(4)
+
+	// Nodes: chains per bucket. Build chains in Go, then serialise.
+	type node struct {
+		word string
+		next int // node index or -1
+	}
+	buckets := make([]int, ispellBuckets) // head node index or -1
+	for i := range buckets {
+		buckets[i] = -1
+	}
+	var nodes []node
+	for _, w := range dict {
+		h := ispellHash(w) & (ispellBuckets - 1)
+		nodes = append(nodes, node{word: w, next: buckets[h]})
+		buckets[h] = len(nodes) - 1
+	}
+	nodeBytes := make([]byte, 8*len(nodes))
+	nodeBase := b.NextDataAddr() // address where nodes land
+	for i, nd := range nodes {
+		var next uint32
+		if nd.next >= 0 {
+			next = nodeBase + uint32(8*nd.next)
+		}
+		binary.LittleEndian.PutUint32(nodeBytes[8*i:], next)
+		binary.LittleEndian.PutUint32(nodeBytes[8*i+4:], strAddr[nd.word])
+	}
+	if got := b.Data(nodeBytes); got != nodeBase {
+		return nil, fmt.Errorf("ispell: node base moved: %#x vs %#x", got, nodeBase)
+	}
+	bucketWords := make([]uint32, ispellBuckets)
+	for i, h := range buckets {
+		if h >= 0 {
+			bucketWords[i] = nodeBase + uint32(8*h)
+		}
+	}
+	bucketAddr := b.Words(bucketWords...)
+
+	// Query stream: offsets into a query blob.
+	var queryBlob []byte
+	queryOff := make([]uint32, len(queries))
+	for i, q := range queries {
+		queryOff[i] = uint32(len(queryBlob))
+		queryBlob = append(queryBlob, []byte(q)...)
+		queryBlob = append(queryBlob, 0)
+	}
+	blobAddr := b.Data(queryBlob)
+	b.Align(4)
+	offAddr := b.Words(queryOff...)
+
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R11, offAddr)
+	f.Li(isa.R10, uint32(len(queries)))
+	f.Block("qloop")
+	f.Ldr(isa.R1, isa.R11, 0)
+	f.Li(isa.R2, blobAddr)
+	f.Add(isa.R1, isa.R1, isa.R2) // query string addr
+	f.Push(isa.R10, isa.R11)
+	f.Call("lookup")
+	f.Pop(isa.R10, isa.R11)
+	f.Addi(isa.R11, isa.R11, 4)
+	f.Subi(isa.R10, isa.R10, 1)
+	f.Cmpi(isa.R10, 0)
+	f.Bgt("qloop")
+	f.Halt()
+
+	// lookup: R1 = query string. Hash (hot loop), bucket, chain walk
+	// with strcmp. Adds hash to R0 on hit, 1 on miss.
+	lk := b.Func("lookup")
+	lk.SaveLR()
+	lk.Call("hash") // R2 = hash, preserves R1
+	lk.RestoreLR()
+	lk.OpI(isa.ANDI, isa.R3, isa.R2, ispellBuckets-1)
+	lk.OpI(isa.LSLI, isa.R3, isa.R3, 2)
+	lk.Li(isa.R4, bucketAddr)
+	lk.Ldrx(isa.R4, isa.R4, isa.R3) // node ptr
+	lk.Block("chain")
+	lk.Cmpi(isa.R4, 0)
+	lk.Beq("miss")
+	lk.Ldr(isa.R5, isa.R4, 4) // string ptr
+	// strcmp(R1, R5) inline: R6/R7 chars, R8 cursor pair.
+	lk.Mov(isa.R8, isa.R1)
+	lk.Block("cmp")
+	lk.Ldrb(isa.R6, isa.R8, 0)
+	lk.Ldrb(isa.R7, isa.R5, 0)
+	lk.Cmp(isa.R6, isa.R7)
+	lk.Bne("next")
+	lk.Cmpi(isa.R6, 0)
+	lk.Beq("hit") // both NUL: equal
+	lk.Addi(isa.R8, isa.R8, 1)
+	lk.Addi(isa.R5, isa.R5, 1)
+	lk.Jmp("cmp")
+	lk.Block("next")
+	lk.Ldr(isa.R4, isa.R4, 0) // next node
+	lk.Jmp("chain")
+	lk.Block("hit")
+	lk.Add(isa.R0, isa.R0, isa.R2)
+	lk.Ret()
+	lk.Block("miss")
+	lk.Addi(isa.R0, isa.R0, 1)
+	lk.Ret()
+
+	// hash: djb2-xor over the NUL-terminated string at R1.
+	// Returns R2; preserves R1 (uses R9 as cursor).
+	hs := b.Func("hash")
+	hs.Li(isa.R2, 5381)
+	hs.Mov(isa.R9, isa.R1)
+	hs.Block("loop")
+	hs.Ldrb(isa.R6, isa.R9, 0)
+	hs.Cmpi(isa.R6, 0)
+	hs.Beq("done")
+	// h = h*33 ^ c = (h<<5 + h) ^ c
+	hs.OpI(isa.LSLI, isa.R7, isa.R2, 5)
+	hs.Add(isa.R2, isa.R2, isa.R7)
+	hs.Op3(isa.EOR, isa.R2, isa.R2, isa.R6)
+	hs.Addi(isa.R9, isa.R9, 1)
+	hs.Jmp("loop")
+	hs.Block("done")
+	hs.Ret()
+
+	addRuntime(b)
+	return b.Build()
+}

@@ -1,0 +1,417 @@
+package bench
+
+import (
+	"math"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("cjpeg", "8x8 block DCT + quantisation encoder (MiBench consumer/cjpeg)",
+		func(in Input) (*obj.Unit, error) { return buildJpeg(in, true) })
+	register("djpeg", "dequantisation + inverse block transform decoder (MiBench consumer/djpeg)",
+		func(in Input) (*obj.Unit, error) { return buildJpeg(in, false) })
+}
+
+// jpegDims: the image is a multiple of 8 in both directions.
+func jpegDims(in Input) (w, h int) {
+	if in == Small {
+		return 64, 40
+	}
+	return 224, 160
+}
+
+// jpegC holds the Q12 DCT odd-part cosines c1, c3, c5, c7.
+var jpegC = [4]int32{
+	int32(math.Round(4096 * math.Cos(1*math.Pi/16))),
+	int32(math.Round(4096 * math.Cos(3*math.Pi/16))),
+	int32(math.Round(4096 * math.Cos(5*math.Pi/16))),
+	int32(math.Round(4096 * math.Cos(7*math.Pi/16))),
+}
+
+// jpegQuantShift is the per-coefficient quantisation shift table
+// (coarser for higher frequencies), indexed in row-major block order.
+func jpegQuantShift() []int32 {
+	t := make([]int32, 64)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			s := int32((x + y) / 2)
+			if s > 6 {
+				s = 6
+			}
+			t[8*y+x] = s + 1
+		}
+	}
+	return t
+}
+
+// jpegTransform1D applies the 8-point transform in place over
+// tmp[off], tmp[off+stride], ... — exactly what the simulated
+// transform1d function computes.
+func jpegTransform1D(tmp []int32, off, stride int) {
+	var v [8]int32
+	for k := 0; k < 8; k++ {
+		v[k] = tmp[off+k*stride]
+	}
+	var e, o [4]int32
+	for k := 0; k < 4; k++ {
+		e[k] = v[k] + v[7-k]
+		o[k] = v[k] - v[7-k]
+	}
+	out := [8]int32{}
+	out[0] = e[0] + e[1] + e[2] + e[3]
+	out[4] = e[0] - e[1] - e[2] + e[3]
+	out[2] = ((e[0]-e[3])*jpegC[1] + (e[1]-e[2])*jpegC[3]) >> 12
+	out[6] = ((e[0]-e[3])*jpegC[3] - (e[1]-e[2])*jpegC[1]) >> 12
+	out[1] = (o[0]*jpegC[0] + o[1]*jpegC[1] + o[2]*jpegC[2] + o[3]*jpegC[3]) >> 12
+	out[3] = (o[0]*jpegC[1] - o[1]*jpegC[3] - o[2]*jpegC[0] - o[3]*jpegC[2]) >> 12
+	out[5] = (o[0]*jpegC[2] - o[1]*jpegC[0] + o[2]*jpegC[3] + o[3]*jpegC[1]) >> 12
+	out[7] = (o[0]*jpegC[3] - o[1]*jpegC[2] + o[2]*jpegC[1] - o[3]*jpegC[0]) >> 12
+	for k := 0; k < 8; k++ {
+		tmp[off+k*stride] = out[k]
+	}
+}
+
+func jpegImage(in Input) []byte {
+	w, h := jpegDims(in)
+	return tiffGray(in, 0x11e6)[:w*h]
+}
+
+// jpegEncodeBlocks runs the forward path in Go: level shift, 2D
+// transform, quantise. Returns all quantised blocks flattened.
+func jpegEncodeBlocks(in Input) []int32 {
+	w, h := jpegDims(in)
+	img := jpegImage(in)
+	qs := jpegQuantShift()
+	var out []int32
+	tmp := make([]int32, 64)
+	for by := 0; by < h; by += 8 {
+		for bx := 0; bx < w; bx += 8 {
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					tmp[8*y+x] = int32(img[(by+y)*w+bx+x]) - 128
+				}
+			}
+			for r := 0; r < 8; r++ {
+				jpegTransform1D(tmp, 8*r, 1)
+			}
+			for c := 0; c < 8; c++ {
+				jpegTransform1D(tmp, c, 8)
+			}
+			for k := 0; k < 64; k++ {
+				out = append(out, tmp[k]>>uint(qs[k]))
+			}
+		}
+	}
+	return out
+}
+
+// jpegRef returns the checksum for either direction.
+func jpegRef(in Input, encode bool) uint32 {
+	var sum uint32
+	if encode {
+		for _, q := range jpegEncodeBlocks(in) {
+			sum += uint32(q)
+		}
+		return sum
+	}
+	// Decode: dequantise, inverse-ish transform (the same 8-point
+	// kernel — scaled DCT), descale, clamp to pixel range.
+	qs := jpegQuantShift()
+	coeffs := jpegEncodeBlocks(in)
+	tmp := make([]int32, 64)
+	for b := 0; b+64 <= len(coeffs); b += 64 {
+		for k := 0; k < 64; k++ {
+			tmp[k] = coeffs[b+k] << uint(qs[k])
+		}
+		for c := 0; c < 8; c++ {
+			jpegTransform1D(tmp, c, 8)
+		}
+		for r := 0; r < 8; r++ {
+			jpegTransform1D(tmp, 8*r, 1)
+		}
+		for k := 0; k < 64; k++ {
+			v := tmp[k]>>6 + 128
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			sum += uint32(v)
+		}
+	}
+	return sum
+}
+
+// buildJpeg emits main (block loop), load_block / store-side loops,
+// transform1d (hot, called 16x per block) and the quantisation pass.
+func buildJpeg(in Input, encode bool) (*obj.Unit, error) {
+	w, h := jpegDims(in)
+	nblocks := (w / 8) * (h / 8)
+
+	b := asm.NewBuilder("jpeg")
+	addAppShell(b, 0x5fe7, 12)
+	var srcAddr uint32
+	if encode {
+		srcAddr = b.Data(jpegImage(in))
+		b.Align(4)
+	} else {
+		srcAddr = b.Words(u32s(jpegEncodeBlocks(in))...)
+	}
+	qsAddr := b.Words(u32s(jpegQuantShift())...)
+	tmpAddr := b.Zeros(64 * 4)
+	// Block origin offsets (byte offsets of each block's top-left
+	// pixel in the image), precomputed like libjpeg's MCU walk.
+	var origins []uint32
+	if encode {
+		for by := 0; by < h; by += 8 {
+			for bx := 0; bx < w; bx += 8 {
+				origins = append(origins, uint32(by*w+bx))
+			}
+		}
+	}
+	orgAddr := b.Words(origins...)
+
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R11, uint32(nblocks))
+	f.Movi(isa.R12, 0) // block index
+	f.Block("blocks")
+	f.Call("rt_tick")
+	f.Push(isa.R11, isa.R12)
+	f.Call("load_block")
+	if encode { // forward: rows then columns
+		f.Call("transform_rows")
+		f.Call("transform_cols")
+		f.Call("quantise")
+	} else { // decode runs the passes in the opposite order
+		f.Call("transform_cols")
+		f.Call("transform_rows")
+		f.Call("descale")
+	}
+	f.Pop(isa.R11, isa.R12)
+	f.Addi(isa.R12, isa.R12, 1)
+	f.Subi(isa.R11, isa.R11, 1)
+	f.Cmpi(isa.R11, 0)
+	f.Bgt("blocks")
+	f.Halt()
+
+	// load_block: R12 = block index. Fills tmp[64].
+	lb := b.Func("load_block")
+	lb.Li(isa.R5, tmpAddr)
+	if encode {
+		// Pixel gather: origin + row walk, level shift by 128.
+		lb.OpI(isa.LSLI, isa.R1, isa.R12, 2)
+		lb.Li(isa.R2, orgAddr)
+		lb.Ldrx(isa.R1, isa.R2, isa.R1) // origin offset
+		lb.Li(isa.R2, srcAddr)
+		lb.Add(isa.R1, isa.R1, isa.R2) // first pixel addr
+		lb.Movi(isa.R2, 8)             // rows
+		lb.Block("rows")
+		lb.Movi(isa.R3, 8) // cols
+		lb.Block("cols")
+		lb.Ldrb(isa.R4, isa.R1, 0)
+		lb.Subi(isa.R4, isa.R4, 128)
+		lb.Str(isa.R4, isa.R5, 0)
+		lb.Addi(isa.R1, isa.R1, 1)
+		lb.Addi(isa.R5, isa.R5, 4)
+		lb.Subi(isa.R3, isa.R3, 1)
+		lb.Cmpi(isa.R3, 0)
+		lb.Bgt("cols")
+		lb.Addi(isa.R1, isa.R1, int32(w-8))
+		lb.Subi(isa.R2, isa.R2, 1)
+		lb.Cmpi(isa.R2, 0)
+		lb.Bgt("rows")
+	} else {
+		// Coefficient gather with dequantisation (<< shift).
+		lb.Movi(isa.R2, 64)
+		lb.OpI(isa.LSLI, isa.R1, isa.R12, 8) // block * 64 words * 4
+		lb.Li(isa.R3, srcAddr)
+		lb.Add(isa.R1, isa.R1, isa.R3)
+		lb.Li(isa.R6, qsAddr)
+		lb.Block("loop")
+		lb.Ldr(isa.R4, isa.R1, 0)
+		lb.Ldr(isa.R7, isa.R6, 0)
+		lb.Op3(isa.LSL, isa.R4, isa.R4, isa.R7)
+		lb.Str(isa.R4, isa.R5, 0)
+		lb.Addi(isa.R1, isa.R1, 4)
+		lb.Addi(isa.R5, isa.R5, 4)
+		lb.Addi(isa.R6, isa.R6, 4)
+		lb.Subi(isa.R2, isa.R2, 1)
+		lb.Cmpi(isa.R2, 0)
+		lb.Bgt("loop")
+	}
+	lb.Ret()
+
+	// transform_rows / transform_cols: call transform1d with
+	// (R1 = vector base, R2 = stride in bytes) for the 8 rows/cols.
+	// Note the decode path runs cols first — the order the Go
+	// reference uses — but both paths emit both functions.
+	tr := b.Func("transform_rows")
+	tr.SaveLR()
+	tr.Movi(isa.R9, 8)
+	tr.Li(isa.R1, tmpAddr)
+	tr.Block("loop")
+	tr.Movi(isa.R2, 4) // stride 1 word
+	tr.Push(isa.R1, isa.R9)
+	tr.Call("transform1d")
+	tr.Pop(isa.R1, isa.R9)
+	tr.Addi(isa.R1, isa.R1, 32) // next row
+	tr.Subi(isa.R9, isa.R9, 1)
+	tr.Cmpi(isa.R9, 0)
+	tr.Bgt("loop")
+	tr.RestoreLR()
+	tr.Ret()
+
+	tc := b.Func("transform_cols")
+	tc.SaveLR()
+	tc.Movi(isa.R9, 8)
+	tc.Li(isa.R1, tmpAddr)
+	tc.Block("loop")
+	tc.Movi(isa.R2, 32) // stride 8 words
+	tc.Push(isa.R1, isa.R9)
+	tc.Call("transform1d")
+	tc.Pop(isa.R1, isa.R9)
+	tc.Addi(isa.R1, isa.R1, 4) // next column
+	tc.Subi(isa.R9, isa.R9, 1)
+	tc.Cmpi(isa.R9, 0)
+	tc.Bgt("loop")
+	tc.RestoreLR()
+	tc.Ret()
+
+	// transform1d: 8-point transform at R1 with byte stride R2.
+	// Uses a dedicated spill vector for e[4], o[4] and out[8].
+	eo := b.Zeros(16 * 4)
+	td := b.Func("transform1d")
+	// e[k] = v[k]+v[7-k]; o[k] = v[k]-v[7-k]
+	td.Li(isa.R10, eo)
+	td.Movi(isa.R3, 0) // k
+	td.Block("pairs")
+	// R5 = addr of v[k]; R6 = addr of v[7-k]
+	td.Mul(isa.R5, isa.R3, isa.R2)
+	td.Add(isa.R5, isa.R5, isa.R1)
+	td.Movi(isa.R6, 7)
+	td.Sub(isa.R6, isa.R6, isa.R3)
+	td.Mul(isa.R6, isa.R6, isa.R2)
+	td.Add(isa.R6, isa.R6, isa.R1)
+	td.Ldr(isa.R7, isa.R5, 0)
+	td.Ldr(isa.R8, isa.R6, 0)
+	td.Add(isa.R9, isa.R7, isa.R8)
+	td.OpI(isa.LSLI, isa.R4, isa.R3, 2)
+	td.Strx(isa.R9, isa.R10, isa.R4) // e[k]
+	td.Sub(isa.R9, isa.R7, isa.R8)
+	td.Addi(isa.R4, isa.R4, 16)
+	td.Strx(isa.R9, isa.R10, isa.R4) // o[k]
+	td.Addi(isa.R3, isa.R3, 1)
+	td.Cmpi(isa.R3, 4)
+	td.Blt("pairs")
+	// Even outputs.
+	td.Ldr(isa.R3, isa.R10, 0)  // e0
+	td.Ldr(isa.R4, isa.R10, 4)  // e1
+	td.Ldr(isa.R5, isa.R10, 8)  // e2
+	td.Ldr(isa.R6, isa.R10, 12) // e3
+	td.Add(isa.R7, isa.R3, isa.R4)
+	td.Add(isa.R7, isa.R7, isa.R5)
+	td.Add(isa.R7, isa.R7, isa.R6)
+	td.Str(isa.R7, isa.R10, 32) // out0
+	td.Sub(isa.R7, isa.R3, isa.R4)
+	td.Sub(isa.R7, isa.R7, isa.R5)
+	td.Add(isa.R7, isa.R7, isa.R6)
+	td.Str(isa.R7, isa.R10, 48)    // out4
+	td.Sub(isa.R7, isa.R3, isa.R6) // e0-e3
+	td.Sub(isa.R8, isa.R4, isa.R5) // e1-e2
+	td.Li(isa.R9, uint32(jpegC[1]))
+	td.Mul(isa.R3, isa.R7, isa.R9)
+	td.Li(isa.R9, uint32(jpegC[3]))
+	td.Mul(isa.R4, isa.R8, isa.R9)
+	td.Add(isa.R3, isa.R3, isa.R4)
+	td.OpI(isa.ASRI, isa.R3, isa.R3, 12)
+	td.Str(isa.R3, isa.R10, 40) // out2
+	td.Li(isa.R9, uint32(jpegC[3]))
+	td.Mul(isa.R3, isa.R7, isa.R9)
+	td.Li(isa.R9, uint32(jpegC[1]))
+	td.Mul(isa.R4, isa.R8, isa.R9)
+	td.Sub(isa.R3, isa.R3, isa.R4)
+	td.OpI(isa.ASRI, isa.R3, isa.R3, 12)
+	td.Str(isa.R3, isa.R10, 56) // out6
+	// Odd outputs: out[1,3,5,7] = sum of o[j]*±c[perm].
+	oddSpec := [4][4]int32{
+		{jpegC[0], jpegC[1], jpegC[2], jpegC[3]},    // out1
+		{jpegC[1], -jpegC[3], -jpegC[0], -jpegC[2]}, // out3
+		{jpegC[2], -jpegC[0], jpegC[3], jpegC[1]},   // out5
+		{jpegC[3], -jpegC[2], jpegC[1], -jpegC[0]},  // out7
+	}
+	for i, spec := range oddSpec {
+		td.Movi(isa.R7, 0)
+		for j, c := range spec {
+			td.Ldr(isa.R8, isa.R10, int32(16+4*j)) // o[j]
+			td.Li(isa.R9, uint32(c))
+			td.Mul(isa.R8, isa.R8, isa.R9)
+			td.Add(isa.R7, isa.R7, isa.R8)
+		}
+		td.OpI(isa.ASRI, isa.R7, isa.R7, 12)
+		td.Str(isa.R7, isa.R10, int32(32+4*(2*i+1))) // out[1,3,5,7]
+	}
+	// Write back out[0..7] to the strided vector.
+	td.Movi(isa.R3, 0)
+	td.Block("wb")
+	td.OpI(isa.LSLI, isa.R4, isa.R3, 2)
+	td.Addi(isa.R4, isa.R4, 32)
+	td.Ldrx(isa.R7, isa.R10, isa.R4)
+	td.Mul(isa.R5, isa.R3, isa.R2)
+	td.Add(isa.R5, isa.R5, isa.R1)
+	td.Str(isa.R7, isa.R5, 0)
+	td.Addi(isa.R3, isa.R3, 1)
+	td.Cmpi(isa.R3, 8)
+	td.Blt("wb")
+	td.Ret()
+
+	// quantise (encode): checksum += tmp[k] >> qs[k].
+	if encode {
+		qn := b.Func("quantise")
+		qn.Li(isa.R1, tmpAddr)
+		qn.Li(isa.R2, qsAddr)
+		qn.Movi(isa.R3, 64)
+		qn.Block("loop")
+		qn.Ldr(isa.R4, isa.R1, 0)
+		qn.Ldr(isa.R5, isa.R2, 0)
+		qn.Op3(isa.ASR, isa.R4, isa.R4, isa.R5)
+		qn.Add(isa.R0, isa.R0, isa.R4)
+		qn.Addi(isa.R1, isa.R1, 4)
+		qn.Addi(isa.R2, isa.R2, 4)
+		qn.Subi(isa.R3, isa.R3, 1)
+		qn.Cmpi(isa.R3, 0)
+		qn.Bgt("loop")
+		qn.Ret()
+	} else {
+		// descale (decode): checksum += clamp(tmp[k]>>6 + 128).
+		ds := b.Func("descale")
+		ds.Li(isa.R1, tmpAddr)
+		ds.Movi(isa.R3, 64)
+		ds.Block("loop")
+		ds.Ldr(isa.R4, isa.R1, 0)
+		ds.OpI(isa.ASRI, isa.R4, isa.R4, 6)
+		ds.Addi(isa.R4, isa.R4, 128)
+		ds.Cmpi(isa.R4, 0)
+		ds.Bge("lo")
+		ds.Movi(isa.R4, 0)
+		ds.Block("lo")
+		ds.Cmpi(isa.R4, 255)
+		ds.Ble("hi")
+		ds.Movi(isa.R4, 255)
+		ds.Block("hi")
+		ds.Add(isa.R0, isa.R0, isa.R4)
+		ds.Addi(isa.R1, isa.R1, 4)
+		ds.Subi(isa.R3, isa.R3, 1)
+		ds.Cmpi(isa.R3, 0)
+		ds.Bgt("loop")
+		ds.Ret()
+	}
+
+	addRuntime(b)
+	return b.Build()
+}

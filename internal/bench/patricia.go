@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("patricia", "radix-trie insert/lookup over routing keys (MiBench network/patricia)",
+		buildPatricia)
+}
+
+// The benchmark builds a 16-level binary radix trie over 16-bit
+// route keys (MiBench's patricia walks an IP routing trie; the
+// pointer-chasing, bit-testing instruction mix is the same — see
+// DESIGN.md for the substitution note) and then serves a lookup
+// stream with hits and misses.
+
+const patBits = 16
+
+// patWork returns the insert stream and the lookup stream.
+func patWork(in Input) (inserts, lookups []uint32) {
+	r := newRNG(0x9a77)
+	ni, nl := in.pick(200, 1400), in.pick(900, 5600)
+	inserts = make([]uint32, ni)
+	for i := range inserts {
+		inserts[i] = r.next() & 0xffff
+	}
+	lookups = make([]uint32, nl)
+	for i := range lookups {
+		if r.intn(2) == 0 { // hit: an inserted key
+			lookups[i] = inserts[r.intn(ni)]
+		} else { // likely miss
+			lookups[i] = r.next() & 0xffff
+		}
+	}
+	return inserts, lookups
+}
+
+// patriciaRef mirrors the program with a map-of-children trie.
+func patriciaRef(in Input) uint32 {
+	inserts, lookups := patWork(in)
+	type node struct {
+		child [2]*node
+		key   uint32
+		valid bool
+	}
+	root := &node{}
+	for _, k := range inserts {
+		cur := root
+		for bit := patBits - 1; bit >= 0; bit-- {
+			d := k >> uint(bit) & 1
+			if cur.child[d] == nil {
+				cur.child[d] = &node{}
+			}
+			cur = cur.child[d]
+		}
+		cur.key = k
+		cur.valid = true
+	}
+	var sum uint32
+	for _, k := range lookups {
+		cur := root
+		for bit := patBits - 1; bit >= 0 && cur != nil; bit-- {
+			cur = cur.child[k>>uint(bit)&1]
+		}
+		if cur != nil && cur.valid && cur.key == k {
+			sum += k
+		} else {
+			sum++
+		}
+	}
+	return sum
+}
+
+// buildPatricia emits trie_insert and trie_lookup plus main driving
+// both streams. Node layout (16 bytes): +0 left, +4 right, +8 key,
+// +12 valid. Null pointers are 0.
+func buildPatricia(in Input) (*obj.Unit, error) {
+	inserts, lookups := patWork(in)
+
+	b := asm.NewBuilder("patricia")
+	addAppShell(b, 0x506e, 8)
+	insAddr := b.Words(inserts...)
+	lookAddr := b.Words(lookups...)
+	root := b.Zeros(16)
+	// Arena sized for the worst case: every insert creates a full
+	// fresh path.
+	arena := b.Zeros(16 * (patBits*len(inserts) + 1))
+	bump := b.Words(arena) // allocation cursor (holds next free addr)
+
+	f := b.Func("main")
+	f.Call("app_init")
+	// Insert phase.
+	f.Li(isa.R11, insAddr)
+	f.Li(isa.R10, uint32(len(inserts)))
+	f.Block("ins")
+	f.Ldr(isa.R1, isa.R11, 0)
+	f.Push(isa.R10, isa.R11)
+	f.Call("trie_insert")
+	f.Pop(isa.R10, isa.R11)
+	f.Addi(isa.R11, isa.R11, 4)
+	f.Subi(isa.R10, isa.R10, 1)
+	f.Cmpi(isa.R10, 0)
+	f.Bgt("ins")
+	// Lookup phase.
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R11, lookAddr)
+	f.Li(isa.R10, uint32(len(lookups)))
+	f.Block("look")
+	f.Ldr(isa.R1, isa.R11, 0)
+	f.Push(isa.R10, isa.R11)
+	f.Call("trie_lookup")
+	f.Pop(isa.R10, isa.R11)
+	f.Addi(isa.R11, isa.R11, 4)
+	f.Subi(isa.R10, isa.R10, 1)
+	f.Cmpi(isa.R10, 0)
+	f.Bgt("look")
+	f.Halt()
+
+	// trie_insert: R1 = key. Walks/extends the path to depth 0.
+	// R2 cur, R3 bit, R4 dir, R5 child ptr, R6-R8 temps.
+	ti := b.Func("trie_insert")
+	ti.Li(isa.R2, root)
+	ti.Movi(isa.R3, patBits-1)
+	ti.Block("walk")
+	ti.Mov(isa.R4, isa.R1)
+	ti.Op3(isa.LSR, isa.R4, isa.R4, isa.R3)
+	ti.OpI(isa.ANDI, isa.R4, isa.R4, 1)
+	ti.OpI(isa.LSLI, isa.R4, isa.R4, 2) // child offset 0 or 4
+	ti.Ldrx(isa.R5, isa.R2, isa.R4)
+	ti.Cmpi(isa.R5, 0)
+	ti.Bne("descend")
+	// Allocate a node from the arena.
+	ti.Li(isa.R6, bump)
+	ti.Ldr(isa.R5, isa.R6, 0)
+	ti.Addi(isa.R7, isa.R5, 16)
+	ti.Str(isa.R7, isa.R6, 0)
+	ti.Strx(isa.R5, isa.R2, isa.R4) // link into parent
+	ti.Block("descend")
+	ti.Mov(isa.R2, isa.R5)
+	ti.Subi(isa.R3, isa.R3, 1)
+	ti.Cmpi(isa.R3, 0)
+	ti.Bge("walk")
+	// Leaf: record key + valid.
+	ti.Str(isa.R1, isa.R2, 8)
+	ti.Movi(isa.R6, 1)
+	ti.Str(isa.R6, isa.R2, 12)
+	ti.Ret()
+
+	// trie_lookup: R1 = key; adds key to R0 on hit, 1 on miss.
+	tl := b.Func("trie_lookup")
+	tl.Li(isa.R2, root)
+	tl.Movi(isa.R3, patBits-1)
+	tl.Block("walk")
+	tl.Mov(isa.R4, isa.R1)
+	tl.Op3(isa.LSR, isa.R4, isa.R4, isa.R3)
+	tl.OpI(isa.ANDI, isa.R4, isa.R4, 1)
+	tl.OpI(isa.LSLI, isa.R4, isa.R4, 2)
+	tl.Ldrx(isa.R2, isa.R2, isa.R4)
+	tl.Cmpi(isa.R2, 0)
+	tl.Beq("miss")
+	tl.Subi(isa.R3, isa.R3, 1)
+	tl.Cmpi(isa.R3, 0)
+	tl.Bge("walk")
+	// Depth reached: verify the stored key.
+	tl.Ldr(isa.R6, isa.R2, 12)
+	tl.Cmpi(isa.R6, 0)
+	tl.Beq("miss")
+	tl.Ldr(isa.R6, isa.R2, 8)
+	tl.Cmp(isa.R6, isa.R1)
+	tl.Bne("miss")
+	tl.Add(isa.R0, isa.R0, isa.R1)
+	tl.Ret()
+	tl.Block("miss")
+	tl.Addi(isa.R0, isa.R0, 1)
+	tl.Ret()
+
+	addRuntime(b)
+	return b.Build()
+}

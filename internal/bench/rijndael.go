@@ -1,0 +1,203 @@
+package bench
+
+import (
+	"encoding/binary"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("rijndael_e", "10-round T-table SPN block cipher, encrypt direction (MiBench security/rijndael enc)",
+		func(in Input) (*obj.Unit, error) { return buildRijndael(in, true) })
+	register("rijndael_d", "10-round T-table SPN block cipher, decrypt direction (MiBench security/rijndael dec)",
+		func(in Input) (*obj.Unit, error) { return buildRijndael(in, false) })
+}
+
+// rjKey holds the expanded material of the AES-style cipher: four
+// 256-entry T-tables per direction and 11 round keys of 4 words.
+// As with blowfish, the key schedule runs offline (its output is data
+// segment content); the measured kernel is the round function, which
+// dominates MiBench rijndael's execution by orders of magnitude.
+type rjKey struct {
+	t  [4][256]uint32
+	rk [44]uint32
+}
+
+func rjExpand(encrypt bool) *rjKey {
+	seed := uint32(0xae5e)
+	if !encrypt {
+		seed = 0xae5d
+	}
+	r := newRNG(seed)
+	k := &rjKey{}
+	for b := range k.t {
+		for i := range k.t[b] {
+			k.t[b][i] = r.next()
+		}
+	}
+	for i := range k.rk {
+		k.rk[i] = r.next()
+	}
+	return k
+}
+
+// rounds applies the 10-round transform to one 16-byte block state.
+func (k *rjKey) rounds(s [4]uint32) [4]uint32 {
+	for i := 0; i < 4; i++ {
+		s[i] ^= k.rk[i]
+	}
+	for round := 1; round <= 10; round++ {
+		var n [4]uint32
+		for i := 0; i < 4; i++ {
+			n[i] = k.t[0][s[i]>>24] ^
+				k.t[1][s[(i+1)&3]>>16&0xff] ^
+				k.t[2][s[(i+2)&3]>>8&0xff] ^
+				k.t[3][s[(i+3)&3]&0xff] ^
+				k.rk[4*round+i]
+		}
+		s = n
+	}
+	return s
+}
+
+func rjInput(in Input) []byte {
+	return newRNG(0x41e5).bytes(in.pick(2<<10, 20<<10))
+}
+
+// rjRef mirrors the program: transform every 16-byte block, xor all
+// output words.
+func rjRef(in Input, encrypt bool) uint32 {
+	k := rjExpand(encrypt)
+	data := rjInput(in)
+	var sum uint32
+	for i := 0; i+16 <= len(data); i += 16 {
+		var s [4]uint32
+		for j := range s {
+			s[j] = binary.LittleEndian.Uint32(data[i+4*j:])
+		}
+		s = k.rounds(s)
+		sum ^= s[0] ^ s[1] ^ s[2] ^ s[3]
+	}
+	return sum
+}
+
+// buildRijndael emits main (block loop) + rj_block (hot round
+// function) + a cold sanity check.
+//
+// rj_block register plan: state R1-R4, new word accumulator R7,
+// T base R6, rk cursor R5, temps R8-R10, round counter R11,
+// stack slots for the new state words.
+func buildRijndael(in Input, encrypt bool) (*obj.Unit, error) {
+	k := rjExpand(encrypt)
+	data := rjInput(in)
+
+	b := asm.NewBuilder("rijndael")
+	addAppShell(b, 0x1dc4, 13)
+	var tflat []uint32
+	for i := range k.t {
+		tflat = append(tflat, k.t[i][:]...)
+	}
+	tAddr := b.Words(tflat...)
+	rkAddr := b.Words(k.rk[:]...)
+	buf := b.Data(data)
+	scratch := b.Zeros(16) // new-state spill area
+	nblocks := len(data) / 16
+
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Call("table_check")
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R12, buf)
+	f.Li(isa.R11, uint32(nblocks))
+	f.Block("blocks")
+	f.Call("rt_tick")
+	f.Ldr(isa.R1, isa.R12, 0)
+	f.Ldr(isa.R2, isa.R12, 4)
+	f.Ldr(isa.R3, isa.R12, 8)
+	f.Ldr(isa.R4, isa.R12, 12)
+	f.Push(isa.R11, isa.R12)
+	f.Call("rj_block")
+	f.Pop(isa.R11, isa.R12)
+	f.Op3(isa.EOR, isa.R0, isa.R0, isa.R1)
+	f.Op3(isa.EOR, isa.R0, isa.R0, isa.R2)
+	f.Op3(isa.EOR, isa.R0, isa.R0, isa.R3)
+	f.Op3(isa.EOR, isa.R0, isa.R0, isa.R4)
+	f.Addi(isa.R12, isa.R12, 16)
+	f.Subi(isa.R11, isa.R11, 1)
+	f.Cmpi(isa.R11, 0)
+	f.Bgt("blocks")
+	f.Halt()
+
+	stateRegs := [4]isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4}
+
+	rb := b.Func("rj_block")
+	rb.Li(isa.R6, tAddr)
+	rb.Li(isa.R5, rkAddr)
+	// Initial whitening: s[i] ^= rk[i].
+	for i := 0; i < 4; i++ {
+		rb.Ldr(isa.R7, isa.R5, int32(4*i))
+		rb.Op3(isa.EOR, stateRegs[i], stateRegs[i], isa.R7)
+	}
+	rb.Addi(isa.R5, isa.R5, 16)
+	// All ten rounds are unrolled, as T-table AES implementations
+	// invariably are: the round function is the hot footprint.
+	for round := 1; round <= 10; round++ {
+		rb.Li(isa.R12, scratch)
+		for i := 0; i < 4; i++ {
+			// R7 = T0[s[i]>>24]
+			rb.OpI(isa.LSRI, isa.R8, stateRegs[i], 24)
+			rb.OpI(isa.LSLI, isa.R8, isa.R8, 2)
+			rb.Ldrx(isa.R7, isa.R6, isa.R8)
+			// ^= T1[s[i+1]>>16 & 0xff]
+			rb.OpI(isa.LSRI, isa.R8, stateRegs[(i+1)&3], 16)
+			rb.OpI(isa.ANDI, isa.R8, isa.R8, 0xff)
+			rb.OpI(isa.LSLI, isa.R8, isa.R8, 2)
+			rb.Li(isa.R10, 1024)
+			rb.Add(isa.R8, isa.R8, isa.R10)
+			rb.Ldrx(isa.R9, isa.R6, isa.R8)
+			rb.Op3(isa.EOR, isa.R7, isa.R7, isa.R9)
+			// ^= T2[s[i+2]>>8 & 0xff]
+			rb.OpI(isa.LSRI, isa.R8, stateRegs[(i+2)&3], 8)
+			rb.OpI(isa.ANDI, isa.R8, isa.R8, 0xff)
+			rb.OpI(isa.LSLI, isa.R8, isa.R8, 2)
+			rb.Li(isa.R10, 2048)
+			rb.Add(isa.R8, isa.R8, isa.R10)
+			rb.Ldrx(isa.R9, isa.R6, isa.R8)
+			rb.Op3(isa.EOR, isa.R7, isa.R7, isa.R9)
+			// ^= T3[s[i+3] & 0xff]
+			rb.OpI(isa.ANDI, isa.R8, stateRegs[(i+3)&3], 0xff)
+			rb.OpI(isa.LSLI, isa.R8, isa.R8, 2)
+			rb.Li(isa.R10, 3072)
+			rb.Add(isa.R8, isa.R8, isa.R10)
+			rb.Ldrx(isa.R9, isa.R6, isa.R8)
+			rb.Op3(isa.EOR, isa.R7, isa.R7, isa.R9)
+			// ^= rk[4*round + i]
+			rb.Ldr(isa.R9, isa.R5, int32(4*i))
+			rb.Op3(isa.EOR, isa.R7, isa.R7, isa.R9)
+			rb.Str(isa.R7, isa.R12, int32(4*i))
+		}
+		// Reload the new state and advance the key cursor.
+		for i := 0; i < 4; i++ {
+			rb.Ldr(stateRegs[i], isa.R12, int32(4*i))
+		}
+		rb.Addi(isa.R5, isa.R5, 16)
+	}
+	rb.Ret()
+
+	// table_check: cold — ensure the first T-table entries differ.
+	tc := b.Func("table_check")
+	tc.Li(isa.R5, tAddr)
+	tc.Ldr(isa.R7, isa.R5, 0)
+	tc.Ldr(isa.R8, isa.R5, 4)
+	tc.Cmp(isa.R7, isa.R8)
+	tc.Bne("ok")
+	tc.Movi(isa.R0, 0xdead)
+	tc.Halt()
+	tc.Block("ok")
+	tc.Ret()
+
+	addRuntime(b)
+	return b.Build()
+}

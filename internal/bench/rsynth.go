@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"math"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("rsynth", "3-oscillator formant synthesis with envelope and filter (MiBench office/rsynth)",
+		buildRsynth)
+}
+
+const (
+	rsynthOscs      = 3
+	rsynthEnvDecay  = 7
+	rsynthNoteLen   = 2048
+	rsynthSineBits  = 8 // 256-entry table
+	rsynthFilterSh  = 3
+	rsynthEnvReload = 32767
+)
+
+// rsynthSine is the Q15 sine table.
+func rsynthSine() []int32 {
+	t := make([]int32, 1<<rsynthSineBits)
+	for i := range t {
+		t[i] = int32(math.Round(32767 * math.Sin(2*math.Pi*float64(i)/float64(len(t)))))
+	}
+	return t
+}
+
+// rsynthNotes returns per-note oscillator phase increments
+// ("formant frequencies").
+func rsynthNotes(in Input) [][rsynthOscs]uint32 {
+	n := in.pick(2, 8)
+	r := newRNG(0x517)
+	notes := make([][rsynthOscs]uint32, n)
+	for i := range notes {
+		for o := 0; o < rsynthOscs; o++ {
+			notes[i][o] = 200 + uint32(r.intn(7000))
+		}
+	}
+	return notes
+}
+
+func rsynthSamplesPerNote(in Input) int { return in.pick(1024, rsynthNoteLen) }
+
+// rsynthRef mirrors the simulated synthesiser.
+func rsynthRef(in Input) uint32 {
+	sine := rsynthSine()
+	notes := rsynthNotes(in)
+	perNote := rsynthSamplesPerNote(in)
+	var sum uint32
+	var phases [rsynthOscs]uint32
+	y := int32(0)
+	for _, note := range notes {
+		env := int32(rsynthEnvReload)
+		for s := 0; s < perNote; s++ {
+			acc := int32(0)
+			for o := 0; o < rsynthOscs; o++ {
+				phases[o] += note[o]
+				idx := phases[o] >> rsynthSineBits & (1<<rsynthSineBits - 1)
+				acc += sine[idx] * env >> 15
+			}
+			y += (acc - y) >> rsynthFilterSh
+			env -= rsynthEnvDecay
+			if env < 0 {
+				env = 0
+			}
+			sum += uint32(y)
+		}
+	}
+	return sum
+}
+
+// buildRsynth keeps oscillator state in a small memory struct
+// (phases[3] then freqs[3]) and walks it per sample, calling the
+// oscillator bank as a function — per-sample call/return traffic is
+// characteristic of the real synthesiser's voice loop.
+func buildRsynth(in Input) (*obj.Unit, error) {
+	notes := rsynthNotes(in)
+	perNote := rsynthSamplesPerNote(in)
+
+	b := asm.NewBuilder("rsynth")
+	addAppShell(b, 0xfed8, 9)
+	sineAddr := b.Words(u32s(rsynthSine())...)
+	var noteWords []uint32
+	for _, n := range notes {
+		noteWords = append(noteWords, n[:]...)
+	}
+	noteAddr := b.Words(noteWords...)
+	state := b.Zeros(4 * (2 * rsynthOscs)) // phases[3], freqs[3]
+
+	// main registers: R0 checksum, R3 y, R4 env, R10 samples left,
+	// R11 note cursor, R12 notes left.
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Movi(isa.R0, 0)
+	f.Movi(isa.R3, 0)
+	f.Li(isa.R11, noteAddr)
+	f.Movi(isa.R12, uint16(len(notes)))
+	f.Block("notes")
+	// Load the note's frequencies into state.freqs.
+	f.Li(isa.R5, state)
+	for o := 0; o < rsynthOscs; o++ {
+		f.Ldr(isa.R6, isa.R11, int32(4*o))
+		f.Str(isa.R6, isa.R5, int32(4*(rsynthOscs+o)))
+	}
+	f.Li(isa.R4, rsynthEnvReload)
+	f.Li(isa.R10, uint32(perNote))
+	f.Block("samples")
+	f.Push(isa.R10, isa.R11, isa.R12)
+	f.Call("oscbank") // R2 = mixed sample (uses R1,R2,R5-R9)
+	f.Pop(isa.R10, isa.R11, isa.R12)
+	// y += (acc - y) >> 3
+	f.Sub(isa.R5, isa.R2, isa.R3)
+	f.OpI(isa.ASRI, isa.R5, isa.R5, rsynthFilterSh)
+	f.Add(isa.R3, isa.R3, isa.R5)
+	// env decay with floor
+	f.Subi(isa.R4, isa.R4, rsynthEnvDecay)
+	f.Cmpi(isa.R4, 0)
+	f.Bge("envok")
+	f.Movi(isa.R4, 0)
+	f.Block("envok")
+	f.Add(isa.R0, isa.R0, isa.R3)
+	f.Subi(isa.R10, isa.R10, 1)
+	f.Cmpi(isa.R10, 0)
+	f.Bgt("samples")
+	f.Addi(isa.R11, isa.R11, 4*rsynthOscs)
+	f.Subi(isa.R12, isa.R12, 1)
+	f.Cmpi(isa.R12, 0)
+	f.Bgt("notes")
+	f.Halt()
+
+	// oscbank: advances all oscillator phases and returns the
+	// envelope-scaled mix in R2. Reads env from R4.
+	ob := b.Func("oscbank")
+	ob.Movi(isa.R2, 0)
+	ob.Li(isa.R5, state)
+	ob.Li(isa.R8, sineAddr)
+	ob.Movi(isa.R9, rsynthOscs)
+	ob.Block("osc")
+	ob.Ldr(isa.R1, isa.R5, 0)            // phase
+	ob.Ldr(isa.R6, isa.R5, 4*rsynthOscs) // freq
+	ob.Add(isa.R1, isa.R1, isa.R6)
+	ob.Str(isa.R1, isa.R5, 0)
+	ob.OpI(isa.LSRI, isa.R6, isa.R1, rsynthSineBits)
+	ob.OpI(isa.ANDI, isa.R6, isa.R6, 1<<rsynthSineBits-1)
+	ob.OpI(isa.LSLI, isa.R6, isa.R6, 2)
+	ob.Ldrx(isa.R7, isa.R8, isa.R6) // sine sample
+	ob.Mul(isa.R7, isa.R7, isa.R4)  // * env
+	ob.OpI(isa.ASRI, isa.R7, isa.R7, 15)
+	ob.Add(isa.R2, isa.R2, isa.R7)
+	ob.Addi(isa.R5, isa.R5, 4)
+	ob.Subi(isa.R9, isa.R9, 1)
+	ob.Cmpi(isa.R9, 0)
+	ob.Bgt("osc")
+	ob.Ret()
+
+	addRuntime(b)
+	return b.Build()
+}

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"encoding/binary"
+	"math/bits"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("sha", "SHA-1 style block hash: message schedule + 80-round compression (MiBench security/sha)",
+		buildSHA)
+}
+
+// SHA-1 round constants and initial state.
+var shaK = [4]uint32{0x5a827999, 0x6ed9eba1, 0x8f1bbcdc, 0xca62c1d6}
+var shaH = [5]uint32{0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0}
+
+// shaInput returns the message (whole 64-byte blocks; MiBench's sha
+// reads a file — padding is immaterial to the instruction mix).
+func shaInput(in Input) []byte {
+	return newRNG(0x5a1).bytes(in.pick(4<<10, 48<<10))
+}
+
+// shaRef mirrors the simulated program exactly (little-endian word
+// loads — byte order is irrelevant to the kernel's shape) and returns
+// the checksum the program leaves in R0.
+func shaRef(msg []byte) uint32 {
+	h := shaH
+	var w [80]uint32
+	for blk := 0; blk+64 <= len(msg); blk += 64 {
+		for i := 0; i < 16; i++ {
+			w[i] = binary.LittleEndian.Uint32(msg[blk+4*i:])
+		}
+		for t := 16; t < 80; t++ {
+			w[t] = bits.RotateLeft32(w[t-3]^w[t-8]^w[t-14]^w[t-16], 1)
+		}
+		a, b, c, d, e := h[0], h[1], h[2], h[3], h[4]
+		for t := 0; t < 80; t++ {
+			var f uint32
+			switch {
+			case t < 20:
+				f = (b & c) | (^b & d)
+			case t < 40:
+				f = b ^ c ^ d
+			case t < 60:
+				f = (b & c) | (b & d) | (c & d)
+			default:
+				f = b ^ c ^ d
+			}
+			tmp := bits.RotateLeft32(a, 5) + f + e + w[t] + shaK[t/20]
+			e, d, c, b, a = d, c, bits.RotateLeft32(b, 30), a, tmp
+		}
+		h[0] += a
+		h[1] += b
+		h[2] += c
+		h[3] += d
+		h[4] += e
+	}
+	return h[0] ^ h[1] ^ h[2] ^ h[3] ^ h[4]
+}
+
+// buildSHA emits:
+//
+//	main: loop over blocks calling sha_block               [warm]
+//	sha_block: schedule expansion + four 20-round loops    [hot]
+func buildSHA(in Input) (*obj.Unit, error) {
+	b := asm.NewBuilder("sha")
+	addAppShell(b, 0x8a19, 11)
+	msg := shaInput(in)
+	msgAddr := b.Data(msg)
+	b.Align(4)
+	state := b.Words(shaH[:]...) // h0..h4, updated in place
+	wbuf := b.Zeros(80 * 4)      // message schedule scratch
+	nblocks := len(msg) / 64
+
+	// rol(rd, rs, n): rd = rs rotated left by n — ROR by 32-n.
+	rol := func(f *asm.FuncBuilder, rd, rs isa.Reg, n int32) {
+		f.Movi(isa.R10, uint16(32-n))
+		f.Op3(isa.ROR, rd, rs, isa.R10)
+	}
+
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Li(isa.R12, msgAddr)
+	f.Li(isa.R11, uint32(nblocks))
+	f.Block("blocks")
+	f.Call("rt_tick")
+	f.Push(isa.R11, isa.R12)
+	f.Call("sha_block")
+	f.Pop(isa.R11, isa.R12)
+	f.Addi(isa.R12, isa.R12, 64)
+	f.Subi(isa.R11, isa.R11, 1)
+	f.Cmpi(isa.R11, 0)
+	f.Bgt("blocks")
+	// Checksum: xor the five state words.
+	f.Li(isa.R1, state)
+	f.Ldr(isa.R0, isa.R1, 0)
+	f.Ldr(isa.R2, isa.R1, 4)
+	f.Op3(isa.EOR, isa.R0, isa.R0, isa.R2)
+	f.Ldr(isa.R2, isa.R1, 8)
+	f.Op3(isa.EOR, isa.R0, isa.R0, isa.R2)
+	f.Ldr(isa.R2, isa.R1, 12)
+	f.Op3(isa.EOR, isa.R0, isa.R0, isa.R2)
+	f.Ldr(isa.R2, isa.R1, 16)
+	f.Op3(isa.EOR, isa.R0, isa.R0, isa.R2)
+	f.Halt()
+
+	// sha_block: R12 = block pointer. Uses R1-R10 freely.
+	s := b.Func("sha_block")
+
+	// Copy the 16 message words into W (unrolled x4).
+	s.Li(isa.R6, wbuf)
+	s.Movi(isa.R7, 4)
+	s.Block("copy")
+	for j := 0; j < 4; j++ {
+		s.Ldr(isa.R8, isa.R12, int32(4*j))
+		s.Str(isa.R8, isa.R6, int32(4*j))
+	}
+	s.Addi(isa.R12, isa.R12, 16)
+	s.Addi(isa.R6, isa.R6, 16)
+	s.Subi(isa.R7, isa.R7, 1)
+	s.Cmpi(isa.R7, 0)
+	s.Bgt("copy")
+
+	// Expand W[16..79]: R6 points at W[t] (unrolled x4).
+	s.Movi(isa.R7, 16)
+	s.Block("expand")
+	for j := int32(0); j < 4; j++ {
+		s.Ldr(isa.R8, isa.R6, 4*j-12) // W[t-3]
+		s.Ldr(isa.R9, isa.R6, 4*j-32) // W[t-8]
+		s.Op3(isa.EOR, isa.R8, isa.R8, isa.R9)
+		s.Ldr(isa.R9, isa.R6, 4*j-56) // W[t-14]
+		s.Op3(isa.EOR, isa.R8, isa.R8, isa.R9)
+		s.Ldr(isa.R9, isa.R6, 4*j-64) // W[t-16]
+		s.Op3(isa.EOR, isa.R8, isa.R8, isa.R9)
+		rol(s, isa.R8, isa.R8, 1)
+		s.Str(isa.R8, isa.R6, 4*j)
+	}
+	s.Addi(isa.R6, isa.R6, 16)
+	s.Subi(isa.R7, isa.R7, 1)
+	s.Cmpi(isa.R7, 0)
+	s.Bgt("expand")
+
+	// Load the working state: a=R1 b=R2 c=R3 d=R4 e=R5.
+	s.Li(isa.R6, state)
+	s.Ldr(isa.R1, isa.R6, 0)
+	s.Ldr(isa.R2, isa.R6, 4)
+	s.Ldr(isa.R3, isa.R6, 8)
+	s.Ldr(isa.R4, isa.R6, 12)
+	s.Ldr(isa.R5, isa.R6, 16)
+	s.Li(isa.R6, wbuf) // W cursor
+
+	// round body shared shape: R8 = f(b,c,d) computed per phase,
+	// then tmp = rol5(a)+f+e+W[t]+K.
+	emitTail := func(k uint32) {
+		// R8 += e + W[t] + K
+		s.Add(isa.R8, isa.R8, isa.R5)
+		s.Ldr(isa.R9, isa.R6, 0)
+		s.Add(isa.R8, isa.R8, isa.R9)
+		s.Li(isa.R9, k)
+		s.Add(isa.R8, isa.R8, isa.R9)
+		rol(s, isa.R9, isa.R1, 5)
+		s.Add(isa.R8, isa.R8, isa.R9) // tmp
+		// rotate state: e=d d=c c=rol30(b) b=a a=tmp
+		s.Mov(isa.R5, isa.R4)
+		s.Mov(isa.R4, isa.R3)
+		rol(s, isa.R3, isa.R2, 30)
+		s.Mov(isa.R2, isa.R1)
+		s.Mov(isa.R1, isa.R8)
+		s.Addi(isa.R6, isa.R6, 4)
+		s.Subi(isa.R7, isa.R7, 1)
+	}
+
+	// Rounds 0-19: f = (b&c) | (~b&d)
+	s.Movi(isa.R7, 20)
+	s.Block("round1")
+	for j := 0; j < 5; j++ {
+		_ = j
+		s.Op3(isa.AND, isa.R8, isa.R2, isa.R3)
+		s.Op3(isa.BIC, isa.R9, isa.R4, isa.R2) // d &^ b
+		s.Op3(isa.ORR, isa.R8, isa.R8, isa.R9)
+		emitTail(shaK[0])
+	}
+	s.Cmpi(isa.R7, 0)
+	s.Bgt("round1")
+
+	// Rounds 20-39: f = b^c^d
+	s.Movi(isa.R7, 20)
+	s.Block("round2")
+	for j := 0; j < 5; j++ {
+		_ = j
+		s.Op3(isa.EOR, isa.R8, isa.R2, isa.R3)
+		s.Op3(isa.EOR, isa.R8, isa.R8, isa.R4)
+		emitTail(shaK[1])
+	}
+	s.Cmpi(isa.R7, 0)
+	s.Bgt("round2")
+
+	// Rounds 40-59: f = (b&c)|(b&d)|(c&d)
+	s.Movi(isa.R7, 20)
+	s.Block("round3")
+	for j := 0; j < 5; j++ {
+		_ = j
+		s.Op3(isa.AND, isa.R8, isa.R2, isa.R3)
+		s.Op3(isa.AND, isa.R9, isa.R2, isa.R4)
+		s.Op3(isa.ORR, isa.R8, isa.R8, isa.R9)
+		s.Op3(isa.AND, isa.R9, isa.R3, isa.R4)
+		s.Op3(isa.ORR, isa.R8, isa.R8, isa.R9)
+		emitTail(shaK[2])
+	}
+	s.Cmpi(isa.R7, 0)
+	s.Bgt("round3")
+
+	// Rounds 60-79: f = b^c^d
+	s.Movi(isa.R7, 20)
+	s.Block("round4")
+	for j := 0; j < 5; j++ {
+		_ = j
+		s.Op3(isa.EOR, isa.R8, isa.R2, isa.R3)
+		s.Op3(isa.EOR, isa.R8, isa.R8, isa.R4)
+		emitTail(shaK[3])
+	}
+	s.Cmpi(isa.R7, 0)
+	s.Bgt("round4")
+
+	// Fold the working state back: h[i] += reg.
+	s.Li(isa.R6, state)
+	for i, r := range []isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5} {
+		s.Ldr(isa.R8, isa.R6, int32(4*i))
+		s.Add(isa.R8, isa.R8, r)
+		s.Str(isa.R8, isa.R6, int32(4*i))
+	}
+	s.Ret()
+
+	addRuntime(b)
+	return b.Build()
+}

@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"fmt"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("susan_c", "SUSAN corner detection over a grayscale image (MiBench automotive/susan -c)",
+		func(in Input) (*obj.Unit, error) { return buildSusan(in, susanCorners) })
+	register("susan_e", "SUSAN edge detection with gradient estimate (MiBench automotive/susan -e)",
+		func(in Input) (*obj.Unit, error) { return buildSusan(in, susanEdges) })
+	register("susan_s", "SUSAN 3x3 weighted smoothing (MiBench automotive/susan -s)",
+		func(in Input) (*obj.Unit, error) { return buildSusan(in, susanSmooth) })
+}
+
+type susanMode int
+
+const (
+	susanCorners susanMode = iota
+	susanEdges
+	susanSmooth
+)
+
+const susanThreshold = 20
+
+// susanDims returns image width and height for the input size. The
+// edge kernel touches fewer neighbours per pixel, so it gets a larger
+// frame to keep its dynamic instruction count comparable.
+func susanDims(in Input, mode susanMode) (w, h int) {
+	if in == Small {
+		return 48, 36
+	}
+	if mode == susanEdges {
+		return 256, 160
+	}
+	return 160, 96
+}
+
+// susanImage generates the grayscale input: smooth gradients plus
+// blocky features, so thresholds flip realistically.
+func susanImage(in Input, mode susanMode) []byte {
+	w, h := susanDims(in, mode)
+	r := newRNG(uint32(0x5a5a + int(mode)))
+	img := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := (x*3 + y*5) & 0xff
+			if (x/8+y/8)&1 == 0 {
+				v += 60
+			}
+			v += r.intn(9) - 4
+			img[y*w+x] = byte(v)
+		}
+	}
+	return img
+}
+
+// 3x3 smoothing weights (power-of-two total so the divide is a shift).
+var susanWeights = [9]uint32{1, 2, 1, 2, 4, 2, 1, 2, 1}
+
+// susanRef mirrors the simulated kernels exactly.
+func susanRef(in Input, mode susanMode) uint32 {
+	w, h := susanDims(in, mode)
+	img := susanImage(in, mode)
+	var sum uint32
+	abs := func(v int32) uint32 {
+		if v < 0 {
+			return uint32(-v)
+		}
+		return uint32(v)
+	}
+	for y := 1; y < h-1; y++ {
+		for x := 1; x < w-1; x++ {
+			c := int32(img[y*w+x])
+			switch mode {
+			case susanSmooth:
+				var acc uint32
+				k := 0
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						acc += uint32(img[(y+dy)*w+x+dx]) * susanWeights[k]
+						k++
+					}
+				}
+				sum += acc >> 4
+			case susanCorners:
+				var n uint32
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						if dx == 0 && dy == 0 {
+							continue
+						}
+						if abs(int32(img[(y+dy)*w+x+dx])-c) < susanThreshold {
+							n++
+						}
+					}
+				}
+				if n < 4 {
+					sum += n + uint32(c)
+				}
+			case susanEdges:
+				l := int32(img[y*w+x-1])
+				r := int32(img[y*w+x+1])
+				u := int32(img[(y-1)*w+x])
+				d := int32(img[(y+1)*w+x])
+				mag := abs(r-l) + abs(d-u)
+				if mag >= susanThreshold {
+					sum += mag
+				}
+			}
+		}
+	}
+	return sum
+}
+
+// buildSusan emits main (row loop, with a runtime tick per row) + a
+// per-row kernel whose column loop is unrolled eight-wide (with a
+// scalar remainder loop), as an optimising compiler would emit it —
+// the hot footprint is the full unrolled body. Register plan inside
+// the kernel:
+//
+//	R0 checksum   R1 pixel ptr (current col)  R2 cols left
+//	R3 center     R4-R8 temps                 R9 width
+//	R10 scratch   R11 row base                R12 row count
+func buildSusan(in Input, mode susanMode) (*obj.Unit, error) {
+	w, h := susanDims(in, mode)
+	img := susanImage(in, mode)
+
+	b := asm.NewBuilder("susan")
+	addAppShell(b, 0x680a, 10)
+	imgAddr := b.Data(img)
+	b.Align(4)
+	wtab := b.Words(susanWeights[:]...)
+
+	// emitAbs: R4 = |R4| using R10 as zero scratch.
+	emitAbs := func(f *asm.FuncBuilder, tag string) {
+		f.Cmpi(isa.R4, 0)
+		f.Bge("abs_" + tag)
+		f.Movi(isa.R10, 0)
+		f.Sub(isa.R4, isa.R10, isa.R4)
+		f.Block("abs_" + tag)
+	}
+
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Call("border_init")
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R11, imgAddr+uint32(w)) // row 1 base
+	f.Movi(isa.R12, uint16(h-2))
+	f.Block("rows")
+	f.Call("rt_tick")
+	f.Push(isa.R11, isa.R12)
+	f.Call("row_kernel")
+	f.Pop(isa.R11, isa.R12)
+	f.Li(isa.R9, uint32(w))
+	f.Add(isa.R11, isa.R11, isa.R9)
+	f.Subi(isa.R12, isa.R12, 1)
+	f.Cmpi(isa.R12, 0)
+	f.Bgt("rows")
+	f.Halt()
+
+	// emitPixel emits the work for the pixel at [R1 + off]; tag makes
+	// internal labels unique per unrolled copy.
+	k := b.Func("row_kernel")
+	emitPixel := func(off int32, tag string) {
+		switch mode {
+		case susanSmooth:
+			k.Movi(isa.R5, 0)
+			k.Li(isa.R8, wtab)
+			widx := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					switch dy {
+					case -1:
+						k.Sub(isa.R6, isa.R1, isa.R9)
+					case 0:
+						k.Mov(isa.R6, isa.R1)
+					case 1:
+						k.Add(isa.R6, isa.R1, isa.R9)
+					}
+					k.Ldrb(isa.R4, isa.R6, int32(dx)+off)
+					k.Ldr(isa.R7, isa.R8, int32(4*widx))
+					k.Mul(isa.R4, isa.R4, isa.R7)
+					k.Add(isa.R5, isa.R5, isa.R4)
+					widx++
+				}
+			}
+			k.OpI(isa.LSRI, isa.R5, isa.R5, 4)
+			k.Add(isa.R0, isa.R0, isa.R5)
+
+		case susanCorners:
+			k.Ldrb(isa.R3, isa.R1, off) // center
+			k.Movi(isa.R5, 0)           // similar-neighbour count
+			n := 0
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					if dx == 0 && dy == 0 {
+						continue
+					}
+					ntag := fmt.Sprintf("%s_%d", tag, n)
+					switch dy {
+					case -1:
+						k.Sub(isa.R6, isa.R1, isa.R9)
+					case 0:
+						k.Mov(isa.R6, isa.R1)
+					case 1:
+						k.Add(isa.R6, isa.R1, isa.R9)
+					}
+					k.Ldrb(isa.R4, isa.R6, int32(dx)+off)
+					k.Sub(isa.R4, isa.R4, isa.R3)
+					emitAbs(k, ntag)
+					k.Cmpi(isa.R4, susanThreshold)
+					k.Bge("far_" + ntag)
+					k.Addi(isa.R5, isa.R5, 1)
+					k.Block("far_" + ntag)
+					n++
+				}
+			}
+			k.Cmpi(isa.R5, 4)
+			k.Bge("nocorner_" + tag)
+			k.Add(isa.R0, isa.R0, isa.R5)
+			k.Add(isa.R0, isa.R0, isa.R3)
+			k.Block("nocorner_" + tag)
+
+		case susanEdges:
+			k.Ldrb(isa.R4, isa.R1, off+1) // right
+			k.Ldrb(isa.R5, isa.R1, off-1) // left
+			k.Sub(isa.R4, isa.R4, isa.R5)
+			emitAbs(k, "dx_"+tag)
+			k.Mov(isa.R7, isa.R4)
+			k.Add(isa.R6, isa.R1, isa.R9)
+			k.Ldrb(isa.R4, isa.R6, off) // down
+			k.Sub(isa.R6, isa.R1, isa.R9)
+			k.Ldrb(isa.R5, isa.R6, off) // up
+			k.Sub(isa.R4, isa.R4, isa.R5)
+			emitAbs(k, "dy_"+tag)
+			k.Add(isa.R4, isa.R4, isa.R7)
+			k.Cmpi(isa.R4, susanThreshold)
+			k.Blt("noedge_" + tag)
+			k.Add(isa.R0, isa.R0, isa.R4)
+			k.Block("noedge_" + tag)
+		}
+	}
+
+	// row_kernel: R11 = row base; columns 1..w-2, four at a time.
+	k.Li(isa.R9, uint32(w))
+	k.Addi(isa.R1, isa.R11, 1) // first interior pixel
+	k.Movi(isa.R2, uint16(w-2))
+	k.Block("cols")
+	k.Cmpi(isa.R2, 8)
+	k.Blt("rem")
+	for j := int32(0); j < 8; j++ {
+		emitPixel(j, fmt.Sprintf("u%d", j))
+	}
+	k.Addi(isa.R1, isa.R1, 8)
+	k.Subi(isa.R2, isa.R2, 8)
+	k.Jmp("cols")
+	k.Block("rem")
+	k.Cmpi(isa.R2, 0)
+	k.Ble("done")
+	emitPixel(0, "r")
+	k.Addi(isa.R1, isa.R1, 1)
+	k.Subi(isa.R2, isa.R2, 1)
+	k.Jmp("rem")
+	k.Block("done")
+	k.Ret()
+
+	// border_init: cold — touch the four borders once (the real
+	// SUSAN zeroes its output borders).
+	bi := b.Func("border_init")
+	bi.Li(isa.R1, imgAddr)
+	bi.Movi(isa.R2, uint16(w))
+	bi.Movi(isa.R3, 0)
+	bi.Block("top")
+	bi.Ldrb(isa.R4, isa.R1, 0)
+	bi.Add(isa.R3, isa.R3, isa.R4)
+	bi.Addi(isa.R1, isa.R1, 1)
+	bi.Subi(isa.R2, isa.R2, 1)
+	bi.Cmpi(isa.R2, 0)
+	bi.Bgt("top")
+	bi.Ret()
+
+	addRuntime(b)
+	return b.Build()
+}

@@ -1,0 +1,444 @@
+package bench
+
+import (
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func init() {
+	register("tiff2bw", "RGB to luminance conversion (MiBench consumer/tiff2bw)", buildTiff2bw)
+	register("tiff2rgba", "palette expansion to RGBA (MiBench consumer/tiff2rgba)", buildTiff2rgba)
+	register("tiffdither", "Floyd-Steinberg error-diffusion dither (MiBench consumer/tiffdither)", buildTiffdither)
+	register("tiffmedian", "histogram + level quantisation (MiBench consumer/tiffmedian)", buildTiffmedian)
+}
+
+// tiffDims returns the pixel dimensions per input size.
+func tiffDims(in Input) (w, h int) {
+	if in == Small {
+		return 64, 40
+	}
+	return 256, 144
+}
+
+// tiffGray makes a grayscale image with gradients and texture.
+func tiffGray(in Input, seed uint32) []byte {
+	w, h := tiffDims(in)
+	r := newRNG(seed)
+	img := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img[y*w+x] = byte(x*2 + y + r.intn(32))
+		}
+	}
+	return img
+}
+
+// --- tiff2bw -----------------------------------------------------
+
+// Luma weights (ITU-R 601-ish, as libtiff's tiff2bw uses).
+const lumaR, lumaG, lumaB = 77, 150, 29
+
+func tiff2bwInput(in Input) []byte {
+	w, h := tiffDims(in)
+	return newRNG(0x2b3).bytes(3 * w * h) // packed RGB
+}
+
+func tiff2bwRef(in Input) uint32 {
+	rgb := tiff2bwInput(in)
+	var sum uint32
+	for i := 0; i+2 < len(rgb); i += 3 {
+		y := (lumaR*uint32(rgb[i]) + lumaG*uint32(rgb[i+1]) + lumaB*uint32(rgb[i+2])) >> 8
+		sum += y
+	}
+	return sum
+}
+
+func buildTiff2bw(in Input) (*obj.Unit, error) {
+	w, h := tiffDims(in)
+	if w%8 != 0 {
+		panic("tiff2bw: width must be a multiple of 8 for the unrolled row loop")
+	}
+	b := asm.NewBuilder("tiff2bw")
+	addAppShell(b, 0x2493, 10)
+	rgb := b.Data(tiff2bwInput(in))
+	b.Align(4)
+	out := b.Zeros(w * h)
+
+	// Row-structured with a four-wide unrolled pixel loop, the shape
+	// libtiff's scanline converters take after optimisation.
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R1, rgb)
+	f.Li(isa.R2, out)
+	f.Movi(isa.R8, uint16(h))
+	f.Block("rows")
+	f.Call("rt_tick")
+	f.Li(isa.R3, uint32(w/8))
+	f.Block("px")
+	for j := int32(0); j < 8; j++ {
+		f.Ldrb(isa.R4, isa.R1, 3*j+0)
+		f.Movi(isa.R7, lumaR)
+		f.Mul(isa.R4, isa.R4, isa.R7)
+		f.Ldrb(isa.R5, isa.R1, 3*j+1)
+		f.Movi(isa.R7, lumaG)
+		f.Op3(isa.MLA, isa.R4, isa.R5, isa.R7) // R4 += g*150
+		f.Ldrb(isa.R5, isa.R1, 3*j+2)
+		f.Movi(isa.R7, lumaB)
+		f.Op3(isa.MLA, isa.R4, isa.R5, isa.R7)
+		f.OpI(isa.LSRI, isa.R4, isa.R4, 8)
+		f.Strb(isa.R4, isa.R2, j)
+		f.Add(isa.R0, isa.R0, isa.R4)
+	}
+	f.Addi(isa.R1, isa.R1, 24)
+	f.Addi(isa.R2, isa.R2, 8)
+	f.Subi(isa.R3, isa.R3, 1)
+	f.Cmpi(isa.R3, 0)
+	f.Bgt("px")
+	f.Subi(isa.R8, isa.R8, 1)
+	f.Cmpi(isa.R8, 0)
+	f.Bgt("rows")
+	f.Halt()
+	addRuntime(b)
+	return b.Build()
+}
+
+// --- tiff2rgba ---------------------------------------------------
+
+func tiffPalette() []uint32 {
+	r := newRNG(0x9a1e)
+	return r.words(256)
+}
+
+// tiff2rgbaDims: the per-pixel work is light, so this benchmark gets
+// a taller frame than its siblings.
+func tiff2rgbaDims(in Input) (w, h int) {
+	if in == Small {
+		return 64, 40
+	}
+	return 256, 224
+}
+
+func tiff2rgbaInput(in Input) []byte {
+	w, h := tiff2rgbaDims(in)
+	r := newRNG(0x44a)
+	img := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img[y*w+x] = byte(x*2 + y + r.intn(32))
+		}
+	}
+	return img
+}
+
+func tiff2rgbaRef(in Input) uint32 {
+	pal := tiffPalette()
+	px := tiff2rgbaInput(in)
+	var sum uint32
+	for _, p := range px {
+		rgba := pal[p] | 0xff000000 // force alpha, as tiff2rgba does
+		sum = sum*3 + rgba
+	}
+	return sum
+}
+
+func buildTiff2rgba(in Input) (*obj.Unit, error) {
+	w, h := tiff2rgbaDims(in)
+	b := asm.NewBuilder("tiff2rgba")
+	addAppShell(b, 0x108bf, 9)
+	pal := b.Words(tiffPalette()...)
+	px := b.Data(tiff2rgbaInput(in))
+	b.Align(4)
+	out := b.Zeros(4 * w * h)
+
+	if w%8 != 0 {
+		panic("tiff2rgba: width must be a multiple of 8 for the unrolled row loop")
+	}
+	// Row-structured, eight pixels per iteration.
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R1, px)
+	f.Li(isa.R2, out)
+	f.Li(isa.R6, pal)
+	f.Li(isa.R8, 0xff00_0000)
+	f.Movi(isa.R9, uint16(h))
+	f.Block("rows")
+	f.Call("rt_tick")
+	f.Li(isa.R3, uint32(w/8))
+	f.Block("px")
+	for j := int32(0); j < 8; j++ {
+		f.Ldrb(isa.R4, isa.R1, j)
+		f.OpI(isa.LSLI, isa.R4, isa.R4, 2)
+		f.Ldrx(isa.R5, isa.R6, isa.R4)
+		f.Op3(isa.ORR, isa.R5, isa.R5, isa.R8)
+		f.Str(isa.R5, isa.R2, 4*j)
+		// sum = sum*3 + rgba
+		f.OpI(isa.LSLI, isa.R7, isa.R0, 1)
+		f.Add(isa.R0, isa.R0, isa.R7)
+		f.Add(isa.R0, isa.R0, isa.R5)
+	}
+	f.Addi(isa.R1, isa.R1, 8)
+	f.Addi(isa.R2, isa.R2, 32)
+	f.Subi(isa.R3, isa.R3, 1)
+	f.Cmpi(isa.R3, 0)
+	f.Bgt("px")
+	f.Subi(isa.R9, isa.R9, 1)
+	f.Cmpi(isa.R9, 0)
+	f.Bgt("rows")
+	f.Halt()
+	addRuntime(b)
+	return b.Build()
+}
+
+// --- tiffdither --------------------------------------------------
+
+func tiffditherInput(in Input) []byte { return tiffGray(in, 0xd17) }
+
+// tiffditherRef: Floyd-Steinberg with a single current/next error row
+// pair, integer arithmetic (errors can be negative).
+func tiffditherRef(in Input) uint32 {
+	w, h := tiffDims(in)
+	img := tiffditherInput(in)
+	cur := make([]int32, w+2)
+	next := make([]int32, w+2)
+	var ones uint32
+	for y := 0; y < h; y++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for x := 0; x < w; x++ {
+			v := int32(img[y*w+x]) + cur[x+1]
+			var out int32
+			if v >= 128 {
+				out = 255
+				ones++
+			}
+			e := v - out
+			cur[x+2] += e * 7 >> 4
+			next[x] += e * 3 >> 4
+			next[x+1] += e * 5 >> 4
+			next[x+2] += e * 1 >> 4
+		}
+		cur, next = next, cur
+	}
+	return ones
+}
+
+func buildTiffdither(in Input) (*obj.Unit, error) {
+	w, h := tiffDims(in)
+	b := asm.NewBuilder("tiffdither")
+	addAppShell(b, 0x9ecd, 13)
+	img := b.Data(tiffditherInput(in))
+	b.Align(4)
+	curBuf := b.Zeros(4 * (w + 2))
+	nextBuf := b.Zeros(4 * (w + 2))
+
+	// emitScaled adds (e * k) >> 4 into mem[Rbase + off]; e in R5,
+	// scratch R7, R8.
+	emitScaled := func(f *asm.FuncBuilder, base isa.Reg, off int32, k uint16) {
+		f.Movi(isa.R7, k)
+		f.Mul(isa.R7, isa.R5, isa.R7)
+		f.OpI(isa.ASRI, isa.R7, isa.R7, 4)
+		f.Ldr(isa.R8, base, off)
+		f.Add(isa.R8, isa.R8, isa.R7)
+		f.Str(isa.R8, base, off)
+	}
+
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Movi(isa.R0, 0)      // ones count
+	f.Li(isa.R1, img)      // pixel cursor
+	f.Li(isa.R11, curBuf)  // cur error row
+	f.Li(isa.R12, nextBuf) // next error row
+	f.Movi(isa.R10, uint16(h))
+	f.Block("rows")
+	f.Call("rt_tick")
+	// Clear next row.
+	f.Mov(isa.R2, isa.R12)
+	f.Li(isa.R3, uint32(w+2))
+	f.Movi(isa.R4, 0)
+	f.Block("clear")
+	f.Str(isa.R4, isa.R2, 0)
+	f.Addi(isa.R2, isa.R2, 4)
+	f.Subi(isa.R3, isa.R3, 1)
+	f.Cmpi(isa.R3, 0)
+	f.Bgt("clear")
+	// Columns.
+	f.Mov(isa.R2, isa.R11) // cur[x] cursor (cur[x+1] is offset 4)
+	f.Mov(isa.R3, isa.R12) // next[x] cursor
+	f.Li(isa.R9, uint32(w))
+	f.Block("cols")
+	f.Ldrb(isa.R4, isa.R1, 0)
+	f.Ldr(isa.R5, isa.R2, 4)      // cur[x+1]
+	f.Add(isa.R4, isa.R4, isa.R5) // v
+	f.Movi(isa.R6, 0)             // out
+	f.Cmpi(isa.R4, 128)
+	f.Blt("zero")
+	f.Movi(isa.R6, 255)
+	f.Addi(isa.R0, isa.R0, 1)
+	f.Block("zero")
+	f.Sub(isa.R5, isa.R4, isa.R6) // e
+	emitScaled(f, isa.R2, 8, 7)   // cur[x+2]
+	emitScaled(f, isa.R3, 0, 3)   // next[x]
+	emitScaled(f, isa.R3, 4, 5)   // next[x+1]
+	emitScaled(f, isa.R3, 8, 1)   // next[x+2]
+	f.Addi(isa.R1, isa.R1, 1)
+	f.Addi(isa.R2, isa.R2, 4)
+	f.Addi(isa.R3, isa.R3, 4)
+	f.Subi(isa.R9, isa.R9, 1)
+	f.Cmpi(isa.R9, 0)
+	f.Bgt("cols")
+	// Swap row buffers.
+	f.Mov(isa.R4, isa.R11)
+	f.Mov(isa.R11, isa.R12)
+	f.Mov(isa.R12, isa.R4)
+	f.Subi(isa.R10, isa.R10, 1)
+	f.Cmpi(isa.R10, 0)
+	f.Bgt("rows")
+	f.Halt()
+	addRuntime(b)
+	return b.Build()
+}
+
+// --- tiffmedian --------------------------------------------------
+
+func tiffmedianInput(in Input) []byte { return tiffGray(in, 0x3ed) }
+
+// tiffmedianRef: build a 256-bin histogram, derive 8 quantisation
+// thresholds from the cumulative distribution, then requantise the
+// image and checksum the levels.
+func tiffmedianRef(in Input) uint32 {
+	w, h := tiffDims(in)
+	img := tiffmedianInput(in)
+	var hist [256]uint32
+	for _, p := range img {
+		hist[p]++
+	}
+	total := uint32(w * h)
+	var thr [8]uint32
+	var cum uint32
+	level := 0
+	for v := 0; v < 256 && level < 8; v++ {
+		cum += hist[v]
+		for level < 8 && cum*8 >= total*uint32(level+1) {
+			thr[level] = uint32(v)
+			level++
+		}
+	}
+	for ; level < 8; level++ {
+		thr[level] = 255
+	}
+	var sum uint32
+	for _, p := range img {
+		l := uint32(0)
+		for l < 7 && uint32(p) > thr[l] {
+			l++
+		}
+		sum += l
+	}
+	return sum
+}
+
+func buildTiffmedian(in Input) (*obj.Unit, error) {
+	w, h := tiffDims(in)
+	b := asm.NewBuilder("tiffmedian")
+	addAppShell(b, 0xb5cb, 10)
+	img := b.Data(tiffmedianInput(in))
+	b.Align(4)
+	hist := b.Zeros(256 * 4)
+	thr := b.Zeros(8 * 4)
+
+	f := b.Func("main")
+	f.Call("app_init")
+	f.Call("histogram")
+	f.Call("thresholds")
+	// Requantisation pass (hot).
+	f.Movi(isa.R0, 0)
+	f.Li(isa.R1, img)
+	f.Li(isa.R2, uint32(w*h))
+	f.Li(isa.R6, thr)
+	f.Block("px")
+	f.Ldrb(isa.R3, isa.R1, 0)
+	f.Movi(isa.R4, 0) // level
+	f.Block("lvl")
+	f.Cmpi(isa.R4, 7)
+	f.Bge("done")
+	f.OpI(isa.LSLI, isa.R5, isa.R4, 2)
+	f.Ldrx(isa.R5, isa.R6, isa.R5)
+	f.Cmp(isa.R3, isa.R5)
+	f.Ble("done")
+	f.Addi(isa.R4, isa.R4, 1)
+	f.Jmp("lvl")
+	f.Block("done")
+	f.Add(isa.R0, isa.R0, isa.R4)
+	f.Addi(isa.R1, isa.R1, 1)
+	f.Subi(isa.R2, isa.R2, 1)
+	f.Cmpi(isa.R2, 0)
+	f.Bgt("px")
+	f.Halt()
+
+	// histogram: hot first pass.
+	hg := b.Func("histogram")
+	hg.Li(isa.R1, img)
+	hg.Li(isa.R2, uint32(w*h))
+	hg.Li(isa.R6, hist)
+	hg.Block("loop")
+	hg.Ldrb(isa.R3, isa.R1, 0)
+	hg.OpI(isa.LSLI, isa.R3, isa.R3, 2)
+	hg.Ldrx(isa.R4, isa.R6, isa.R3)
+	hg.Addi(isa.R4, isa.R4, 1)
+	hg.Strx(isa.R4, isa.R6, isa.R3)
+	hg.Addi(isa.R1, isa.R1, 1)
+	hg.Subi(isa.R2, isa.R2, 1)
+	hg.Cmpi(isa.R2, 0)
+	hg.Bgt("loop")
+	hg.Ret()
+
+	// thresholds: cold — walk the cumulative histogram once.
+	th := b.Func("thresholds")
+	th.Li(isa.R1, hist)
+	th.Li(isa.R6, thr)
+	th.Movi(isa.R2, 0)         // v
+	th.Movi(isa.R3, 0)         // cum
+	th.Movi(isa.R4, 0)         // level
+	th.Li(isa.R9, uint32(w*h)) // total
+	th.Block("scan")
+	th.Cmpi(isa.R2, 256)
+	th.Bge("fill")
+	th.Cmpi(isa.R4, 8)
+	th.Bge("fill")
+	th.OpI(isa.LSLI, isa.R5, isa.R2, 2)
+	th.Ldrx(isa.R5, isa.R1, isa.R5)
+	th.Add(isa.R3, isa.R3, isa.R5)
+	th.Block("emit")
+	th.Cmpi(isa.R4, 8)
+	th.Bge("next")
+	// cum*8 >= total*(level+1)?
+	th.OpI(isa.LSLI, isa.R7, isa.R3, 3)
+	th.Addi(isa.R8, isa.R4, 1)
+	th.Mul(isa.R8, isa.R8, isa.R9)
+	th.Cmp(isa.R7, isa.R8)
+	th.Blo("next")
+	th.OpI(isa.LSLI, isa.R8, isa.R4, 2)
+	th.Strx(isa.R2, isa.R6, isa.R8)
+	th.Addi(isa.R4, isa.R4, 1)
+	th.Jmp("emit")
+	th.Block("next")
+	th.Addi(isa.R2, isa.R2, 1)
+	th.Jmp("scan")
+	th.Block("fill")
+	th.Cmpi(isa.R4, 8)
+	th.Bge("out")
+	th.Movi(isa.R5, 255)
+	th.OpI(isa.LSLI, isa.R8, isa.R4, 2)
+	th.Strx(isa.R5, isa.R6, isa.R8)
+	th.Addi(isa.R4, isa.R4, 1)
+	th.Jmp("fill")
+	th.Block("out")
+	th.Ret()
+
+	addRuntime(b)
+	return b.Build()
+}

@@ -1,0 +1,61 @@
+package cache
+
+// DataCache wraps a Cache with conventional read/write-allocate,
+// write-back data-side behaviour. The paper leaves the D-cache
+// untouched; it exists so the whole-processor energy and the ED
+// product include realistic data-side activity.
+type DataCache struct {
+	c *Cache
+}
+
+// NewData builds a data cache.
+func NewData(cfg Config) (*DataCache, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &DataCache{c: c}, nil
+}
+
+// Cache returns the underlying array.
+func (d *DataCache) Cache() *Cache { return d.c }
+
+// AccessResult describes one data access.
+type AccessResult struct {
+	Hit       bool
+	Filled    bool
+	Writeback bool // a dirty victim was written back
+}
+
+func (d *DataCache) access(addr uint32, write bool) AccessResult {
+	c := d.c
+	set, tag := c.Cfg.SetOf(addr), c.Cfg.TagOf(addr)
+	way, hit := c.probeAll(set, tag)
+	res := AccessResult{Hit: hit}
+	if !hit {
+		c.Stats.Misses++
+		way = c.victim(set)
+		res.Writeback = c.fillAt(set, way, tag)
+		if res.Writeback {
+			c.Stats.Writebacks++
+		}
+		c.Stats.NonDesignatedFills++
+		res.Filled = true
+	} else {
+		c.Stats.Hits++
+	}
+	c.touch(set, way)
+	if write {
+		c.sets[set][way].dirty = true
+		c.Stats.DataWrites++
+	} else {
+		c.Stats.DataReads++
+	}
+	return res
+}
+
+// Read performs a load access.
+func (d *DataCache) Read(addr uint32) AccessResult { return d.access(addr, false) }
+
+// Write performs a store access (write-allocate, write-back).
+func (d *DataCache) Write(addr uint32) AccessResult { return d.access(addr, true) }

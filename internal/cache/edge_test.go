@@ -1,0 +1,147 @@
+package cache
+
+import "testing"
+
+func TestFlushInvalidatesEverything(t *testing.T) {
+	e, _ := NewBaseline(Config{SizeBytes: 1 << 10, Ways: 4, LineBytes: 32})
+	for a := uint32(0); a < 1<<10; a += 32 {
+		e.Fetch(a, false)
+	}
+	if _, ok := e.Cache().Contains(0); !ok {
+		t.Fatal("line not resident before flush")
+	}
+	e.Cache().Flush()
+	for a := uint32(0); a < 1<<10; a += 32 {
+		if _, ok := e.Cache().Contains(a); ok {
+			t.Fatalf("line %#x survived the flush", a)
+		}
+	}
+	if e.Cache().Stats.Flushes != 1 {
+		t.Errorf("flush count = %d", e.Cache().Stats.Flushes)
+	}
+	// Refetching works and counts as misses again.
+	pre := e.Cache().Stats.Misses
+	e.Fetch(0, false)
+	if e.Cache().Stats.Misses != pre+1 {
+		t.Error("post-flush fetch did not miss")
+	}
+}
+
+func TestFlushKillsSameLineBufferAndLinks(t *testing.T) {
+	cfg := Config{SizeBytes: 1 << 10, Ways: 4, LineBytes: 32}
+
+	// Way-placement: the line buffer must not serve a flushed line.
+	wp, _ := NewWayPlacement(cfg, WPOracleFunc(func(uint32) bool { return true }))
+	wp.Fetch(0x00, false)
+	wp.Fetch(0x04, false) // same-line path armed
+	wp.Cache().Flush()
+	res := wp.Fetch(0x08, false)
+	if res.Hit {
+		t.Error("same-line buffer served a flushed line")
+	}
+	if !res.Filled {
+		t.Error("post-flush fetch did not refill")
+	}
+
+	// Way-memoization: links to flushed lines must be stale.
+	wm, _ := NewWayMemoization(cfg)
+	wm.Fetch(0x1c, false)
+	wm.Fetch(0x20, false) // seq link written
+	wm.Fetch(0x1c, false)
+	wm.Fetch(0x20, false) // linked
+	if wm.Cache().Stats.LinkedAccesses == 0 {
+		t.Fatal("link never armed")
+	}
+	wm.Cache().Flush()
+	pre := wm.Cache().Stats.LinkedAccesses
+	wm.Fetch(0x1c, false)
+	wm.Fetch(0x20, false)
+	if wm.Cache().Stats.LinkedAccesses != pre {
+		t.Error("a link survived the flush")
+	}
+}
+
+// TestWPAreaLargerThanCacheAliases: when the OS overcommits the area,
+// distinct way-placed lines share a designated slot and evict each
+// other — correct but wasteful, which is why the adaptive policy
+// shrinks the area in that regime.
+func TestWPAreaLargerThanCacheAliases(t *testing.T) {
+	cfg := Config{SizeBytes: 1 << 10, Ways: 4, LineBytes: 32}
+	e, _ := NewWayPlacement(cfg, WPOracleFunc(func(a uint32) bool { return a < 2<<10 }))
+	a, b := uint32(0x000), uint32(0x400) // 1KB apart: same (set, way)
+	if cfg.SetOf(a) != cfg.SetOf(b) || cfg.WayOf(a) != cfg.WayOf(b) {
+		t.Fatal("test addresses do not alias")
+	}
+	e.Fetch(a, false)
+	e.Fetch(b, false) // evicts a from the shared designated way
+	if _, ok := e.Cache().Contains(a); ok {
+		t.Error("aliasing line was not evicted from the designated way")
+	}
+	r := e.Fetch(a, false)
+	if !r.Filled {
+		t.Error("re-fetch of evicted aliasing line did not refill")
+	}
+	// Semantics stay correct throughout: the line now resident is a's.
+	if _, ok := e.Cache().Contains(a); !ok {
+		t.Error("line a not resident after refill")
+	}
+}
+
+// TestWayMemConditionalBranchAlternation: a conditional branch whose
+// taken path crosses lines uses its slot link; the not-taken path
+// crossing sequentially uses the seq link. Alternating directions must
+// not thrash either link.
+func TestWayMemConditionalBranchAlternation(t *testing.T) {
+	cfg := Config{SizeBytes: 1 << 10, Ways: 4, LineBytes: 32}
+	e, _ := NewWayMemoization(cfg)
+	const brAddr = 0x1c   // last slot of line 0
+	const seqTgt = 0x20   // sequential successor (next line)
+	const takenTgt = 0x80 // branch target (different line)
+
+	warm := func(taken bool) {
+		e.Fetch(brAddr, false)
+		if taken {
+			e.Fetch(takenTgt, false)
+		} else {
+			e.Fetch(seqTgt, false)
+		}
+	}
+	// Arm both links.
+	warm(false)
+	warm(true)
+	pre := e.Cache().Stats.TagComparisons
+	// Alternate; both directions should now be linked (0 comparisons
+	// except the fetch OF brAddr itself, which is a cross-line
+	// transfer from the previous target... warm that too).
+	for i := 0; i < 8; i++ {
+		warm(i%2 == 0)
+	}
+	got := e.Cache().Stats.TagComparisons - pre
+	// Transfers back to brAddr from the two targets also become
+	// linked after one round each; allow those two cold searches.
+	if got > uint64(2*cfg.Ways) {
+		t.Errorf("alternating branch cost %d comparisons, want <= %d (links must not thrash)",
+			got, 2*cfg.Ways)
+	}
+}
+
+func TestProbeCountsPerKind(t *testing.T) {
+	cfg := Config{SizeBytes: 1 << 10, Ways: 4, LineBytes: 32}
+	e, _ := NewWayPlacement(cfg, WPOracleFunc(func(a uint32) bool { return a < 512 }))
+	e.Fetch(0x000, false) // hint cold, in area: missed saving, full search, designated fill
+	e.Fetch(0x200, false) // hint now WP but outside: wasted probe + full search, policy fill
+	e.Fetch(0x000, false) // hint non-WP, in area: missed saving again, full search, hit
+	e.Fetch(0x020, false) // hint WP, in area: single probe, designated fill
+	s := e.Cache().Stats
+	if s.FullSearches != 3 || s.SingleSearches != 2 {
+		t.Errorf("searches = %d full / %d single, want 3/2 (one probe was the wasted hint access)",
+			s.FullSearches, s.SingleSearches)
+	}
+	if s.DesignatedFills != 2 || s.NonDesignatedFills != 1 {
+		t.Errorf("fills = %d designated / %d policy, want 2/1",
+			s.DesignatedFills, s.NonDesignatedFills)
+	}
+	if s.HintMissedSaving != 2 || s.HintCorrectWP != 1 || s.HintExtraAccess != 1 {
+		t.Errorf("hint stats = %+v", s)
+	}
+}

@@ -1,0 +1,216 @@
+// Package cfg builds the interprocedural control-flow graph (ICFG)
+// over an object unit and derives the basic-block chains that the
+// way-placement layout pass reorders.
+//
+// This mirrors section 3 of the paper: "First we read in the object
+// files ... constructing an interprocedural control-flow graph (ICFG)
+// where each node is a basic block. ... We then construct chains of
+// basic blocks, linking blocks when they have a predefined ordering
+// that we must respect (i.e. call/return site pairs or blocks that
+// have a fall-through edge between them). Once this is complete, all
+// remaining basic blocks are considered as chains by themselves."
+package cfg
+
+import (
+	"fmt"
+
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+	"wayplace/internal/profile"
+)
+
+// EdgeKind classifies ICFG edges.
+type EdgeKind uint8
+
+// Edge kinds. Fall edges (including call continuations) are layout
+// constraints; Branch/Call/Return edges are free.
+const (
+	EdgeFall   EdgeKind = iota // physical fall-through, must stay adjacent
+	EdgeBranch                 // taken direction of a branch
+	EdgeCall                   // call site -> callee entry
+	EdgeReturn                 // callee return block -> call continuation
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeFall:
+		return "fall"
+	case EdgeBranch:
+		return "branch"
+	case EdgeCall:
+		return "call"
+	case EdgeReturn:
+		return "return"
+	}
+	return fmt.Sprintf("edge(%d)", uint8(k))
+}
+
+// Edge is one directed ICFG edge.
+type Edge struct {
+	To   *Node
+	Kind EdgeKind
+}
+
+// Node is one basic block in the ICFG.
+type Node struct {
+	Block *obj.Block
+	Order int // global original order, used as a deterministic tie-break
+	Succs []Edge
+	Preds []Edge
+}
+
+// Graph is the interprocedural CFG of one unit.
+type Graph struct {
+	Unit  *obj.Unit
+	Nodes []*Node
+	bySym map[string]*Node
+}
+
+// NodeOf returns the node for a block symbol.
+func (g *Graph) NodeOf(sym string) *Node { return g.bySym[sym] }
+
+// Build constructs the ICFG.
+func Build(u *obj.Unit) (*Graph, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Graph{Unit: u, bySym: make(map[string]*Node)}
+	for i, b := range u.Blocks() {
+		n := &Node{Block: b, Order: i}
+		g.Nodes = append(g.Nodes, n)
+		g.bySym[b.Sym] = n
+	}
+	addEdge := func(from *Node, toSym string, kind EdgeKind) error {
+		to := g.bySym[toSym]
+		if to == nil {
+			return fmt.Errorf("cfg: edge from %s to undefined %s", from.Block.Sym, toSym)
+		}
+		from.Succs = append(from.Succs, Edge{To: to, Kind: kind})
+		to.Preds = append(to.Preds, Edge{To: from, Kind: kind})
+		return nil
+	}
+
+	// Collect each function's return blocks for return edges.
+	returns := make(map[string][]*Node)
+	for _, f := range u.Funcs {
+		for _, b := range f.Blocks {
+			last := b.Instrs[len(b.Instrs)-1]
+			if last.Op == isa.RET {
+				returns[f.Name] = append(returns[f.Name], g.bySym[b.Sym])
+			}
+		}
+	}
+
+	for _, n := range g.Nodes {
+		b := n.Block
+		if b.FallSym != "" {
+			if err := addEdge(n, b.FallSym, EdgeFall); err != nil {
+				return nil, err
+			}
+		}
+		if b.BranchSym != "" {
+			kind := EdgeBranch
+			if b.IsCall {
+				kind = EdgeCall
+			}
+			if err := addEdge(n, b.BranchSym, kind); err != nil {
+				return nil, err
+			}
+			if b.IsCall {
+				// Return edges: from every return block of the callee
+				// back to this call's continuation.
+				for _, ret := range returns[b.BranchSym] {
+					if b.FallSym != "" {
+						if err := addEdge(ret, b.FallSym, EdgeReturn); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// Chain is a maximal run of blocks glued by fall-through (and
+// call/return-site) constraints. The layout pass may reorder chains
+// but never the blocks inside one.
+type Chain struct {
+	Nodes []*Node
+}
+
+// Weight returns the chain's dynamic instruction count under the
+// profile: the sum over member blocks of execution count x block size.
+func (c *Chain) Weight(p *profile.Profile) uint64 {
+	var w uint64
+	for _, n := range c.Nodes {
+		w += p.InstrWeight(n.Block)
+	}
+	return w
+}
+
+// Size returns the chain's static size in bytes.
+func (c *Chain) Size() uint32 {
+	var s uint32
+	for _, n := range c.Nodes {
+		s += n.Block.Size()
+	}
+	return s
+}
+
+// Blocks returns the chain's blocks in order.
+func (c *Chain) Blocks() []*obj.Block {
+	out := make([]*obj.Block, len(c.Nodes))
+	for i, n := range c.Nodes {
+		out[i] = n.Block
+	}
+	return out
+}
+
+// First returns the chain's first node.
+func (c *Chain) First() *Node { return c.Nodes[0] }
+
+// Chains partitions the graph into chains. Every block belongs to
+// exactly one chain; a block with no fall-through constraints forms a
+// singleton chain. Chains are returned in original program order of
+// their first block, so the result is deterministic.
+func Chains(g *Graph) []*Chain {
+	// A node is a chain head iff nothing falls through into it.
+	fallIn := make(map[*Node]bool)
+	for _, n := range g.Nodes {
+		for _, e := range n.Succs {
+			if e.Kind == EdgeFall {
+				fallIn[e.To] = true
+			}
+		}
+	}
+	var chains []*Chain
+	seen := make(map[*Node]bool)
+	for _, n := range g.Nodes {
+		if fallIn[n] {
+			continue // interior of some chain
+		}
+		c := &Chain{}
+		for cur := n; cur != nil; {
+			if seen[cur] {
+				// A fall-through cycle would be a malformed unit; the
+				// validator prevents it (FallSym follows textual order),
+				// but guard anyway.
+				break
+			}
+			seen[cur] = true
+			c.Nodes = append(c.Nodes, cur)
+			var next *Node
+			for _, e := range cur.Succs {
+				if e.Kind == EdgeFall {
+					next = e.To
+					break
+				}
+			}
+			cur = next
+		}
+		chains = append(chains, c)
+	}
+	return chains
+}

@@ -1,0 +1,234 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+	"wayplace/internal/profile"
+)
+
+// buildTestUnit builds: main -> {hot loop with call to leaf} -> halt,
+// plus a cold error-handling function never referenced by profile.
+func buildTestUnit(t *testing.T) *obj.Unit {
+	t.Helper()
+	b := asm.NewBuilder("t")
+
+	f := b.Func("main")
+	f.Movi(isa.R4, 100)
+	f.Block("loop")
+	f.Call("leaf")
+	f.Subi(isa.R4, isa.R4, 1)
+	f.Cmpi(isa.R4, 0)
+	f.Bgt("loop")
+	f.Call("cold")
+	f.Halt()
+
+	l := b.Func("leaf")
+	l.Addi(isa.R0, isa.R0, 1)
+	l.Ret()
+
+	c := b.Func("cold")
+	c.Movi(isa.R1, 0)
+	c.Ret()
+
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return u
+}
+
+func TestBuildGraphEdges(t *testing.T) {
+	u := buildTestUnit(t)
+	g, err := Build(u)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(g.Nodes) != len(u.Blocks()) {
+		t.Fatalf("node count %d, want %d", len(g.Nodes), len(u.Blocks()))
+	}
+
+	// Locate the call-to-leaf block: it branches to "leaf" with a call
+	// edge and falls through to its continuation.
+	var callBlk *Node
+	for _, n := range g.Nodes {
+		if n.Block.IsCall && n.Block.BranchSym == "leaf" {
+			callBlk = n
+		}
+	}
+	if callBlk == nil {
+		t.Fatal("no call block for leaf")
+	}
+	kinds := map[EdgeKind]int{}
+	for _, e := range callBlk.Succs {
+		kinds[e.Kind]++
+	}
+	if kinds[EdgeCall] != 1 || kinds[EdgeFall] != 1 {
+		t.Errorf("call block edges = %v, want one call and one fall", kinds)
+	}
+
+	// leaf's return block must have a return edge to each call
+	// continuation (two call sites: loop and cold path... cold calls
+	// "cold", so just one continuation for leaf).
+	leafRet := g.NodeOf("leaf.$1")
+	if leafRet == nil {
+		// leaf is a single block ending in ret: entry block is it.
+		leafRet = g.NodeOf("leaf")
+	}
+	var retEdges int
+	for _, e := range leafRet.Succs {
+		if e.Kind == EdgeReturn {
+			retEdges++
+		}
+	}
+	if retEdges != 1 {
+		t.Errorf("leaf return edges = %d, want 1", retEdges)
+	}
+}
+
+func TestChainsPartition(t *testing.T) {
+	u := buildTestUnit(t)
+	g, err := Build(u)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	chains := Chains(g)
+	seen := make(map[string]int)
+	for _, c := range chains {
+		if len(c.Nodes) == 0 {
+			t.Fatal("empty chain")
+		}
+		for _, n := range c.Nodes {
+			seen[n.Block.Sym]++
+		}
+	}
+	for _, b := range u.Blocks() {
+		if seen[b.Sym] != 1 {
+			t.Errorf("block %s appears in %d chains, want 1", b.Sym, seen[b.Sym])
+		}
+	}
+	// Inside each chain, every non-final block must fall through to
+	// the next one.
+	for _, c := range chains {
+		for i := 0; i < len(c.Nodes)-1; i++ {
+			if c.Nodes[i].Block.FallSym != c.Nodes[i+1].Block.Sym {
+				t.Errorf("chain broken between %s and %s",
+					c.Nodes[i].Block.Sym, c.Nodes[i+1].Block.Sym)
+			}
+		}
+		last := c.Nodes[len(c.Nodes)-1]
+		if last.Block.FallSym != "" {
+			t.Errorf("chain ends at %s which still has a fall-through", last.Block.Sym)
+		}
+	}
+}
+
+func TestChainWeightAndSize(t *testing.T) {
+	u := buildTestUnit(t)
+	g, _ := Build(u)
+	chains := Chains(g)
+	prof := profile.New()
+	prof.Add("main", 1)
+	prof.Add("leaf", 100)
+
+	var leafChain *Chain
+	for _, c := range chains {
+		if c.First().Block.Sym == "leaf" {
+			leafChain = c
+		}
+	}
+	if leafChain == nil {
+		t.Fatal("no chain starting at leaf")
+	}
+	wantW := uint64(100 * leafChain.First().Block.NumInstrs())
+	// leaf is one block (addi; ret).
+	if got := leafChain.Weight(prof); got != wantW {
+		t.Errorf("leaf chain weight = %d, want %d", got, wantW)
+	}
+	if got := leafChain.Size(); got != uint32(leafChain.First().Block.NumInstrs())*isa.InstrBytes {
+		t.Errorf("leaf chain size = %d", got)
+	}
+}
+
+// TestChainsPartitionProperty checks the partition invariant over
+// randomly shaped (but valid) programs.
+func TestChainsPartitionProperty(t *testing.T) {
+	f := func(seed uint16) bool {
+		u := randomUnit(uint64(seed))
+		g, err := Build(u)
+		if err != nil {
+			return false
+		}
+		chains := Chains(g)
+		count := 0
+		seen := make(map[string]bool)
+		for _, c := range chains {
+			for _, n := range c.Nodes {
+				if seen[n.Block.Sym] {
+					return false
+				}
+				seen[n.Block.Sym] = true
+				count++
+			}
+		}
+		return count == len(g.Nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomUnit generates a random valid program: a main plus a few
+// helper functions with random branchy bodies.
+func randomUnit(seed uint64) *obj.Unit {
+	s := seed*2654435761 + 1
+	next := func(n int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(n))
+	}
+	b := asm.NewBuilder("rand")
+	nHelpers := 1 + next(4)
+	names := []string{"h0", "h1", "h2", "h3"}[:nHelpers]
+
+	f := b.Func("main")
+	nBlocks := 1 + next(5)
+	for i := 0; i < nBlocks; i++ {
+		f.Addi(isa.R1, isa.R1, 1)
+		switch next(3) {
+		case 0:
+			f.Call(names[next(nHelpers)])
+		case 1:
+			f.Cmpi(isa.R1, int32(next(10)))
+			// Forward label emitted below.
+		}
+	}
+	f.Halt()
+
+	for _, name := range names {
+		h := b.Func(name)
+		if next(2) == 0 { // loopy helper
+			h.Movi(isa.R2, uint16(1+next(5)))
+			h.Block("loop")
+			h.Subi(isa.R2, isa.R2, 1)
+			h.Cmpi(isa.R2, 0)
+			h.Bgt("loop")
+		} else { // branchy helper
+			h.Cmpi(isa.R0, int32(next(10)))
+			h.Beq("out")
+			h.Addi(isa.R2, isa.R2, 1)
+			h.Block("out")
+			h.Addi(isa.R2, isa.R2, 2)
+		}
+		h.Ret()
+	}
+	u, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return u
+}

@@ -1,0 +1,356 @@
+// Package cpu implements the XScale-like embedded core: a single-
+// issue, in-order machine executing the repository's ARM-like ISA,
+// with an instruction-fetch path that exercises one of the cache
+// package's fetch engines, I/D TLBs and a data cache.
+//
+// The timing model is event-based: every instruction costs one base
+// cycle plus stalls for cache misses, TLB walks, multiplies, taken
+// branches and way-hint mispredictions. This captures exactly the
+// effects the paper's evaluation depends on — the schemes differ only
+// in tag-check energy and the (rare) hint-mispredict cycle, so, as in
+// the paper, performance is essentially identical across them.
+package cpu
+
+import (
+	"fmt"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/isa"
+	"wayplace/internal/mem"
+	"wayplace/internal/obj"
+	"wayplace/internal/tlb"
+)
+
+// Timing holds the core's stall model.
+type Timing struct {
+	BranchTakenPenalty int // pipeline refill after a taken branch
+	MulExtraCycles     int // extra result latency of MUL/MLA
+	TLBWalkPenalty     int // page-table walk on a TLB miss
+	HintExtraPenalty   int // second I-cache access after a wrong way hint
+}
+
+// DefaultTiming mirrors the paper's 7/8-stage in-order XScale pipeline.
+func DefaultTiming() Timing {
+	return Timing{
+		BranchTakenPenalty: 2,
+		MulExtraCycles:     2,
+		TLBWalkPenalty:     20,
+		HintExtraPenalty:   1,
+	}
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Instrs uint64
+	Cycles uint64
+	// InstrCounts is the per-instruction execution count vector
+	// (indexed like prog.Code), from which profiles are built.
+	InstrCounts []uint64
+}
+
+// CPI returns cycles per instruction.
+func (r *Result) CPI() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instrs)
+}
+
+// CPU is one simulated core instance. IFetch, ITLB, DCache and DTLB
+// are optional: with all nil the CPU is a fast functional interpreter
+// (used for profiling runs on the training input).
+type CPU struct {
+	Prog   *obj.Program
+	Mem    *mem.Memory
+	Timing Timing
+
+	IFetch cache.FetchEngine
+	ITLB   *tlb.TLB
+	DCache *cache.DataCache
+	DTLB   *tlb.TLB
+
+	Regs   [isa.NumRegs]uint32
+	Flags  isa.Flags
+	PC     uint32
+	Halted bool
+
+	Cycles uint64
+	Instrs uint64
+	counts []uint64
+
+	// lastIndirect records that the previously executed instruction
+	// redirected control through a register (RET), so the next fetch
+	// target was not statically known — way-memoization cares.
+	lastIndirect bool
+}
+
+// StackTop is where SP starts; the region below it backs stack frames.
+const StackTop = 0x7fff_f000
+
+// New builds a CPU over a linked program and memory image; the memory
+// is populated with the program's data segment and the architectural
+// state is reset.
+func New(p *obj.Program, m *mem.Memory) *CPU {
+	c := &CPU{Prog: p, Mem: m, Timing: DefaultTiming()}
+	m.LoadImage(p.DataBase, p.Data)
+	c.Reset()
+	return c
+}
+
+// Reset re-initialises architectural state (but not memory or caches).
+func (c *CPU) Reset() {
+	c.Regs = [isa.NumRegs]uint32{}
+	c.Regs[isa.SP] = StackTop
+	c.Flags = isa.Flags{}
+	c.PC = c.Prog.Entry
+	c.Halted = false
+	c.Cycles = 0
+	c.Instrs = 0
+	c.counts = make([]uint64, len(c.Prog.Code))
+}
+
+// Fault is a simulated machine fault (bad PC, misalignment, ...).
+type Fault struct {
+	PC     uint32
+	Instr  isa.Instr
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("cpu: fault at pc=%#x (%v): %s", f.PC, f.Instr, f.Reason)
+}
+
+func (c *CPU) fault(i isa.Instr, format string, args ...any) error {
+	return &Fault{PC: c.PC, Instr: i, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Run executes until HALT or until maxInstrs instructions have
+// retired, whichever comes first. Exceeding the budget is an error:
+// benchmark programs are expected to terminate.
+func (c *CPU) Run(maxInstrs uint64) (*Result, error) {
+	for !c.Halted {
+		if c.Instrs >= maxInstrs {
+			return nil, fmt.Errorf("cpu: instruction budget %d exhausted at pc=%#x", maxInstrs, c.PC)
+		}
+		if err := c.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Instrs: c.Instrs, Cycles: c.Cycles, InstrCounts: c.counts}, nil
+}
+
+// RunInstrs executes at most budget further instructions, stopping
+// early at HALT. It returns the number executed. Callers use it to
+// interleave simulation with environment changes (e.g. the OS
+// resizing the way-placement area mid-run).
+func (c *CPU) RunInstrs(budget uint64) (uint64, error) {
+	start := c.Instrs
+	for !c.Halted && c.Instrs-start < budget {
+		if err := c.Step(); err != nil {
+			return c.Instrs - start, err
+		}
+	}
+	return c.Instrs - start, nil
+}
+
+// InstrCounts exposes the per-instruction execution counters
+// accumulated so far.
+func (c *CPU) InstrCounts() []uint64 { return c.counts }
+
+// Step executes a single instruction.
+func (c *CPU) Step() error {
+	idx, ok := c.Prog.IndexOf(c.PC)
+	if !ok {
+		return c.fault(isa.Instr{}, "instruction fetch outside image")
+	}
+	in := c.Prog.Code[idx]
+	c.counts[idx]++
+	c.Instrs++
+
+	stall := 0
+
+	// Instruction-side memory system.
+	if c.ITLB != nil {
+		if miss, _ := c.ITLB.Lookup(c.PC); miss {
+			stall += c.Timing.TLBWalkPenalty
+		}
+	}
+	if c.IFetch != nil {
+		fr := c.IFetch.Fetch(c.PC, c.lastIndirect)
+		if fr.Filled {
+			stall += c.Mem.ReadLine(c.PC, c.IFetch.Cache().Cfg.LineBytes)
+		}
+		if fr.ExtraAccess {
+			stall += c.Timing.HintExtraPenalty
+		}
+	}
+
+	nextPC := c.PC + isa.InstrBytes
+	indirect := false
+	r := &c.Regs
+
+	switch in.Op {
+	case isa.ADD:
+		r[in.Rd] = r[in.Rn] + r[in.Rm]
+	case isa.SUB:
+		r[in.Rd] = r[in.Rn] - r[in.Rm]
+	case isa.RSB:
+		r[in.Rd] = r[in.Rm] - r[in.Rn]
+	case isa.MUL:
+		r[in.Rd] = r[in.Rn] * r[in.Rm]
+		stall += c.Timing.MulExtraCycles
+	case isa.MLA:
+		r[in.Rd] = r[in.Rn]*r[in.Rm] + r[in.Rd]
+		stall += c.Timing.MulExtraCycles
+	case isa.AND:
+		r[in.Rd] = r[in.Rn] & r[in.Rm]
+	case isa.ORR:
+		r[in.Rd] = r[in.Rn] | r[in.Rm]
+	case isa.EOR:
+		r[in.Rd] = r[in.Rn] ^ r[in.Rm]
+	case isa.BIC:
+		r[in.Rd] = r[in.Rn] &^ r[in.Rm]
+	case isa.LSL:
+		r[in.Rd] = r[in.Rn] << (r[in.Rm] & 31)
+	case isa.LSR:
+		r[in.Rd] = r[in.Rn] >> (r[in.Rm] & 31)
+	case isa.ASR:
+		r[in.Rd] = uint32(int32(r[in.Rn]) >> (r[in.Rm] & 31))
+	case isa.ROR:
+		s := r[in.Rm] & 31
+		r[in.Rd] = r[in.Rn]>>s | r[in.Rn]<<(32-s)
+
+	case isa.ADDI:
+		r[in.Rd] = r[in.Rn] + uint32(in.Imm)
+	case isa.SUBI:
+		r[in.Rd] = r[in.Rn] - uint32(in.Imm)
+	case isa.ANDI:
+		r[in.Rd] = r[in.Rn] & uint32(in.Imm)
+	case isa.ORRI:
+		r[in.Rd] = r[in.Rn] | uint32(in.Imm)
+	case isa.EORI:
+		r[in.Rd] = r[in.Rn] ^ uint32(in.Imm)
+	case isa.LSLI:
+		r[in.Rd] = r[in.Rn] << (uint32(in.Imm) & 31)
+	case isa.LSRI:
+		r[in.Rd] = r[in.Rn] >> (uint32(in.Imm) & 31)
+	case isa.ASRI:
+		r[in.Rd] = uint32(int32(r[in.Rn]) >> (uint32(in.Imm) & 31))
+
+	case isa.MOV:
+		r[in.Rd] = r[in.Rm]
+	case isa.MVN:
+		r[in.Rd] = ^r[in.Rm]
+	case isa.MOVW:
+		r[in.Rd] = uint32(in.Imm) & 0xffff
+	case isa.MOVT:
+		r[in.Rd] = r[in.Rd]&0xffff | uint32(in.Imm)<<16
+
+	case isa.CMP:
+		c.Flags = subFlags(r[in.Rn], r[in.Rm])
+	case isa.CMPI:
+		c.Flags = subFlags(r[in.Rn], uint32(in.Imm))
+	case isa.TST:
+		v := r[in.Rn] & r[in.Rm]
+		c.Flags = isa.Flags{N: int32(v) < 0, Z: v == 0}
+
+	case isa.LDR, isa.LDRB, isa.LDRX:
+		addr := r[in.Rn]
+		if in.Op == isa.LDRX {
+			addr += r[in.Rm]
+		} else {
+			addr += uint32(in.Imm)
+		}
+		if in.Op != isa.LDRB && addr%4 != 0 {
+			return c.fault(in, "misaligned load at %#x", addr)
+		}
+		stall += c.dataAccess(addr, false)
+		if in.Op == isa.LDRB {
+			r[in.Rd] = uint32(c.Mem.Read8(addr))
+		} else {
+			r[in.Rd] = c.Mem.Read32(addr)
+		}
+
+	case isa.STR, isa.STRB, isa.STRX:
+		addr := r[in.Rn]
+		if in.Op == isa.STRX {
+			addr += r[in.Rm]
+		} else {
+			addr += uint32(in.Imm)
+		}
+		if in.Op != isa.STRB && addr%4 != 0 {
+			return c.fault(in, "misaligned store at %#x", addr)
+		}
+		stall += c.dataAccess(addr, true)
+		if in.Op == isa.STRB {
+			c.Mem.Write8(addr, byte(r[in.Rd]))
+		} else {
+			c.Mem.Write32(addr, r[in.Rd])
+		}
+
+	case isa.B:
+		if in.Cond.Eval(c.Flags) {
+			nextPC = uint32(int64(c.PC) + isa.InstrBytes + int64(in.Imm)*isa.InstrBytes)
+			stall += c.Timing.BranchTakenPenalty
+		}
+	case isa.BL:
+		r[isa.LR] = c.PC + isa.InstrBytes
+		nextPC = uint32(int64(c.PC) + isa.InstrBytes + int64(in.Imm)*isa.InstrBytes)
+		stall += c.Timing.BranchTakenPenalty
+	case isa.RET:
+		nextPC = r[isa.LR]
+		stall += c.Timing.BranchTakenPenalty
+		indirect = true
+
+	case isa.NOP:
+	case isa.HALT:
+		c.Halted = true
+
+	default:
+		return c.fault(in, "unimplemented operation")
+	}
+
+	c.PC = nextPC
+	c.lastIndirect = indirect
+	c.Cycles += uint64(1 + stall)
+	return nil
+}
+
+// dataAccess drives the D-TLB and D-cache for a load or store and
+// returns the stall cycles.
+func (c *CPU) dataAccess(addr uint32, write bool) int {
+	stall := 0
+	if c.DTLB != nil {
+		if miss, _ := c.DTLB.Lookup(addr); miss {
+			stall += c.Timing.TLBWalkPenalty
+		}
+	}
+	if c.DCache != nil {
+		var res cache.AccessResult
+		if write {
+			res = c.DCache.Write(addr)
+		} else {
+			res = c.DCache.Read(addr)
+		}
+		line := c.DCache.Cache().Cfg.LineBytes
+		if res.Filled {
+			stall += c.Mem.ReadLine(addr, line)
+		}
+		if res.Writeback {
+			stall += c.Mem.WriteBack(addr, line)
+		}
+	}
+	return stall
+}
+
+// subFlags computes the NZCV flags of a-b, ARM style (C is the NOT of
+// the borrow).
+func subFlags(a, b uint32) isa.Flags {
+	d := a - b
+	return isa.Flags{
+		N: int32(d) < 0,
+		Z: d == 0,
+		C: a >= b,
+		V: (a^b)&(a^d)&0x8000_0000 != 0,
+	}
+}

@@ -1,0 +1,501 @@
+package cpu
+
+import (
+	"bytes"
+	"testing"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/cache"
+	"wayplace/internal/isa"
+	"wayplace/internal/mem"
+	"wayplace/internal/obj"
+	"wayplace/internal/tlb"
+)
+
+func link(t *testing.T, b *asm.Builder) *obj.Program {
+	t.Helper()
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := obj.Link(u, obj.OriginalOrder(u), 0x1_0000)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *obj.Program) *CPU {
+	t.Helper()
+	c := New(p, mem.New(mem.DefaultConfig()))
+	if _, err := c.Run(1_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c
+}
+
+func TestALUOperations(t *testing.T) {
+	b := asm.NewBuilder("alu")
+	f := b.Func("main")
+	f.Movi(isa.R1, 100)
+	f.Movi(isa.R2, 7)
+	f.Add(isa.R3, isa.R1, isa.R2)           // 107
+	f.Sub(isa.R4, isa.R1, isa.R2)           // 93
+	f.Op3(isa.RSB, isa.R5, isa.R2, isa.R1)  // 100-7=93
+	f.Mul(isa.R6, isa.R1, isa.R2)           // 700
+	f.Op3(isa.AND, isa.R7, isa.R1, isa.R2)  // 100&7=4
+	f.Op3(isa.ORR, isa.R8, isa.R1, isa.R2)  // 100|7=103
+	f.Op3(isa.EOR, isa.R9, isa.R1, isa.R2)  // 100^7=99
+	f.Op3(isa.BIC, isa.R10, isa.R1, isa.R2) // 100&^7=96
+	f.Halt()
+	c := run(t, link(t, b))
+	want := map[isa.Reg]uint32{
+		isa.R3: 107, isa.R4: 93, isa.R5: 93, isa.R6: 700,
+		isa.R7: 4, isa.R8: 103, isa.R9: 99, isa.R10: 96,
+	}
+	for reg, v := range want {
+		if c.Regs[reg] != v {
+			t.Errorf("%v = %d, want %d", reg, c.Regs[reg], v)
+		}
+	}
+}
+
+func TestShiftsAndMoves(t *testing.T) {
+	b := asm.NewBuilder("sh")
+	f := b.Func("main")
+	f.Movi(isa.R1, 0x00f0)
+	f.Movi(isa.R2, 4)
+	f.Op3(isa.LSL, isa.R3, isa.R1, isa.R2) // 0xf00
+	f.Op3(isa.LSR, isa.R4, isa.R1, isa.R2) // 0xf
+	f.Li(isa.R5, 0x8000_0000)
+	f.OpI(isa.ASRI, isa.R6, isa.R5, 31) // 0xffffffff
+	f.Op3(isa.ROR, isa.R7, isa.R1, isa.R2)
+	f.Mov(isa.R8, isa.R3)
+	f.Mvn(isa.R9, isa.R1)
+	f.Halt()
+	c := run(t, link(t, b))
+	if c.Regs[isa.R3] != 0xf00 || c.Regs[isa.R4] != 0xf {
+		t.Errorf("shifts: %#x %#x", c.Regs[isa.R3], c.Regs[isa.R4])
+	}
+	if c.Regs[isa.R6] != 0xffff_ffff {
+		t.Errorf("asr: %#x", c.Regs[isa.R6])
+	}
+	if want := uint32(0x0000_000f); c.Regs[isa.R7] != want {
+		t.Errorf("ror: %#x, want %#x", c.Regs[isa.R7], want)
+	}
+	if c.Regs[isa.R8] != 0xf00 {
+		t.Errorf("mov: %#x", c.Regs[isa.R8])
+	}
+	if c.Regs[isa.R9] != ^uint32(0x00f0) {
+		t.Errorf("mvn: %#x", c.Regs[isa.R9])
+	}
+}
+
+func TestLoadsAndStores(t *testing.T) {
+	b := asm.NewBuilder("mem")
+	tab := b.Words(0x11111111, 0x22222222)
+	buf := b.Zeros(16)
+	f := b.Func("main")
+	f.Li(isa.R1, tab)
+	f.Ldr(isa.R2, isa.R1, 0)
+	f.Ldr(isa.R3, isa.R1, 4)
+	f.Li(isa.R4, buf)
+	f.Str(isa.R2, isa.R4, 0)
+	f.Movi(isa.R5, 4)
+	f.Strx(isa.R3, isa.R4, isa.R5)
+	f.Ldrx(isa.R6, isa.R4, isa.R5)
+	f.Movi(isa.R7, 0xAB)
+	f.Strb(isa.R7, isa.R4, 8)
+	f.Ldrb(isa.R8, isa.R4, 8)
+	f.Halt()
+	c := run(t, link(t, b))
+	if c.Regs[isa.R2] != 0x11111111 || c.Regs[isa.R3] != 0x22222222 {
+		t.Errorf("loads: %#x %#x", c.Regs[isa.R2], c.Regs[isa.R3])
+	}
+	if c.Regs[isa.R6] != 0x22222222 {
+		t.Errorf("ldrx after strx: %#x", c.Regs[isa.R6])
+	}
+	if c.Regs[isa.R8] != 0xAB {
+		t.Errorf("byte round trip: %#x", c.Regs[isa.R8])
+	}
+	if got := c.Mem.Read32(buf); got != 0x11111111 {
+		t.Errorf("memory at buf: %#x", got)
+	}
+}
+
+func TestLoopAndBranches(t *testing.T) {
+	// Sum 1..10 with a bottom-test loop.
+	b := asm.NewBuilder("loop")
+	f := b.Func("main")
+	f.Movi(isa.R1, 10)
+	f.Movi(isa.R0, 0)
+	f.Block("loop")
+	f.Add(isa.R0, isa.R0, isa.R1)
+	f.Subi(isa.R1, isa.R1, 1)
+	f.Cmpi(isa.R1, 0)
+	f.Bgt("loop")
+	f.Halt()
+	c := run(t, link(t, b))
+	if c.Regs[isa.R0] != 55 {
+		t.Errorf("sum = %d, want 55", c.Regs[isa.R0])
+	}
+}
+
+func TestCallsAndReturnsWithLRSave(t *testing.T) {
+	b := asm.NewBuilder("call")
+	f := b.Func("main")
+	f.Movi(isa.R0, 5)
+	f.Call("double")
+	f.Call("double")
+	f.Halt()
+
+	// Non-leaf function saving LR on the stack.
+	d := b.Func("double")
+	d.Subi(isa.SP, isa.SP, 4)
+	d.Str(isa.LR, isa.SP, 0)
+	d.Call("addself")
+	d.Ldr(isa.LR, isa.SP, 0)
+	d.Addi(isa.SP, isa.SP, 4)
+	d.Ret()
+
+	a := b.Func("addself")
+	a.Add(isa.R0, isa.R0, isa.R0)
+	a.Ret()
+
+	c := run(t, link(t, b))
+	if c.Regs[isa.R0] != 20 {
+		t.Errorf("R0 = %d, want 20", c.Regs[isa.R0])
+	}
+	if c.Regs[isa.SP] != StackTop {
+		t.Errorf("SP = %#x, want restored %#x", c.Regs[isa.SP], StackTop)
+	}
+}
+
+func TestConditionFlagsSigned(t *testing.T) {
+	b := asm.NewBuilder("cc")
+	f := b.Func("main")
+	f.Li(isa.R1, 0xffff_fffb) // -5
+	f.Cmpi(isa.R1, 3)         // -5 < 3 signed
+	f.Movi(isa.R2, 0)
+	f.Blt("neg")
+	f.Movi(isa.R2, 1) // wrong path
+	f.Block("neg")
+	f.Halt()
+	c := run(t, link(t, b))
+	if c.Regs[isa.R2] != 0 {
+		t.Error("signed comparison took the wrong path")
+	}
+}
+
+func TestFaults(t *testing.T) {
+	t.Run("misaligned load", func(t *testing.T) {
+		b := asm.NewBuilder("f")
+		f := b.Func("main")
+		f.Movi(isa.R1, 2)
+		f.Ldr(isa.R0, isa.R1, 0)
+		f.Halt()
+		c := New(link(t, b), mem.New(mem.DefaultConfig()))
+		if _, err := c.Run(100); err == nil {
+			t.Error("misaligned load did not fault")
+		}
+	})
+	t.Run("runaway", func(t *testing.T) {
+		b := asm.NewBuilder("f")
+		f := b.Func("main")
+		f.Block("spin")
+		f.Nop()
+		f.Jmp("spin")
+		c := New(link(t, b), mem.New(mem.DefaultConfig()))
+		if _, err := c.Run(1000); err == nil {
+			t.Error("infinite loop did not exhaust the budget")
+		}
+	})
+	t.Run("fetch outside image", func(t *testing.T) {
+		b := asm.NewBuilder("f")
+		f := b.Func("main")
+		f.Movi(isa.LR, 0) // return to address 0: outside image
+		f.Ret()
+		c := New(link(t, b), mem.New(mem.DefaultConfig()))
+		if _, err := c.Run(100); err == nil {
+			t.Error("wild fetch did not fault")
+		}
+	})
+}
+
+// buildWorkload returns a program with loops, calls and memory traffic
+// whose result in R0 is input-dependent — used for the equivalence and
+// integration tests.
+func buildWorkload(t *testing.T) *obj.Program {
+	t.Helper()
+	b := asm.NewBuilder("wl")
+	data := b.Zeros(256)
+
+	f := b.Func("main")
+	f.Li(isa.R4, data)
+	f.Movi(isa.R5, 64) // iterations
+	f.Movi(isa.R0, 0)
+	f.Block("loop")
+	f.Mov(isa.R1, isa.R5)
+	f.Call("mix")
+	f.Strx(isa.R0, isa.R4, isa.R6)
+	f.Addi(isa.R6, isa.R6, 4)
+	f.OpI(isa.ANDI, isa.R6, isa.R6, 0xfc)
+	f.Subi(isa.R5, isa.R5, 1)
+	f.Cmpi(isa.R5, 0)
+	f.Bgt("loop")
+	f.Halt()
+
+	m := b.Func("mix")
+	m.Mul(isa.R2, isa.R1, isa.R1)
+	m.Add(isa.R0, isa.R0, isa.R2)
+	m.OpI(isa.EORI, isa.R0, isa.R0, 0x55)
+	m.Cmpi(isa.R0, 0)
+	m.Bge("skip")
+	m.OpI(isa.ORRI, isa.R0, isa.R0, 1)
+	m.Block("skip")
+	m.Ret()
+
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := obj.Link(u, obj.OriginalOrder(u), 0x1_0000)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	return p
+}
+
+func attach(c *CPU, engine cache.FetchEngine, wpSize uint32) {
+	icfg := tlb.Config{Entries: 32, PageBytes: 1 << 10}
+	it := tlb.MustNew(icfg)
+	if wpSize > 0 {
+		if err := it.SetWPArea(c.Prog.Base, wpSize); err != nil {
+			panic(err)
+		}
+	}
+	c.IFetch = engine
+	c.ITLB = it
+	dt := tlb.MustNew(icfg)
+	c.DTLB = dt
+	dc, err := cache.NewData(cache.Config{SizeBytes: 32 << 10, Ways: 32, LineBytes: 32})
+	if err != nil {
+		panic(err)
+	}
+	c.DCache = dc
+}
+
+// TestSchemeArchitecturalEquivalence: the three fetch schemes must not
+// change program semantics — same final registers, same instruction
+// count. Only cycles and cache events may differ.
+func TestSchemeArchitecturalEquivalence(t *testing.T) {
+	cfg := cache.Config{SizeBytes: 1 << 10, Ways: 8, LineBytes: 32}
+	prog := buildWorkload(t)
+
+	type outcome struct {
+		r0, r6 uint32
+		instrs uint64
+	}
+	var outs []outcome
+	names := []string{"functional", "baseline", "wayplace", "waymem"}
+	for _, name := range names {
+		c := New(prog, mem.New(mem.DefaultConfig()))
+		switch name {
+		case "functional":
+		case "baseline":
+			e, _ := cache.NewBaseline(cfg)
+			attach(c, e, 0)
+		case "wayplace":
+			it := tlb.MustNew(tlb.Config{Entries: 32, PageBytes: 1 << 10})
+			if err := it.SetWPArea(prog.Base, 1<<10); err != nil {
+				t.Fatal(err)
+			}
+			e, _ := cache.NewWayPlacement(cfg, it)
+			attach(c, e, 1<<10)
+		case "waymem":
+			e, _ := cache.NewWayMemoization(cfg)
+			attach(c, e, 0)
+		}
+		res, err := c.Run(1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		outs = append(outs, outcome{c.Regs[isa.R0], c.Regs[isa.R6], res.Instrs})
+	}
+	for i := 1; i < len(outs); i++ {
+		if outs[i] != outs[0] {
+			t.Errorf("%s diverged: %+v vs %+v", names[i], outs[i], outs[0])
+		}
+	}
+}
+
+func TestTimingAccountsForStalls(t *testing.T) {
+	prog := buildWorkload(t)
+
+	// Functional run: base cycles.
+	c0 := New(prog, mem.New(mem.DefaultConfig()))
+	r0, err := c0.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cached run must cost more cycles (misses, TLB walks).
+	c1 := New(prog, mem.New(mem.DefaultConfig()))
+	e, _ := cache.NewBaseline(cache.Config{SizeBytes: 1 << 10, Ways: 8, LineBytes: 32})
+	attach(c1, e, 0)
+	r1, err := c1.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cycles <= r0.Cycles {
+		t.Errorf("cached run %d cycles not above functional %d", r1.Cycles, r0.Cycles)
+	}
+	if r1.Instrs != r0.Instrs {
+		t.Errorf("instruction counts differ: %d vs %d", r1.Instrs, r0.Instrs)
+	}
+	if cpi := r1.CPI(); cpi < 1.0 {
+		t.Errorf("CPI = %f < 1", cpi)
+	}
+}
+
+func TestInstrCountsFeedProfiles(t *testing.T) {
+	prog := buildWorkload(t)
+	c := New(prog, mem.New(mem.DefaultConfig()))
+	res, err := c.Run(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, n := range res.InstrCounts {
+		total += n
+	}
+	if total != res.Instrs {
+		t.Errorf("per-instruction counts sum to %d, want %d", total, res.Instrs)
+	}
+	// The loop head executes 64 times.
+	loopAddr, ok := prog.AddrOf("main.loop")
+	if !ok {
+		t.Fatal("no main.loop symbol")
+	}
+	li, _ := prog.IndexOf(loopAddr)
+	if res.InstrCounts[li] != 64 {
+		t.Errorf("loop head count = %d, want 64", res.InstrCounts[li])
+	}
+}
+
+// TestTimingAccountingExact verifies the stall model cycle by cycle on
+// a program whose event sequence is fully known.
+func TestTimingAccountingExact(t *testing.T) {
+	b := asm.NewBuilder("tm")
+	f := b.Func("main")
+	f.Movi(isa.R1, 2)             // 1 cycle
+	f.Movi(isa.R2, 3)             // 1
+	f.Mul(isa.R3, isa.R1, isa.R2) // 1 + MulExtraCycles
+	f.Cmpi(isa.R3, 6)             // 1
+	f.Beq("skip")                 // taken: 1 + BranchTakenPenalty
+	f.Nop()                       // not executed
+	f.Block("skip")
+	f.Halt() // 1
+	p := link(t, b)
+	c := New(p, mem.New(mem.DefaultConfig()))
+	res, err := c.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := DefaultTiming()
+	want := uint64(5 + 1 + tm.MulExtraCycles + tm.BranchTakenPenalty)
+	if res.Cycles != want {
+		t.Errorf("cycles = %d, want %d", res.Cycles, want)
+	}
+	if res.Instrs != 6 {
+		t.Errorf("instrs = %d, want 6 (nop skipped)", res.Instrs)
+	}
+}
+
+// TestTimingMissAndTLBStalls verifies that I-cache fills and TLB walks
+// charge exactly the configured penalties.
+func TestTimingMissAndTLBStalls(t *testing.T) {
+	b := asm.NewBuilder("tm2")
+	f := b.Func("main")
+	f.Nop()
+	f.Halt()
+	p := link(t, b)
+
+	// Functional baseline: 2 cycles.
+	c0 := New(p, mem.New(mem.DefaultConfig()))
+	r0, err := c0.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Cycles != 2 {
+		t.Fatalf("functional cycles = %d, want 2", r0.Cycles)
+	}
+
+	// With a cold I-cache and I-TLB: one line fill (both instructions
+	// share a line) and one TLB walk.
+	m := mem.New(mem.DefaultConfig())
+	c1 := New(p, m)
+	e, err := cache.NewBaseline(cache.Config{SizeBytes: 1 << 10, Ways: 4, LineBytes: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.IFetch = e
+	c1.ITLB = tlb.MustNew(tlb.Config{Entries: 32, PageBytes: 1 << 10})
+	r1, err := c1.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := DefaultTiming()
+	fill := uint64(m.Config.LineFillCycles(32))
+	want := 2 + fill + uint64(tm.TLBWalkPenalty)
+	if r1.Cycles != want {
+		t.Errorf("cycles = %d, want %d (2 base + %d fill + %d walk)",
+			r1.Cycles, want, fill, tm.TLBWalkPenalty)
+	}
+}
+
+// TestLoadedImageRunsIdentically: a program serialised with WriteImage
+// and reloaded must execute exactly like the original.
+func TestLoadedImageRunsIdentically(t *testing.T) {
+	b := asm.NewBuilder("img")
+	data := b.Words(11, 22, 33, 44)
+	f := b.Func("main")
+	f.Li(isa.R1, data)
+	f.Movi(isa.R2, 4)
+	f.Movi(isa.R0, 0)
+	f.Block("loop")
+	f.Ldr(isa.R3, isa.R1, 0)
+	f.Add(isa.R0, isa.R0, isa.R3)
+	f.Addi(isa.R1, isa.R1, 4)
+	f.Subi(isa.R2, isa.R2, 1)
+	f.Cmpi(isa.R2, 0)
+	f.Bgt("loop")
+	f.Halt()
+	p := link(t, b)
+
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatalf("WriteImage: %v", err)
+	}
+	q, err := obj.ReadImage(&buf)
+	if err != nil {
+		t.Fatalf("ReadImage: %v", err)
+	}
+
+	c1 := New(p, mem.New(mem.DefaultConfig()))
+	r1, err := c1.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := New(q, mem.New(mem.DefaultConfig()))
+	r2, err := c2.Run(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Regs != c2.Regs || r1.Instrs != r2.Instrs || r1.Cycles != r2.Cycles {
+		t.Errorf("loaded image diverged: regs %v vs %v", c2.Regs, c1.Regs)
+	}
+	if c1.Regs[isa.R0] != 110 {
+		t.Errorf("checksum = %d, want 110", c1.Regs[isa.R0])
+	}
+}

@@ -1,0 +1,232 @@
+// Package energy converts the event counts collected by the cache,
+// TLB and CPU models into energy figures and the energy-delay (ED)
+// product — the two metrics the paper reports.
+//
+// The model is an analytical CAM-cache model in the CACTI tradition,
+// specialised to the XScale organisation the paper targets: each set
+// is a fully-associative CAM sub-bank holding all W ways, searched in
+// one go; the data array row of the matching way is then read. Only
+// one sub-bank is active per access, so per-access energy depends on
+// the associativity (rows per sub-bank) and the tag width, and only
+// weakly on the number of sets. All constants are in arbitrary energy
+// units — every result the repository reports is normalised to the
+// baseline, so only ratios matter. See params.go for the derivations.
+package energy
+
+import (
+	"fmt"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/tlb"
+)
+
+// ArrayStyle selects the cache's physical organisation.
+type ArrayStyle uint8
+
+// The two organisations of section 4.2: the XScale's CAM-tagged
+// sub-banked array (the default), and a conventional SRAM ("RAM")
+// set-associative array, which reads the tags *and the data* of all W
+// ways in parallel and selects late — the paper notes its scheme
+// "could also easily be applied to a standard RAM cache", where it
+// saves data-array energy too.
+const (
+	CAMTag ArrayStyle = iota
+	RAMTag
+)
+
+// String names the array style.
+func (a ArrayStyle) String() string {
+	if a == RAMTag {
+		return "ram-tag"
+	}
+	return "cam-tag"
+}
+
+// Scheme identifies the instruction-fetch discipline, which decides
+// whether the data array carries way-memoization links.
+type Scheme uint8
+
+// The three schemes of the evaluation.
+const (
+	Baseline Scheme = iota
+	WayPlacement
+	WayMemoization
+)
+
+// String names the scheme as in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case WayPlacement:
+		return "wayplace"
+	case WayMemoization:
+		return "waymem"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// CacheEnergies holds the per-event energies of one cache geometry.
+type CacheEnergies struct {
+	TagPerWay float64 // one CAM way searched: match-line precharge + compare
+	DataRead  float64 // one word read from the matched way
+	DataWrite float64 // one word written (D-cache stores)
+	LineFill  float64 // whole-line write + tag write
+	LinkWrite float64 // way-memoization link update (small array write)
+	LinkMult  float64 // data-array widening factor when links are present
+}
+
+// EnergiesFor derives per-event energies for a CAM-tag cache
+// geometry. withLinks widens the data array by the link overhead
+// (way-memoization stores links in the data side — the 21% figure of
+// section 5 for a 32-way cache with 32-byte lines).
+func EnergiesFor(p Params, cfg cache.Config, withLinks bool) CacheEnergies {
+	return EnergiesForStyle(p, cfg, withLinks, CAMTag)
+}
+
+// EnergiesForStyle is EnergiesFor with an explicit array style. For
+// RAMTag the per-way tag cost is an SRAM read instead of a CAM
+// search; the data-side difference (all ways read in parallel) is an
+// access-pattern property and is charged by Compute.
+func EnergiesForStyle(p Params, cfg cache.Config, withLinks bool, style ArrayStyle) CacheEnergies {
+	w := float64(cfg.Ways)
+	tagBits := float64(cfg.TagBits())
+	tagPerWay := p.CAMSearchPerBit * tagBits
+	if style == RAMTag {
+		tagPerWay = p.RAMTagBitRead * tagBits
+	}
+	e := CacheEnergies{
+		TagPerWay: tagPerWay,
+		DataRead:  32 * (p.DataBitFixed + p.DataBitPerWay*w),
+		LinkMult:  1,
+	}
+	e.DataWrite = e.DataRead * p.WriteFactor
+	lineBits := float64(cfg.LineBytes * 8)
+	e.LineFill = lineBits*(p.DataBitFixed+p.DataBitPerWay*w)*p.WriteFactor +
+		p.CAMSearchPerBit*tagBits*p.WriteFactor
+	if withLinks {
+		// Way-memoization widens every data row by the link storage
+		// (21% for 32 ways / 32B lines, section 5), and every fetch
+		// must read the fetched word plus the two links that steer the
+		// following fetch (the slot link and the sequential link), so
+		// the per-access read grows on two axes: more bits read and a
+		// longer word line. Fills write the whole widened row.
+		linkBits := float64(cfg.LinkBits())
+		wordline := 1 + cfg.LinkOverhead()*p.LinkWordlineShare
+		e.LinkMult = (32 + 2*linkBits) / 32 * wordline
+		e.DataRead *= e.LinkMult
+		e.DataWrite *= e.LinkMult
+		e.LineFill *= 1 + cfg.LinkOverhead()
+		// A link write is a read-modify-write of a few bits in the
+		// wide data row; charge it as a narrow write plus the row
+		// activation share.
+		e.LinkWrite = linkBits*(p.DataBitFixed+p.DataBitPerWay*w)*p.WriteFactor +
+			p.LinkRowActivate*e.DataRead
+	}
+	return e
+}
+
+// FullSearch returns the energy of one conventional access: all W
+// tags searched plus one data word read.
+func (e CacheEnergies) FullSearch(ways int) float64 {
+	return float64(ways)*e.TagPerWay + e.DataRead
+}
+
+// Breakdown is the energy of one simulation run, by component.
+type Breakdown struct {
+	ICacheTag  float64
+	ICacheData float64
+	ICacheFill float64
+	ICacheLink float64
+	DCache     float64
+	ITLB       float64
+	DTLB       float64
+	Core       float64
+}
+
+// ICache returns the instruction-cache total — the quantity the
+// paper's figures 4(a), 5(a) and 6(a) normalise.
+func (b Breakdown) ICache() float64 {
+	return b.ICacheTag + b.ICacheData + b.ICacheFill + b.ICacheLink
+}
+
+// Total returns whole-processor energy, used for the ED product.
+func (b Breakdown) Total() float64 {
+	return b.ICache() + b.DCache + b.ITLB + b.DTLB + b.Core
+}
+
+// SystemStats bundles everything the model charges for.
+type SystemStats struct {
+	Scheme Scheme
+	Style  ArrayStyle // array organisation of both caches
+	ICfg   cache.Config
+	IStats cache.Stats
+	DCfg   cache.Config
+	DStats cache.Stats
+	ITLB   tlb.Stats
+	DTLB   tlb.Stats
+	Cycles uint64
+}
+
+// dataUnits returns how many data-way reads a run performed. A CAM
+// cache reads only the matching way. A RAM cache reads one data way
+// per tag compared (all ways in parallel on a full search, one on a
+// way-placement probe) plus one for each tag-less access (same-line
+// and linked fetches know their way already).
+func dataUnits(st cache.Stats, style ArrayStyle) float64 {
+	if style == CAMTag {
+		return float64(st.DataReads)
+	}
+	tagless := st.DataReads - st.FullSearches - st.SingleSearches
+	return float64(st.TagComparisons + tagless)
+}
+
+// Compute turns a run's statistics into an energy breakdown.
+func Compute(p Params, s SystemStats) Breakdown {
+	ie := EnergiesForStyle(p, s.ICfg, s.Scheme == WayMemoization, s.Style)
+	de := EnergiesForStyle(p, s.DCfg, false, s.Style)
+	var b Breakdown
+
+	// Instruction cache. TagComparisons already counts exactly the
+	// per-way searches each engine performed (W per full search, one
+	// per way-placement probe, zero for linked and same-line fetches).
+	b.ICacheTag = float64(s.IStats.TagComparisons) * ie.TagPerWay
+	b.ICacheData = dataUnits(s.IStats, s.Style) * ie.DataRead
+	b.ICacheFill = float64(s.IStats.LineFills) * ie.LineFill
+	b.ICacheLink = float64(s.IStats.LinkWrites) * ie.LinkWrite
+
+	// Data cache.
+	b.DCache = float64(s.DStats.TagComparisons)*de.TagPerWay +
+		dataUnits(s.DStats, s.Style)*de.DataRead +
+		float64(s.DStats.DataWrites)*de.DataWrite +
+		float64(s.DStats.LineFills)*de.LineFill +
+		float64(s.DStats.Writebacks)*de.LineFill
+
+	// TLBs: small fully-associative CAMs; the paper's way-placement
+	// bit adds one bit per entry, charged on every I-TLB access.
+	itlbBit := 0.0
+	if s.Scheme == WayPlacement {
+		itlbBit = p.CAMSearchPerBit // the extra way-placement bit
+	}
+	b.ITLB = float64(s.ITLB.Accesses)*(p.TLBAccess+itlbBit) +
+		float64(s.ITLB.Misses)*p.TLBWalk
+	b.DTLB = float64(s.DTLB.Accesses)*p.TLBAccess +
+		float64(s.DTLB.Misses)*p.TLBWalk
+
+	// Rest of the core: clock, datapath, register file, ...
+	b.Core = float64(s.Cycles) * p.CorePerCycle
+	return b
+}
+
+// NormICache returns this run's instruction-cache energy normalised
+// to a baseline run's (the y-axis of figures 4(a), 5(a), 6(a)).
+func NormICache(run, base Breakdown) float64 {
+	return run.ICache() / base.ICache()
+}
+
+// EDProduct returns the run's energy-delay product normalised to the
+// baseline: (E/E0) * (D/D0) (the y-axis of figures 4(b), 5(b), 6(b);
+// below 1.0 is better).
+func EDProduct(run Breakdown, runCycles uint64, base Breakdown, baseCycles uint64) float64 {
+	return (run.Total() / base.Total()) * (float64(runCycles) / float64(baseCycles))
+}

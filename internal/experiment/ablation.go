@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/layout"
+	"wayplace/internal/obj"
+	"wayplace/internal/sim"
+)
+
+// Ablations for the design choices DESIGN.md calls out. Each returns
+// suite-average normalised (I-cache energy, ED) pairs on the
+// 32KB/32-way cache. The layout and hint ablations use a deliberately
+// tight 2KB way-placement area: with the paper's default 16KB area
+// every benchmark's whole text is way-placed, so where code sits — and
+// how often the fetch stream crosses the area boundary — only matters
+// when the area is scarce.
+
+// AblationRow is one variant's result.
+type AblationRow struct {
+	Variant string
+	Pair
+}
+
+// runVariant executes one workload under a full custom config and
+// binary, normalising against the memoised baseline.
+func (s *Suite) runVariant(w *Workload, cfg sim.Config, prog *obj.Program) (Pair, error) {
+	base, err := s.Run(w, cfg.ICache, energy.Baseline, 0)
+	if err != nil {
+		return Pair{}, err
+	}
+	rs, err := sim.Run(prog, cfg)
+	if err != nil {
+		return Pair{}, err
+	}
+	if rs.Checksum != base.Checksum {
+		return Pair{}, fmt.Errorf("%s: variant changed the checksum: %#x vs %#x",
+			w.Name, rs.Checksum, base.Checksum)
+	}
+	return pairOf(rs, base), nil
+}
+
+// averageVariant runs one variant across the suite and averages.
+func (s *Suite) averageVariant(name string, make func(*Workload) (sim.Config, *obj.Program, error)) (AblationRow, error) {
+	var mu sumMu
+	row := AblationRow{Variant: name}
+	err := s.forEach(func(w *Workload) error {
+		cfg, prog, err := make(w)
+		if err != nil {
+			return err
+		}
+		p, err := s.runVariant(w, cfg, prog)
+		if err != nil {
+			return err
+		}
+		mu.add(&row.Pair, p)
+		return nil
+	})
+	if err != nil {
+		return row, err
+	}
+	n := float64(len(s.Workloads))
+	row.Energy /= n
+	row.ED /= n
+	return row, nil
+}
+
+func (s *Suite) wpConfig(wpSize uint32) sim.Config {
+	cfg := s.Base
+	cfg.ICache = XScaleICache()
+	cfg.MaxInstrs = MaxInstrs
+	cfg.Scheme = energy.WayPlacement
+	cfg.WPSize = wpSize
+	return cfg
+}
+
+// tightWPSize is the scarce way-placement area used by the layout and
+// hint ablations.
+const tightWPSize = 2 << 10
+
+// AblationLayout quantifies how much of the saving is the compiler
+// pass itself: the way-placement hardware running over the profile-
+// guided layout, the original layout, a random (constraint-
+// respecting) permutation, and a classical Pettis/Hansen-style
+// affinity layout (which optimises adjacency, not front-loading).
+func (s *Suite) AblationLayout() ([]AblationRow, error) {
+	variants := []struct {
+		name string
+		prog func(*Workload) (*obj.Program, error)
+	}{
+		{"profile-guided layout", func(w *Workload) (*obj.Program, error) { return w.Placed, nil }},
+		{"original layout", func(w *Workload) (*obj.Program, error) { return w.Original, nil }},
+		{"random layout", func(w *Workload) (*obj.Program, error) {
+			return layout.LinkPermuted(w.Unit, 0xabcdef, TextBase)
+		}},
+		{"Pettis-Hansen affinity", func(w *Workload) (*obj.Program, error) {
+			return layout.LinkPettisHansen(w.Unit, w.Profile, TextBase)
+		}},
+	}
+	var rows []AblationRow
+	for _, v := range variants {
+		v := v
+		row, err := s.averageVariant(v.name, func(w *Workload) (sim.Config, *obj.Program, error) {
+			prog, err := v.prog(w)
+			if err != nil {
+				return sim.Config{}, nil, err
+			}
+			return s.wpConfig(tightWPSize), prog, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationHint compares the 1-bit way hint against oracle knowledge
+// of the way-placement bit — the cost of predicting instead of
+// serialising on the I-TLB.
+func (s *Suite) AblationHint() ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, oracle := range []bool{false, true} {
+		name := "1-bit way hint"
+		if oracle {
+			name = "oracle hint"
+		}
+		oracle := oracle
+		row, err := s.averageVariant(name, func(w *Workload) (sim.Config, *obj.Program, error) {
+			cfg := s.wpConfig(tightWPSize)
+			cfg.OracleHint = oracle
+			return cfg, w.Placed, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationSameLine measures the contribution of the same-line
+// tag-check skip (section 4.2's "further modification").
+func (s *Suite) AblationSameLine() ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, off := range []bool{false, true} {
+		name := "same-line skip on"
+		if off {
+			name = "same-line skip off"
+		}
+		off := off
+		row, err := s.averageVariant(name, func(w *Workload) (sim.Config, *obj.Program, error) {
+			cfg := s.wpConfig(InitialWPSize)
+			cfg.NoSameLine = off
+			return cfg, w.Placed, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// AblationReplacement checks that the scheme is insensitive to the
+// replacement policy (explicit placement bypasses it for hot lines).
+func (s *Suite) AblationReplacement() ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, policy := range []struct {
+		name string
+		p    cache.Policy
+	}{{"round-robin (XScale)", cache.RoundRobin}, {"true LRU", cache.LRU}} {
+		policy := policy
+		row, err := s.averageVariant(policy.name, func(w *Workload) (sim.Config, *obj.Program, error) {
+			cfg := s.wpConfig(InitialWPSize)
+			cfg.ICache.Policy = policy.p
+			return cfg, w.Placed, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAblation renders ablation rows.
+func FormatAblation(title string, rows []AblationRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Ablation: %s (suite average, 32KB/32-way)\n", title)
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-24s I$ energy %.1f%%  ED %.3f\n", r.Variant, 100*r.Energy, r.ED)
+	}
+	return sb.String()
+}

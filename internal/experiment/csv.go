@@ -1,0 +1,59 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV emitters, so the regenerated figures are machine-readable
+// (plotting scripts, regression tracking). One file per figure,
+// matching the text formatters' content.
+
+func writeAll(w *csv.Writer, rows [][]string) error {
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 6, 64) }
+
+// CSVFig4 writes figure 4 as CSV.
+func CSVFig4(out io.Writer, r *Fig4Result) error {
+	rows := [][]string{{"benchmark", "waymem_energy", "wayplace_energy", "waymem_ed", "wayplace_ed"}}
+	for _, row := range append(r.Rows, r.Average) {
+		rows = append(rows, []string{row.Bench,
+			f(row.WayMem.Energy), f(row.WayPlace.Energy),
+			f(row.WayMem.ED), f(row.WayPlace.ED)})
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// CSVFig5 writes figure 5 as CSV.
+func CSVFig5(out io.Writer, r *Fig5Result) error {
+	rows := [][]string{{"scheme", "wp_size_kb", "energy", "ed"}}
+	rows = append(rows, []string{"waymem", "", f(r.WayMem.Energy), f(r.WayMem.ED)})
+	for _, p := range r.Points {
+		rows = append(rows, []string{"wayplace", fmt.Sprint(p.WPSizeKB), f(p.Energy), f(p.ED)})
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}
+
+// CSVFig6 writes figure 6 as CSV.
+func CSVFig6(out io.Writer, cells []Fig6Cell) error {
+	rows := [][]string{{"size_kb", "ways",
+		"waymem_energy", "wp16_energy", "wp8_energy",
+		"waymem_ed", "wp16_ed", "wp8_ed"}}
+	for _, c := range cells {
+		rows = append(rows, []string{
+			fmt.Sprint(c.SizeKB), fmt.Sprint(c.Ways),
+			f(c.WayMem.Energy), f(c.WP16.Energy), f(c.WP8.Energy),
+			f(c.WayMem.ED), f(c.WP16.ED), f(c.WP8.ED)})
+	}
+	return writeAll(csv.NewWriter(out), rows)
+}

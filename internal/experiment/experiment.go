@@ -1,0 +1,192 @@
+// Package experiment reproduces the paper's evaluation: it prepares
+// every benchmark exactly as section 5 describes (profile on the
+// small input, relink with the way-placement layout, evaluate on the
+// large input) and regenerates each figure of section 6.
+//
+// Binary selection per scheme follows the paper: the baseline and the
+// way-memoization machines run the unmodified (original-layout)
+// binary — way-memoization is a pure-hardware scheme — while the
+// way-placement machine runs the relaid binary.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wayplace/internal/bench"
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/layout"
+	"wayplace/internal/obj"
+	"wayplace/internal/profile"
+	"wayplace/internal/sim"
+)
+
+// TextBase is where program images are linked. It is aligned to the
+// largest cache and page size in any experiment, so a way-placement
+// area starting at the base maps cleanly onto the cache.
+const TextBase = 0x0001_0000
+
+// MaxInstrs bounds any single evaluation run.
+const MaxInstrs = 100_000_000
+
+// Workload is one prepared benchmark.
+type Workload struct {
+	Name     string
+	Unit     *obj.Unit // large-input object unit (for relayout ablations)
+	Profile  *profile.Profile
+	Original *obj.Program // original layout (baseline & way-memoization)
+	Placed   *obj.Program // way-placement layout
+	// ProfCoverage16K is the profiled fraction of dynamic
+	// instructions inside the first 16KB after relayout.
+	ProfCoverage16K float64
+}
+
+// Prepare builds, profiles and links one benchmark.
+func Prepare(name string) (*Workload, error) {
+	bm, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	smallUnit, err := bm.Build(bench.Small)
+	if err != nil {
+		return nil, fmt.Errorf("%s: build small: %w", name, err)
+	}
+	largeUnit, err := bm.Build(bench.Large)
+	if err != nil {
+		return nil, fmt.Errorf("%s: build large: %w", name, err)
+	}
+	smallProg, err := layout.LinkOriginal(smallUnit, TextBase)
+	if err != nil {
+		return nil, fmt.Errorf("%s: link small: %w", name, err)
+	}
+	prof, _, err := sim.ProfileRun(smallProg, MaxInstrs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: profile: %w", name, err)
+	}
+	orig, err := layout.LinkOriginal(largeUnit, TextBase)
+	if err != nil {
+		return nil, fmt.Errorf("%s: link original: %w", name, err)
+	}
+	placed, err := layout.Link(largeUnit, prof, TextBase)
+	if err != nil {
+		return nil, fmt.Errorf("%s: way-placement link: %w", name, err)
+	}
+	return &Workload{
+		Name:            name,
+		Unit:            largeUnit,
+		Profile:         prof,
+		Original:        orig,
+		Placed:          placed,
+		ProfCoverage16K: layout.Coverage(placed, prof, 16<<10),
+	}, nil
+}
+
+// Suite is the prepared benchmark suite plus a run cache.
+type Suite struct {
+	Workloads []*Workload
+	Base      sim.Config // machine template; I-cache geometry varies
+
+	mu   sync.Mutex
+	memo map[runKey]*sim.RunStats
+}
+
+type runKey struct {
+	bench  string
+	icfg   cache.Config
+	scheme energy.Scheme
+	wp     uint32
+}
+
+// NewSuite prepares every benchmark (in parallel).
+func NewSuite() (*Suite, error) {
+	return NewSuiteOf(bench.Names())
+}
+
+// NewSuiteOf prepares a subset of benchmarks by name.
+func NewSuiteOf(names []string) (*Suite, error) {
+	s := &Suite{Base: sim.Default(), memo: make(map[runKey]*sim.RunStats)}
+	s.Workloads = make([]*Workload, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			s.Workloads[i], errs[i] = Prepare(name)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Run simulates one workload under one machine configuration,
+// memoising results (many figures share the same baseline runs).
+func (s *Suite) Run(w *Workload, icfg cache.Config, scheme energy.Scheme, wp uint32) (*sim.RunStats, error) {
+	key := runKey{w.Name, icfg, scheme, wp}
+	s.mu.Lock()
+	if rs, ok := s.memo[key]; ok {
+		s.mu.Unlock()
+		return rs, nil
+	}
+	s.mu.Unlock()
+
+	cfg := s.Base
+	cfg.ICache = icfg
+	cfg.MaxInstrs = MaxInstrs
+	cfg.Scheme = scheme
+	cfg.WPSize = wp
+	prog := w.Original
+	if scheme == energy.WayPlacement {
+		prog = w.Placed
+	}
+	rs, err := sim.Run(prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%v: %w", w.Name, scheme, err)
+	}
+
+	s.mu.Lock()
+	s.memo[key] = rs
+	s.mu.Unlock()
+	return rs, nil
+}
+
+// forEach runs fn over all workloads in parallel, collecting errors.
+func (s *Suite) forEach(fn func(*Workload) error) error {
+	errs := make([]error, len(s.Workloads))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, w := range s.Workloads {
+		wg.Add(1)
+		go func(i int, w *Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = fn(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// XScaleICache is the initial evaluation's I-cache: 32KB, 32-way.
+func XScaleICache() cache.Config {
+	return cache.Config{SizeBytes: 32 << 10, Ways: 32, LineBytes: 32, Policy: cache.RoundRobin}
+}
+
+// InitialWPSize is the initial evaluation's way-placement area: 16KB.
+const InitialWPSize = 16 << 10

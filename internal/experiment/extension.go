@@ -1,0 +1,249 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/layout"
+	"wayplace/internal/sim"
+)
+
+// Extensions beyond the paper's evaluation, exercising two claims its
+// text makes but does not measure:
+//
+//   - section 4.2: "our scheme could also easily be applied to a
+//     standard RAM cache" — ExtensionRAMTag quantifies the saving on a
+//     conventional parallel-read SRAM organisation, where eliminating
+//     W-1 ways removes data-array reads as well as tag reads;
+//   - section 4.1: the OS can adjust the area "during program
+//     execution" — ExtensionAdaptive runs the adaptive-OS policy and
+//     compares it with the best static area size.
+
+// RAMRow is one configuration of the RAM-tag extension.
+type RAMRow struct {
+	Ways     int
+	Style    energy.ArrayStyle
+	WayPlace Pair
+}
+
+// ExtensionRAMTag evaluates way-placement on conventional RAM-tag
+// caches at the associativities such caches are actually built with
+// (4/8-way), alongside the XScale CAM points, averaged over the suite.
+// The baseline for each row uses the same array style.
+func (s *Suite) ExtensionRAMTag() ([]RAMRow, error) {
+	var rows []RAMRow
+	for _, cfg := range []struct {
+		ways  int
+		style energy.ArrayStyle
+	}{
+		{4, energy.RAMTag},
+		{8, energy.RAMTag},
+		{8, energy.CAMTag},
+		{32, energy.CAMTag},
+	} {
+		icfg := cache.Config{SizeBytes: 32 << 10, Ways: cfg.ways, LineBytes: 32, Policy: cache.RoundRobin}
+		row := RAMRow{Ways: cfg.ways, Style: cfg.style}
+		var mu sumMu
+		style := cfg.style
+		err := s.forEach(func(w *Workload) error {
+			mk := func(scheme energy.Scheme, wp uint32, placed bool) (*sim.RunStats, error) {
+				c := s.Base
+				c.ICache = icfg
+				c.MaxInstrs = MaxInstrs
+				c.Scheme = scheme
+				c.Style = style
+				c.WPSize = wp
+				prog := w.Original
+				if placed {
+					prog = w.Placed
+				}
+				return sim.Run(prog, c)
+			}
+			base, err := mk(energy.Baseline, 0, false)
+			if err != nil {
+				return err
+			}
+			wp, err := mk(energy.WayPlacement, InitialWPSize, true)
+			if err != nil {
+				return err
+			}
+			mu.add(&row.WayPlace, pairOf(wp, base))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		n := float64(len(s.Workloads))
+		row.WayPlace.Energy /= n
+		row.WayPlace.ED /= n
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatRAMTag renders the RAM-tag extension rows.
+func FormatRAMTag(rows []RAMRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extension: way-placement on RAM-tag vs CAM-tag arrays (32KB, suite average)\n")
+	fmt.Fprintf(&sb, "  %-22s %12s %8s\n", "organisation", "I$ energy", "ED")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %2d-way %-14s %11.1f%% %8.3f\n",
+			r.Ways, r.Style, 100*r.WayPlace.Energy, r.WayPlace.ED)
+	}
+	sb.WriteString("  (RAM-tag caches read every way's data in parallel, so naming the way\n")
+	sb.WriteString("   eliminates data-array reads too — section 4.2's 'standard RAM cache')\n")
+	return sb.String()
+}
+
+// AdaptiveRow is one benchmark's adaptive-sizing outcome.
+type AdaptiveRow struct {
+	Bench     string
+	Static    Pair // best static size for this machine (16KB)
+	Adaptive  Pair
+	FinalSize uint32
+	Resizes   int
+}
+
+// ExtensionAdaptive runs the adaptive OS policy (starting from one
+// page) on each workload and compares it with the static 16KB area.
+func (s *Suite) ExtensionAdaptive() ([]AdaptiveRow, error) {
+	icfg := XScaleICache()
+	rows := make([]AdaptiveRow, len(s.Workloads))
+	idx := make(map[string]int)
+	for i, w := range s.Workloads {
+		idx[w.Name] = i
+	}
+	err := s.forEach(func(w *Workload) error {
+		base, err := s.Run(w, icfg, energy.Baseline, 0)
+		if err != nil {
+			return err
+		}
+		static, err := s.Run(w, icfg, energy.WayPlacement, InitialWPSize)
+		if err != nil {
+			return err
+		}
+		cfg := s.Base
+		cfg.ICache = icfg
+		cfg.MaxInstrs = MaxInstrs
+		cfg.Scheme = energy.WayPlacement
+		pol := sim.DefaultAdaptivePolicy(icfg, cfg.ITLB.PageBytes)
+		adaptive, changes, err := sim.RunAdaptive(w.Placed, cfg, pol)
+		if err != nil {
+			return fmt.Errorf("%s: adaptive: %w", w.Name, err)
+		}
+		if adaptive.Checksum != base.Checksum {
+			return fmt.Errorf("%s: adaptive run changed the checksum", w.Name)
+		}
+		rows[idx[w.Name]] = AdaptiveRow{
+			Bench:     w.Name,
+			Static:    pairOf(static, base),
+			Adaptive:  pairOf(adaptive, base),
+			FinalSize: changes[len(changes)-1].Size,
+			Resizes:   len(changes) - 1,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FormatAdaptive renders the adaptive extension rows.
+func FormatAdaptive(rows []AdaptiveRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extension: OS-adaptive way-placement area (32KB/32-way; policy starts at 1KB)\n")
+	fmt.Fprintf(&sb, "  %-12s %12s %12s %10s %8s\n",
+		"benchmark", "static 16KB", "adaptive", "final area", "resizes")
+	var sSum, aSum float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-12s %11.1f%% %11.1f%% %9dK %8d\n",
+			r.Bench, 100*r.Static.Energy, 100*r.Adaptive.Energy, r.FinalSize>>10, r.Resizes)
+		sSum += r.Static.Energy
+		aSum += r.Adaptive.Energy
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&sb, "  %-12s %11.1f%% %11.1f%%\n", "average", 100*sSum/n, 100*aSum/n)
+	return sb.String()
+}
+
+// TransferRow quantifies profile transfer for one benchmark: the
+// paper trains on the small input and evaluates on the large one, so
+// the layout's quality depends on the profile generalising.
+type TransferRow struct {
+	Bench string
+	// Coverage of a 2KB area under the large-input (oracle) run's own
+	// dynamic behaviour, for the small-profile layout and an oracle
+	// layout built from the large-input profile itself.
+	SmallProfile  Pair
+	OracleProfile Pair
+}
+
+// ExtensionProfileTransfer measures how much is lost by training on
+// the small input instead of the evaluation input (which the paper's
+// methodology — and ours — forbids using). Both layouts run under a
+// scarce 2KB area where layout quality matters.
+func (s *Suite) ExtensionProfileTransfer() ([]TransferRow, error) {
+	icfg := XScaleICache()
+	rows := make([]TransferRow, len(s.Workloads))
+	idx := make(map[string]int)
+	for i, w := range s.Workloads {
+		idx[w.Name] = i
+	}
+	err := s.forEach(func(w *Workload) error {
+		base, err := s.Run(w, icfg, energy.Baseline, 0)
+		if err != nil {
+			return err
+		}
+		// Oracle: profile the large input itself, then relink.
+		largeProf, _, err := sim.ProfileRun(w.Original, MaxInstrs)
+		if err != nil {
+			return err
+		}
+		oracleProg, err := layout.Link(w.Unit, largeProf, TextBase)
+		if err != nil {
+			return err
+		}
+		cfg := s.wpConfig(tightWPSize)
+		small, err := s.runVariant(w, cfg, w.Placed)
+		if err != nil {
+			return err
+		}
+		oracleRun, err := sim.Run(oracleProg, cfg)
+		if err != nil {
+			return err
+		}
+		if oracleRun.Checksum != base.Checksum {
+			return fmt.Errorf("%s: oracle layout changed the checksum", w.Name)
+		}
+		rows[idx[w.Name]] = TransferRow{
+			Bench:         w.Name,
+			SmallProfile:  small,
+			OracleProfile: pairOf(oracleRun, base),
+		}
+		return nil
+	})
+	return rows, err
+}
+
+// FormatTransfer renders the profile-transfer rows.
+func FormatTransfer(rows []TransferRow) string {
+	var sb strings.Builder
+	sb.WriteString("Extension: profile transfer, small-input training vs large-input oracle\n")
+	sb.WriteString("(32KB/32-way, scarce 2KB area so layout quality matters)\n")
+	fmt.Fprintf(&sb, "  %-12s %14s %14s %8s\n", "benchmark", "small profile", "oracle profile", "gap")
+	var sSum, oSum float64
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-12s %13.1f%% %13.1f%% %7.2f%%\n",
+			r.Bench, 100*r.SmallProfile.Energy, 100*r.OracleProfile.Energy,
+			100*(r.SmallProfile.Energy-r.OracleProfile.Energy))
+		sSum += r.SmallProfile.Energy
+		oSum += r.OracleProfile.Energy
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&sb, "  %-12s %13.1f%% %13.1f%% %7.2f%%\n", "average",
+		100*sSum/n, 100*oSum/n, 100*(sSum-oSum)/n)
+	return sb.String()
+}

@@ -1,0 +1,284 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/sim"
+)
+
+// Pair is one benchmark's (or the average's) normalised results for
+// one scheme: I-cache energy (figures 4a/5a/6a) and ED product
+// (figures 4b/5b/6b), both relative to the baseline machine.
+type Pair struct {
+	Energy float64
+	ED     float64
+}
+
+// Fig4Row is one benchmark's bars in figure 4.
+type Fig4Row struct {
+	Bench    string
+	WayMem   Pair
+	WayPlace Pair
+}
+
+// Fig4Result is the whole figure.
+type Fig4Result struct {
+	Rows    []Fig4Row
+	Average Fig4Row
+}
+
+// Figure4 reproduces figures 4(a) and 4(b): per-benchmark normalised
+// I-cache energy and ED product for way-memoization and
+// way-placement on the 32KB/32-way cache with a 16KB WP area.
+func (s *Suite) Figure4() (*Fig4Result, error) {
+	icfg := XScaleICache()
+	res := &Fig4Result{Rows: make([]Fig4Row, len(s.Workloads))}
+	idx := make(map[string]int, len(s.Workloads))
+	for i, w := range s.Workloads {
+		idx[w.Name] = i
+	}
+	err := s.forEach(func(w *Workload) error {
+		base, err := s.Run(w, icfg, energy.Baseline, 0)
+		if err != nil {
+			return err
+		}
+		wm, err := s.Run(w, icfg, energy.WayMemoization, 0)
+		if err != nil {
+			return err
+		}
+		wp, err := s.Run(w, icfg, energy.WayPlacement, InitialWPSize)
+		if err != nil {
+			return err
+		}
+		res.Rows[idx[w.Name]] = Fig4Row{
+			Bench:    w.Name,
+			WayMem:   pairOf(wm, base),
+			WayPlace: pairOf(wp, base),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Average = Fig4Row{Bench: "average"}
+	for _, r := range res.Rows {
+		res.Average.WayMem.Energy += r.WayMem.Energy
+		res.Average.WayMem.ED += r.WayMem.ED
+		res.Average.WayPlace.Energy += r.WayPlace.Energy
+		res.Average.WayPlace.ED += r.WayPlace.ED
+	}
+	n := float64(len(res.Rows))
+	res.Average.WayMem.Energy /= n
+	res.Average.WayMem.ED /= n
+	res.Average.WayPlace.Energy /= n
+	res.Average.WayPlace.ED /= n
+	return res, nil
+}
+
+// Fig5Point is one way-placement-area size in figure 5 (averaged
+// across the suite).
+type Fig5Point struct {
+	WPSizeKB int
+	Pair
+}
+
+// Fig5Result is the whole figure: the way-placement sweep plus the
+// way-memoization reference bar.
+type Fig5Result struct {
+	Points []Fig5Point
+	WayMem Pair
+}
+
+// Fig5Sizes are the way-placement area sizes of section 6.2.
+var Fig5Sizes = []int{16, 8, 4, 2, 1} // KB
+
+// Figure5 reproduces figures 5(a) and 5(b): average normalised
+// I-cache energy and ED product while the way-placement area shrinks
+// from 16KB to 1KB on the 32KB/32-way cache. No relinking happens —
+// the same placed binary serves every size, as in section 4.1.
+func (s *Suite) Figure5() (*Fig5Result, error) {
+	icfg := XScaleICache()
+	res := &Fig5Result{Points: make([]Fig5Point, len(Fig5Sizes))}
+	var mu sumMu
+	err := s.forEach(func(w *Workload) error {
+		base, err := s.Run(w, icfg, energy.Baseline, 0)
+		if err != nil {
+			return err
+		}
+		wm, err := s.Run(w, icfg, energy.WayMemoization, 0)
+		if err != nil {
+			return err
+		}
+		mu.add(&res.WayMem, pairOf(wm, base))
+		for i, kb := range Fig5Sizes {
+			wp, err := s.Run(w, icfg, energy.WayPlacement, uint32(kb)<<10)
+			if err != nil {
+				return err
+			}
+			mu.add(&res.Points[i].Pair, pairOf(wp, base))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(s.Workloads))
+	res.WayMem.Energy /= n
+	res.WayMem.ED /= n
+	for i := range res.Points {
+		res.Points[i].WPSizeKB = Fig5Sizes[i]
+		res.Points[i].Energy /= n
+		res.Points[i].ED /= n
+	}
+	return res, nil
+}
+
+// Fig6Cell is one cache configuration in figure 6, averaged across
+// the suite: way-memoization plus way-placement at the figure's two
+// area sizes (16KB and 8KB).
+type Fig6Cell struct {
+	SizeKB int
+	Ways   int
+	WayMem Pair
+	WP16   Pair
+	WP8    Pair
+}
+
+// Fig6Sizes and Fig6Ways define the section 6.3 sweep.
+// The sweep is reconstructed as {8,16,32}KB x {8,16,32}-way: the
+// XScale design point (32KB/32-way) is the top corner, and the small
+// low-associativity corner is where the paper reports way-memoization
+// increasing cache energy while way-placement still reduces it to 82%.
+var (
+	Fig6Sizes = []int{8, 16, 32} // KB
+	Fig6Ways  = []int{8, 16, 32}
+)
+
+// Figure6 reproduces figures 6(a) and 6(b): the cache size and
+// associativity sweep.
+func (s *Suite) Figure6() ([]Fig6Cell, error) {
+	var cells []Fig6Cell
+	for _, kb := range Fig6Sizes {
+		for _, ways := range Fig6Ways {
+			icfg := cache.Config{SizeBytes: kb << 10, Ways: ways, LineBytes: 32, Policy: cache.RoundRobin}
+			cell := Fig6Cell{SizeKB: kb, Ways: ways}
+			var mu sumMu
+			err := s.forEach(func(w *Workload) error {
+				base, err := s.Run(w, icfg, energy.Baseline, 0)
+				if err != nil {
+					return err
+				}
+				wm, err := s.Run(w, icfg, energy.WayMemoization, 0)
+				if err != nil {
+					return err
+				}
+				wp16, err := s.Run(w, icfg, energy.WayPlacement, 16<<10)
+				if err != nil {
+					return err
+				}
+				wp8, err := s.Run(w, icfg, energy.WayPlacement, 8<<10)
+				if err != nil {
+					return err
+				}
+				mu.add(&cell.WayMem, pairOf(wm, base))
+				mu.add(&cell.WP16, pairOf(wp16, base))
+				mu.add(&cell.WP8, pairOf(wp8, base))
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			n := float64(len(s.Workloads))
+			for _, p := range []*Pair{&cell.WayMem, &cell.WP16, &cell.WP8} {
+				p.Energy /= n
+				p.ED /= n
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// --- helpers -------------------------------------------------------
+
+// pairOf derives a normalised (energy, ED) pair from a run and its
+// baseline on the same machine configuration.
+func pairOf(run, base *sim.RunStats) Pair {
+	return Pair{
+		Energy: energy.NormICache(run.Energy, base.Energy),
+		ED:     energy.EDProduct(run.Energy, run.Cycles, base.Energy, base.Cycles),
+	}
+}
+
+// sumMu accumulates pairs from concurrent workers.
+type sumMu struct{ mu sync.Mutex }
+
+func (m *sumMu) add(dst *Pair, p Pair) {
+	m.mu.Lock()
+	dst.Energy += p.Energy
+	dst.ED += p.ED
+	m.mu.Unlock()
+}
+
+// --- table formatting ----------------------------------------------
+
+// Table1 renders the baseline system configuration table.
+func Table1(icfg cache.Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1: Baseline system configuration\n")
+	fmt.Fprintf(&sb, "  %-18s %s\n", "Pipeline", "7/8 stages (in-order, event-based timing)")
+	fmt.Fprintf(&sb, "  %-18s %s\n", "Functional units", "1 ALU, 1 MAC, 1 load/store")
+	fmt.Fprintf(&sb, "  %-18s %s\n", "Issue", "single issue, in-order")
+	fmt.Fprintf(&sb, "  %-18s %s\n", "Memory bus width", "32 bit")
+	fmt.Fprintf(&sb, "  %-18s %s\n", "Memory latency", "50 cycles")
+	fmt.Fprintf(&sb, "  %-18s %s\n", "I-TLB, D-TLB", "32-entry fully associative")
+	fmt.Fprintf(&sb, "  %-18s %dKB, %d-way, %dB block\n", "I-Cache, D-Cache",
+		icfg.SizeBytes>>10, icfg.Ways, icfg.LineBytes)
+	return sb.String()
+}
+
+// FormatFig4 renders figure 4 as text.
+func FormatFig4(r *Fig4Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 4: normalised I-cache energy (a) and ED product (b)\n")
+	sb.WriteString("32KB 32-way I-cache, 16KB way-placement area\n")
+	fmt.Fprintf(&sb, "  %-12s %10s %10s   %10s %10s\n",
+		"benchmark", "waymem(a)", "wayplc(a)", "waymem(b)", "wayplc(b)")
+	for _, row := range append(r.Rows, r.Average) {
+		fmt.Fprintf(&sb, "  %-12s %9.1f%% %9.1f%%   %10.3f %10.3f\n",
+			row.Bench, 100*row.WayMem.Energy, 100*row.WayPlace.Energy,
+			row.WayMem.ED, row.WayPlace.ED)
+	}
+	return sb.String()
+}
+
+// FormatFig5 renders figure 5 as text.
+func FormatFig5(r *Fig5Result) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 5: way-placement area size sweep (32KB 32-way cache, suite average)\n")
+	fmt.Fprintf(&sb, "  %-12s %10s %10s\n", "scheme", "energy(a)", "ED(b)")
+	fmt.Fprintf(&sb, "  %-12s %9.1f%% %10.3f\n", "waymem", 100*r.WayMem.Energy, r.WayMem.ED)
+	for _, p := range r.Points {
+		fmt.Fprintf(&sb, "  wayplc %2dKB  %9.1f%% %10.3f\n", p.WPSizeKB, 100*p.Energy, p.ED)
+	}
+	return sb.String()
+}
+
+// FormatFig6 renders figure 6 as text.
+func FormatFig6(cells []Fig6Cell) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: cache size/associativity sweep (suite average)\n")
+	fmt.Fprintf(&sb, "  %-12s %9s %9s %9s   %8s %8s %8s\n",
+		"config", "waymem(a)", "wp16K(a)", "wp8K(a)", "waymem(b)", "wp16K(b)", "wp8K(b)")
+	for _, c := range cells {
+		fmt.Fprintf(&sb, "  %2dKB %2d-way  %8.1f%% %8.1f%% %8.1f%%   %8.3f %8.3f %8.3f\n",
+			c.SizeKB, c.Ways,
+			100*c.WayMem.Energy, 100*c.WP16.Energy, 100*c.WP8.Energy,
+			c.WayMem.ED, c.WP16.ED, c.WP8.ED)
+	}
+	return sb.String()
+}

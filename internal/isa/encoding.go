@@ -1,0 +1,136 @@
+package isa
+
+import "fmt"
+
+// Binary encoding. Every instruction packs into one little-endian
+// 32-bit word:
+//
+//	[31:26] opcode
+//	[25:22] rd            (or branch condition)
+//	[21:18] rn
+//	[17:14] rm
+//	[15:0]  imm16         (signed except MOVW/MOVT)
+//	[21:0]  branch disp   (signed, in instructions)
+//
+// rn and imm16 never coexist with rm in the same format, so the field
+// overlap between [17:14] and [15:0] is harmless.
+
+// EncodingError reports a field that does not fit its encoding slot.
+type EncodingError struct {
+	Instr Instr
+	Field string
+	Value int64
+}
+
+func (e *EncodingError) Error() string {
+	return fmt.Sprintf("isa: cannot encode %v: field %s value %d out of range",
+		e.Instr, e.Field, e.Value)
+}
+
+const (
+	immMin  = -(1 << 15)
+	immMax  = 1<<15 - 1
+	dispMin = -(1 << 21)
+	dispMax = 1<<21 - 1
+)
+
+// Encode packs the instruction into its 32-bit binary form.
+func Encode(i Instr) (uint32, error) {
+	if !i.Op.Valid() {
+		return 0, &EncodingError{i, "op", int64(i.Op)}
+	}
+	if i.Rd >= NumRegs || i.Rn >= NumRegs || i.Rm >= NumRegs {
+		return 0, &EncodingError{i, "reg", int64(i.Rd)}
+	}
+	w := uint32(i.Op) << 26
+	switch opFormat(i.Op) {
+	case fmt3R:
+		w |= uint32(i.Rd)<<22 | uint32(i.Rn)<<18 | uint32(i.Rm)<<14
+	case fmtImm, fmtMem:
+		if i.Imm < immMin || i.Imm > immMax {
+			return 0, &EncodingError{i, "imm16", int64(i.Imm)}
+		}
+		w |= uint32(i.Rd)<<22 | uint32(i.Rn)<<18 | uint32(uint16(i.Imm))
+	case fmtMov:
+		w |= uint32(i.Rd)<<22 | uint32(i.Rm)<<14
+	case fmtMovI:
+		if i.Imm < 0 || i.Imm > 0xffff {
+			return 0, &EncodingError{i, "uimm16", int64(i.Imm)}
+		}
+		w |= uint32(i.Rd)<<22 | uint32(i.Imm)
+	case fmtCmp:
+		w |= uint32(i.Rn)<<18 | uint32(i.Rm)<<14
+	case fmtCmpI:
+		if i.Imm < immMin || i.Imm > immMax {
+			return 0, &EncodingError{i, "imm16", int64(i.Imm)}
+		}
+		w |= uint32(i.Rn)<<18 | uint32(uint16(i.Imm))
+	case fmtMemX:
+		w |= uint32(i.Rd)<<22 | uint32(i.Rn)<<18 | uint32(i.Rm)<<14
+	case fmtBr:
+		if !i.Cond.Valid() {
+			return 0, &EncodingError{i, "cond", int64(i.Cond)}
+		}
+		if i.Imm < dispMin || i.Imm > dispMax {
+			return 0, &EncodingError{i, "disp22", int64(i.Imm)}
+		}
+		w |= uint32(i.Cond)<<22 | uint32(i.Imm)&0x3fffff
+	case fmtNone:
+		// opcode only
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for instructions known to be well-formed;
+// it panics on error. The assembler validates fields before emitting,
+// so this is the common path.
+func MustEncode(i Instr) uint32 {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit instruction word.
+func Decode(w uint32) (Instr, error) {
+	op := Op(w >> 26)
+	if !op.Valid() {
+		return Instr{}, fmt.Errorf("isa: invalid opcode %d in word %#08x", uint8(op), w)
+	}
+	i := Instr{Op: op, Cond: AL}
+	switch opFormat(op) {
+	case fmt3R:
+		i.Rd = Reg(w >> 22 & 0xf)
+		i.Rn = Reg(w >> 18 & 0xf)
+		i.Rm = Reg(w >> 14 & 0xf)
+	case fmtImm, fmtMem:
+		i.Rd = Reg(w >> 22 & 0xf)
+		i.Rn = Reg(w >> 18 & 0xf)
+		i.Imm = int32(int16(w))
+	case fmtMov:
+		i.Rd = Reg(w >> 22 & 0xf)
+		i.Rm = Reg(w >> 14 & 0xf)
+	case fmtMovI:
+		i.Rd = Reg(w >> 22 & 0xf)
+		i.Imm = int32(w & 0xffff)
+	case fmtCmp:
+		i.Rn = Reg(w >> 18 & 0xf)
+		i.Rm = Reg(w >> 14 & 0xf)
+	case fmtCmpI:
+		i.Rn = Reg(w >> 18 & 0xf)
+		i.Imm = int32(int16(w))
+	case fmtMemX:
+		i.Rd = Reg(w >> 22 & 0xf)
+		i.Rn = Reg(w >> 18 & 0xf)
+		i.Rm = Reg(w >> 14 & 0xf)
+	case fmtBr:
+		c := Cond(w >> 22 & 0xf)
+		if !c.Valid() {
+			return Instr{}, fmt.Errorf("isa: invalid condition %d in word %#08x", uint8(c), w)
+		}
+		i.Cond = c
+		i.Imm = int32(w<<10) >> 10 // sign-extend 22 bits
+	}
+	return i, nil
+}

@@ -1,0 +1,355 @@
+// Package isa defines the instruction set of the ARM-like embedded core
+// used throughout this repository.
+//
+// The machine is a load/store RISC with fixed 32-bit instructions,
+// sixteen general-purpose registers and a four-flag condition register,
+// closely following the subset of the ARM architecture that the paper's
+// evaluation platform (Intel XScale) executes. Fixed-width instructions
+// are what the way-placement scheme relies on: instruction addresses
+// advance by exactly four bytes, so the compiler can steer code into
+// cache ways purely by choosing byte offsets in the binary.
+package isa
+
+import "fmt"
+
+// InstrBytes is the size in bytes of every encoded instruction.
+const InstrBytes = 4
+
+// Reg names one of the sixteen general-purpose registers.
+// R13 is the conventional stack pointer, R14 the link register.
+type Reg uint8
+
+// Register aliases following ARM conventions.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13: stack pointer
+	LR // R14: link register
+	R15
+	NumRegs = 16
+)
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Op enumerates every operation the core executes.
+type Op uint8
+
+// Operation codes. The groupings matter to the decoder and to the
+// CPU's timing model (multiplies have a longer result latency, loads
+// go through the D-cache, branches steer fetch).
+const (
+	// Three-register ALU operations: rd = rn OP rm.
+	ADD Op = iota
+	SUB
+	RSB // rd = rm - rn (reverse subtract)
+	MUL
+	MLA // rd = rn*rm + rd (multiply-accumulate)
+	AND
+	ORR
+	EOR
+	BIC // rd = rn &^ rm
+	LSL
+	LSR
+	ASR
+	ROR
+
+	// Register-immediate ALU operations: rd = rn OP simm16.
+	ADDI
+	SUBI
+	ANDI
+	ORRI
+	EORI
+	LSLI
+	LSRI
+	ASRI
+
+	// Moves.
+	MOV  // rd = rm
+	MVN  // rd = ^rm
+	MOVW // rd = uimm16 (zero-extended)
+	MOVT // rd = (rd & 0xffff) | uimm16<<16
+
+	// Comparisons: set NZCV only.
+	CMP  // flags(rn - rm)
+	CMPI // flags(rn - simm16)
+	TST  // flags(rn & rm)
+
+	// Memory: address = rn + simm16.
+	LDR  // rd = mem32[addr]
+	STR  // mem32[addr] = rd
+	LDRB // rd = zext(mem8[addr])
+	STRB // mem8[addr] = rd & 0xff
+	LDRX // rd = mem32[rn + rm] (register-indexed load)
+	STRX // mem32[rn + rm] = rd
+
+	// Control flow. Branch displacements are instruction-relative:
+	// target = pc + 4 + disp*4.
+	B   // conditional or unconditional PC-relative branch
+	BL  // branch and link: lr = pc + 4
+	RET // return: pc = lr
+
+	// Miscellaneous.
+	NOP
+	HALT // stop the machine; R0 conventionally holds a result checksum
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	ADD: "add", SUB: "sub", RSB: "rsb", MUL: "mul", MLA: "mla",
+	AND: "and", ORR: "orr", EOR: "eor", BIC: "bic",
+	LSL: "lsl", LSR: "lsr", ASR: "asr", ROR: "ror",
+	ADDI: "addi", SUBI: "subi", ANDI: "andi", ORRI: "orri", EORI: "eori",
+	LSLI: "lsli", LSRI: "lsri", ASRI: "asri",
+	MOV: "mov", MVN: "mvn", MOVW: "movw", MOVT: "movt",
+	CMP: "cmp", CMPI: "cmpi", TST: "tst",
+	LDR: "ldr", STR: "str", LDRB: "ldrb", STRB: "strb",
+	LDRX: "ldrx", STRX: "strx",
+	B: "b", BL: "bl", RET: "ret",
+	NOP: "nop", HALT: "halt",
+}
+
+// String returns the assembler mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o names a defined operation.
+func (o Op) Valid() bool { return o < numOps }
+
+// Cond is a branch condition evaluated against the NZCV flags.
+type Cond uint8
+
+// Branch conditions (ARM semantics over the NZCV flags).
+const (
+	AL Cond = iota // always
+	EQ             // Z
+	NE             // !Z
+	LT             // N != V (signed <)
+	LE             // Z || N != V
+	GT             // !Z && N == V
+	GE             // N == V
+	LO             // !C (unsigned <)
+	HS             // C (unsigned >=)
+	HI             // C && !Z (unsigned >)
+	LS             // !C || Z (unsigned <=)
+	MI             // N
+	PL             // !N
+	numConds
+)
+
+var condNames = [numConds]string{
+	AL: "al", EQ: "eq", NE: "ne", LT: "lt", LE: "le", GT: "gt", GE: "ge",
+	LO: "lo", HS: "hs", HI: "hi", LS: "ls", MI: "mi", PL: "pl",
+}
+
+// String returns the condition suffix.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Valid reports whether c names a defined condition.
+func (c Cond) Valid() bool { return c < numConds }
+
+// Flags holds the NZCV condition flags.
+type Flags struct {
+	N, Z, C, V bool
+}
+
+// Eval reports whether condition c holds under flags f.
+func (c Cond) Eval(f Flags) bool {
+	switch c {
+	case AL:
+		return true
+	case EQ:
+		return f.Z
+	case NE:
+		return !f.Z
+	case LT:
+		return f.N != f.V
+	case LE:
+		return f.Z || f.N != f.V
+	case GT:
+		return !f.Z && f.N == f.V
+	case GE:
+		return f.N == f.V
+	case LO:
+		return !f.C
+	case HS:
+		return f.C
+	case HI:
+		return f.C && !f.Z
+	case LS:
+		return !f.C || f.Z
+	case MI:
+		return f.N
+	case PL:
+		return !f.N
+	}
+	return false
+}
+
+// Instr is one decoded instruction. Rd/Rn/Rm and Imm are interpreted
+// per the operation's format (see the Op constants).
+type Instr struct {
+	Op   Op
+	Cond Cond  // branches only
+	Rd   Reg   // destination (or store source for STR*)
+	Rn   Reg   // first source / base register
+	Rm   Reg   // second source / index register
+	Imm  int32 // immediate, branch displacement (in instructions)
+}
+
+// Class partitions operations by how the CPU handles them.
+type Class uint8
+
+// Instruction classes used by the execution and timing models.
+const (
+	ClassALU    Class = iota // single-cycle integer
+	ClassMul                 // multiply: longer result latency
+	ClassLoad                // D-cache read
+	ClassStore               // D-cache write
+	ClassBranch              // redirects fetch
+	ClassMisc                // nop, halt
+)
+
+// Class returns the class of the instruction's operation.
+func (i Instr) Class() Class { return OpClass(i.Op) }
+
+// OpClass returns the execution class of an operation.
+func OpClass(o Op) Class {
+	switch o {
+	case MUL, MLA:
+		return ClassMul
+	case LDR, LDRB, LDRX:
+		return ClassLoad
+	case STR, STRB, STRX:
+		return ClassStore
+	case B, BL, RET:
+		return ClassBranch
+	case NOP, HALT:
+		return ClassMisc
+	default:
+		return ClassALU
+	}
+}
+
+// IsBranch reports whether the instruction can redirect control flow.
+func (i Instr) IsBranch() bool { return i.Class() == ClassBranch }
+
+// IsCall reports whether the instruction is a call.
+func (i Instr) IsCall() bool { return i.Op == BL }
+
+// IsReturn reports whether the instruction is a return.
+func (i Instr) IsReturn() bool { return i.Op == RET }
+
+// IsUncond reports whether the instruction unconditionally leaves the
+// fall-through path (an always-taken branch, call or return).
+func (i Instr) IsUncond() bool {
+	switch i.Op {
+	case B, BL:
+		return i.Cond == AL
+	case RET, HALT:
+		return true
+	}
+	return false
+}
+
+// Format classes describe which fields an operation encodes.
+type format uint8
+
+const (
+	fmt3R   format = iota // rd, rn, rm
+	fmtImm                // rd, rn, imm16
+	fmtMov                // rd, rm
+	fmtMovI               // rd, imm16
+	fmtCmp                // rn, rm
+	fmtCmpI               // rn, imm16
+	fmtMem                // rd, rn, imm16
+	fmtMemX               // rd, rn, rm
+	fmtBr                 // cond, disp
+	fmtNone               // no operands
+)
+
+func opFormat(o Op) format {
+	switch o {
+	case ADD, SUB, RSB, MUL, AND, ORR, EOR, BIC, LSL, LSR, ASR, ROR:
+		return fmt3R
+	case MLA:
+		return fmt3R // rd is also a source
+	case ADDI, SUBI, ANDI, ORRI, EORI, LSLI, LSRI, ASRI:
+		return fmtImm
+	case MOV, MVN:
+		return fmtMov
+	case MOVW, MOVT:
+		return fmtMovI
+	case CMP, TST:
+		return fmtCmp
+	case CMPI:
+		return fmtCmpI
+	case LDR, STR, LDRB, STRB:
+		return fmtMem
+	case LDRX, STRX:
+		return fmtMemX
+	case B, BL:
+		return fmtBr
+	default:
+		return fmtNone
+	}
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	switch opFormat(i.Op) {
+	case fmt3R:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rn, i.Rm)
+	case fmtImm:
+		return fmt.Sprintf("%s %s, %s, #%d", i.Op, i.Rd, i.Rn, i.Imm)
+	case fmtMov:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rm)
+	case fmtMovI:
+		return fmt.Sprintf("%s %s, #%d", i.Op, i.Rd, uint32(i.Imm)&0xffff)
+	case fmtCmp:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rn, i.Rm)
+	case fmtCmpI:
+		return fmt.Sprintf("%s %s, #%d", i.Op, i.Rn, i.Imm)
+	case fmtMem:
+		return fmt.Sprintf("%s %s, [%s, #%d]", i.Op, i.Rd, i.Rn, i.Imm)
+	case fmtMemX:
+		return fmt.Sprintf("%s %s, [%s, %s]", i.Op, i.Rd, i.Rn, i.Rm)
+	case fmtBr:
+		if i.Cond == AL {
+			return fmt.Sprintf("%s %+d", i.Op, i.Imm)
+		}
+		return fmt.Sprintf("%s%s %+d", i.Op, i.Cond, i.Imm)
+	default:
+		return i.Op.String()
+	}
+}

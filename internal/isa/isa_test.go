@@ -1,0 +1,245 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCondEval(t *testing.T) {
+	cases := []struct {
+		cond Cond
+		f    Flags
+		want bool
+	}{
+		{AL, Flags{}, true},
+		{AL, Flags{N: true, Z: true, C: true, V: true}, true},
+		{EQ, Flags{Z: true}, true},
+		{EQ, Flags{}, false},
+		{NE, Flags{}, true},
+		{NE, Flags{Z: true}, false},
+		{LT, Flags{N: true}, true},
+		{LT, Flags{N: true, V: true}, false},
+		{LT, Flags{V: true}, true},
+		{LE, Flags{Z: true}, true},
+		{LE, Flags{N: true, V: true}, false},
+		{GT, Flags{}, true},
+		{GT, Flags{Z: true}, false},
+		{GT, Flags{N: true, V: true}, true},
+		{GE, Flags{}, true},
+		{GE, Flags{N: true}, false},
+		{LO, Flags{}, true},
+		{LO, Flags{C: true}, false},
+		{HS, Flags{C: true}, true},
+		{HI, Flags{C: true}, true},
+		{HI, Flags{C: true, Z: true}, false},
+		{LS, Flags{Z: true}, true},
+		{LS, Flags{C: true}, false},
+		{MI, Flags{N: true}, true},
+		{PL, Flags{}, true},
+		{PL, Flags{N: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.cond.Eval(c.f); got != c.want {
+			t.Errorf("%v.Eval(%+v) = %v, want %v", c.cond, c.f, got, c.want)
+		}
+	}
+}
+
+func TestCondComplementPairs(t *testing.T) {
+	// Each condition and its complement must partition every flag state.
+	pairs := [][2]Cond{{EQ, NE}, {LT, GE}, {LE, GT}, {LO, HS}, {LS, HI}, {MI, PL}}
+	for n := 0; n < 16; n++ {
+		f := Flags{N: n&1 != 0, Z: n&2 != 0, C: n&4 != 0, V: n&8 != 0}
+		for _, p := range pairs {
+			if p[0].Eval(f) == p[1].Eval(f) {
+				t.Errorf("conditions %v and %v agree under %+v", p[0], p[1], f)
+			}
+		}
+	}
+}
+
+// randomInstr builds a random but encodable instruction.
+func randomInstr(r *rand.Rand) Instr {
+	for {
+		i := Instr{
+			Op:   Op(r.Intn(int(numOps))),
+			Cond: Cond(r.Intn(int(numConds))),
+			Rd:   Reg(r.Intn(16)),
+			Rn:   Reg(r.Intn(16)),
+			Rm:   Reg(r.Intn(16)),
+		}
+		switch opFormat(i.Op) {
+		case fmtMovI:
+			i.Imm = int32(r.Intn(0x10000))
+		case fmtBr:
+			i.Imm = int32(r.Intn(dispMax-dispMin+1) + dispMin)
+		default:
+			i.Imm = int32(r.Intn(immMax-immMin+1) + immMin)
+		}
+		return i
+	}
+}
+
+// canonical zeroes the fields an operation's format does not encode, so
+// that decode(encode(i)) can be compared against it.
+func canonical(i Instr) Instr {
+	c := Instr{Op: i.Op, Cond: AL}
+	switch opFormat(i.Op) {
+	case fmt3R, fmtMemX:
+		c.Rd, c.Rn, c.Rm = i.Rd, i.Rn, i.Rm
+	case fmtImm, fmtMem:
+		c.Rd, c.Rn, c.Imm = i.Rd, i.Rn, i.Imm
+	case fmtMov:
+		c.Rd, c.Rm = i.Rd, i.Rm
+	case fmtMovI:
+		c.Rd, c.Imm = i.Rd, i.Imm
+	case fmtCmp:
+		c.Rn, c.Rm = i.Rn, i.Rm
+	case fmtCmpI:
+		c.Rn, c.Imm = i.Rn, i.Imm
+	case fmtBr:
+		c.Cond, c.Imm = i.Cond, i.Imm
+	}
+	return c
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for n := 0; n < 20000; n++ {
+		in := randomInstr(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", in, err)
+		}
+		out, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode(%#08x) from %v: %v", w, in, err)
+		}
+		if out != canonical(in) {
+			t.Fatalf("round trip %v -> %#08x -> %v (want %v)", in, w, out, canonical(in))
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	// Property: any word that decodes successfully re-encodes to a word
+	// that decodes to the same instruction (decode is a retraction of
+	// encode over the valid subset).
+	f := func(w uint32) bool {
+		i, err := Decode(w)
+		if err != nil {
+			return true // invalid words are out of scope
+		}
+		w2, err := Encode(i)
+		if err != nil {
+			return false
+		}
+		i2, err := Decode(w2)
+		return err == nil && i2 == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	cases := []Instr{
+		{Op: ADDI, Rd: R0, Rn: R1, Imm: 1 << 15},
+		{Op: ADDI, Rd: R0, Rn: R1, Imm: -(1 << 15) - 1},
+		{Op: MOVW, Rd: R0, Imm: -1},
+		{Op: MOVW, Rd: R0, Imm: 0x10000},
+		{Op: B, Cond: AL, Imm: dispMax + 1},
+		{Op: B, Cond: AL, Imm: dispMin - 1},
+		{Op: numOps},
+	}
+	for _, c := range cases {
+		if _, err := Encode(c); err == nil {
+			t.Errorf("Encode(%v) succeeded, want range error", c)
+		}
+	}
+}
+
+func TestBranchDispSignExtension(t *testing.T) {
+	for _, d := range []int32{0, 1, -1, 100, -100, dispMax, dispMin} {
+		w := MustEncode(Instr{Op: B, Cond: NE, Imm: d})
+		i, err := Decode(w)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if i.Imm != d || i.Cond != NE {
+			t.Errorf("disp %d decoded to %d (cond %v)", d, i.Imm, i.Cond)
+		}
+	}
+}
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		op   Op
+		want Class
+	}{
+		{ADD, ClassALU}, {MOVW, ClassALU}, {CMP, ClassALU},
+		{MUL, ClassMul}, {MLA, ClassMul},
+		{LDR, ClassLoad}, {LDRB, ClassLoad}, {LDRX, ClassLoad},
+		{STR, ClassStore}, {STRB, ClassStore}, {STRX, ClassStore},
+		{B, ClassBranch}, {BL, ClassBranch}, {RET, ClassBranch},
+		{NOP, ClassMisc}, {HALT, ClassMisc},
+	}
+	for _, c := range cases {
+		if got := OpClass(c.op); got != c.want {
+			t.Errorf("OpClass(%v) = %v, want %v", c.op, got, c.want)
+		}
+	}
+}
+
+func TestIsUncond(t *testing.T) {
+	cases := []struct {
+		i    Instr
+		want bool
+	}{
+		{Instr{Op: B, Cond: AL}, true},
+		{Instr{Op: B, Cond: EQ}, false},
+		{Instr{Op: BL, Cond: AL}, true},
+		{Instr{Op: RET}, true},
+		{Instr{Op: HALT}, true},
+		{Instr{Op: ADD}, false},
+	}
+	for _, c := range cases {
+		if got := c.i.IsUncond(); got != c.want {
+			t.Errorf("(%v).IsUncond() = %v, want %v", c.i, got, c.want)
+		}
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		i    Instr
+		want string
+	}{
+		{Instr{Op: ADD, Rd: R1, Rn: R2, Rm: R3}, "add r1, r2, r3"},
+		{Instr{Op: ADDI, Rd: R1, Rn: R2, Imm: -4}, "addi r1, r2, #-4"},
+		{Instr{Op: MOV, Rd: R1, Rm: LR}, "mov r1, lr"},
+		{Instr{Op: MOVW, Rd: R7, Imm: 0xffff}, "movw r7, #65535"},
+		{Instr{Op: CMPI, Rn: R4, Imm: 10}, "cmpi r4, #10"},
+		{Instr{Op: LDR, Rd: R0, Rn: SP, Imm: 8}, "ldr r0, [sp, #8]"},
+		{Instr{Op: LDRX, Rd: R0, Rn: R1, Rm: R2}, "ldrx r0, [r1, r2]"},
+		{Instr{Op: B, Cond: AL, Imm: 5}, "b +5"},
+		{Instr{Op: B, Cond: NE, Imm: -3}, "bne -3"},
+		{Instr{Op: RET}, "ret"},
+		{Instr{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.i.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode on invalid instruction did not panic")
+		}
+	}()
+	MustEncode(Instr{Op: numOps})
+}

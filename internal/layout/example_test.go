@@ -1,0 +1,60 @@
+package layout_test
+
+import (
+	"fmt"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/layout"
+	"wayplace/internal/profile"
+)
+
+// Example shows the full public flow: build a program whose hot loop
+// sits behind cold code, attach a profile, and let the way-placement
+// pass move the hot chain to the front of the binary.
+func Example() {
+	b := asm.NewBuilder("example")
+
+	f := b.Func("main")
+	f.Call("coldinit")
+	f.Call("hotloop")
+	f.Halt()
+
+	ci := b.Func("coldinit")
+	for i := 0; i < 16; i++ {
+		ci.Nop()
+	}
+	ci.Ret()
+
+	h := b.Func("hotloop")
+	h.Movi(isa.R1, 1000)
+	h.Block("spin")
+	h.Addi(isa.R0, isa.R0, 1)
+	h.Subi(isa.R1, isa.R1, 1)
+	h.Cmpi(isa.R1, 0)
+	h.Bgt("spin")
+	h.Ret()
+
+	unit := b.MustBuild()
+
+	// A profile (normally collected by a training run).
+	prof := profile.New()
+	prof.Add("main", 1)
+	prof.Add("coldinit", 1)
+	prof.Add("hotloop", 1)
+	prof.Add("hotloop.spin", 1000)
+
+	placed, err := layout.Link(unit, prof, 0x1000)
+	if err != nil {
+		panic(err)
+	}
+	hot, _ := placed.AddrOf("hotloop")
+	cold, _ := placed.AddrOf("coldinit")
+	fmt.Printf("hotloop at %#x (image base %#x)\n", hot, placed.Base)
+	fmt.Printf("coldinit placed after the hot chain: %v\n", cold > hot)
+	fmt.Printf("64-byte area coverage: %.0f%%\n", 100*layout.Coverage(placed, prof, 64))
+	// Output:
+	// hotloop at 0x1000 (image base 0x1000)
+	// coldinit placed after the hot chain: true
+	// 64-byte area coverage: 100%
+}

@@ -1,0 +1,135 @@
+// Package layout implements the paper's core contribution: the
+// profile-guided way-placement code layout pass.
+//
+// The pass orders basic-block chains by decreasing dynamic instruction
+// weight and concatenates them, so the most frequently executed code
+// lands at the start of the binary. At run time the leading N bytes
+// (the way-placement area, N chosen by the OS per cache configuration)
+// are mapped to explicit cache ways by their address bits, letting the
+// cache check a single tag per fetch.
+//
+// Because chain weights come from the profile alone, one layout serves
+// every cache size, associativity and way-placement-area size — the
+// "no recompilation" property of section 4.1.
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"wayplace/internal/cfg"
+	"wayplace/internal/obj"
+	"wayplace/internal/profile"
+)
+
+// Order computes the way-placement block ordering for a unit: chains
+// sorted heaviest-first (deterministically tie-broken by original
+// position), then concatenated.
+func Order(u *obj.Unit, prof *profile.Profile) ([]*obj.Block, error) {
+	g, err := cfg.Build(u)
+	if err != nil {
+		return nil, err
+	}
+	chains := cfg.Chains(g)
+	sort.SliceStable(chains, func(i, j int) bool {
+		wi, wj := chains[i].Weight(prof), chains[j].Weight(prof)
+		if wi != wj {
+			return wi > wj
+		}
+		return chains[i].First().Order < chains[j].First().Order
+	})
+	var order []*obj.Block
+	for _, c := range chains {
+		order = append(order, c.Blocks()...)
+	}
+	return order, nil
+}
+
+// Link is the full link-time pipeline: compute the way-placement
+// order and produce the final executable image based at base.
+func Link(u *obj.Unit, prof *profile.Profile, base uint32) (*obj.Program, error) {
+	order, err := Order(u, prof)
+	if err != nil {
+		return nil, err
+	}
+	return obj.Link(u, order, base)
+}
+
+// LinkOriginal links the unit in its original (compilation) order —
+// the paper's baseline binary.
+func LinkOriginal(u *obj.Unit, base uint32) (*obj.Program, error) {
+	return obj.Link(u, obj.OriginalOrder(u), base)
+}
+
+// LinkPermuted links the unit with its chains in an arbitrary
+// deterministic permutation driven by seed. It is used by the layout
+// ablation: it respects all fall-through constraints (the binary is
+// still correct) but ignores the profile entirely.
+func LinkPermuted(u *obj.Unit, seed uint64, base uint32) (*obj.Program, error) {
+	g, err := cfg.Build(u)
+	if err != nil {
+		return nil, err
+	}
+	chains := cfg.Chains(g)
+	// Deterministic pseudo-shuffle (xorshift) so runs are repeatable.
+	s := seed | 1
+	next := func(n int) int {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return int(s % uint64(n))
+	}
+	for i := len(chains) - 1; i > 0; i-- {
+		j := next(i + 1)
+		chains[i], chains[j] = chains[j], chains[i]
+	}
+	var order []*obj.Block
+	for _, c := range chains {
+		order = append(order, c.Blocks()...)
+	}
+	return obj.Link(u, order, base)
+}
+
+// Coverage reports, for a linked program and a profile, the fraction
+// of profiled dynamic instructions whose addresses fall inside a
+// way-placement area of wpSize bytes from the image base. It is the
+// quantity the layout pass maximises, and the examples and tests use
+// it to show that heaviest-first ordering concentrates execution at
+// the front of the binary.
+func Coverage(p *obj.Program, prof *profile.Profile, wpSize uint32) float64 {
+	var in, total uint64
+	limit := uint64(p.Base) + uint64(wpSize)
+	for _, pl := range p.Placed {
+		w := prof.InstrWeight(pl.Block)
+		total += w
+		// A block straddling the boundary contributes the covered
+		// prefix of its instructions, matching per-fetch accounting.
+		end := uint64(pl.Addr) + uint64(pl.Block.Size())
+		switch {
+		case end <= limit:
+			in += w
+		case uint64(pl.Addr) >= limit:
+			// outside entirely
+		default:
+			frac := float64(limit-uint64(pl.Addr)) / float64(pl.Block.Size())
+			in += uint64(float64(w) * frac)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(in) / float64(total)
+}
+
+// Describe returns a short human-readable summary of a layout:
+// chain count, hot-front concentration and image size. Used by
+// cmd/waylink and the examples.
+func Describe(u *obj.Unit, prof *profile.Profile, p *obj.Program) string {
+	g, err := cfg.Build(u)
+	if err != nil {
+		return fmt.Sprintf("layout: %v", err)
+	}
+	chains := cfg.Chains(g)
+	return fmt.Sprintf("%d blocks in %d chains, image %d bytes, 4KB coverage %.1f%%",
+		len(g.Nodes), len(chains), p.Size(), 100*Coverage(p, prof, 4096))
+}

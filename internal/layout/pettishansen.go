@@ -1,0 +1,157 @@
+package layout
+
+import (
+	"sort"
+
+	"wayplace/internal/cfg"
+	"wayplace/internal/obj"
+	"wayplace/internal/profile"
+)
+
+// OrderPettisHansen computes a Pettis/Hansen-style affinity layout:
+// chains are greedily merged so that blocks with hot control-flow
+// transitions between them end up adjacent. This is the classical
+// code-placement objective (cache-line and page locality), and the
+// repository implements it as a comparison point for the ablation: it
+// shows that way-placement needs the paper's *front-loading* order
+// (heaviest chains first) rather than the classical adjacency order —
+// affinity placement interleaves warm and hot code, so a small
+// way-placement area covers less of the execution.
+//
+// The affinity between two chains is the sum over inter-chain branch
+// and call edges of min(exec(src), exec(dst)) — the standard
+// approximation when only node counts (not edge counts) are profiled.
+func OrderPettisHansen(u *obj.Unit, prof *profile.Profile) ([]*obj.Block, error) {
+	g, err := cfg.Build(u)
+	if err != nil {
+		return nil, err
+	}
+	chains := cfg.Chains(g)
+
+	// Map each node to its chain index.
+	chainOf := make(map[*cfg.Node]int)
+	for ci, c := range chains {
+		for _, n := range c.Nodes {
+			chainOf[n] = ci
+		}
+	}
+
+	// Union-find over chains as they merge; each root keeps an ordered
+	// list of chain indices.
+	parent := make([]int, len(chains))
+	seq := make([][]int, len(chains))
+	for i := range parent {
+		parent[i] = i
+		seq[i] = []int{i}
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+
+	// Collect inter-chain affinities.
+	type edge struct {
+		a, b int
+		w    uint64
+	}
+	aff := make(map[[2]int]uint64)
+	for _, n := range g.Nodes {
+		for _, e := range n.Succs {
+			if e.Kind != cfg.EdgeBranch && e.Kind != cfg.EdgeCall {
+				continue
+			}
+			ca, cb := chainOf[n], chainOf[e.To]
+			if ca == cb {
+				continue
+			}
+			w := min64(prof.Count(n.Block.Sym), prof.Count(e.To.Block.Sym))
+			if w == 0 {
+				continue
+			}
+			key := [2]int{ca, cb}
+			if cb < ca {
+				key = [2]int{cb, ca}
+			}
+			aff[key] += w
+		}
+	}
+	edges := make([]edge, 0, len(aff))
+	for k, w := range aff {
+		edges = append(edges, edge{k[0], k[1], w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	// Greedy merge, strongest affinity first.
+	for _, e := range edges {
+		ra, rb := find(e.a), find(e.b)
+		if ra == rb {
+			continue
+		}
+		parent[rb] = ra
+		seq[ra] = append(seq[ra], seq[rb]...)
+		seq[rb] = nil
+	}
+
+	// Emit merged groups ordered by their heaviest member (so the
+	// hottest locality cluster still leads), then original order.
+	type group struct {
+		chains []int
+		weight uint64
+		first  int
+	}
+	var groups []group
+	for i := range chains {
+		if find(i) != i {
+			continue
+		}
+		gr := group{chains: seq[i], first: chains[seq[i][0]].First().Order}
+		for _, ci := range seq[i] {
+			if w := chains[ci].Weight(prof); w > gr.weight {
+				gr.weight = w
+			}
+		}
+		groups = append(groups, gr)
+	}
+	sort.SliceStable(groups, func(i, j int) bool {
+		if groups[i].weight != groups[j].weight {
+			return groups[i].weight > groups[j].weight
+		}
+		return groups[i].first < groups[j].first
+	})
+
+	var order []*obj.Block
+	for _, gr := range groups {
+		for _, ci := range gr.chains {
+			order = append(order, chains[ci].Blocks()...)
+		}
+	}
+	return order, nil
+}
+
+// LinkPettisHansen links the unit with the affinity layout.
+func LinkPettisHansen(u *obj.Unit, prof *profile.Profile, base uint32) (*obj.Program, error) {
+	order, err := OrderPettisHansen(u, prof)
+	if err != nil {
+		return nil, err
+	}
+	return obj.Link(u, order, base)
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wayplace/internal/cfg"
+	"wayplace/internal/obj"
+	"wayplace/internal/profile"
+	"wayplace/internal/progen"
+)
+
+// fakeProfile gives every block a pseudo-random count derived from its
+// symbol, so orderings are exercised under arbitrary weights.
+func fakeProfile(u *obj.Unit, seed uint32) *profile.Profile {
+	p := profile.New()
+	h := seed | 1
+	for _, b := range u.Blocks() {
+		for _, c := range b.Sym {
+			h = h*31 + uint32(c)
+		}
+		p.Add(b.Sym, uint64(h%1000))
+	}
+	return p
+}
+
+// TestOrderIsValidPermutationProperty: for random programs and random
+// profiles, every ordering strategy must produce a linkable order
+// (obj.Link verifies permutation-ness and every fall-through
+// constraint).
+func TestOrderIsValidPermutationProperty(t *testing.T) {
+	f := func(seed uint16, pseed uint32) bool {
+		u := progen.Unit(uint64(seed), progen.Options{
+			MaxHelpers: 4, MaxOuterTrip: 3, MaxBlockOps: 10, ColdFuncs: 3,
+		})
+		prof := fakeProfile(u, pseed)
+		for _, link := range []func() (*obj.Program, error){
+			func() (*obj.Program, error) { return Link(u, prof, 0x1000) },
+			func() (*obj.Program, error) { return LinkPettisHansen(u, prof, 0x1000) },
+			func() (*obj.Program, error) { return LinkPermuted(u, uint64(pseed), 0x1000) },
+			func() (*obj.Program, error) { return LinkOriginal(u, 0x1000) },
+		} {
+			if _, err := link(); err != nil {
+				t.Logf("seed %d/%d: %v", seed, pseed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeaviestChainLeadsProperty: the way-placement order must start
+// with a block belonging to a maximal-weight chain, and the chain
+// weights must be non-increasing along the emitted order.
+func TestHeaviestChainLeadsProperty(t *testing.T) {
+	f := func(seed uint16, pseed uint32) bool {
+		u := progen.Unit(uint64(seed), progen.DefaultOptions())
+		prof := fakeProfile(u, pseed)
+		order, err := Order(u, prof)
+		if err != nil {
+			return false
+		}
+		g, err := cfg.Build(u)
+		if err != nil {
+			return false
+		}
+		chains := cfg.Chains(g)
+		weightOfHead := make(map[string]uint64) // chain head sym -> weight
+		heads := make(map[string]bool)
+		var maxW uint64
+		for _, c := range chains {
+			w := c.Weight(prof)
+			weightOfHead[c.First().Block.Sym] = w
+			heads[c.First().Block.Sym] = true
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if weightOfHead[order[0].Sym] != maxW {
+			return false
+		}
+		prev := maxW
+		for _, b := range order {
+			if heads[b.Sym] {
+				w := weightOfHead[b.Sym]
+				if w > prev {
+					return false
+				}
+				prev = w
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoverageBoundsProperty: coverage is always within [0, 1] and
+// equals 1 at the full image for any layout.
+func TestCoverageBoundsProperty(t *testing.T) {
+	f := func(seed uint16, pseed uint32, wp uint16) bool {
+		u := progen.Unit(uint64(seed), progen.DefaultOptions())
+		prof := fakeProfile(u, pseed)
+		p, err := LinkPermuted(u, uint64(pseed)+7, 0)
+		if err != nil {
+			return false
+		}
+		c := Coverage(p, prof, uint32(wp))
+		if c < 0 || c > 1 {
+			return false
+		}
+		return Coverage(p, prof, p.Size()) > 0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPettisHansenDeterminism: affinity layout must be reproducible.
+func TestPettisHansenDeterminism(t *testing.T) {
+	u := progen.Unit(42, progen.DefaultOptions())
+	prof := fakeProfile(u, 99)
+	a, err := OrderPettisHansen(u, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OrderPettisHansen(u, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Sym != b[i].Sym {
+			t.Fatalf("non-deterministic at %d: %s vs %s", i, a[i].Sym, b[i].Sym)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(DefaultConfig())
+	m.Write32(0x1000, 0xdeadbeef)
+	if got := m.Read32(0x1000); got != 0xdeadbeef {
+		t.Errorf("Read32 = %#x", got)
+	}
+	m.Write8(0x1000, 0x42)
+	if got := m.Read32(0x1000); got != 0xdeadbe42 {
+		t.Errorf("after byte write: %#x", got)
+	}
+	if got := m.Read8(0x1003); got != 0xde {
+		t.Errorf("Read8 = %#x", got)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	m := New(DefaultConfig())
+	if m.Read32(0x9999_0000) != 0 || m.Read8(0x1234_5678) != 0 {
+		t.Error("unwritten memory not zero")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New(DefaultConfig())
+	addr := uint32(pageSize - 2) // straddles the first page boundary
+	m.Write32(addr, 0x11223344)
+	if got := m.Read32(addr); got != 0x11223344 {
+		t.Errorf("cross-page Read32 = %#x", got)
+	}
+	if m.Read8(addr+2) != 0x22 {
+		t.Errorf("high half landed wrong")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	m := New(DefaultConfig())
+	f := func(addr uint32, v uint32) bool {
+		m.Write32(addr, v)
+		return m.Read32(addr) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadImage(t *testing.T) {
+	m := New(DefaultConfig())
+	m.LoadImage(0x100, []byte{1, 2, 3, 4, 5})
+	if m.Read32(0x100) != 0x04030201 {
+		t.Errorf("image word = %#x", m.Read32(0x100))
+	}
+	if m.Read8(0x104) != 5 {
+		t.Errorf("image tail byte = %d", m.Read8(0x104))
+	}
+}
+
+func TestLineFillCycles(t *testing.T) {
+	cfg := DefaultConfig() // 50 cycles + 1 beat per 4 bytes
+	if got := cfg.LineFillCycles(32); got != 58 {
+		t.Errorf("32B line fill = %d cycles, want 58", got)
+	}
+	if got := cfg.LineFillCycles(4); got != 51 {
+		t.Errorf("4B line fill = %d cycles, want 51", got)
+	}
+	if got := cfg.LineFillCycles(0); got != 51 {
+		t.Errorf("degenerate fill = %d cycles, want 51 (min one beat)", got)
+	}
+}
+
+func TestTrafficStats(t *testing.T) {
+	m := New(DefaultConfig())
+	m.ReadLine(0x0, 32)
+	m.ReadLine(0x40, 32)
+	m.WriteBack(0x0, 32)
+	if m.Stats.Reads != 2 || m.Stats.Writes != 1 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+	if m.Stats.BytesRead != 64 || m.Stats.BytesWrite != 32 {
+		t.Errorf("bytes = %+v", m.Stats)
+	}
+}

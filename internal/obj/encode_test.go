@@ -1,0 +1,125 @@
+package obj
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, p *Program) *Program {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatalf("WriteImage: %v", err)
+	}
+	q, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatalf("ReadImage: %v", err)
+	}
+	return q
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	u := unit()
+	u.DataBase = 0x40_0000
+	u.Data = []byte{1, 2, 3, 4, 5, 6, 7}
+	p, err := Link(u, OriginalOrder(u), 0x1_0000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := roundTrip(t, p)
+
+	if q.Entry != p.Entry || q.Base != p.Base || q.DataBase != p.DataBase {
+		t.Errorf("header mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.Words) != len(p.Words) {
+		t.Fatalf("word counts differ")
+	}
+	for i := range p.Words {
+		if q.Words[i] != p.Words[i] {
+			t.Errorf("word %d: %#x vs %#x", i, q.Words[i], p.Words[i])
+		}
+		if q.Code[i] != p.Code[i] {
+			t.Errorf("code %d: %v vs %v", i, q.Code[i], p.Code[i])
+		}
+	}
+	if len(q.Syms) != len(p.Syms) {
+		t.Fatalf("symbol counts differ")
+	}
+	for s, a := range p.Syms {
+		if q.Syms[s] != a {
+			t.Errorf("symbol %s: %#x vs %#x", s, q.Syms[s], a)
+		}
+	}
+	if len(q.Placed) != len(p.Placed) {
+		t.Fatalf("block counts differ")
+	}
+	for i := range p.Placed {
+		a, b := p.Placed[i], q.Placed[i]
+		if a.Addr != b.Addr || a.Block.Sym != b.Block.Sym ||
+			a.Block.Func != b.Block.Func ||
+			a.Block.NumInstrs() != b.Block.NumInstrs() ||
+			a.Block.BranchSym != b.Block.BranchSym ||
+			a.Block.FallSym != b.Block.FallSym ||
+			a.Block.IsCall != b.Block.IsCall {
+			t.Errorf("block %d differs: %+v vs %+v", i, b, a)
+		}
+	}
+	if !bytes.Equal(q.Data, p.Data) {
+		t.Error("data sections differ")
+	}
+	// Index helpers must work on the loaded image.
+	if blk := q.BlockAt(0); blk == nil || blk.Block.Sym != "main" {
+		t.Errorf("BlockAt(0) on loaded image = %+v", blk)
+	}
+	if i, ok := q.IndexOf(q.Entry); !ok || i != 0 {
+		t.Errorf("IndexOf(entry) = %d,%v", i, ok)
+	}
+}
+
+func TestReadImageRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOPE0000000000000000")},
+		{"truncated header", []byte("WPL1\x01\x00")},
+	}
+	for _, c := range cases {
+		if _, err := ReadImage(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("%s: ReadImage succeeded", c.name)
+		}
+	}
+}
+
+func TestReadImageRejectsImplausibleSizes(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("WPL1")
+	for i := 0; i < 3; i++ {
+		buf.Write([]byte{0, 0, 0, 0})
+	}
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4G instruction words
+	if _, err := ReadImage(&buf); err == nil ||
+		!strings.Contains(err.Error(), "implausible") {
+		t.Errorf("huge code size accepted: %v", err)
+	}
+}
+
+func TestWriteImageDeterministic(t *testing.T) {
+	u := unit()
+	p, err := Link(u, OriginalOrder(u), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := p.WriteImage(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteImage(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("WriteImage not deterministic")
+	}
+}

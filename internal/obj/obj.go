@@ -1,0 +1,284 @@
+// Package obj defines the object-code representation that sits between
+// the program builder (internal/asm) and the link-time layout pass
+// (internal/cfg, internal/layout), plus the linker that turns an
+// ordered list of basic blocks into a final executable image.
+//
+// It plays the role of the object files and libraries that the paper's
+// Diablo-based pass reads: code is kept as symbolic basic blocks with
+// unresolved branch targets, so the layout pass is free to reorder
+// blocks before addresses are assigned.
+package obj
+
+import (
+	"fmt"
+	"sort"
+
+	"wayplace/internal/isa"
+)
+
+// Block is one basic block: a straight-line run of instructions with a
+// single entry (its symbol) and a terminator described by the target
+// fields. Branch displacements inside Instrs are left as zero and are
+// patched by the linker.
+type Block struct {
+	Sym    string // globally unique label, "func" or "func.N"
+	Func   string // owning function
+	Index  int    // position within the function's original order
+	Instrs []isa.Instr
+
+	// BranchSym is the control-flow target of a terminating branch or
+	// call ("" if the block does not end in B/BL).
+	BranchSym string
+	// FallSym names the block that must be placed immediately after
+	// this one: the fall-through successor of a conditional branch or
+	// plain fall-through, or the return continuation of a call ("" if
+	// the block ends the instruction stream unconditionally).
+	FallSym string
+	// IsCall records that the terminator is a BL, so FallSym is a
+	// call/return-site pairing rather than a branch fall-through.
+	IsCall bool
+}
+
+// NumInstrs returns the number of instructions in the block.
+func (b *Block) NumInstrs() int { return len(b.Instrs) }
+
+// Size returns the block size in bytes.
+func (b *Block) Size() uint32 { return uint32(len(b.Instrs)) * isa.InstrBytes }
+
+// Func is an ordered collection of basic blocks; Blocks[0] is the
+// entry block and carries the function's name as its symbol.
+type Func struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Unit is one object file: the output of compiling one translation
+// unit with the program builder.
+type Unit struct {
+	Name  string
+	Funcs []*Func
+	// DataBase/Data describe the unit's initialised data image. Data
+	// addresses are assigned by the front end and never move during
+	// code layout, so code references them by absolute address with no
+	// relocations (see internal/asm).
+	DataBase uint32
+	Data     []byte
+}
+
+// Blocks returns every block of every function in original order.
+func (u *Unit) Blocks() []*Block {
+	var out []*Block
+	for _, f := range u.Funcs {
+		out = append(out, f.Blocks...)
+	}
+	return out
+}
+
+// Validate checks structural invariants: unique symbols, resolvable
+// targets, fall-through targets that exist, and non-empty blocks.
+func (u *Unit) Validate() error {
+	syms := make(map[string]*Block)
+	for _, f := range u.Funcs {
+		if len(f.Blocks) == 0 {
+			return fmt.Errorf("obj: function %s has no blocks", f.Name)
+		}
+		if f.Blocks[0].Sym != f.Name {
+			return fmt.Errorf("obj: function %s entry block is %q", f.Name, f.Blocks[0].Sym)
+		}
+		for _, b := range f.Blocks {
+			if b.Func != f.Name {
+				return fmt.Errorf("obj: block %s claims function %s inside %s", b.Sym, b.Func, f.Name)
+			}
+			if len(b.Instrs) == 0 {
+				return fmt.Errorf("obj: block %s is empty", b.Sym)
+			}
+			if prev, dup := syms[b.Sym]; dup {
+				return fmt.Errorf("obj: duplicate symbol %s (functions %s and %s)", b.Sym, prev.Func, b.Func)
+			}
+			syms[b.Sym] = b
+		}
+	}
+	for _, f := range u.Funcs {
+		for _, b := range f.Blocks {
+			if b.BranchSym != "" {
+				if _, ok := syms[b.BranchSym]; !ok {
+					return fmt.Errorf("obj: block %s branches to undefined symbol %s", b.Sym, b.BranchSym)
+				}
+			}
+			if b.FallSym != "" {
+				if _, ok := syms[b.FallSym]; !ok {
+					return fmt.Errorf("obj: block %s falls through to undefined symbol %s", b.Sym, b.FallSym)
+				}
+			}
+			last := b.Instrs[len(b.Instrs)-1]
+			switch {
+			case last.Op == isa.BL:
+				if !b.IsCall || b.BranchSym == "" {
+					return fmt.Errorf("obj: block %s ends in bl but is not marked as a call with a target", b.Sym)
+				}
+			case last.Op == isa.B:
+				if b.BranchSym == "" {
+					return fmt.Errorf("obj: block %s ends in b with no target symbol", b.Sym)
+				}
+				if last.Cond == isa.AL && b.FallSym != "" {
+					return fmt.Errorf("obj: block %s ends in unconditional b but has fall-through %s", b.Sym, b.FallSym)
+				}
+				if last.Cond != isa.AL && b.FallSym == "" {
+					return fmt.Errorf("obj: block %s ends in conditional branch with no fall-through", b.Sym)
+				}
+			case last.Op == isa.RET || last.Op == isa.HALT:
+				if b.FallSym != "" || b.BranchSym != "" {
+					return fmt.Errorf("obj: block %s ends in %v but has successors", b.Sym, last.Op)
+				}
+			default:
+				if b.FallSym == "" {
+					return fmt.Errorf("obj: block %s ends in %v with no fall-through", b.Sym, last.Op)
+				}
+				if b.BranchSym != "" {
+					return fmt.Errorf("obj: block %s has branch target %s but no terminating branch", b.Sym, b.BranchSym)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Placed records where a block landed in the linked image.
+type Placed struct {
+	Block *Block
+	Addr  uint32 // address of the first instruction
+}
+
+// Program is a fully linked executable image.
+type Program struct {
+	Entry    uint32 // address of main's first instruction
+	Base     uint32 // address of the first instruction of the image
+	Code     []isa.Instr
+	Words    []uint32 // encoded form of Code
+	Syms     map[string]uint32
+	Placed   []Placed
+	DataBase uint32
+	Data     []byte
+
+	// blockOf maps instruction index -> index into Placed, used to
+	// aggregate per-instruction profiles back onto blocks.
+	blockOf []int
+}
+
+// Size returns the code image size in bytes.
+func (p *Program) Size() uint32 { return uint32(len(p.Code)) * isa.InstrBytes }
+
+// AddrOf returns the address of a symbol.
+func (p *Program) AddrOf(sym string) (uint32, bool) {
+	a, ok := p.Syms[sym]
+	return a, ok
+}
+
+// IndexOf converts an instruction address into an index into Code.
+// ok is false when the address is outside the image or misaligned.
+func (p *Program) IndexOf(addr uint32) (int, bool) {
+	if addr < p.Base || addr%isa.InstrBytes != 0 {
+		return 0, false
+	}
+	i := int((addr - p.Base) / isa.InstrBytes)
+	if i >= len(p.Code) {
+		return 0, false
+	}
+	return i, true
+}
+
+// BlockAt returns the placed block containing the instruction at Code
+// index i.
+func (p *Program) BlockAt(i int) *Placed {
+	if i < 0 || i >= len(p.blockOf) {
+		return nil
+	}
+	return &p.Placed[p.blockOf[i]]
+}
+
+// Link lays the given blocks out in order starting at base, assigns
+// addresses, patches branch displacements and encodes the result.
+// The order must contain every block exactly once and must respect
+// every FallSym constraint (the linker verifies this, because a
+// violated call/return pairing or fall-through would change program
+// semantics, not just its layout).
+func Link(u *Unit, order []*Block, base uint32) (*Program, error) {
+	if base%isa.InstrBytes != 0 {
+		return nil, fmt.Errorf("obj: base address %#x is not instruction-aligned", base)
+	}
+	all := u.Blocks()
+	if len(order) != len(all) {
+		return nil, fmt.Errorf("obj: order has %d blocks, unit has %d", len(order), len(all))
+	}
+	seen := make(map[string]bool, len(order))
+	for _, b := range order {
+		if seen[b.Sym] {
+			return nil, fmt.Errorf("obj: block %s appears twice in order", b.Sym)
+		}
+		seen[b.Sym] = true
+	}
+	for _, b := range all {
+		if !seen[b.Sym] {
+			return nil, fmt.Errorf("obj: block %s missing from order", b.Sym)
+		}
+	}
+	for i, b := range order {
+		if b.FallSym == "" {
+			continue
+		}
+		if i+1 >= len(order) || order[i+1].Sym != b.FallSym {
+			return nil, fmt.Errorf("obj: order violates fall-through %s -> %s", b.Sym, b.FallSym)
+		}
+	}
+
+	p := &Program{
+		Base:     base,
+		Syms:     make(map[string]uint32),
+		DataBase: u.DataBase,
+		Data:     append([]byte(nil), u.Data...),
+	}
+	addr := base
+	for bi, b := range order {
+		p.Syms[b.Sym] = addr
+		p.Placed = append(p.Placed, Placed{Block: b, Addr: addr})
+		for range b.Instrs {
+			p.blockOf = append(p.blockOf, bi)
+		}
+		addr += b.Size()
+	}
+	for _, b := range order {
+		for k, in := range b.Instrs {
+			if (in.Op == isa.B || in.Op == isa.BL) && k == len(b.Instrs)-1 {
+				target, ok := p.Syms[b.BranchSym]
+				if !ok {
+					return nil, fmt.Errorf("obj: unresolved symbol %s", b.BranchSym)
+				}
+				pc := p.Syms[b.Sym] + uint32(k)*isa.InstrBytes
+				// target = pc + 4 + disp*4
+				disp := (int64(target) - int64(pc) - isa.InstrBytes) / isa.InstrBytes
+				in.Imm = int32(disp)
+			}
+			p.Code = append(p.Code, in)
+			w, err := isa.Encode(in)
+			if err != nil {
+				return nil, fmt.Errorf("obj: block %s instr %d: %w", b.Sym, k, err)
+			}
+			p.Words = append(p.Words, w)
+		}
+	}
+	entry, ok := p.Syms["main"]
+	if !ok {
+		return nil, fmt.Errorf("obj: no main function")
+	}
+	p.Entry = entry
+	return p, nil
+}
+
+// OriginalOrder returns the unit's blocks in their original
+// (compilation) order: the layout the paper's baseline uses.
+func OriginalOrder(u *Unit) []*Block { return u.Blocks() }
+
+// SortPlacedByAddr is a test helper ordering placed blocks by address.
+func SortPlacedByAddr(placed []Placed) {
+	sort.Slice(placed, func(i, j int) bool { return placed[i].Addr < placed[j].Addr })
+}

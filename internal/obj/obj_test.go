@@ -1,0 +1,147 @@
+package obj
+
+import (
+	"strings"
+	"testing"
+
+	"wayplace/internal/isa"
+)
+
+// unit builds a minimal two-function unit by hand (no asm builder —
+// these tests exercise obj's own invariants).
+func unit() *Unit {
+	mainEntry := &Block{
+		Sym: "main", Func: "main", Index: 0,
+		Instrs:    []isa.Instr{{Op: isa.MOVW, Rd: isa.R0, Imm: 1}, {Op: isa.BL, Cond: isa.AL}},
+		BranchSym: "f", FallSym: "main.$1", IsCall: true,
+	}
+	mainEnd := &Block{
+		Sym: "main.$1", Func: "main", Index: 1,
+		Instrs: []isa.Instr{{Op: isa.HALT}},
+	}
+	f := &Block{
+		Sym: "f", Func: "f", Index: 0,
+		Instrs: []isa.Instr{{Op: isa.ADDI, Rd: isa.R0, Rn: isa.R0, Imm: 1}, {Op: isa.RET}},
+	}
+	return &Unit{
+		Name: "t",
+		Funcs: []*Func{
+			{Name: "main", Blocks: []*Block{mainEntry, mainEnd}},
+			{Name: "f", Blocks: []*Block{f}},
+		},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := unit().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesStructuralErrors(t *testing.T) {
+	mutations := []struct {
+		name   string
+		mutate func(*Unit)
+		want   string
+	}{
+		{"empty function", func(u *Unit) { u.Funcs[1].Blocks = nil }, "no blocks"},
+		{"entry misnamed", func(u *Unit) { u.Funcs[1].Blocks[0].Sym = "g" }, "entry block"},
+		{"wrong func owner", func(u *Unit) { u.Funcs[1].Blocks[0].Func = "other" }, "claims function"},
+		{"empty block", func(u *Unit) { u.Funcs[1].Blocks[0].Instrs = nil }, "empty"},
+		{"duplicate symbol", func(u *Unit) { u.Funcs[1].Blocks[0].Sym = "main"; u.Funcs[1].Name = "main" }, ""},
+		{"dangling branch", func(u *Unit) { u.Funcs[0].Blocks[0].BranchSym = "ghost" }, "undefined"},
+		{"dangling fall", func(u *Unit) { u.Funcs[0].Blocks[0].FallSym = "ghost" }, "undefined"},
+		{"call unmarked", func(u *Unit) { u.Funcs[0].Blocks[0].IsCall = false }, "bl"},
+		{"ret with successor", func(u *Unit) { u.Funcs[1].Blocks[0].FallSym = "main" }, "successors"},
+		{"plain block no fall", func(u *Unit) {
+			u.Funcs[0].Blocks[1].Instrs = []isa.Instr{{Op: isa.NOP}}
+		}, "no fall-through"},
+	}
+	for _, m := range mutations {
+		u := unit()
+		m.mutate(u)
+		err := u.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted the broken unit", m.name)
+			continue
+		}
+		if m.want != "" && !strings.Contains(err.Error(), m.want) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.want)
+		}
+	}
+}
+
+func TestValidateUncondBranchRules(t *testing.T) {
+	u := unit()
+	// Replace f's body with an unconditional branch to itself that
+	// wrongly declares a fall-through.
+	u.Funcs[1].Blocks[0].Instrs = []isa.Instr{{Op: isa.B, Cond: isa.AL}}
+	u.Funcs[1].Blocks[0].BranchSym = "f"
+	u.Funcs[1].Blocks[0].FallSym = "main"
+	if err := u.Validate(); err == nil {
+		t.Error("unconditional branch with fall-through accepted")
+	}
+	u.Funcs[1].Blocks[0].FallSym = ""
+	if err := u.Validate(); err != nil {
+		t.Errorf("self-loop unconditional branch rejected: %v", err)
+	}
+	// Conditional branch requires a fall-through.
+	u.Funcs[1].Blocks[0].Instrs[0].Cond = isa.EQ
+	if err := u.Validate(); err == nil {
+		t.Error("conditional branch without fall-through accepted")
+	}
+}
+
+func TestLinkProducesDecodableImage(t *testing.T) {
+	u := unit()
+	p, err := Link(u, OriginalOrder(u), 0x4000)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	if p.Size() != uint32(len(p.Code))*isa.InstrBytes {
+		t.Error("Size inconsistent with Code length")
+	}
+	for i, w := range p.Words {
+		d, err := isa.Decode(w)
+		if err != nil {
+			t.Fatalf("word %d undecodable: %v", i, err)
+		}
+		if d != p.Code[i] {
+			t.Errorf("word %d decodes to %v, want %v", i, d, p.Code[i])
+		}
+	}
+	// Placed metadata is address-ordered and contiguous.
+	next := p.Base
+	for _, pl := range p.Placed {
+		if pl.Addr != next {
+			t.Errorf("block %s at %#x, want %#x", pl.Block.Sym, pl.Addr, next)
+		}
+		next += pl.Block.Size()
+	}
+}
+
+func TestLinkDataImageIsCopied(t *testing.T) {
+	u := unit()
+	u.DataBase = 0x100
+	u.Data = []byte{1, 2, 3}
+	p, err := Link(u, OriginalOrder(u), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Data[0] = 99
+	if p.Data[0] != 1 {
+		t.Error("program data aliases the unit's buffer")
+	}
+}
+
+func TestSortPlacedByAddr(t *testing.T) {
+	u := unit()
+	p, _ := Link(u, OriginalOrder(u), 0)
+	shuffled := []Placed{p.Placed[2], p.Placed[0], p.Placed[1]}
+	SortPlacedByAddr(shuffled)
+	for i := 1; i < len(shuffled); i++ {
+		if shuffled[i-1].Addr > shuffled[i].Addr {
+			t.Fatal("not sorted")
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package profile represents basic-block execution profiles.
+//
+// The paper's flow is profile-guided: each benchmark is first run on
+// its small (training) input to collect per-block execution counts,
+// which the link-time way-placement pass then uses to weight chains.
+// Profiles are keyed by block symbol, so they survive relinking — the
+// same profile drives layout for any cache configuration, which is
+// what lets the paper resize the way-placement area with no
+// recompilation.
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wayplace/internal/obj"
+)
+
+// Profile maps block symbols to execution counts.
+type Profile struct {
+	Counts map[string]uint64
+}
+
+// New returns an empty profile.
+func New() *Profile {
+	return &Profile{Counts: make(map[string]uint64)}
+}
+
+// Add increments the count for a block symbol.
+func (p *Profile) Add(sym string, n uint64) {
+	p.Counts[sym] += n
+}
+
+// Count returns the execution count recorded for a block symbol.
+func (p *Profile) Count(sym string) uint64 { return p.Counts[sym] }
+
+// InstrWeight returns the block's dynamic instruction count: its
+// execution count times its static size. This is the chain weight
+// contribution defined in section 3 of the paper ("a weight ... equal
+// to the sum of the instruction counts in that chain").
+func (p *Profile) InstrWeight(b *obj.Block) uint64 {
+	return p.Counts[b.Sym] * uint64(b.NumInstrs())
+}
+
+// TotalInstrs returns the profiled dynamic instruction count of the
+// whole unit.
+func (p *Profile) TotalInstrs(u *obj.Unit) uint64 {
+	var total uint64
+	for _, b := range u.Blocks() {
+		total += p.InstrWeight(b)
+	}
+	return total
+}
+
+// FromInstrCounts aggregates a per-instruction execution count vector
+// (indexed like prog.Code) into per-block counts. The block count is
+// the execution count of its first instruction — the number of times
+// the block was entered.
+func FromInstrCounts(prog *obj.Program, counts []uint64) *Profile {
+	p := New()
+	for _, pl := range prog.Placed {
+		idx, ok := prog.IndexOf(pl.Addr)
+		if !ok {
+			continue
+		}
+		if idx < len(counts) {
+			p.Add(pl.Block.Sym, counts[idx])
+		}
+	}
+	return p
+}
+
+// WriteTo serialises the profile as sorted "sym count" lines.
+func (p *Profile) WriteTo(w io.Writer) (int64, error) {
+	syms := make([]string, 0, len(p.Counts))
+	for s := range p.Counts {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	var n int64
+	for _, s := range syms {
+		k, err := fmt.Fprintf(w, "%s %d\n", s, p.Counts[s])
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Read parses the serialised form produced by WriteTo.
+func Read(r io.Reader) (*Profile, error) {
+	p := New()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("profile: line %d: want 'sym count', got %q", line, text)
+		}
+		n, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("profile: line %d: bad count: %v", line, err)
+		}
+		p.Add(fields[0], n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("profile: %v", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,139 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+func TestAddAndCount(t *testing.T) {
+	p := New()
+	p.Add("a", 3)
+	p.Add("a", 4)
+	p.Add("b", 1)
+	if p.Count("a") != 7 || p.Count("b") != 1 || p.Count("absent") != 0 {
+		t.Errorf("counts wrong: a=%d b=%d absent=%d", p.Count("a"), p.Count("b"), p.Count("absent"))
+	}
+}
+
+func TestRoundTripSerialisation(t *testing.T) {
+	p := New()
+	p.Add("main", 1)
+	p.Add("kernel.loop", 123456789)
+	p.Add("f.$2", 42)
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	q, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(q.Counts) != len(p.Counts) {
+		t.Fatalf("count mismatch: %d vs %d", len(q.Counts), len(p.Counts))
+	}
+	for s, n := range p.Counts {
+		if q.Counts[s] != n {
+			t.Errorf("sym %s: %d != %d", s, q.Counts[s], n)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(counts map[string]uint64) bool {
+		p := New()
+		for s, n := range counts {
+			// Restrict to symbols the assembler can actually produce:
+			// no whitespace of any kind and no comment marker.
+			if s == "" || strings.HasPrefix(s, "#") ||
+				strings.IndexFunc(s, unicode.IsSpace) >= 0 {
+				continue
+			}
+			p.Add(s, n)
+		}
+		var buf bytes.Buffer
+		if _, err := p.WriteTo(&buf); err != nil {
+			return false
+		}
+		q, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(q.Counts) != len(p.Counts) {
+			return false
+		}
+		for s, n := range p.Counts {
+			if q.Counts[s] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"onlyonefield\n", "a b c\n", "sym notanumber\n", "sym -1\n"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	p, err := Read(strings.NewReader("# comment\n\nmain 5\n"))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if p.Count("main") != 5 {
+		t.Errorf("main = %d, want 5", p.Count("main"))
+	}
+}
+
+func TestFromInstrCountsAndWeights(t *testing.T) {
+	b := asm.NewBuilder("t")
+	f := b.Func("main")
+	f.Movi(isa.R0, 3) // block main: 1 instr + loop label starts new block
+	f.Block("loop")
+	f.Subi(isa.R0, isa.R0, 1)
+	f.Cmpi(isa.R0, 0)
+	f.Bgt("loop")
+	f.Halt()
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	p, err := obj.Link(u, obj.OriginalOrder(u), 0)
+	if err != nil {
+		t.Fatalf("Link: %v", err)
+	}
+	// Simulated per-instruction counts: movi once, loop body 3 times,
+	// halt once.
+	counts := []uint64{1, 3, 3, 3, 1}
+	prof := FromInstrCounts(p, counts)
+	if prof.Count("main") != 1 {
+		t.Errorf("main count = %d, want 1", prof.Count("main"))
+	}
+	if prof.Count("main.loop") != 3 {
+		t.Errorf("loop count = %d, want 3", prof.Count("main.loop"))
+	}
+	// InstrWeight: loop block is 3 instructions, executed 3 times.
+	for _, blk := range u.Blocks() {
+		if blk.Sym == "main.loop" {
+			if w := prof.InstrWeight(blk); w != 9 {
+				t.Errorf("loop InstrWeight = %d, want 9", w)
+			}
+		}
+	}
+	if total := prof.TotalInstrs(u); total != 1+9+1 {
+		t.Errorf("TotalInstrs = %d, want 11", total)
+	}
+}

@@ -1,0 +1,135 @@
+// Package progen generates random, well-formed, terminating programs
+// for property-based testing and fuzzing. Every generated program:
+//
+//   - halts within a bounded number of instructions (all loops have
+//     decreasing counters);
+//   - keeps memory traffic inside a private scratch region with
+//     aligned word accesses;
+//   - accumulates an input-dependent checksum in R0, so two machines
+//     disagreeing on semantics are detected by a register compare.
+//
+// The generator is deterministic per seed.
+package progen
+
+import (
+	"fmt"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/isa"
+	"wayplace/internal/obj"
+)
+
+// Options tunes program shape.
+type Options struct {
+	MaxHelpers   int // helper functions callable from main (>=1)
+	MaxOuterTrip int // main-loop trip count bound (>=1)
+	MaxBlockOps  int // straight-line ops per work burst (>=2)
+	ColdFuncs    int // unreachable-but-linked cold functions
+}
+
+// DefaultOptions returns the shape used by the repository's fuzz
+// tests.
+func DefaultOptions() Options {
+	return Options{MaxHelpers: 3, MaxOuterTrip: 30, MaxBlockOps: 8, ColdFuncs: 0}
+}
+
+type gen struct {
+	s uint64
+}
+
+func (g *gen) next(n int) int {
+	g.s ^= g.s << 13
+	g.s ^= g.s >> 7
+	g.s ^= g.s << 17
+	return int((g.s >> 33) % uint64(n))
+}
+
+// Unit generates a random object unit.
+func Unit(seed uint64, opt Options) *obj.Unit {
+	if opt.MaxHelpers < 1 || opt.MaxOuterTrip < 1 || opt.MaxBlockOps < 2 {
+		opt = DefaultOptions()
+	}
+	g := &gen{s: seed*6364136223846793005 + 1442695040888963407}
+	b := asm.NewBuilder("progen")
+	scratch := b.Zeros(512)
+
+	nh := 1 + g.next(opt.MaxHelpers)
+	helpers := make([]string, nh)
+	for i := range helpers {
+		helpers[i] = fmt.Sprintf("h%d", i)
+	}
+
+	emitWork := func(f *asm.FuncBuilder, tagbase string) {
+		n := 2 + g.next(opt.MaxBlockOps)
+		for i := 0; i < n; i++ {
+			switch g.next(7) {
+			case 0:
+				f.Movi(isa.Reg(1+g.next(9)), uint16(g.next(4096)))
+			case 1:
+				f.Op3([]isa.Op{isa.ADD, isa.SUB, isa.EOR, isa.ORR, isa.AND, isa.MUL}[g.next(6)],
+					isa.Reg(1+g.next(9)), isa.Reg(1+g.next(9)), isa.Reg(1+g.next(9)))
+			case 2:
+				f.OpI([]isa.Op{isa.ADDI, isa.EORI, isa.LSLI, isa.LSRI}[g.next(4)],
+					isa.Reg(1+g.next(9)), isa.Reg(1+g.next(9)), int32(g.next(16)))
+			case 3:
+				f.Li(isa.R9, scratch+uint32(4*g.next(128)))
+				f.Str(isa.Reg(1+g.next(8)), isa.R9, 0)
+			case 4:
+				f.Li(isa.R9, scratch+uint32(4*g.next(128)))
+				f.Ldr(isa.Reg(1+g.next(8)), isa.R9, 0)
+			case 5:
+				tag := fmt.Sprintf("%s%d", tagbase, i)
+				f.Cmpi(isa.Reg(1+g.next(9)), int32(g.next(100)))
+				f.B([]isa.Cond{isa.EQ, isa.NE, isa.LT, isa.GE}[g.next(4)], tag)
+				f.Addi(isa.Reg(1+g.next(9)), isa.Reg(1+g.next(9)), 1)
+				f.Block(tag)
+			default:
+				f.Add(isa.R0, isa.R0, isa.Reg(1+g.next(9)))
+			}
+		}
+	}
+
+	f := b.Func("main")
+	f.Movi(isa.R10, uint16(1+g.next(opt.MaxOuterTrip)))
+	f.Block("outer")
+	emitWork(f, "m")
+	if g.next(2) == 0 {
+		f.Call(helpers[g.next(nh)])
+	}
+	f.Add(isa.R0, isa.R0, isa.R10)
+	f.Subi(isa.R10, isa.R10, 1)
+	f.Cmpi(isa.R10, 0)
+	f.Bgt("outer")
+	f.Halt()
+
+	for _, h := range helpers {
+		hf := b.Func(h)
+		hf.Movi(isa.R11, uint16(1+g.next(8)))
+		hf.Block("loop")
+		emitWork(hf, "h")
+		hf.Subi(isa.R11, isa.R11, 1)
+		hf.Cmpi(isa.R11, 0)
+		hf.Bgt("loop")
+		hf.Ret()
+	}
+
+	for i := 0; i < opt.ColdFuncs; i++ {
+		cf := b.Func(fmt.Sprintf("cold%d", i))
+		for k := 0; k < 8+g.next(40); k++ {
+			cf.Addi(isa.Reg(1+g.next(9)), isa.Reg(1+g.next(9)), int32(k))
+		}
+		cf.Ret()
+	}
+
+	return b.MustBuild()
+}
+
+// Program generates and links a random program in original order.
+func Program(seed uint64, opt Options, base uint32) *obj.Program {
+	u := Unit(seed, opt)
+	p, err := obj.Link(u, obj.OriginalOrder(u), base)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,43 @@
+package progen
+
+import (
+	"testing"
+
+	"wayplace/internal/cpu"
+	"wayplace/internal/mem"
+)
+
+func TestGeneratedProgramsHaltAndAreDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		p1 := Program(seed, DefaultOptions(), 0x1_0000)
+		p2 := Program(seed, DefaultOptions(), 0x1_0000)
+		if len(p1.Words) != len(p2.Words) {
+			t.Fatalf("seed %d: non-deterministic size", seed)
+		}
+		for i := range p1.Words {
+			if p1.Words[i] != p2.Words[i] {
+				t.Fatalf("seed %d: non-deterministic at word %d", seed, i)
+			}
+		}
+		c := cpu.New(p1, mem.New(mem.DefaultConfig()))
+		res, err := c.Run(5_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Instrs == 0 {
+			t.Fatalf("seed %d: empty execution", seed)
+		}
+	}
+}
+
+func TestOptionsShapeProgram(t *testing.T) {
+	small := Unit(1, Options{MaxHelpers: 1, MaxOuterTrip: 1, MaxBlockOps: 2, ColdFuncs: 0})
+	big := Unit(1, Options{MaxHelpers: 1, MaxOuterTrip: 1, MaxBlockOps: 2, ColdFuncs: 10})
+	if len(big.Funcs) <= len(small.Funcs) {
+		t.Errorf("ColdFuncs did not add functions: %d vs %d", len(big.Funcs), len(small.Funcs))
+	}
+	// Invalid options fall back to defaults rather than panicking.
+	if u := Unit(2, Options{}); len(u.Funcs) == 0 {
+		t.Error("zero options produced an empty unit")
+	}
+}

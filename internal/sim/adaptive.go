@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/cpu"
+	"wayplace/internal/energy"
+	"wayplace/internal/mem"
+	"wayplace/internal/obj"
+	"wayplace/internal/tlb"
+)
+
+// Section 4.1 notes that the operating system can choose the
+// way-placement area "either on a static or per-program basis, even
+// adjusting it during program execution". RunAdaptive implements that
+// extension: an OS policy that periodically inspects the fetch
+// behaviour and resizes the area, flushing the instruction cache on
+// every change so explicit placement stays consistent.
+
+// AdaptivePolicy is the OS's area-sizing heuristic.
+type AdaptivePolicy struct {
+	// IntervalInstrs is the decision period.
+	IntervalInstrs uint64
+	// StartSize, MinSize, MaxSize bound the area (bytes, multiples of
+	// the I-TLB page size).
+	StartSize, MinSize, MaxSize uint32
+	// GrowThreshold: while the fraction of fetches landing inside the
+	// area stays below this, the area doubles — the hot code does not
+	// fit yet.
+	GrowThreshold float64
+	// AliasMissRate: if the window miss rate exceeds this while the
+	// area is larger than the cache, the area halves — way-placed
+	// lines are evicting each other in their designated ways.
+	AliasMissRate float64
+}
+
+// DefaultAdaptivePolicy returns a reasonable OS heuristic for the
+// given machine.
+func DefaultAdaptivePolicy(icache cache.Config, pageBytes int) AdaptivePolicy {
+	return AdaptivePolicy{
+		IntervalInstrs: 50_000,
+		StartSize:      uint32(pageBytes),
+		MinSize:        uint32(pageBytes),
+		MaxSize:        64 << 10,
+		GrowThreshold:  0.95,
+		AliasMissRate:  0.02,
+	}
+}
+
+// AreaChange records one OS resize decision.
+type AreaChange struct {
+	AtInstr uint64
+	Size    uint32
+}
+
+// RunAdaptive executes prog under the way-placement scheme with the
+// OS resizing the area per pol. It returns the run statistics and the
+// resize trace.
+func RunAdaptive(prog *obj.Program, cfg Config, pol AdaptivePolicy) (*RunStats, []AreaChange, error) {
+	if pol.IntervalInstrs == 0 || pol.StartSize == 0 {
+		return nil, nil, fmt.Errorf("sim: adaptive policy needs an interval and a start size")
+	}
+	m := mem.New(cfg.Mem)
+	c := cpu.New(prog, m)
+	c.Timing = cfg.Timing
+
+	itlb, err := tlb.New(cfg.ITLB)
+	if err != nil {
+		return nil, nil, err
+	}
+	dtlb, err := tlb.New(cfg.DTLB)
+	if err != nil {
+		return nil, nil, err
+	}
+	dcache, err := cache.NewData(cfg.DCache)
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := cache.NewWayPlacement(cfg.ICache, itlb)
+	if err != nil {
+		return nil, nil, err
+	}
+	size := pol.StartSize
+	if err := itlb.SetWPArea(prog.Base, size); err != nil {
+		return nil, nil, err
+	}
+	c.IFetch = engine
+	c.ITLB = itlb
+	c.DCache = dcache
+	c.DTLB = dtlb
+
+	changes := []AreaChange{{AtInstr: 0, Size: size}}
+	var prev cache.Stats
+	maxInstrs := cfg.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = 2_000_000_000
+	}
+
+	for !c.Halted && c.Instrs < maxInstrs {
+		budget := pol.IntervalInstrs
+		if rem := maxInstrs - c.Instrs; rem < budget {
+			budget = rem
+		}
+		if _, err := c.RunInstrs(budget); err != nil {
+			return nil, nil, err
+		}
+		if c.Halted {
+			break
+		}
+		// OS decision point: inspect the window.
+		cur := engine.Cache().Stats
+		dFetch := cur.Fetches - prev.Fetches
+		if dFetch == 0 {
+			prev = cur
+			continue
+		}
+		wpFrac := float64(cur.WPAreaFetches-prev.WPAreaFetches) / float64(dFetch)
+		missRate := float64(cur.Misses-prev.Misses) / float64(dFetch)
+		prev = cur
+
+		newSize := size
+		switch {
+		case size > uint32(cfg.ICache.SizeBytes) && missRate > pol.AliasMissRate && size/2 >= pol.MinSize:
+			// The area overcommits the cache and designated-way
+			// aliasing is causing misses: shrink.
+			newSize = size / 2
+		case wpFrac < pol.GrowThreshold && size*2 <= pol.MaxSize:
+			newSize = size * 2
+		}
+		if newSize != size {
+			size = newSize
+			if err := itlb.SetWPArea(prog.Base, size); err != nil {
+				return nil, nil, err
+			}
+			// The OS flushes the I-cache so stale placements die.
+			engine.Cache().Flush()
+			changes = append(changes, AreaChange{AtInstr: c.Instrs, Size: size})
+		}
+	}
+	if !c.Halted {
+		return nil, nil, fmt.Errorf("sim: instruction budget %d exhausted", maxInstrs)
+	}
+
+	rs := &RunStats{
+		Scheme:    energy.WayPlacement,
+		Instrs:    c.Instrs,
+		Cycles:    c.Cycles,
+		IStats:    engine.Cache().Stats,
+		DStats:    dcache.Cache().Stats,
+		ITLBStats: itlb.Stats,
+		DTLBStats: dtlb.Stats,
+		MemStats:  m.Stats,
+		Checksum:  c.Regs[0],
+	}
+	rs.Energy = energy.Compute(cfg.Energy, energy.SystemStats{
+		Scheme: energy.WayPlacement,
+		ICfg:   cfg.ICache,
+		IStats: rs.IStats,
+		DCfg:   cfg.DCache,
+		DStats: rs.DStats,
+		ITLB:   rs.ITLBStats,
+		DTLB:   rs.DTLBStats,
+		Cycles: rs.Cycles,
+	})
+	return rs, changes, nil
+}

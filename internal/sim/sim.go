@@ -1,0 +1,194 @@
+// Package sim wires the substrate models — core, caches, TLBs, memory
+// and the energy model — into the full simulated platform of the
+// paper's Table 1, and exposes the two operations the evaluation flow
+// needs: a fast functional profiling run (training input) and a
+// detailed timing/energy run (reference input) under one of the three
+// fetch schemes.
+package sim
+
+import (
+	"fmt"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/cpu"
+	"wayplace/internal/energy"
+	"wayplace/internal/mem"
+	"wayplace/internal/obj"
+	"wayplace/internal/profile"
+	"wayplace/internal/tlb"
+)
+
+// Config describes one simulated machine.
+type Config struct {
+	ICache cache.Config
+	DCache cache.Config
+	ITLB   tlb.Config
+	DTLB   tlb.Config
+	Mem    mem.Config
+	Timing cpu.Timing
+	Energy energy.Params
+
+	Scheme energy.Scheme
+	// Style selects CAM-tag (XScale, default) or conventional RAM-tag
+	// arrays; the fetch behaviour is identical, only energy differs.
+	Style energy.ArrayStyle
+	// WPSize is the way-placement area size in bytes (way-placement
+	// scheme only). It must be a multiple of the I-TLB page size. The
+	// area starts at the program base — the layout pass put the
+	// hottest chains there.
+	WPSize uint32
+
+	// MaxInstrs bounds a run; a well-formed benchmark halts first.
+	MaxInstrs uint64
+
+	// Ablation switches (way-placement scheme only).
+	OracleHint bool // perfect way-placement prediction instead of the 1-bit hint
+	NoSameLine bool // disable the same-line tag-check skip
+}
+
+// Default returns the paper's Table 1 configuration: 32KB 32-way
+// I- and D-caches with 32B lines, 32-entry fully-associative TLBs,
+// 50-cycle memory, single-issue in-order core.
+func Default() Config {
+	ic := cache.Config{SizeBytes: 32 << 10, Ways: 32, LineBytes: 32, Policy: cache.RoundRobin}
+	return Config{
+		ICache:    ic,
+		DCache:    ic,
+		ITLB:      tlb.Config{Entries: 32, PageBytes: 1 << 10},
+		DTLB:      tlb.Config{Entries: 32, PageBytes: 1 << 10},
+		Mem:       mem.DefaultConfig(),
+		Timing:    cpu.DefaultTiming(),
+		Energy:    energy.Default(),
+		Scheme:    energy.Baseline,
+		WPSize:    0,
+		MaxInstrs: 2_000_000_000,
+	}
+}
+
+// WithScheme returns a copy configured for the given scheme and
+// way-placement area size.
+func (c Config) WithScheme(s energy.Scheme, wpSize uint32) Config {
+	c.Scheme = s
+	c.WPSize = wpSize
+	return c
+}
+
+// RunStats is the complete outcome of one detailed run.
+type RunStats struct {
+	Scheme energy.Scheme
+	Instrs uint64
+	Cycles uint64
+
+	IStats    cache.Stats
+	DStats    cache.Stats
+	ITLBStats tlb.Stats
+	DTLBStats tlb.Stats
+	MemStats  mem.Stats
+
+	Energy energy.Breakdown
+
+	// Checksum is R0 at halt — benchmarks leave a result there so
+	// runs can be cross-checked between schemes and layouts.
+	Checksum uint32
+}
+
+// CPI returns cycles per instruction.
+func (r *RunStats) CPI() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Instrs)
+}
+
+// Run executes prog on the configured machine.
+func Run(prog *obj.Program, cfg Config) (*RunStats, error) {
+	m := mem.New(cfg.Mem)
+	c := cpu.New(prog, m)
+	c.Timing = cfg.Timing
+
+	itlb, err := tlb.New(cfg.ITLB)
+	if err != nil {
+		return nil, err
+	}
+	dtlb, err := tlb.New(cfg.DTLB)
+	if err != nil {
+		return nil, err
+	}
+	dcache, err := cache.NewData(cfg.DCache)
+	if err != nil {
+		return nil, err
+	}
+
+	var engine cache.FetchEngine
+	switch cfg.Scheme {
+	case energy.Baseline:
+		engine, err = cache.NewBaseline(cfg.ICache)
+	case energy.WayPlacement:
+		if cfg.WPSize > 0 {
+			if err := itlb.SetWPArea(prog.Base, cfg.WPSize); err != nil {
+				return nil, err
+			}
+		}
+		var wpe *cache.WayPlacementEngine
+		wpe, err = cache.NewWayPlacement(cfg.ICache, itlb)
+		if wpe != nil {
+			wpe.OracleHint = cfg.OracleHint
+			wpe.NoSameLine = cfg.NoSameLine
+			engine = wpe
+		}
+	case energy.WayMemoization:
+		engine, err = cache.NewWayMemoization(cfg.ICache)
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	c.IFetch = engine
+	c.ITLB = itlb
+	c.DCache = dcache
+	c.DTLB = dtlb
+
+	res, err := c.Run(cfg.MaxInstrs)
+	if err != nil {
+		return nil, err
+	}
+
+	rs := &RunStats{
+		Scheme:    cfg.Scheme,
+		Instrs:    res.Instrs,
+		Cycles:    res.Cycles,
+		IStats:    engine.Cache().Stats,
+		DStats:    dcache.Cache().Stats,
+		ITLBStats: itlb.Stats,
+		DTLBStats: dtlb.Stats,
+		MemStats:  m.Stats,
+		Checksum:  c.Regs[0],
+	}
+	rs.Energy = energy.Compute(cfg.Energy, energy.SystemStats{
+		Scheme: cfg.Scheme,
+		Style:  cfg.Style,
+		ICfg:   cfg.ICache,
+		IStats: rs.IStats,
+		DCfg:   cfg.DCache,
+		DStats: rs.DStats,
+		ITLB:   rs.ITLBStats,
+		DTLB:   rs.DTLBStats,
+		Cycles: rs.Cycles,
+	})
+	return rs, nil
+}
+
+// ProfileRun executes prog functionally (no caches, no timing detail)
+// and returns the basic-block profile — the paper's training run on
+// the small input.
+func ProfileRun(prog *obj.Program, maxInstrs uint64) (*profile.Profile, uint32, error) {
+	m := mem.New(mem.DefaultConfig())
+	c := cpu.New(prog, m)
+	res, err := c.Run(maxInstrs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return profile.FromInstrCounts(prog, res.InstrCounts), c.Regs[0], nil
+}

@@ -1,0 +1,169 @@
+// Package tlb models the instruction and data translation lookaside
+// buffers of the simulated platform: small fully-associative arrays
+// (32 entries on the paper's machine).
+//
+// The I-TLB carries the paper's single-bit extension: a way-placement
+// bit per page, set by the operating system for every page inside the
+// way-placement area (section 4.1). The area is a multiple of the page
+// size, so one bit per page suffices, and the OS can resize it per
+// program — or per cache configuration — without touching the binary.
+package tlb
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config describes a TLB.
+type Config struct {
+	Entries   int
+	PageBytes int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Entries <= 0 {
+		return fmt.Errorf("tlb: need at least one entry, got %d", c.Entries)
+	}
+	if c.PageBytes <= 0 || c.PageBytes&(c.PageBytes-1) != 0 {
+		return fmt.Errorf("tlb: page size must be a power of two, got %d", c.PageBytes)
+	}
+	return nil
+}
+
+// PageShift returns log2 of the page size.
+func (c Config) PageShift() int { return bits.TrailingZeros(uint(c.PageBytes)) }
+
+// Stats counts TLB events.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// MissRate returns misses/accesses.
+func (s *Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type entry struct {
+	valid   bool
+	vpn     uint32
+	wayBit  bool
+	lastUse uint64
+}
+
+// TLB is a fully-associative translation buffer with true-LRU
+// replacement. Translation itself is the identity (the simulated
+// system runs physically mapped); what matters to the evaluation is
+// hit/miss timing and the way-placement bit.
+type TLB struct {
+	Cfg   Config
+	Stats Stats
+
+	entries []entry
+	tick    uint64
+
+	lastValid bool
+	lastVPN   uint32
+	lastIdx   int
+
+	// Way-placement area: [wpStart, wpStart+wpSize). Pages whose first
+	// byte lies inside get the way-placement bit. Zero size disables.
+	wpStart uint32
+	wpSize  uint32
+}
+
+// New builds an empty TLB.
+func New(cfg Config) (*TLB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &TLB{Cfg: cfg, entries: make([]entry, cfg.Entries)}, nil
+}
+
+// MustNew is New for known-valid configurations.
+func MustNew(cfg Config) *TLB {
+	t, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// SetWPArea installs the operating system's way-placement area
+// decision. size must be a multiple of the page size (the paper makes
+// the area page-granular so one bit per I-TLB entry suffices).
+func (t *TLB) SetWPArea(start, size uint32) error {
+	if size%uint32(t.Cfg.PageBytes) != 0 {
+		return fmt.Errorf("tlb: way-placement area size %d is not a multiple of the %dB page",
+			size, t.Cfg.PageBytes)
+	}
+	if start%uint32(t.Cfg.PageBytes) != 0 {
+		return fmt.Errorf("tlb: way-placement area start %#x is not page-aligned", start)
+	}
+	t.wpStart, t.wpSize = start, size
+	return nil
+}
+
+// WPArea returns the installed way-placement area.
+func (t *TLB) WPArea() (start, size uint32) { return t.wpStart, t.wpSize }
+
+// pageWayPlaced is what the OS writes into the page tables: the
+// way-placement bit for the page containing addr.
+func (t *TLB) pageWayPlaced(addr uint32) bool {
+	if t.wpSize == 0 {
+		return false
+	}
+	page := addr &^ uint32(t.Cfg.PageBytes-1)
+	return page >= t.wpStart && page-t.wpStart < t.wpSize
+}
+
+// Lookup translates addr, returning whether it missed (requiring a
+// page-table walk) and the page's way-placement bit.
+func (t *TLB) Lookup(addr uint32) (miss bool, wayPlaced bool) {
+	t.Stats.Accesses++
+	t.tick++
+	vpn := addr >> t.Cfg.PageShift()
+	// Fast path: consecutive fetches overwhelmingly stay on one page.
+	if t.lastValid && t.lastVPN == vpn {
+		t.Stats.Hits++
+		t.entries[t.lastIdx].lastUse = t.tick
+		return false, t.entries[t.lastIdx].wayBit
+	}
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			t.Stats.Hits++
+			e.lastUse = t.tick
+			t.lastValid, t.lastVPN, t.lastIdx = true, vpn, i
+			return false, e.wayBit
+		}
+	}
+	t.Stats.Misses++
+	// Walk and refill: choose the LRU (or first invalid) entry.
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid {
+			victim = i
+			break
+		}
+		if e.lastUse < t.entries[victim].lastUse {
+			victim = i
+		}
+	}
+	bit := t.pageWayPlaced(addr)
+	t.entries[victim] = entry{valid: true, vpn: vpn, wayBit: bit, lastUse: t.tick}
+	t.lastValid, t.lastVPN, t.lastIdx = true, vpn, victim
+	return true, bit
+}
+
+// WayPlaced implements cache.WPOracle: the way-placement bit the
+// I-TLB delivers for addr. The bit's value is the page property
+// itself — on a miss the hardware stalls for the walk (charged by the
+// CPU via Lookup) and then still reads the correct bit.
+func (t *TLB) WayPlaced(addr uint32) bool { return t.pageWayPlaced(addr) }

@@ -1,0 +1,130 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg32() Config { return Config{Entries: 32, PageBytes: 1 << 10} }
+
+func TestLookupHitMiss(t *testing.T) {
+	b := MustNew(cfg32())
+	if miss, _ := b.Lookup(0x1234); !miss {
+		t.Error("cold lookup should miss")
+	}
+	if miss, _ := b.Lookup(0x1234); miss {
+		t.Error("warm lookup should hit")
+	}
+	if miss, _ := b.Lookup(0x1234 + 0x400); !miss {
+		t.Error("next page should miss")
+	}
+	if b.Stats.Accesses != 3 || b.Stats.Hits != 1 || b.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", b.Stats)
+	}
+	if mr := b.Stats.MissRate(); mr < 0.66 || mr > 0.67 {
+		t.Errorf("miss rate = %f", mr)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	b := MustNew(Config{Entries: 2, PageBytes: 1 << 10})
+	b.Lookup(0x0000) // page 0
+	b.Lookup(0x0400) // page 1
+	b.Lookup(0x0000) // touch page 0
+	b.Lookup(0x0800) // page 2 evicts page 1 (LRU)
+	if miss, _ := b.Lookup(0x0000); miss {
+		t.Error("recently used page was evicted")
+	}
+	if miss, _ := b.Lookup(0x0400); !miss {
+		t.Error("LRU page survived")
+	}
+}
+
+func TestWPAreaBit(t *testing.T) {
+	b := MustNew(cfg32())
+	if err := b.SetWPArea(0x1_0000, 4<<10); err != nil {
+		t.Fatalf("SetWPArea: %v", err)
+	}
+	cases := []struct {
+		addr uint32
+		want bool
+	}{
+		{0x1_0000, true},
+		{0x1_0000 + 4<<10 - 1, true},
+		{0x1_0000 + 4<<10, false},
+		{0x0_ffff, false},
+		{0, false},
+	}
+	for _, c := range cases {
+		if got := b.WayPlaced(c.addr); got != c.want {
+			t.Errorf("WayPlaced(%#x) = %v, want %v", c.addr, got, c.want)
+		}
+		// The bit delivered by a lookup must agree with the oracle.
+		_, bit := b.Lookup(c.addr)
+		if bit != c.want {
+			t.Errorf("Lookup(%#x) bit = %v, want %v", c.addr, bit, c.want)
+		}
+	}
+}
+
+func TestWPAreaBitSurvivesRefill(t *testing.T) {
+	// After an entry is evicted and refilled, the bit must still be
+	// right (it comes from the page tables, not from stale state).
+	b := MustNew(Config{Entries: 1, PageBytes: 1 << 10})
+	if err := b.SetWPArea(0, 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	if _, bit := b.Lookup(0x000); !bit {
+		t.Error("page 0 should be way-placed")
+	}
+	if _, bit := b.Lookup(0x400); bit {
+		t.Error("page 1 should not be way-placed")
+	}
+	if _, bit := b.Lookup(0x000); !bit {
+		t.Error("page 0 bit lost after refill")
+	}
+}
+
+func TestSetWPAreaValidation(t *testing.T) {
+	b := MustNew(cfg32())
+	if err := b.SetWPArea(0, 1000); err == nil {
+		t.Error("accepted non-page-multiple size")
+	}
+	if err := b.SetWPArea(512, 1<<10); err == nil {
+		t.Error("accepted unaligned start")
+	}
+	if err := b.SetWPArea(0, 0); err != nil {
+		t.Errorf("zero size (disabled) rejected: %v", err)
+	}
+	if b.WayPlaced(0) {
+		t.Error("zero-size area still marks pages")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, c := range []Config{{Entries: 0, PageBytes: 1024}, {Entries: 4, PageBytes: 1000}, {Entries: 4, PageBytes: 0}} {
+		if _, err := New(c); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", c)
+		}
+	}
+}
+
+// Property: a second consecutive lookup of the same address always
+// hits, regardless of history.
+func TestRelookupAlwaysHits(t *testing.T) {
+	b := MustNew(Config{Entries: 4, PageBytes: 1 << 10})
+	f := func(addr uint32) bool {
+		b.Lookup(addr)
+		miss, _ := b.Lookup(addr)
+		return !miss
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageShift(t *testing.T) {
+	if got := cfg32().PageShift(); got != 10 {
+		t.Errorf("PageShift = %d, want 10", got)
+	}
+}
