@@ -13,12 +13,14 @@
 package wayplace
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"wayplace/internal/bench"
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
+	"wayplace/internal/engine"
 	"wayplace/internal/experiment"
 	"wayplace/internal/layout"
 	"wayplace/internal/sim"
@@ -52,13 +54,20 @@ func runScheme(b *testing.B, icfg cache.Config, scheme energy.Scheme, wp uint32)
 	b.Helper()
 	s := suite(b)
 	w := s.Workloads[0]
-	cfg := sim.Default()
-	cfg.ICache = icfg
-	cfg.MaxInstrs = experiment.MaxInstrs
-	base, err := s.Run(w, icfg, energy.Baseline, 0)
+	cfg, err := sim.New(
+		sim.WithICache(icfg),
+		sim.WithMaxInstrs(experiment.MaxInstrs),
+		sim.WithScheme(scheme),
+		sim.WithWPSize(wp))
 	if err != nil {
 		b.Fatal(err)
 	}
+	baseRes, err := s.RunSpec(context.Background(),
+		engine.RunSpec{Workload: w.Name, ICache: icfg, Scheme: energy.Baseline})
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := baseRes.Stats
 	prog := w.Original
 	if scheme == energy.WayPlacement {
 		prog = w.Placed
@@ -66,7 +75,7 @@ func runScheme(b *testing.B, icfg cache.Config, scheme energy.Scheme, wp uint32)
 	var last *sim.RunStats
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		last, err = sim.Run(prog, cfg.WithScheme(scheme, wp))
+		last, err = sim.Run(prog, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,10 +155,12 @@ func ablationScheme(b *testing.B, mutate func(*sim.Config), placed bool) {
 	s := suite(b)
 	w := s.Workloads[0]
 	icfg := experiment.XScaleICache()
-	base, err := s.Run(w, icfg, energy.Baseline, 0)
+	baseRes, err := s.RunSpec(context.Background(),
+		engine.RunSpec{Workload: w.Name, ICache: icfg, Scheme: energy.Baseline})
 	if err != nil {
 		b.Fatal(err)
 	}
+	base := baseRes.Stats
 	cfg := sim.Default()
 	cfg.ICache = icfg
 	cfg.MaxInstrs = experiment.MaxInstrs

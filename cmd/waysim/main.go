@@ -38,21 +38,23 @@ func main() {
 		fail(err)
 	}
 
-	cfg := sim.Default()
-	cfg.ICache = cache.Config{SizeBytes: *sizeKB << 10, Ways: *ways, LineBytes: 32, Policy: cache.RoundRobin}
-	cfg.MaxInstrs = experiment.MaxInstrs
+	icfg := cache.Config{SizeBytes: *sizeKB << 10, Ways: *ways, LineBytes: 32, Policy: cache.RoundRobin}
+	opts := []sim.Option{sim.WithICache(icfg), sim.WithMaxInstrs(experiment.MaxInstrs)}
 	prog := w.Original
 	switch *scheme {
 	case "baseline":
-		cfg.Scheme = energy.Baseline
+		opts = append(opts, sim.WithScheme(energy.Baseline))
 	case "waymem":
-		cfg.Scheme = energy.WayMemoization
+		opts = append(opts, sim.WithScheme(energy.WayMemoization))
 	case "wayplace":
-		cfg.Scheme = energy.WayPlacement
-		cfg.WPSize = uint32(*wpKB) << 10
+		opts = append(opts, sim.WithScheme(energy.WayPlacement), sim.WithWPSize(uint32(*wpKB)<<10))
 		prog = w.Placed
 	default:
 		fail(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	cfg, err := sim.New(opts...)
+	if err != nil {
+		fail(err)
 	}
 	switch *layoutSel {
 	case "":
@@ -68,7 +70,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	base, err := sim.Run(w.Original, cfg.WithScheme(energy.Baseline, 0))
+	baseCfg, err := sim.New(sim.WithICache(icfg), sim.WithMaxInstrs(experiment.MaxInstrs))
+	if err != nil {
+		fail(err)
+	}
+	base, err := sim.Run(w.Original, baseCfg)
 	if err != nil {
 		fail(err)
 	}

@@ -1,23 +1,38 @@
 // Command wpbench regenerates the paper's evaluation: Table 1 and
 // figures 4, 5 and 6. With no flags it runs everything.
 //
+// Simulation cells are scheduled on the concurrent experiment engine
+// (internal/engine): -jobs caps the worker pool, -progress streams
+// per-cell completions, and overlapping cells between figures are
+// simulated once and served from the run cache thereafter. Output is
+// byte-identical for every -jobs value.
+//
 // Usage:
 //
-//	wpbench [-table1] [-fig4] [-fig5] [-fig6] [-benchmarks a,b,c]
+//	wpbench [-table1] [-fig4] [-fig5] [-fig6] [-ablations] [-extensions]
+//	        [-benchmarks a,b,c] [-csv dir] [-jobs N] [-progress]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"wayplace/internal/bench"
+	"wayplace/internal/engine"
 	"wayplace/internal/experiment"
 )
+
+// exitCode aggregates emitter failures: a broken figure no longer
+// hides the remaining figures, but the process still reports failure
+// to CI.
+var exitCode int
 
 func main() {
 	table1 := flag.Bool("table1", false, "print the baseline configuration table")
@@ -28,7 +43,12 @@ func main() {
 	extensions := flag.Bool("extensions", false, "run the RAM-tag and adaptive-area extensions")
 	subset := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 23)")
 	csvDir := flag.String("csv", "", "also write figN.csv files into this directory")
+	jobs := flag.Int("jobs", 0, "simulation cells to run concurrently (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "report per-cell progress on stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	all := !*table1 && !*fig4 && !*fig5 && !*fig6 && !*ablations && !*extensions
 	names := bench.Names()
@@ -44,9 +64,21 @@ func main() {
 		return
 	}
 
+	opts := []engine.Option{engine.WithWorkers(*jobs)}
+	if *progress {
+		opts = append(opts, engine.WithProgress(func(p engine.Progress) {
+			cached := ""
+			if p.CacheHit {
+				cached = " (cached)"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %v%s\n",
+				p.Done, p.Total, p.Spec, p.Wall.Round(time.Millisecond), cached)
+		}))
+	}
+
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "preparing %d benchmarks (build, profile, relink)...\n", len(names))
-	suite, err := experiment.NewSuiteOf(names)
+	suite, err := experiment.NewSuiteOf(names, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wpbench: %v\n", err)
 		os.Exit(1)
@@ -55,7 +87,7 @@ func main() {
 
 	if *fig4 || all {
 		run("figure 4", func() (string, error) {
-			r, err := suite.Figure4()
+			r, err := suite.Figure4(ctx)
 			if err != nil {
 				return "", err
 			}
@@ -69,7 +101,7 @@ func main() {
 	}
 	if *fig5 || all {
 		run("figure 5", func() (string, error) {
-			r, err := suite.Figure5()
+			r, err := suite.Figure5(ctx)
 			if err != nil {
 				return "", err
 			}
@@ -83,7 +115,7 @@ func main() {
 	}
 	if *fig6 || all {
 		run("figure 6", func() (string, error) {
-			r, err := suite.Figure6()
+			r, err := suite.Figure6(ctx)
 			if err != nil {
 				return "", err
 			}
@@ -97,21 +129,21 @@ func main() {
 	}
 	if *extensions || all {
 		run("extension: RAM-tag arrays", func() (string, error) {
-			rows, err := suite.ExtensionRAMTag()
+			rows, err := suite.ExtensionRAMTag(ctx)
 			if err != nil {
 				return "", err
 			}
 			return experiment.FormatRAMTag(rows), nil
 		})
 		run("extension: adaptive area", func() (string, error) {
-			rows, err := suite.ExtensionAdaptive()
+			rows, err := suite.ExtensionAdaptive(ctx)
 			if err != nil {
 				return "", err
 			}
 			return experiment.FormatAdaptive(rows), nil
 		})
 		run("extension: profile transfer", func() (string, error) {
-			rows, err := suite.ExtensionProfileTransfer()
+			rows, err := suite.ExtensionProfileTransfer(ctx)
 			if err != nil {
 				return "", err
 			}
@@ -121,7 +153,7 @@ func main() {
 	if *ablations || all {
 		type abl struct {
 			title string
-			fn    func() ([]experiment.AblationRow, error)
+			fn    func(context.Context) ([]experiment.AblationRow, error)
 		}
 		for _, a := range []abl{
 			{"code layout", suite.AblationLayout},
@@ -131,7 +163,7 @@ func main() {
 		} {
 			a := a
 			run("ablation: "+a.title, func() (string, error) {
-				rows, err := a.fn()
+				rows, err := a.fn(ctx)
 				if err != nil {
 					return "", err
 				}
@@ -139,6 +171,11 @@ func main() {
 			})
 		}
 	}
+	if hits := suite.Engine().Hits(); hits > 0 {
+		fmt.Fprintf(os.Stderr, "run cache: %d simulated, %d served from cache\n",
+			suite.Engine().Misses(), hits)
+	}
+	os.Exit(exitCode)
 }
 
 // writeCSV writes one figure's CSV file when -csv is set.
@@ -160,12 +197,16 @@ func writeCSV(dir, name string, emit func(io.Writer) error) error {
 	return f.Close()
 }
 
+// run executes one figure emitter. A failure is reported on stderr
+// and recorded in the process exit code, but the remaining emitters
+// still run.
 func run(name string, f func() (string, error)) {
 	start := time.Now()
 	out, err := f()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wpbench: %s: %v\n", name, err)
-		os.Exit(1)
+		exitCode = 1
+		return
 	}
 	fmt.Print(out)
 	fmt.Fprintf(os.Stderr, "%s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))

@@ -5,20 +5,27 @@
 // everything else at the Table 1 defaults and reports suite-average
 // normalised I-cache energy for way-placement (16KB area).
 //
+// Sweep points run as engine grids (parallel, memoised): the run
+// cache is keyed by the fully resolved machine configuration, so the
+// default point shared by several sweeps is simulated once.
+//
 // Usage:
 //
-//	wpexplore [-dim line|page|policy|style|all] [-benchmarks a,b,c]
+//	wpexplore [-dim line|page|policy|style|all] [-benchmarks a,b,c] [-jobs N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"wayplace/internal/bench"
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
+	"wayplace/internal/engine"
 	"wayplace/internal/experiment"
 	"wayplace/internal/sim"
 	"wayplace/internal/tlb"
@@ -27,40 +34,45 @@ import (
 func main() {
 	dim := flag.String("dim", "all", "dimension to sweep: line, page, policy, style or all")
 	subset := flag.String("benchmarks", "sha,susan_c,crc,patricia", "benchmark subset")
+	jobs := flag.Int("jobs", 0, "simulation cells to run concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	names := bench.Names()
 	if *subset != "" {
 		names = strings.Split(*subset, ",")
 	}
-	suite, err := experiment.NewSuiteOf(names)
+	suite, err := experiment.NewSuiteOf(names, engine.WithWorkers(*jobs))
 	if err != nil {
 		fail(err)
 	}
 
+	// avg runs the suite at one sweep point: a (baseline, way-placement)
+	// pair per workload against the mutated machine template, averaged
+	// in workload order.
 	avg := func(mutate func(*sim.Config)) (float64, float64) {
-		var eSum, edSum float64
+		cfg := sim.Default()
+		cfg.MaxInstrs = experiment.MaxInstrs
+		mutate(&cfg)
+		wpSize := cfg.WPSize
+		if wpSize == 0 {
+			wpSize = experiment.InitialWPSize
+		}
+		specs := make([]engine.RunSpec, 0, 2*len(suite.Workloads))
 		for _, w := range suite.Workloads {
-			cfg := sim.Default()
-			cfg.MaxInstrs = experiment.MaxInstrs
-			mutate(&cfg)
-
-			baseCfg := cfg
-			baseCfg.Scheme = energy.Baseline
-			baseCfg.WPSize = 0
-			base, err := sim.Run(w.Original, baseCfg)
-			if err != nil {
-				fail(err)
-			}
-			wpCfg := cfg
-			wpCfg.Scheme = energy.WayPlacement
-			if wpCfg.WPSize == 0 {
-				wpCfg.WPSize = experiment.InitialWPSize
-			}
-			wp, err := sim.Run(w.Placed, wpCfg)
-			if err != nil {
-				fail(err)
-			}
+			specs = append(specs,
+				engine.RunSpec{Workload: w.Name, ICache: cfg.ICache, Scheme: energy.Baseline},
+				engine.RunSpec{Workload: w.Name, ICache: cfg.ICache, Scheme: energy.WayPlacement, WPSize: wpSize})
+		}
+		res, err := suite.RunBatch(ctx, specs, engine.WithBaseConfig(cfg))
+		if err != nil {
+			fail(err)
+		}
+		var eSum, edSum float64
+		for i, w := range suite.Workloads {
+			base, wp := res[2*i].Stats, res[2*i+1].Stats
 			if wp.Checksum != base.Checksum {
 				fail(fmt.Errorf("%s: checksum mismatch", w.Name))
 			}
@@ -97,6 +109,7 @@ func main() {
 	if want("policy") {
 		fmt.Println("replacement-policy sweep:")
 		for _, p := range []cache.Policy{cache.RoundRobin, cache.LRU} {
+			p := p
 			e, ed := avg(func(c *sim.Config) { c.ICache.Policy = p })
 			fmt.Printf("  %-12s I$ energy %.1f%%  ED %.3f\n", p, 100*e, ed)
 		}
@@ -105,6 +118,7 @@ func main() {
 	if want("style") {
 		fmt.Println("array-organisation sweep (8-way, where RAM-tag caches live):")
 		for _, st := range []energy.ArrayStyle{energy.CAMTag, energy.RAMTag} {
+			st := st
 			e, ed := avg(func(c *sim.Config) {
 				c.ICache.Ways = 8
 				c.DCache.Ways = 8

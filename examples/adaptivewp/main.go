@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -30,20 +31,28 @@ func main() {
 		os.Exit(1)
 	}
 
-	cfg := sim.Default()
-	cfg.MaxInstrs = experiment.MaxInstrs
+	cfg, err := sim.New(sim.WithMaxInstrs(experiment.MaxInstrs))
+	if err != nil {
+		panic(err)
+	}
 	base, err := sim.Run(w.Original, cfg)
 	if err != nil {
 		panic(err)
 	}
-	static, err := sim.Run(w.Placed, cfg.WithScheme(energy.WayPlacement, experiment.InitialWPSize))
+	staticCfg, err := sim.New(
+		sim.WithMaxInstrs(experiment.MaxInstrs),
+		sim.WithScheme(energy.WayPlacement),
+		sim.WithWPSize(experiment.InitialWPSize))
+	if err != nil {
+		panic(err)
+	}
+	static, err := sim.Run(w.Placed, staticCfg)
 	if err != nil {
 		panic(err)
 	}
 
 	pol := sim.DefaultAdaptivePolicy(cfg.ICache, cfg.ITLB.PageBytes)
-	cfg.Scheme = energy.WayPlacement
-	adaptive, changes, err := sim.RunAdaptive(w.Placed, cfg, pol)
+	adaptive, changes, err := sim.RunAdaptive(context.Background(), w.Placed, cfg, pol)
 	if err != nil {
 		panic(err)
 	}

@@ -9,11 +9,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
+	"wayplace/internal/engine"
 	"wayplace/internal/experiment"
 )
 
@@ -28,31 +30,38 @@ func main() {
 		os.Exit(1)
 	}
 	w := suite.Workloads[0]
+	ctx := context.Background()
 
-	fmt.Printf("%s across cache configurations (16KB way-placement area)\n", name)
-	fmt.Printf("%-14s %10s %10s %10s %10s\n", "config", "waymem E", "wayplc E", "waymem ED", "wayplc ED")
+	// Submit the whole sweep as one grid: the engine runs the cells in
+	// parallel and returns them in input order.
+	var specs []engine.RunSpec
+	var cfgs []cache.Config
 	for _, kb := range []int{8, 16, 32} {
 		for _, ways := range []int{8, 16, 32} {
 			icfg := cache.Config{SizeBytes: kb << 10, Ways: ways, LineBytes: 32}
-			base, err := suite.Run(w, icfg, energy.Baseline, 0)
-			if err != nil {
-				panic(err)
-			}
-			wm, err := suite.Run(w, icfg, energy.WayMemoization, 0)
-			if err != nil {
-				panic(err)
-			}
-			wp, err := suite.Run(w, icfg, energy.WayPlacement, experiment.InitialWPSize)
-			if err != nil {
-				panic(err)
-			}
-			fmt.Printf("%3dKB %2d-way  %9.1f%% %9.1f%% %10.3f %10.3f\n",
-				kb, ways,
-				100*energy.NormICache(wm.Energy, base.Energy),
-				100*energy.NormICache(wp.Energy, base.Energy),
-				energy.EDProduct(wm.Energy, wm.Cycles, base.Energy, base.Cycles),
-				energy.EDProduct(wp.Energy, wp.Cycles, base.Energy, base.Cycles))
+			cfgs = append(cfgs, icfg)
+			specs = append(specs,
+				engine.RunSpec{Workload: w.Name, ICache: icfg, Scheme: energy.Baseline},
+				engine.RunSpec{Workload: w.Name, ICache: icfg, Scheme: energy.WayMemoization},
+				engine.RunSpec{Workload: w.Name, ICache: icfg, Scheme: energy.WayPlacement,
+					WPSize: experiment.InitialWPSize})
 		}
+	}
+	res, err := suite.RunBatch(ctx, specs)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%s across cache configurations (16KB way-placement area)\n", name)
+	fmt.Printf("%-14s %10s %10s %10s %10s\n", "config", "waymem E", "wayplc E", "waymem ED", "wayplc ED")
+	for i, icfg := range cfgs {
+		base, wm, wp := res[3*i].Stats, res[3*i+1].Stats, res[3*i+2].Stats
+		fmt.Printf("%3dKB %2d-way  %9.1f%% %9.1f%% %10.3f %10.3f\n",
+			icfg.SizeBytes>>10, icfg.Ways,
+			100*energy.NormICache(wm.Energy, base.Energy),
+			100*energy.NormICache(wp.Energy, base.Energy),
+			energy.EDProduct(wm.Energy, wm.Cycles, base.Energy, base.Cycles),
+			energy.EDProduct(wp.Energy, wp.Cycles, base.Energy, base.Cycles))
 	}
 	fmt.Println("\nnote the shape of the paper's figure 6: way-placement always wins,")
 	fmt.Println("savings grow with associativity, and at 8 ways way-memoization's")

@@ -120,13 +120,21 @@ func main() {
 
 	// 3. Simulate both layouts under the way-placement scheme with a
 	// deliberately small 1KB area, plus the baseline.
-	cfg := sim.Default()
-	cfg.MaxInstrs = 100_000_000
+	cfg, err := sim.New(sim.WithMaxInstrs(100_000_000))
+	if err != nil {
+		panic(err)
+	}
 	baseRun, err := sim.Run(orig, cfg)
 	if err != nil {
 		panic(err)
 	}
-	wpCfg := cfg.WithScheme(energy.WayPlacement, 1<<10)
+	wpCfg, err := sim.New(
+		sim.WithMaxInstrs(100_000_000),
+		sim.WithScheme(energy.WayPlacement),
+		sim.WithWPSize(1<<10))
+	if err != nil {
+		panic(err)
+	}
 	origRun, err := sim.Run(orig, wpCfg)
 	if err != nil {
 		panic(err)

@@ -12,6 +12,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"wayplace/internal/cache"
@@ -133,6 +134,38 @@ func (c *CPU) Run(maxInstrs uint64) (*Result, error) {
 			return nil, fmt.Errorf("cpu: instruction budget %d exhausted at pc=%#x", maxInstrs, c.PC)
 		}
 		if err := c.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Instrs: c.Instrs, Cycles: c.Cycles, InstrCounts: c.counts}, nil
+}
+
+// ctxCheckInstrs is how many instructions RunContext executes between
+// cancellation checks. At simulator speeds a chunk is well under a
+// millisecond, so cancellation is prompt while the per-chunk check
+// stays invisible in profiles.
+const ctxCheckInstrs = 50_000
+
+// RunContext is Run with cooperative cancellation: the instruction
+// loop checks ctx every ctxCheckInstrs retired instructions and
+// returns ctx.Err() once the context is done. Architectural state is
+// left exactly where the run stopped.
+func (c *CPU) RunContext(ctx context.Context, maxInstrs uint64) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for !c.Halted {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if c.Instrs >= maxInstrs {
+			return nil, fmt.Errorf("cpu: instruction budget %d exhausted at pc=%#x", maxInstrs, c.PC)
+		}
+		budget := uint64(ctxCheckInstrs)
+		if rem := maxInstrs - c.Instrs; rem < budget {
+			budget = rem
+		}
+		if _, err := c.RunInstrs(budget); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,446 @@
+// Package engine is the concurrent experiment scheduler. The paper's
+// evaluation is a grid of independent (workload, cache config, scheme,
+// WP-size) simulation cells — every figure, ablation and extension
+// sweep is some slice of that grid — so the engine runs cells on a
+// worker pool, deduplicates identical cells, and memoises results in a
+// keyed run cache so overlapping slices (the 32KB/32-way baseline is
+// shared by figures 4, 5 and 6) are simulated exactly once.
+//
+// The engine is context-aware end to end: cancellation propagates
+// into the per-cell instruction loop (sim.RunContext), progress is
+// reported through an optional callback, and per-cell failures are
+// aggregated into a MultiError instead of aborting the whole grid.
+//
+// Results are deterministic: cells are pure functions of their spec
+// and the base machine configuration, and callers receive them in
+// input order, so output is byte-identical regardless of worker count.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/obj"
+	"wayplace/internal/sim"
+)
+
+// Workload is one prepared benchmark in the form the engine needs to
+// run cells: the original-layout binary (baseline and way-memoization
+// schemes) and the way-placement relaid binary. Both programs are
+// immutable once linked and are shared, not copied, across concurrent
+// cells.
+type Workload struct {
+	Name     string
+	Original *obj.Program
+	Placed   *obj.Program
+}
+
+// Provider supplies a prepared workload by name. The engine memoises
+// provider calls per name, so the expensive profile-and-relink stage
+// runs once per workload no matter how many concurrent cells need it.
+// The provider must return programs that are safe to share read-only.
+type Provider func(ctx context.Context, name string) (*Workload, error)
+
+// RunSpec identifies one simulation cell of the evaluation grid.
+type RunSpec struct {
+	Workload string
+	ICache   cache.Config
+	Scheme   energy.Scheme
+	WPSize   uint32
+}
+
+func (s RunSpec) String() string {
+	if s.WPSize > 0 {
+		return fmt.Sprintf("%s/%dKB-%dway/%v/wp%dK",
+			s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, s.Scheme, s.WPSize>>10)
+	}
+	return fmt.Sprintf("%s/%dKB-%dway/%v",
+		s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, s.Scheme)
+}
+
+// Result bundles one cell's statistics with its spec, wall time and
+// cache-hit provenance.
+type Result struct {
+	Spec  RunSpec
+	Stats *sim.RunStats
+	// Wall is the time this cell's simulation took; zero when the
+	// result came from the run cache.
+	Wall time.Duration
+	// CacheHit reports that the result was served from the run cache
+	// (or deduplicated against an identical in-flight cell) rather
+	// than simulated anew.
+	CacheHit bool
+}
+
+// Progress is one completed cell's report to the progress callback.
+type Progress struct {
+	Done, Total int
+	Spec        RunSpec
+	Wall        time.Duration
+	CacheHit    bool
+}
+
+// Option configures an Engine or one Run call. Options passed to New
+// become the engine defaults; options passed to Run override them for
+// that batch.
+type Option func(*options)
+
+type options struct {
+	workers  int
+	base     sim.Config
+	progress func(Progress)
+}
+
+// WithWorkers caps the number of cells simulated concurrently.
+// Values below 1 mean GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithBaseConfig sets the machine template a cell's spec is resolved
+// against: the spec supplies I-cache geometry, scheme and WP size,
+// the base everything else (D-cache, TLBs, memory, timing, energy,
+// array style, instruction budget). The run cache is keyed by the
+// fully resolved configuration, so batches run against different
+// bases never alias.
+func WithBaseConfig(cfg sim.Config) Option {
+	return func(o *options) { o.base = cfg }
+}
+
+// WithProgress installs a callback invoked (serially) after each cell
+// completes.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// Engine schedules simulation cells over a worker pool with a
+// memoising run cache. It is safe for concurrent use.
+type Engine struct {
+	provider Provider
+	defaults options
+
+	mu        sync.Mutex
+	workloads map[string]*workloadEntry
+	runs      map[runKey]*runEntry
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// workloadEntry memoises one provider call; done is closed when w/err
+// are final. Entries that fail are removed so a later call can retry.
+type workloadEntry struct {
+	done chan struct{}
+	w    *Workload
+	err  error
+}
+
+// runKey is the run-cache fingerprint: the workload plus the fully
+// resolved machine configuration (sim.Config is a comparable struct,
+// so the key captures every field that can influence the result).
+type runKey struct {
+	workload string
+	cfg      sim.Config
+}
+
+type runEntry struct {
+	done  chan struct{}
+	stats *sim.RunStats
+	err   error
+}
+
+// New builds an engine over the given workload provider.
+func New(provider Provider, opts ...Option) *Engine {
+	e := &Engine{
+		provider:  provider,
+		workloads: make(map[string]*workloadEntry),
+		runs:      make(map[runKey]*runEntry),
+	}
+	e.defaults = options{base: sim.Default()}
+	for _, opt := range opts {
+		opt(&e.defaults)
+	}
+	return e
+}
+
+// Hits returns how many cells were served from the run cache (or
+// coalesced onto an identical in-flight cell) instead of simulated.
+func (e *Engine) Hits() uint64 { return e.hits.Load() }
+
+// Misses returns how many cells were actually simulated.
+func (e *Engine) Misses() uint64 { return e.misses.Load() }
+
+// resolve applies a spec to the base machine template.
+func resolve(base sim.Config, spec RunSpec) sim.Config {
+	base.ICache = spec.ICache
+	base.Scheme = spec.Scheme
+	base.WPSize = spec.WPSize
+	return base
+}
+
+// Run executes a batch of cells and returns their results in input
+// order. Identical specs within the batch are simulated once; specs
+// seen in earlier batches are served from the run cache. Per-cell
+// failures do not abort the grid: every runnable cell still runs, the
+// failures come back as a *MultiError, and the corresponding result
+// slots are nil. Cancelling ctx stops the batch promptly, abandoning
+// unstarted cells and interrupting in-flight instruction loops.
+func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*Result, error) {
+	opt := e.defaults
+	for _, o := range opts {
+		o(&opt)
+	}
+	workers := opt.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Deduplicate the batch, preserving first-occurrence order.
+	firstIdx := make(map[RunSpec]int, len(specs))
+	var unique []RunSpec
+	for _, s := range specs {
+		if _, ok := firstIdx[s]; !ok {
+			firstIdx[s] = len(unique)
+			unique = append(unique, s)
+		}
+	}
+	uniqueRes := make([]*Result, len(unique))
+	uniqueErr := make([]error, len(unique))
+
+	if workers > len(unique) {
+		workers = len(unique)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+
+	// Serialise progress callbacks and the done counter.
+	var progMu sync.Mutex
+	done := 0
+	report := func(r *Result) {
+		if opt.progress == nil {
+			return
+		}
+		progMu.Lock()
+		done++
+		opt.progress(Progress{
+			Done: done, Total: len(unique),
+			Spec: r.Spec, Wall: r.Wall, CacheHit: r.CacheHit,
+		})
+		progMu.Unlock()
+	}
+
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				spec := unique[idx]
+				if err := ctx.Err(); err != nil {
+					uniqueErr[idx] = err
+					continue
+				}
+				start := time.Now()
+				stats, hit, err := e.cell(ctx, spec, opt.base)
+				if err != nil {
+					uniqueErr[idx] = err
+					continue
+				}
+				r := &Result{Spec: spec, Stats: stats, CacheHit: hit}
+				if !hit {
+					r.Wall = time.Since(start)
+				}
+				uniqueRes[idx] = r
+				report(r)
+			}
+		}()
+	}
+	for idx := range unique {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Assemble per-input results; duplicate occurrences share the
+	// memoised stats and are marked as cache hits.
+	results := make([]*Result, len(specs))
+	occurrences := make(map[RunSpec]int, len(firstIdx))
+	var merr MultiError
+	for i, s := range specs {
+		u := firstIdx[s]
+		if uniqueErr[u] != nil {
+			if occurrences[s] == 0 {
+				merr.Errors = append(merr.Errors, &CellError{Spec: s, Err: uniqueErr[u]})
+			}
+			occurrences[s]++
+			continue
+		}
+		r := uniqueRes[u]
+		if occurrences[s] == 0 {
+			results[i] = r
+		} else {
+			e.hits.Add(1)
+			results[i] = &Result{Spec: s, Stats: r.Stats, CacheHit: true}
+		}
+		occurrences[s]++
+	}
+	if len(merr.Errors) > 0 {
+		return results, &merr
+	}
+	return results, nil
+}
+
+// RunOne executes a single cell.
+func (e *Engine) RunOne(ctx context.Context, spec RunSpec, opts ...Option) (*Result, error) {
+	res, err := e.Run(ctx, []RunSpec{spec}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return res[0], nil
+}
+
+// Prepare forces the once-per-workload profile-and-relink stage for
+// every named workload, fanning out over the worker pool. It is
+// optional — Run prepares workloads lazily — but lets callers front a
+// batch with a parallel preparation phase and surface errors early.
+func (e *Engine) Prepare(ctx context.Context, names []string, opts ...Option) error {
+	opt := e.defaults
+	for _, o := range opts {
+		o(&opt)
+	}
+	workers := opt.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	errs := make([]error, len(names))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					continue
+				}
+				_, errs[idx] = e.workload(ctx, names[idx])
+			}
+		}()
+	}
+	for idx := range names {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	var merr MultiError
+	for i, err := range errs {
+		if err != nil {
+			merr.Errors = append(merr.Errors, fmt.Errorf("prepare %s: %w", names[i], err))
+		}
+	}
+	if len(merr.Errors) > 0 {
+		return &merr
+	}
+	return nil
+}
+
+// cell returns the memoised stats for one spec, simulating it if this
+// is the first time the resolved configuration is seen. Concurrent
+// requests for the same cell coalesce onto a single simulation.
+func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config) (*sim.RunStats, bool, error) {
+	key := runKey{workload: spec.Workload, cfg: resolve(base, spec)}
+
+	e.mu.Lock()
+	if ent, ok := e.runs[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if ent.err != nil {
+			return nil, false, ent.err
+		}
+		e.hits.Add(1)
+		return ent.stats, true, nil
+	}
+	ent := &runEntry{done: make(chan struct{})}
+	e.runs[key] = ent
+	e.mu.Unlock()
+
+	e.misses.Add(1)
+	ent.stats, ent.err = e.exec(ctx, spec, key.cfg)
+	if ent.err != nil {
+		// Failed cells are evicted so a later batch can retry (a
+		// cancelled run must not poison the cache).
+		e.mu.Lock()
+		delete(e.runs, key)
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	return ent.stats, false, ent.err
+}
+
+// exec simulates one cell.
+func (e *Engine) exec(ctx context.Context, spec RunSpec, cfg sim.Config) (*sim.RunStats, error) {
+	w, err := e.workload(ctx, spec.Workload)
+	if err != nil {
+		return nil, err
+	}
+	prog := w.Original
+	if spec.Scheme == energy.WayPlacement {
+		prog = w.Placed
+	}
+	rs, err := sim.RunContext(ctx, prog, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec, err)
+	}
+	return rs, nil
+}
+
+// workload returns the memoised prepared workload, invoking the
+// provider at most once per name. Concurrent cells for the same
+// workload wait for a single preparation instead of duplicating the
+// profile/layout work.
+func (e *Engine) workload(ctx context.Context, name string) (*Workload, error) {
+	e.mu.Lock()
+	if ent, ok := e.workloads[name]; ok {
+		e.mu.Unlock()
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return ent.w, ent.err
+	}
+	ent := &workloadEntry{done: make(chan struct{})}
+	e.workloads[name] = ent
+	e.mu.Unlock()
+
+	ent.w, ent.err = e.provider(ctx, name)
+	if ent.err == nil && (ent.w == nil || ent.w.Original == nil) {
+		ent.err = fmt.Errorf("engine: provider returned no programs for %q", name)
+	}
+	if ent.err == nil && ent.w.Placed == nil {
+		// A provider may omit the relaid binary when only hardware
+		// schemes are evaluated; way-placement cells then fail clearly.
+		ent.w.Placed = ent.w.Original
+	}
+	if ent.err != nil {
+		e.mu.Lock()
+		delete(e.workloads, name)
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	return ent.w, ent.err
+}

@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CellError wraps one cell's failure with its spec.
+type CellError struct {
+	Spec RunSpec
+	Err  error
+}
+
+func (e *CellError) Error() string { return fmt.Sprintf("cell %s: %v", e.Spec, e.Err) }
+func (e *CellError) Unwrap() error { return e.Err }
+
+// MultiError aggregates per-cell failures from one batch. It
+// implements the multi-target Unwrap, so errors.Is/As see through to
+// the individual causes (e.g. context.Canceled).
+type MultiError struct {
+	Errors []error
+}
+
+func (m *MultiError) Error() string {
+	switch len(m.Errors) {
+	case 0:
+		return "engine: no errors"
+	case 1:
+		return m.Errors[0].Error()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "engine: %d cells failed:", len(m.Errors))
+	for _, err := range m.Errors {
+		sb.WriteString("\n\t")
+		sb.WriteString(err.Error())
+	}
+	return sb.String()
+}
+
+func (m *MultiError) Unwrap() []error { return m.Errors }

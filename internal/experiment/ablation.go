@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -18,6 +19,10 @@ import (
 // every benchmark's whole text is way-placed, so where code sits — and
 // how often the fetch stream crosses the area boundary — only matters
 // when the area is scarce.
+//
+// Variant runs use custom binaries or ablation switches outside the
+// engine's cell grid, so they execute through sim.RunContext directly;
+// their baselines still come from the engine's memoised run cache.
 
 // AblationRow is one variant's result.
 type AblationRow struct {
@@ -27,12 +32,13 @@ type AblationRow struct {
 
 // runVariant executes one workload under a full custom config and
 // binary, normalising against the memoised baseline.
-func (s *Suite) runVariant(w *Workload, cfg sim.Config, prog *obj.Program) (Pair, error) {
-	base, err := s.Run(w, cfg.ICache, energy.Baseline, 0)
+func (s *Suite) runVariant(ctx context.Context, w *Workload, cfg sim.Config, prog *obj.Program) (Pair, error) {
+	baseRes, err := s.RunSpec(ctx, spec(w, cfg.ICache, energy.Baseline, 0))
 	if err != nil {
 		return Pair{}, err
 	}
-	rs, err := sim.Run(prog, cfg)
+	base := baseRes.Stats
+	rs, err := sim.RunContext(ctx, prog, cfg)
 	if err != nil {
 		return Pair{}, err
 	}
@@ -43,24 +49,32 @@ func (s *Suite) runVariant(w *Workload, cfg sim.Config, prog *obj.Program) (Pair
 	return pairOf(rs, base), nil
 }
 
-// averageVariant runs one variant across the suite and averages.
-func (s *Suite) averageVariant(name string, make func(*Workload) (sim.Config, *obj.Program, error)) (AblationRow, error) {
-	var mu sumMu
+// averageVariant runs one variant across the suite (in parallel) and
+// averages in workload order, so the result is deterministic.
+func (s *Suite) averageVariant(ctx context.Context, name string, variant func(*Workload) (sim.Config, *obj.Program, error)) (AblationRow, error) {
 	row := AblationRow{Variant: name}
-	err := s.forEach(func(w *Workload) error {
-		cfg, prog, err := make(w)
+	pairs := make([]Pair, len(s.Workloads))
+	idx := make(map[string]int, len(s.Workloads))
+	for i, w := range s.Workloads {
+		idx[w.Name] = i
+	}
+	err := s.forEach(ctx, func(ctx context.Context, w *Workload) error {
+		cfg, prog, err := variant(w)
 		if err != nil {
 			return err
 		}
-		p, err := s.runVariant(w, cfg, prog)
+		p, err := s.runVariant(ctx, w, cfg, prog)
 		if err != nil {
 			return err
 		}
-		mu.add(&row.Pair, p)
+		pairs[idx[w.Name]] = p
 		return nil
 	})
 	if err != nil {
 		return row, err
+	}
+	for _, p := range pairs {
+		addPair(&row.Pair, p)
 	}
 	n := float64(len(s.Workloads))
 	row.Energy /= n
@@ -86,7 +100,7 @@ const tightWPSize = 2 << 10
 // guided layout, the original layout, a random (constraint-
 // respecting) permutation, and a classical Pettis/Hansen-style
 // affinity layout (which optimises adjacency, not front-loading).
-func (s *Suite) AblationLayout() ([]AblationRow, error) {
+func (s *Suite) AblationLayout(ctx context.Context) ([]AblationRow, error) {
 	variants := []struct {
 		name string
 		prog func(*Workload) (*obj.Program, error)
@@ -103,7 +117,7 @@ func (s *Suite) AblationLayout() ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, v := range variants {
 		v := v
-		row, err := s.averageVariant(v.name, func(w *Workload) (sim.Config, *obj.Program, error) {
+		row, err := s.averageVariant(ctx, v.name, func(w *Workload) (sim.Config, *obj.Program, error) {
 			prog, err := v.prog(w)
 			if err != nil {
 				return sim.Config{}, nil, err
@@ -121,7 +135,7 @@ func (s *Suite) AblationLayout() ([]AblationRow, error) {
 // AblationHint compares the 1-bit way hint against oracle knowledge
 // of the way-placement bit — the cost of predicting instead of
 // serialising on the I-TLB.
-func (s *Suite) AblationHint() ([]AblationRow, error) {
+func (s *Suite) AblationHint(ctx context.Context) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, oracle := range []bool{false, true} {
 		name := "1-bit way hint"
@@ -129,7 +143,7 @@ func (s *Suite) AblationHint() ([]AblationRow, error) {
 			name = "oracle hint"
 		}
 		oracle := oracle
-		row, err := s.averageVariant(name, func(w *Workload) (sim.Config, *obj.Program, error) {
+		row, err := s.averageVariant(ctx, name, func(w *Workload) (sim.Config, *obj.Program, error) {
 			cfg := s.wpConfig(tightWPSize)
 			cfg.OracleHint = oracle
 			return cfg, w.Placed, nil
@@ -144,7 +158,7 @@ func (s *Suite) AblationHint() ([]AblationRow, error) {
 
 // AblationSameLine measures the contribution of the same-line
 // tag-check skip (section 4.2's "further modification").
-func (s *Suite) AblationSameLine() ([]AblationRow, error) {
+func (s *Suite) AblationSameLine(ctx context.Context) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, off := range []bool{false, true} {
 		name := "same-line skip on"
@@ -152,7 +166,7 @@ func (s *Suite) AblationSameLine() ([]AblationRow, error) {
 			name = "same-line skip off"
 		}
 		off := off
-		row, err := s.averageVariant(name, func(w *Workload) (sim.Config, *obj.Program, error) {
+		row, err := s.averageVariant(ctx, name, func(w *Workload) (sim.Config, *obj.Program, error) {
 			cfg := s.wpConfig(InitialWPSize)
 			cfg.NoSameLine = off
 			return cfg, w.Placed, nil
@@ -167,14 +181,14 @@ func (s *Suite) AblationSameLine() ([]AblationRow, error) {
 
 // AblationReplacement checks that the scheme is insensitive to the
 // replacement policy (explicit placement bypasses it for hot lines).
-func (s *Suite) AblationReplacement() ([]AblationRow, error) {
+func (s *Suite) AblationReplacement(ctx context.Context) ([]AblationRow, error) {
 	var rows []AblationRow
 	for _, policy := range []struct {
 		name string
 		p    cache.Policy
 	}{{"round-robin (XScale)", cache.RoundRobin}, {"true LRU", cache.LRU}} {
 		policy := policy
-		row, err := s.averageVariant(policy.name, func(w *Workload) (sim.Config, *obj.Program, error) {
+		row, err := s.averageVariant(ctx, policy.name, func(w *Workload) (sim.Config, *obj.Program, error) {
 			cfg := s.wpConfig(InitialWPSize)
 			cfg.ICache.Policy = policy.p
 			return cfg, w.Placed, nil

@@ -7,9 +7,17 @@
 // way-memoization machines run the unmodified (original-layout)
 // binary — way-memoization is a pure-hardware scheme — while the
 // way-placement machine runs the relaid binary.
+//
+// All simulation cells are scheduled through internal/engine: a
+// worker-pool scheduler with a memoised run cache, so the baseline
+// cells shared between figures are simulated exactly once and grids
+// execute in parallel. Aggregation happens in workload order after
+// the grid completes, so every figure is byte-identical regardless of
+// the worker count.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +25,7 @@ import (
 	"wayplace/internal/bench"
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
+	"wayplace/internal/engine"
 	"wayplace/internal/layout"
 	"wayplace/internal/obj"
 	"wayplace/internal/profile"
@@ -83,95 +92,108 @@ func Prepare(name string) (*Workload, error) {
 	}, nil
 }
 
-// Suite is the prepared benchmark suite plus a run cache.
+// Suite is the prepared benchmark suite wired onto the concurrent
+// experiment engine.
 type Suite struct {
 	Workloads []*Workload
 	Base      sim.Config // machine template; I-cache geometry varies
 
-	mu   sync.Mutex
-	memo map[runKey]*sim.RunStats
-}
-
-type runKey struct {
-	bench  string
-	icfg   cache.Config
-	scheme energy.Scheme
-	wp     uint32
+	eng    *engine.Engine
+	mu     sync.Mutex
+	byName map[string]*Workload
 }
 
 // NewSuite prepares every benchmark (in parallel).
-func NewSuite() (*Suite, error) {
-	return NewSuiteOf(bench.Names())
+func NewSuite(opts ...engine.Option) (*Suite, error) {
+	return NewSuiteOf(bench.Names(), opts...)
 }
 
-// NewSuiteOf prepares a subset of benchmarks by name.
-func NewSuiteOf(names []string) (*Suite, error) {
-	s := &Suite{Base: sim.Default(), memo: make(map[runKey]*sim.RunStats)}
-	s.Workloads = make([]*Workload, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			s.Workloads[i], errs[i] = Prepare(name)
-		}(i, name)
+// NewSuiteOf prepares a subset of benchmarks by name. Engine options
+// (engine.WithWorkers, engine.WithProgress, ...) become the defaults
+// for every grid the suite runs.
+func NewSuiteOf(names []string, opts ...engine.Option) (*Suite, error) {
+	s := &Suite{Base: sim.Default(), byName: make(map[string]*Workload, len(names))}
+	base := s.Base
+	base.MaxInstrs = MaxInstrs
+	s.eng = engine.New(s.provide, append([]engine.Option{engine.WithBaseConfig(base)}, opts...)...)
+	if err := s.eng.Prepare(context.Background(), names); err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	s.Workloads = make([]*Workload, len(names))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, name := range names {
+		s.Workloads[i] = s.byName[name]
 	}
 	return s, nil
 }
 
-// Run simulates one workload under one machine configuration,
-// memoising results (many figures share the same baseline runs).
-func (s *Suite) Run(w *Workload, icfg cache.Config, scheme energy.Scheme, wp uint32) (*sim.RunStats, error) {
-	key := runKey{w.Name, icfg, scheme, wp}
-	s.mu.Lock()
-	if rs, ok := s.memo[key]; ok {
-		s.mu.Unlock()
-		return rs, nil
+// provide is the engine's workload provider: the full preparation
+// pipeline (build, profile, relink), memoised per name by the engine
+// so concurrent cells never duplicate profile/layout work.
+func (s *Suite) provide(ctx context.Context, name string) (*engine.Workload, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	s.mu.Unlock()
-
-	cfg := s.Base
-	cfg.ICache = icfg
-	cfg.MaxInstrs = MaxInstrs
-	cfg.Scheme = scheme
-	cfg.WPSize = wp
-	prog := w.Original
-	if scheme == energy.WayPlacement {
-		prog = w.Placed
-	}
-	rs, err := sim.Run(prog, cfg)
+	w, err := Prepare(name)
 	if err != nil {
-		return nil, fmt.Errorf("%s/%v: %w", w.Name, scheme, err)
+		return nil, err
 	}
-
 	s.mu.Lock()
-	s.memo[key] = rs
+	s.byName[name] = w
 	s.mu.Unlock()
-	return rs, nil
+	return &engine.Workload{Name: name, Original: w.Original, Placed: w.Placed}, nil
 }
 
-// forEach runs fn over all workloads in parallel, collecting errors.
-func (s *Suite) forEach(fn func(*Workload) error) error {
+// Engine exposes the underlying scheduler (run-cache counters,
+// ad hoc grids).
+func (s *Suite) Engine() *engine.Engine { return s.eng }
+
+// RunSpec executes one simulation cell through the engine, returning
+// the result with wall time and cache-hit provenance.
+func (s *Suite) RunSpec(ctx context.Context, spec engine.RunSpec) (*engine.Result, error) {
+	return s.eng.RunOne(ctx, spec)
+}
+
+// RunBatch executes a grid of cells through the engine, in parallel,
+// with results in input order.
+func (s *Suite) RunBatch(ctx context.Context, specs []engine.RunSpec, opts ...engine.Option) ([]*engine.Result, error) {
+	return s.eng.Run(ctx, specs, opts...)
+}
+
+// Run simulates one workload under one machine configuration.
+//
+// Deprecated: use RunSpec, which is context-aware and returns
+// provenance alongside the statistics. This positional wrapper
+// remains for one release.
+func (s *Suite) Run(w *Workload, icfg cache.Config, scheme energy.Scheme, wp uint32) (*sim.RunStats, error) {
+	res, err := s.RunSpec(context.Background(), engine.RunSpec{
+		Workload: w.Name, ICache: icfg, Scheme: scheme, WPSize: wp,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Stats, nil
+}
+
+// forEach runs fn over all workloads in parallel (for ablation and
+// extension variants that fall outside the engine's cell grid),
+// stopping new work once ctx is cancelled and collecting errors.
+func (s *Suite) forEach(ctx context.Context, fn func(context.Context, *Workload) error) error {
 	errs := make([]error, len(s.Workloads))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
+	sem := make(chan struct{}, workerCount())
 	for i, w := range s.Workloads {
 		wg.Add(1)
 		go func(i int, w *Workload) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			errs[i] = fn(w)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = fn(ctx, w)
 		}(i, w)
 	}
 	wg.Wait()
@@ -182,6 +204,8 @@ func (s *Suite) forEach(fn func(*Workload) error) error {
 	}
 	return nil
 }
+
+func workerCount() int { return runtime.GOMAXPROCS(0) }
 
 // XScaleICache is the initial evaluation's I-cache: 32KB, 32-way.
 func XScaleICache() cache.Config {

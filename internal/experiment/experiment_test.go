@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"wayplace/internal/energy"
+	"wayplace/internal/engine"
 	"wayplace/internal/layout"
 )
 
@@ -42,16 +44,32 @@ func TestPrepareProducesDistinctLayouts(t *testing.T) {
 func TestRunMemoisation(t *testing.T) {
 	s := subsetSuite(t)
 	w := s.Workloads[0]
-	a, err := s.Run(w, XScaleICache(), energy.Baseline, 0)
+	ctx := context.Background()
+	spec := engine.RunSpec{Workload: w.Name, ICache: XScaleICache(), Scheme: energy.Baseline}
+	a, err := s.RunSpec(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Run(w, XScaleICache(), energy.Baseline, 0)
+	if a.CacheHit {
+		t.Error("first run reported as a cache hit")
+	}
+	b, err := s.RunSpec(ctx, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
+	if a.Stats != b.Stats {
 		t.Error("identical runs were not memoised")
+	}
+	if !b.CacheHit {
+		t.Error("second run not marked as a cache hit")
+	}
+	// The deprecated positional wrapper must hit the same cache.
+	c, err := s.Run(w, XScaleICache(), energy.Baseline, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a.Stats {
+		t.Error("deprecated Suite.Run bypassed the run cache")
 	}
 }
 
@@ -61,7 +79,7 @@ func TestRunMemoisation(t *testing.T) {
 // way-placement ED product sits near the paper's 0.93 average.
 func TestFigure4Shape(t *testing.T) {
 	s := subsetSuite(t)
-	r, err := s.Figure4()
+	r, err := s.Figure4(context.Background())
 	if err != nil {
 		t.Fatalf("Figure4: %v", err)
 	}
@@ -95,7 +113,7 @@ func TestFigure4Shape(t *testing.T) {
 // section 6.2's conclusion.
 func TestFigure5Shape(t *testing.T) {
 	s := subsetSuite(t)
-	r, err := s.Figure5()
+	r, err := s.Figure5(context.Background())
 	if err != nil {
 		t.Fatalf("Figure5: %v", err)
 	}
@@ -127,7 +145,7 @@ func TestFigure6Shape(t *testing.T) {
 		t.Skip("cache sweep in -short mode")
 	}
 	s := subsetSuite(t)
-	cells, err := s.Figure6()
+	cells, err := s.Figure6(context.Background())
 	if err != nil {
 		t.Fatalf("Figure6: %v", err)
 	}
@@ -167,7 +185,7 @@ func TestAblationsShapes(t *testing.T) {
 	}
 	s := subsetSuite(t)
 
-	rows, err := s.AblationLayout()
+	rows, err := s.AblationLayout(context.Background())
 	if err != nil {
 		t.Fatalf("AblationLayout: %v", err)
 	}
@@ -180,7 +198,7 @@ func TestAblationsShapes(t *testing.T) {
 			rows[0].Energy, rows[2].Energy)
 	}
 
-	hint, err := s.AblationHint()
+	hint, err := s.AblationHint(context.Background())
 	if err != nil {
 		t.Fatalf("AblationHint: %v", err)
 	}
@@ -192,7 +210,7 @@ func TestAblationsShapes(t *testing.T) {
 			hint[0].Energy-hint[1].Energy)
 	}
 
-	sl, err := s.AblationSameLine()
+	sl, err := s.AblationSameLine(context.Background())
 	if err != nil {
 		t.Fatalf("AblationSameLine: %v", err)
 	}
@@ -200,7 +218,7 @@ func TestAblationsShapes(t *testing.T) {
 		t.Errorf("same-line skip does not help: on %.3f vs off %.3f", sl[0].Energy, sl[1].Energy)
 	}
 
-	repl, err := s.AblationReplacement()
+	repl, err := s.AblationReplacement(context.Background())
 	if err != nil {
 		t.Fatalf("AblationReplacement: %v", err)
 	}
@@ -212,7 +230,7 @@ func TestAblationsShapes(t *testing.T) {
 
 func TestFormatters(t *testing.T) {
 	s := subsetSuite(t)
-	r4, err := s.Figure4()
+	r4, err := s.Figure4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +250,7 @@ func TestExtensionRAMTagShape(t *testing.T) {
 		t.Skip("extension sweep in -short mode")
 	}
 	s := subsetSuite(t)
-	rows, err := s.ExtensionRAMTag()
+	rows, err := s.ExtensionRAMTag(context.Background())
 	if err != nil {
 		t.Fatalf("ExtensionRAMTag: %v", err)
 	}
@@ -263,7 +281,7 @@ func TestExtensionAdaptiveShape(t *testing.T) {
 		t.Skip("extension sweep in -short mode")
 	}
 	s := subsetSuite(t)
-	rows, err := s.ExtensionAdaptive()
+	rows, err := s.ExtensionAdaptive(context.Background())
 	if err != nil {
 		t.Fatalf("ExtensionAdaptive: %v", err)
 	}
@@ -285,7 +303,7 @@ func TestExtensionAdaptiveShape(t *testing.T) {
 
 func TestCSVEmitters(t *testing.T) {
 	s := subsetSuite(t)
-	r4, err := s.Figure4()
+	r4, err := s.Figure4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +320,7 @@ func TestCSVEmitters(t *testing.T) {
 		t.Errorf("bad header: %s", lines[0])
 	}
 
-	r5, err := s.Figure5()
+	r5, err := s.Figure5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +338,7 @@ func TestExtensionProfileTransferShape(t *testing.T) {
 		t.Skip("extension sweep in -short mode")
 	}
 	s := subsetSuite(t)
-	rows, err := s.ExtensionProfileTransfer()
+	rows, err := s.ExtensionProfileTransfer(context.Background())
 	if err != nil {
 		t.Fatalf("ExtensionProfileTransfer: %v", err)
 	}
@@ -348,7 +366,7 @@ func TestFigure4FullSuite(t *testing.T) {
 	if len(s.Workloads) != 23 {
 		t.Fatalf("suite has %d workloads, want 23", len(s.Workloads))
 	}
-	r, err := s.Figure4()
+	r, err := s.Figure4(context.Background())
 	if err != nil {
 		t.Fatalf("Figure4: %v", err)
 	}

@@ -1,11 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
+	"wayplace/internal/engine"
 	"wayplace/internal/layout"
 	"wayplace/internal/sim"
 )
@@ -31,10 +33,13 @@ type RAMRow struct {
 // ExtensionRAMTag evaluates way-placement on conventional RAM-tag
 // caches at the associativities such caches are actually built with
 // (4/8-way), alongside the XScale CAM points, averaged over the suite.
-// The baseline for each row uses the same array style.
-func (s *Suite) ExtensionRAMTag() ([]RAMRow, error) {
+// The baseline for each row uses the same array style. Each row is an
+// engine grid run against a base config carrying the array style —
+// the run cache keys on the full resolved config, so CAM and RAM rows
+// never alias.
+func (s *Suite) ExtensionRAMTag(ctx context.Context) ([]RAMRow, error) {
 	var rows []RAMRow
-	for _, cfg := range []struct {
+	for _, rc := range []struct {
 		ways  int
 		style energy.ArrayStyle
 	}{
@@ -43,37 +48,23 @@ func (s *Suite) ExtensionRAMTag() ([]RAMRow, error) {
 		{8, energy.CAMTag},
 		{32, energy.CAMTag},
 	} {
-		icfg := cache.Config{SizeBytes: 32 << 10, Ways: cfg.ways, LineBytes: 32, Policy: cache.RoundRobin}
-		row := RAMRow{Ways: cfg.ways, Style: cfg.style}
-		var mu sumMu
-		style := cfg.style
-		err := s.forEach(func(w *Workload) error {
-			mk := func(scheme energy.Scheme, wp uint32, placed bool) (*sim.RunStats, error) {
-				c := s.Base
-				c.ICache = icfg
-				c.MaxInstrs = MaxInstrs
-				c.Scheme = scheme
-				c.Style = style
-				c.WPSize = wp
-				prog := w.Original
-				if placed {
-					prog = w.Placed
-				}
-				return sim.Run(prog, c)
-			}
-			base, err := mk(energy.Baseline, 0, false)
-			if err != nil {
-				return err
-			}
-			wp, err := mk(energy.WayPlacement, InitialWPSize, true)
-			if err != nil {
-				return err
-			}
-			mu.add(&row.WayPlace, pairOf(wp, base))
-			return nil
-		})
+		icfg := cache.Config{SizeBytes: 32 << 10, Ways: rc.ways, LineBytes: 32, Policy: cache.RoundRobin}
+		base := s.Base
+		base.MaxInstrs = MaxInstrs
+		base.Style = rc.style
+		specs := make([]engine.RunSpec, 0, 2*len(s.Workloads))
+		for _, w := range s.Workloads {
+			specs = append(specs,
+				spec(w, icfg, energy.Baseline, 0),
+				spec(w, icfg, energy.WayPlacement, InitialWPSize))
+		}
+		res, err := s.RunBatch(ctx, specs, engine.WithBaseConfig(base))
 		if err != nil {
 			return nil, err
+		}
+		row := RAMRow{Ways: rc.ways, Style: rc.style}
+		for i := range s.Workloads {
+			addPair(&row.WayPlace, pairOf(res[2*i+1].Stats, res[2*i].Stats))
 		}
 		n := float64(len(s.Workloads))
 		row.WayPlace.Energy /= n
@@ -108,19 +99,20 @@ type AdaptiveRow struct {
 
 // ExtensionAdaptive runs the adaptive OS policy (starting from one
 // page) on each workload and compares it with the static 16KB area.
-func (s *Suite) ExtensionAdaptive() ([]AdaptiveRow, error) {
+func (s *Suite) ExtensionAdaptive(ctx context.Context) ([]AdaptiveRow, error) {
 	icfg := XScaleICache()
 	rows := make([]AdaptiveRow, len(s.Workloads))
 	idx := make(map[string]int)
 	for i, w := range s.Workloads {
 		idx[w.Name] = i
 	}
-	err := s.forEach(func(w *Workload) error {
-		base, err := s.Run(w, icfg, energy.Baseline, 0)
+	err := s.forEach(ctx, func(ctx context.Context, w *Workload) error {
+		baseRes, err := s.RunSpec(ctx, spec(w, icfg, energy.Baseline, 0))
 		if err != nil {
 			return err
 		}
-		static, err := s.Run(w, icfg, energy.WayPlacement, InitialWPSize)
+		base := baseRes.Stats
+		staticRes, err := s.RunSpec(ctx, spec(w, icfg, energy.WayPlacement, InitialWPSize))
 		if err != nil {
 			return err
 		}
@@ -129,7 +121,7 @@ func (s *Suite) ExtensionAdaptive() ([]AdaptiveRow, error) {
 		cfg.MaxInstrs = MaxInstrs
 		cfg.Scheme = energy.WayPlacement
 		pol := sim.DefaultAdaptivePolicy(icfg, cfg.ITLB.PageBytes)
-		adaptive, changes, err := sim.RunAdaptive(w.Placed, cfg, pol)
+		adaptive, changes, err := sim.RunAdaptive(ctx, w.Placed, cfg, pol)
 		if err != nil {
 			return fmt.Errorf("%s: adaptive: %w", w.Name, err)
 		}
@@ -138,7 +130,7 @@ func (s *Suite) ExtensionAdaptive() ([]AdaptiveRow, error) {
 		}
 		rows[idx[w.Name]] = AdaptiveRow{
 			Bench:     w.Name,
-			Static:    pairOf(static, base),
+			Static:    pairOf(staticRes.Stats, base),
 			Adaptive:  pairOf(adaptive, base),
 			FinalSize: changes[len(changes)-1].Size,
 			Resizes:   len(changes) - 1,
@@ -185,18 +177,19 @@ type TransferRow struct {
 // the small input instead of the evaluation input (which the paper's
 // methodology — and ours — forbids using). Both layouts run under a
 // scarce 2KB area where layout quality matters.
-func (s *Suite) ExtensionProfileTransfer() ([]TransferRow, error) {
+func (s *Suite) ExtensionProfileTransfer(ctx context.Context) ([]TransferRow, error) {
 	icfg := XScaleICache()
 	rows := make([]TransferRow, len(s.Workloads))
 	idx := make(map[string]int)
 	for i, w := range s.Workloads {
 		idx[w.Name] = i
 	}
-	err := s.forEach(func(w *Workload) error {
-		base, err := s.Run(w, icfg, energy.Baseline, 0)
+	err := s.forEach(ctx, func(ctx context.Context, w *Workload) error {
+		baseRes, err := s.RunSpec(ctx, spec(w, icfg, energy.Baseline, 0))
 		if err != nil {
 			return err
 		}
+		base := baseRes.Stats
 		// Oracle: profile the large input itself, then relink.
 		largeProf, _, err := sim.ProfileRun(w.Original, MaxInstrs)
 		if err != nil {
@@ -207,11 +200,11 @@ func (s *Suite) ExtensionProfileTransfer() ([]TransferRow, error) {
 			return err
 		}
 		cfg := s.wpConfig(tightWPSize)
-		small, err := s.runVariant(w, cfg, w.Placed)
+		small, err := s.runVariant(ctx, w, cfg, w.Placed)
 		if err != nil {
 			return err
 		}
-		oracleRun, err := sim.Run(oracleProg, cfg)
+		oracleRun, err := sim.RunContext(ctx, oracleProg, cfg)
 		if err != nil {
 			return err
 		}

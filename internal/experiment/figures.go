@@ -1,12 +1,13 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
+	"wayplace/internal/engine"
 	"wayplace/internal/sim"
 )
 
@@ -16,6 +17,11 @@ import (
 type Pair struct {
 	Energy float64
 	ED     float64
+}
+
+// spec builds one engine cell for a suite workload.
+func spec(w *Workload, icfg cache.Config, scheme energy.Scheme, wp uint32) engine.RunSpec {
+	return engine.RunSpec{Workload: w.Name, ICache: icfg, Scheme: scheme, WPSize: wp}
 }
 
 // Fig4Row is one benchmark's bars in figure 4.
@@ -34,49 +40,41 @@ type Fig4Result struct {
 // Figure4 reproduces figures 4(a) and 4(b): per-benchmark normalised
 // I-cache energy and ED product for way-memoization and
 // way-placement on the 32KB/32-way cache with a 16KB WP area.
-func (s *Suite) Figure4() (*Fig4Result, error) {
+func (s *Suite) Figure4(ctx context.Context) (*Fig4Result, error) {
 	icfg := XScaleICache()
-	res := &Fig4Result{Rows: make([]Fig4Row, len(s.Workloads))}
-	idx := make(map[string]int, len(s.Workloads))
-	for i, w := range s.Workloads {
-		idx[w.Name] = i
+	specs := make([]engine.RunSpec, 0, 3*len(s.Workloads))
+	for _, w := range s.Workloads {
+		specs = append(specs,
+			spec(w, icfg, energy.Baseline, 0),
+			spec(w, icfg, energy.WayMemoization, 0),
+			spec(w, icfg, energy.WayPlacement, InitialWPSize))
 	}
-	err := s.forEach(func(w *Workload) error {
-		base, err := s.Run(w, icfg, energy.Baseline, 0)
-		if err != nil {
-			return err
-		}
-		wm, err := s.Run(w, icfg, energy.WayMemoization, 0)
-		if err != nil {
-			return err
-		}
-		wp, err := s.Run(w, icfg, energy.WayPlacement, InitialWPSize)
-		if err != nil {
-			return err
-		}
-		res.Rows[idx[w.Name]] = Fig4Row{
+	res, err := s.RunBatch(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig4Result{Rows: make([]Fig4Row, len(s.Workloads))}
+	for i, w := range s.Workloads {
+		base, wm, wp := res[3*i].Stats, res[3*i+1].Stats, res[3*i+2].Stats
+		out.Rows[i] = Fig4Row{
 			Bench:    w.Name,
 			WayMem:   pairOf(wm, base),
 			WayPlace: pairOf(wp, base),
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	res.Average = Fig4Row{Bench: "average"}
-	for _, r := range res.Rows {
-		res.Average.WayMem.Energy += r.WayMem.Energy
-		res.Average.WayMem.ED += r.WayMem.ED
-		res.Average.WayPlace.Energy += r.WayPlace.Energy
-		res.Average.WayPlace.ED += r.WayPlace.ED
+	out.Average = Fig4Row{Bench: "average"}
+	for _, r := range out.Rows {
+		out.Average.WayMem.Energy += r.WayMem.Energy
+		out.Average.WayMem.ED += r.WayMem.ED
+		out.Average.WayPlace.Energy += r.WayPlace.Energy
+		out.Average.WayPlace.ED += r.WayPlace.ED
 	}
-	n := float64(len(res.Rows))
-	res.Average.WayMem.Energy /= n
-	res.Average.WayMem.ED /= n
-	res.Average.WayPlace.Energy /= n
-	res.Average.WayPlace.ED /= n
-	return res, nil
+	n := float64(len(out.Rows))
+	out.Average.WayMem.Energy /= n
+	out.Average.WayMem.ED /= n
+	out.Average.WayPlace.Energy /= n
+	out.Average.WayPlace.ED /= n
+	return out, nil
 }
 
 // Fig5Point is one way-placement-area size in figure 5 (averaged
@@ -100,41 +98,40 @@ var Fig5Sizes = []int{16, 8, 4, 2, 1} // KB
 // I-cache energy and ED product while the way-placement area shrinks
 // from 16KB to 1KB on the 32KB/32-way cache. No relinking happens —
 // the same placed binary serves every size, as in section 4.1.
-func (s *Suite) Figure5() (*Fig5Result, error) {
+func (s *Suite) Figure5(ctx context.Context) (*Fig5Result, error) {
 	icfg := XScaleICache()
-	res := &Fig5Result{Points: make([]Fig5Point, len(Fig5Sizes))}
-	var mu sumMu
-	err := s.forEach(func(w *Workload) error {
-		base, err := s.Run(w, icfg, energy.Baseline, 0)
-		if err != nil {
-			return err
+	stride := 2 + len(Fig5Sizes)
+	specs := make([]engine.RunSpec, 0, stride*len(s.Workloads))
+	for _, w := range s.Workloads {
+		specs = append(specs,
+			spec(w, icfg, energy.Baseline, 0),
+			spec(w, icfg, energy.WayMemoization, 0))
+		for _, kb := range Fig5Sizes {
+			specs = append(specs, spec(w, icfg, energy.WayPlacement, uint32(kb)<<10))
 		}
-		wm, err := s.Run(w, icfg, energy.WayMemoization, 0)
-		if err != nil {
-			return err
-		}
-		mu.add(&res.WayMem, pairOf(wm, base))
-		for i, kb := range Fig5Sizes {
-			wp, err := s.Run(w, icfg, energy.WayPlacement, uint32(kb)<<10)
-			if err != nil {
-				return err
-			}
-			mu.add(&res.Points[i].Pair, pairOf(wp, base))
-		}
-		return nil
-	})
+	}
+	res, err := s.RunBatch(ctx, specs)
 	if err != nil {
 		return nil, err
 	}
-	n := float64(len(s.Workloads))
-	res.WayMem.Energy /= n
-	res.WayMem.ED /= n
-	for i := range res.Points {
-		res.Points[i].WPSizeKB = Fig5Sizes[i]
-		res.Points[i].Energy /= n
-		res.Points[i].ED /= n
+	out := &Fig5Result{Points: make([]Fig5Point, len(Fig5Sizes))}
+	for i := range s.Workloads {
+		base := res[stride*i].Stats
+		wm := res[stride*i+1].Stats
+		addPair(&out.WayMem, pairOf(wm, base))
+		for j := range Fig5Sizes {
+			addPair(&out.Points[j].Pair, pairOf(res[stride*i+2+j].Stats, base))
+		}
 	}
-	return res, nil
+	n := float64(len(s.Workloads))
+	out.WayMem.Energy /= n
+	out.WayMem.ED /= n
+	for i := range out.Points {
+		out.Points[i].WPSizeKB = Fig5Sizes[i]
+		out.Points[i].Energy /= n
+		out.Points[i].ED /= n
+	}
+	return out, nil
 }
 
 // Fig6Cell is one cache configuration in figure 6, averaged across
@@ -159,46 +156,51 @@ var (
 )
 
 // Figure6 reproduces figures 6(a) and 6(b): the cache size and
-// associativity sweep.
-func (s *Suite) Figure6() ([]Fig6Cell, error) {
-	var cells []Fig6Cell
+// associativity sweep. The whole sweep — every cache configuration
+// times every workload times four schemes — is submitted as a single
+// grid, so the engine parallelises across configurations as well as
+// benchmarks.
+func (s *Suite) Figure6(ctx context.Context) ([]Fig6Cell, error) {
+	var cfgs []cache.Config
 	for _, kb := range Fig6Sizes {
 		for _, ways := range Fig6Ways {
-			icfg := cache.Config{SizeBytes: kb << 10, Ways: ways, LineBytes: 32, Policy: cache.RoundRobin}
-			cell := Fig6Cell{SizeKB: kb, Ways: ways}
-			var mu sumMu
-			err := s.forEach(func(w *Workload) error {
-				base, err := s.Run(w, icfg, energy.Baseline, 0)
-				if err != nil {
-					return err
-				}
-				wm, err := s.Run(w, icfg, energy.WayMemoization, 0)
-				if err != nil {
-					return err
-				}
-				wp16, err := s.Run(w, icfg, energy.WayPlacement, 16<<10)
-				if err != nil {
-					return err
-				}
-				wp8, err := s.Run(w, icfg, energy.WayPlacement, 8<<10)
-				if err != nil {
-					return err
-				}
-				mu.add(&cell.WayMem, pairOf(wm, base))
-				mu.add(&cell.WP16, pairOf(wp16, base))
-				mu.add(&cell.WP8, pairOf(wp8, base))
-				return nil
+			cfgs = append(cfgs, cache.Config{
+				SizeBytes: kb << 10, Ways: ways, LineBytes: 32, Policy: cache.RoundRobin,
 			})
-			if err != nil {
-				return nil, err
-			}
-			n := float64(len(s.Workloads))
-			for _, p := range []*Pair{&cell.WayMem, &cell.WP16, &cell.WP8} {
-				p.Energy /= n
-				p.ED /= n
-			}
-			cells = append(cells, cell)
 		}
+	}
+	const stride = 4 // baseline, waymem, wp16, wp8
+	specs := make([]engine.RunSpec, 0, stride*len(cfgs)*len(s.Workloads))
+	for _, icfg := range cfgs {
+		for _, w := range s.Workloads {
+			specs = append(specs,
+				spec(w, icfg, energy.Baseline, 0),
+				spec(w, icfg, energy.WayMemoization, 0),
+				spec(w, icfg, energy.WayPlacement, 16<<10),
+				spec(w, icfg, energy.WayPlacement, 8<<10))
+		}
+	}
+	res, err := s.RunBatch(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]Fig6Cell, len(cfgs))
+	n := float64(len(s.Workloads))
+	for ci, icfg := range cfgs {
+		cell := Fig6Cell{SizeKB: icfg.SizeBytes >> 10, Ways: icfg.Ways}
+		rowBase := stride * len(s.Workloads) * ci
+		for wi := range s.Workloads {
+			r := res[rowBase+stride*wi:]
+			base := r[0].Stats
+			addPair(&cell.WayMem, pairOf(r[1].Stats, base))
+			addPair(&cell.WP16, pairOf(r[2].Stats, base))
+			addPair(&cell.WP8, pairOf(r[3].Stats, base))
+		}
+		for _, p := range []*Pair{&cell.WayMem, &cell.WP16, &cell.WP8} {
+			p.Energy /= n
+			p.ED /= n
+		}
+		cells[ci] = cell
 	}
 	return cells, nil
 }
@@ -214,14 +216,11 @@ func pairOf(run, base *sim.RunStats) Pair {
 	}
 }
 
-// sumMu accumulates pairs from concurrent workers.
-type sumMu struct{ mu sync.Mutex }
-
-func (m *sumMu) add(dst *Pair, p Pair) {
-	m.mu.Lock()
+// addPair accumulates a pair. All aggregation happens after the grid
+// returns, in workload order, so sums are deterministic.
+func addPair(dst *Pair, p Pair) {
 	dst.Energy += p.Energy
 	dst.ED += p.ED
-	m.mu.Unlock()
 }
 
 // --- table formatting ----------------------------------------------

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"wayplace/internal/cache"
@@ -55,11 +56,23 @@ type AreaChange struct {
 }
 
 // RunAdaptive executes prog under the way-placement scheme with the
-// OS resizing the area per pol. It returns the run statistics and the
-// resize trace.
-func RunAdaptive(prog *obj.Program, cfg Config, pol AdaptivePolicy) (*RunStats, []AreaChange, error) {
+// OS resizing the area per pol, honouring ctx cancellation between OS
+// decision intervals. It returns the run statistics and the resize
+// trace.
+func RunAdaptive(ctx context.Context, prog *obj.Program, cfg Config, pol AdaptivePolicy) (*RunStats, []AreaChange, error) {
 	if pol.IntervalInstrs == 0 || pol.StartSize == 0 {
 		return nil, nil, fmt.Errorf("sim: adaptive policy needs an interval and a start size")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg.Scheme = energy.WayPlacement
+	cfg.WPSize = pol.StartSize
+	if cfg.MaxInstrs == 0 {
+		cfg.MaxInstrs = 2_000_000_000
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
 	}
 	m := mem.New(cfg.Mem)
 	c := cpu.New(prog, m)
@@ -98,6 +111,9 @@ func RunAdaptive(prog *obj.Program, cfg Config, pol AdaptivePolicy) (*RunStats, 
 	}
 
 	for !c.Halted && c.Instrs < maxInstrs {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		budget := pol.IntervalInstrs
 		if rem := maxInstrs - c.Instrs; rem < budget {
 			budget = rem

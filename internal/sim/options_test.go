@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+)
+
+func TestNewDefaultsValid(t *testing.T) {
+	cfg, err := New()
+	if err != nil {
+		t.Fatalf("New() with no options: %v", err)
+	}
+	if cfg != Default() {
+		t.Error("New() does not start from the Table 1 defaults")
+	}
+}
+
+func TestNewAppliesOptions(t *testing.T) {
+	icfg := cache.Config{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32}
+	cfg, err := New(
+		WithICache(icfg),
+		WithScheme(energy.WayPlacement),
+		WithWPSize(4<<10),
+		WithMaxInstrs(123),
+		WithStyle(energy.RAMTag))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ICache != icfg || cfg.Scheme != energy.WayPlacement ||
+		cfg.WPSize != 4<<10 || cfg.MaxInstrs != 123 || cfg.Style != energy.RAMTag {
+		t.Errorf("options not applied: %+v", cfg)
+	}
+}
+
+func TestNewRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string // substring of the error
+	}{
+		{"zero budget", []Option{WithMaxInstrs(0)}, "budget"},
+		{"bad i-cache", []Option{WithICache(cache.Config{SizeBytes: 1000, Ways: 3, LineBytes: 32})}, "i-cache"},
+		{"unknown scheme", []Option{WithScheme(energy.Scheme(99))}, "scheme"},
+		{"unaligned wp area", []Option{WithScheme(energy.WayPlacement), WithWPSize(1500)}, "page"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.opts...)
+			if err == nil {
+				t.Fatal("no error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

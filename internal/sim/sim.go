@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"wayplace/internal/cache"
@@ -67,6 +68,10 @@ func Default() Config {
 
 // WithScheme returns a copy configured for the given scheme and
 // way-placement area size.
+//
+// Deprecated: build configurations with New and the functional
+// options (WithScheme, WithWPSize, ...) instead, which validate
+// eagerly. This copy-and-mutate form remains for one release.
 func (c Config) WithScheme(s energy.Scheme, wpSize uint32) Config {
 	c.Scheme = s
 	c.WPSize = wpSize
@@ -102,6 +107,17 @@ func (r *RunStats) CPI() float64 {
 
 // Run executes prog on the configured machine.
 func Run(prog *obj.Program, cfg Config) (*RunStats, error) {
+	return RunContext(context.Background(), prog, cfg)
+}
+
+// RunContext executes prog on the configured machine under ctx: the
+// instruction loop checks for cancellation periodically and returns
+// ctx.Err() once the context is done. The configuration is validated
+// eagerly before any machine state is built.
+func RunContext(ctx context.Context, prog *obj.Program, cfg Config) (*RunStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	m := mem.New(cfg.Mem)
 	c := cpu.New(prog, m)
 	c.Timing = cfg.Timing
@@ -150,7 +166,7 @@ func Run(prog *obj.Program, cfg Config) (*RunStats, error) {
 	c.DCache = dcache
 	c.DTLB = dtlb
 
-	res, err := c.Run(cfg.MaxInstrs)
+	res, err := c.RunContext(ctx, cfg.MaxInstrs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"wayplace/internal/asm"
@@ -276,7 +277,7 @@ func TestRunAdaptiveConvergesAndPreservesSemantics(t *testing.T) {
 
 	pol := DefaultAdaptivePolicy(cfg.ICache, cfg.ITLB.PageBytes)
 	pol.IntervalInstrs = 10_000
-	adaptive, changes, err := RunAdaptive(opt, cfg.WithScheme(energy.WayPlacement, 0), pol)
+	adaptive, changes, err := RunAdaptive(context.Background(), opt, cfg.WithScheme(energy.WayPlacement, 0), pol)
 	if err != nil {
 		t.Fatalf("RunAdaptive: %v", err)
 	}
@@ -311,7 +312,7 @@ func TestRunAdaptiveConvergesAndPreservesSemantics(t *testing.T) {
 func TestRunAdaptiveRejectsBadPolicy(t *testing.T) {
 	u := buildTestBench(t, 1)
 	p, _ := layout.LinkOriginal(u, textBase)
-	if _, _, err := RunAdaptive(p, Default(), AdaptivePolicy{}); err == nil {
+	if _, _, err := RunAdaptive(context.Background(), p, Default(), AdaptivePolicy{}); err == nil {
 		t.Error("empty policy accepted")
 	}
 }
