@@ -7,10 +7,18 @@
 // simulated once and served from the run cache thereafter. Output is
 // byte-identical for every -jobs value.
 //
+// Every simulation cell is additionally passed through the runtime
+// invariant checker (internal/check): a run whose statistics violate
+// the conservation laws fails its cell rather than silently feeding a
+// figure. -selfcheck goes further and runs the full differential
+// harness — every benchmark under every scheme variant on the Large
+// input, demanding architectural equivalence — exiting non-zero on
+// any violation.
+//
 // Usage:
 //
 //	wpbench [-table1] [-fig4] [-fig5] [-fig6] [-ablations] [-extensions]
-//	        [-benchmarks a,b,c] [-csv dir] [-jobs N] [-progress]
+//	        [-selfcheck] [-benchmarks a,b,c] [-csv dir] [-jobs N] [-progress]
 package main
 
 import (
@@ -21,10 +29,13 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"wayplace/internal/bench"
+	"wayplace/internal/check"
 	"wayplace/internal/engine"
 	"wayplace/internal/experiment"
 )
@@ -41,6 +52,7 @@ func main() {
 	fig6 := flag.Bool("fig6", false, "reproduce figure 6 (cache parameter sweep)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	extensions := flag.Bool("extensions", false, "run the RAM-tag and adaptive-area extensions")
+	selfcheck := flag.Bool("selfcheck", false, "run the differential self-check suite and exit")
 	subset := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 23)")
 	csvDir := flag.String("csv", "", "also write figN.csv files into this directory")
 	jobs := flag.Int("jobs", 0, "simulation cells to run concurrently (0 = GOMAXPROCS)")
@@ -50,10 +62,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	all := !*table1 && !*fig4 && !*fig5 && !*fig6 && !*ablations && !*extensions
+	all := !*table1 && !*fig4 && !*fig5 && !*fig6 && !*ablations && !*extensions && !*selfcheck
 	names := bench.Names()
 	if *subset != "" {
 		names = strings.Split(*subset, ",")
+	}
+
+	if *selfcheck {
+		os.Exit(runSelfCheck(ctx, names, *jobs))
 	}
 
 	if *table1 || all {
@@ -64,7 +80,10 @@ func main() {
 		return
 	}
 
-	opts := []engine.Option{engine.WithWorkers(*jobs)}
+	opts := []engine.Option{
+		engine.WithWorkers(*jobs),
+		engine.WithVerify(check.VerifyCell),
+	}
 	if *progress {
 		opts = append(opts, engine.WithProgress(func(p engine.Progress) {
 			cached := ""
@@ -195,6 +214,59 @@ func writeCSV(dir, name string, emit func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runSelfCheck prepares the named benchmarks and pushes each one, on
+// its Large (reference) input, through the differential harness: all
+// five scheme variants must agree architecturally and every runtime
+// invariant must hold. Returns the process exit code: 0 only if every
+// benchmark passes.
+func runSelfCheck(ctx context.Context, names []string, jobs int) int {
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "preparing %d benchmarks (build, profile, relink)...\n", len(names))
+	suite, err := experiment.NewSuiteOf(names)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wpbench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "prepared in %v\n", time.Since(start).Round(time.Millisecond))
+
+	base := suite.Base
+	base.MaxInstrs = experiment.MaxInstrs
+	if jobs < 1 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+
+	type outcome struct {
+		name string
+		err  error
+	}
+	results := make([]outcome, len(suite.Workloads))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i, w := range suite.Workloads {
+		wg.Add(1)
+		go func(i int, w *experiment.Workload) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			_, err := check.Differential(ctx, w.Original, w.Placed, base, experiment.InitialWPSize)
+			results[i] = outcome{name: w.Name, err: err}
+		}(i, w)
+	}
+	wg.Wait()
+
+	code := 0
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Printf("FAIL %-12s %v\n", r.name, r.err)
+			code = 1
+		} else {
+			fmt.Printf("ok   %s\n", r.name)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "self-check done in %v\n", time.Since(start).Round(time.Millisecond))
+	return code
 }
 
 // run executes one figure emitter. A failure is reported on stderr

@@ -1,0 +1,274 @@
+// Package check is the repository's correctness layer: runtime
+// invariants over simulation statistics and a differential harness
+// that cross-examines the fetch schemes against each other.
+//
+// The paper's saving rests on bookkeeping that is easy to silently get
+// wrong — the I-TLB way-placement bit must agree with the page tables,
+// the hint counters must partition the fetch stream, the energy model
+// must only ever be fed event counts that add up. Each invariant here
+// is a conservation law the simulator must obey on *every* run, so a
+// future change that breaks the accounting is caught mechanically
+// rather than by a reviewer squinting at a figure. The differential
+// harness (diff.go) layers architectural equivalence on top: every
+// scheme must compute the same answer.
+//
+// The invariant entry point, Run (aliased VerifyCell), has exactly the
+// shape engine.WithVerify expects, so any experiment grid can opt in
+// to per-cell verification.
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/sim"
+	"wayplace/internal/tlb"
+)
+
+// eq records one violated equality.
+func eq(errs *[]error, what string, got, want uint64) {
+	if got != want {
+		*errs = append(*errs, fmt.Errorf("%s: got %d, want %d", what, got, want))
+	}
+}
+
+// le records one violated ordering.
+func le(errs *[]error, what string, got, bound uint64) {
+	if got > bound {
+		*errs = append(*errs, fmt.Errorf("%s: %d exceeds %d", what, got, bound))
+	}
+}
+
+// ICacheStats checks the instruction-side conservation laws for one
+// scheme's fetch engine:
+//
+//   - Fetches = Hits + Misses, and every miss fills exactly one line;
+//   - the access kinds (same-line, single-probe, full-search, linked)
+//     account for every fetch, per scheme;
+//   - the four hint counters partition the non-same-line fetches
+//     (way-placement only), with HintCorrectWP = WPAccesses;
+//   - TagComparisons = W*FullSearches + SingleSearches — the energy
+//     model charges per comparison, so this sum is what keeps the
+//     reported saving honest;
+//   - fills split exactly into designated and policy-chosen ways.
+//
+// oracleHint asserts the stricter laws of the perfect-hint ablation
+// (the hint can then never mispredict).
+func ICacheStats(cfg cache.Config, scheme energy.Scheme, oracleHint bool, s cache.Stats) error {
+	var errs []error
+	w := uint64(cfg.Ways)
+
+	eq(&errs, "I$ hits+misses vs fetches", s.Hits+s.Misses, s.Fetches)
+	eq(&errs, "I$ line fills vs misses", s.LineFills, s.Misses)
+	eq(&errs, "I$ designated+non-designated fills vs fills",
+		s.DesignatedFills+s.NonDesignatedFills, s.LineFills)
+	eq(&errs, "I$ tag comparisons", s.TagComparisons, w*s.FullSearches+s.SingleSearches)
+	eq(&errs, "I$ data writes on the instruction side", s.DataWrites, 0)
+	eq(&errs, "I$ writebacks on the instruction side", s.Writebacks, 0)
+	le(&errs, "I$ WP-area fetches vs fetches", s.WPAreaFetches, s.Fetches)
+
+	switch scheme {
+	case energy.Baseline:
+		eq(&errs, "baseline full searches vs fetches", s.FullSearches, s.Fetches)
+		eq(&errs, "baseline same-line hits", s.SameLineHits, 0)
+		eq(&errs, "baseline single searches", s.SingleSearches, 0)
+		eq(&errs, "baseline linked accesses", s.LinkedAccesses, 0)
+		eq(&errs, "baseline hint counters",
+			s.HintCorrectWP+s.HintCorrectNon+s.HintMissedSaving+s.HintExtraAccess, 0)
+		eq(&errs, "baseline WP accesses", s.WPAccesses, 0)
+		eq(&errs, "baseline designated fills", s.DesignatedFills, 0)
+		eq(&errs, "baseline data reads vs fetches", s.DataReads, s.Fetches)
+
+	case energy.WayPlacement:
+		// The hint counters partition the non-same-line fetches.
+		eq(&errs, "WP hint counters vs non-same-line fetches",
+			s.HintCorrectWP+s.HintCorrectNon+s.HintMissedSaving+s.HintExtraAccess,
+			s.Fetches-s.SameLineHits)
+		eq(&errs, "WP single-tag accesses vs correct-WP hints", s.WPAccesses, s.HintCorrectWP)
+		eq(&errs, "WP single searches", s.SingleSearches, s.HintCorrectWP+s.HintExtraAccess)
+		eq(&errs, "WP full searches", s.FullSearches,
+			s.HintCorrectNon+s.HintMissedSaving+s.HintExtraAccess)
+		eq(&errs, "WP linked accesses", s.LinkedAccesses, 0)
+		eq(&errs, "WP link writes", s.LinkWrites, 0)
+		// A wrong WP-predicted hint costs a wasted probe *and* read
+		// before the full access: one extra data read per extra access.
+		eq(&errs, "WP data reads vs fetches+extras", s.DataReads, s.Fetches+s.HintExtraAccess)
+		le(&errs, "WP single-tag accesses vs WP-area fetches", s.WPAccesses, s.WPAreaFetches)
+		if oracleHint {
+			eq(&errs, "oracle hint extra accesses", s.HintExtraAccess, 0)
+			eq(&errs, "oracle hint missed savings", s.HintMissedSaving, 0)
+		}
+
+	case energy.WayMemoization:
+		eq(&errs, "waymem access kinds vs fetches",
+			s.SameLineHits+s.LinkedAccesses+s.FullSearches, s.Fetches)
+		eq(&errs, "waymem single searches", s.SingleSearches, 0)
+		eq(&errs, "waymem hint counters",
+			s.HintCorrectWP+s.HintCorrectNon+s.HintMissedSaving+s.HintExtraAccess, 0)
+		eq(&errs, "waymem WP accesses", s.WPAccesses, 0)
+		eq(&errs, "waymem designated fills", s.DesignatedFills, 0)
+		eq(&errs, "waymem data reads vs fetches", s.DataReads, s.Fetches)
+		le(&errs, "waymem stale links vs full searches", s.StaleLinks, s.FullSearches)
+		le(&errs, "waymem linked accesses vs hits", s.LinkedAccesses, s.Hits)
+
+	default:
+		errs = append(errs, fmt.Errorf("unknown scheme %v", scheme))
+	}
+	return errors.Join(errs...)
+}
+
+// DCacheStats checks the data-side conservation laws: one probe-all
+// access per load or store, write-allocate fills on every miss, and
+// writebacks only for previously filled dirty lines.
+func DCacheStats(cfg cache.Config, s cache.Stats) error {
+	var errs []error
+	eq(&errs, "D$ accesses vs hits+misses", s.DataReads+s.DataWrites, s.Hits+s.Misses)
+	eq(&errs, "D$ full searches vs accesses", s.FullSearches, s.Hits+s.Misses)
+	eq(&errs, "D$ tag comparisons", s.TagComparisons, uint64(cfg.Ways)*s.FullSearches)
+	eq(&errs, "D$ line fills vs misses", s.LineFills, s.Misses)
+	eq(&errs, "D$ instruction fetches on the data side", s.Fetches, 0)
+	eq(&errs, "D$ same-line hits", s.SameLineHits, 0)
+	eq(&errs, "D$ single searches", s.SingleSearches, 0)
+	eq(&errs, "D$ linked accesses", s.LinkedAccesses, 0)
+	le(&errs, "D$ writebacks vs fills", s.Writebacks, s.LineFills)
+	return errors.Join(errs...)
+}
+
+// TLBStats checks that every access is either a hit or a miss.
+func TLBStats(name string, s tlb.Stats) error {
+	var errs []error
+	eq(&errs, name+" hits+misses vs accesses", s.Hits+s.Misses, s.Accesses)
+	return errors.Join(errs...)
+}
+
+// EnergyBreakdown rejects negative or non-finite energy components —
+// the model is a sum of non-negative per-event charges, so a negative
+// component always means corrupted event counts.
+func EnergyBreakdown(b energy.Breakdown) error {
+	var errs []error
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"I$ tag", b.ICacheTag}, {"I$ data", b.ICacheData},
+		{"I$ fill", b.ICacheFill}, {"I$ link", b.ICacheLink},
+		{"D$", b.DCache}, {"I-TLB", b.ITLB}, {"D-TLB", b.DTLB}, {"core", b.Core},
+	} {
+		if !(c.v >= 0) { // catches negatives and NaNs
+			errs = append(errs, fmt.Errorf("energy component %s is %v", c.name, c.v))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WPBijective verifies the paper's placement property: when the
+// way-placement area does not exceed the cache capacity, every line of
+// the area must have its own designated (set, way) — the address bits
+// used as set index and way selector must not alias inside the area.
+// Checked by enumeration, not by trusting the bit arithmetic.
+func WPBijective(cfg cache.Config, start, size uint32) error {
+	if size == 0 {
+		return nil
+	}
+	lines := size / uint32(cfg.LineBytes)
+	capacity := uint32(cfg.Sets() * cfg.Ways)
+	if lines > capacity {
+		// Over-committed areas alias by pigeonhole; the scheme accepts
+		// that (the shrink heuristic exists for it), so nothing to check.
+		return nil
+	}
+	seen := make(map[[2]int]uint32, lines)
+	for i := uint32(0); i < lines; i++ {
+		addr := start + i*uint32(cfg.LineBytes)
+		key := [2]int{cfg.SetOf(addr), cfg.WayOf(addr)}
+		if prev, dup := seen[key]; dup {
+			return fmt.Errorf("WP area [%#x,+%#x) not bijective: lines %#x and %#x share (set %d, way %d)",
+				start, size, prev, addr, key[0], key[1])
+		}
+		seen[key] = addr
+	}
+	return nil
+}
+
+// TLBCoherence verifies that every resident I-TLB entry delivers the
+// way-placement bit the page tables currently hold. This is the
+// invariant the stale-way-bit bug broke: an OS that resizes the area
+// without invalidating the TLB leaves entries whose bit reflects the
+// *previous* area, and the hardware places lines where the OS no
+// longer expects them.
+func TLBCoherence(t *tlb.TLB) error {
+	var errs []error
+	shift := t.Cfg.PageShift()
+	for _, r := range t.Resident() {
+		addr := r.VPN << shift
+		if want := t.PageWayPlaced(addr); r.WayBit != want {
+			errs = append(errs, fmt.Errorf(
+				"stale I-TLB way-bit: page %#x resident with bit %v, page tables say %v",
+				addr, r.WayBit, want))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Run checks every invariant that holds after any completed simulation
+// run: per-structure conservation laws, cross-structure accounting
+// (one I-fetch and one I-TLB access per instruction, one D-TLB access
+// per data-cache access), WP-area bijectivity and non-negative energy.
+func Run(cfg sim.Config, rs *sim.RunStats) error {
+	if rs == nil {
+		return errors.New("check: nil run stats")
+	}
+	var errs []error
+
+	if rs.Instrs == 0 {
+		errs = append(errs, errors.New("run retired no instructions"))
+	}
+	if rs.Cycles < rs.Instrs {
+		errs = append(errs, fmt.Errorf("cycles %d below instruction count %d (single-issue core)",
+			rs.Cycles, rs.Instrs))
+	}
+	eq(&errs, "I-fetches vs instructions", rs.IStats.Fetches, rs.Instrs)
+	eq(&errs, "I-TLB accesses vs instructions", rs.ITLBStats.Accesses, rs.Instrs)
+	eq(&errs, "D-TLB accesses vs D$ accesses",
+		rs.DTLBStats.Accesses, rs.DStats.Hits+rs.DStats.Misses)
+
+	if err := ICacheStats(cfg.ICache, rs.Scheme, cfg.OracleHint, rs.IStats); err != nil {
+		errs = append(errs, err)
+	}
+	if err := DCacheStats(cfg.DCache, rs.DStats); err != nil {
+		errs = append(errs, err)
+	}
+	if err := TLBStats("I-TLB", rs.ITLBStats); err != nil {
+		errs = append(errs, err)
+	}
+	if err := TLBStats("D-TLB", rs.DTLBStats); err != nil {
+		errs = append(errs, err)
+	}
+	if err := EnergyBreakdown(rs.Energy); err != nil {
+		errs = append(errs, err)
+	}
+	if rs.Scheme == energy.WayPlacement {
+		// Bijectivity depends only on the line index modulo the cache
+		// capacity, so the image base does not matter; callers that
+		// know the real base can also check it directly.
+		if err := WPBijective(cfg.ICache, 0, cfg.WPSize); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("check: %s/%v: %w", sizeName(cfg), rs.Scheme, errors.Join(errs...))
+	}
+	return nil
+}
+
+// VerifyCell is Run under the name and shape engine.WithVerify
+// expects, so experiment grids can enable per-cell verification with
+// engine.WithVerify(check.VerifyCell).
+func VerifyCell(cfg sim.Config, rs *sim.RunStats) error { return Run(cfg, rs) }
+
+// sizeName renders the machine geometry for error messages.
+func sizeName(cfg sim.Config) string {
+	return fmt.Sprintf("%dKB-%dway", cfg.ICache.SizeBytes>>10, cfg.ICache.Ways)
+}

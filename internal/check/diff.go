@@ -1,0 +1,156 @@
+package check
+
+// The differential harness: run one program under every fetch scheme
+// and layout combination the repository evaluates and demand that they
+// agree wherever the architecture says they must. The fetch schemes
+// are pure cache-management policies — none of them may change what
+// the program computes — so the checksum, the retired instruction
+// count and the final memory contents must be identical across all of
+// them, and a handful of orderings must hold between their statistics
+// (a scheme that claims to save tag comparisons must actually perform
+// fewer). Every variant's statistics additionally pass the full
+// invariant suite of check.go.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"wayplace/internal/energy"
+	"wayplace/internal/obj"
+	"wayplace/internal/sim"
+)
+
+// Variant is one scheme/layout combination executed by Differential.
+type Variant struct {
+	Name  string
+	Stats *sim.RunStats
+	// Changes is the OS resize trace (adaptive variant only).
+	Changes []sim.AreaChange
+}
+
+// Differential runs original and placed images of one program under
+// all five scheme variants — baseline, way-memoization, way-placement,
+// way-placement with the oracle hint, and way-placement under the
+// OS-adaptive area policy — and checks per-variant invariants plus
+// cross-variant architectural equivalence. The returned variants are
+// always complete when err reports only check violations; a nil stats
+// slice means a variant failed to execute at all.
+func Differential(ctx context.Context, original, placed *obj.Program, base sim.Config, wpSize uint32) ([]Variant, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	type runSpec struct {
+		name   string
+		prog   *obj.Program
+		cfg    sim.Config
+		oracle bool
+	}
+	mk := func(name string, prog *obj.Program, scheme energy.Scheme, wp uint32, oracle bool) runSpec {
+		cfg := base
+		cfg.Scheme = scheme
+		cfg.WPSize = wp
+		cfg.OracleHint = oracle
+		return runSpec{name: name, prog: prog, cfg: cfg, oracle: oracle}
+	}
+	specs := []runSpec{
+		mk("baseline", original, energy.Baseline, 0, false),
+		mk("waymem", original, energy.WayMemoization, 0, false),
+		mk("wayplace", placed, energy.WayPlacement, wpSize, false),
+		mk("wayplace-oracle", placed, energy.WayPlacement, wpSize, true),
+	}
+
+	var errs []error
+	variants := make([]Variant, 0, len(specs)+1)
+	for _, s := range specs {
+		rs, err := sim.RunContext(ctx, s.prog, s.cfg)
+		if err != nil {
+			return variants, fmt.Errorf("check: differential %s: %w", s.name, err)
+		}
+		if err := Run(s.cfg, rs); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", s.name, err))
+		}
+		variants = append(variants, Variant{Name: s.name, Stats: rs})
+	}
+
+	// Adaptive variant: the OS resizes the area mid-run, so on top of
+	// the per-run invariants every area the OS ever installed must
+	// place bijectively while it fits the cache.
+	acfg := base
+	acfg.Scheme = energy.WayPlacement
+	pol := sim.DefaultAdaptivePolicy(base.ICache, base.ITLB.PageBytes)
+	ars, changes, err := sim.RunAdaptive(ctx, placed, acfg, pol)
+	if err != nil {
+		return variants, fmt.Errorf("check: differential wayplace-adaptive: %w", err)
+	}
+	acfg.WPSize = pol.StartSize
+	if err := Run(acfg, ars); err != nil {
+		errs = append(errs, fmt.Errorf("wayplace-adaptive: %w", err))
+	}
+	for _, ch := range changes {
+		if err := WPBijective(base.ICache, placed.Base, ch.Size); err != nil {
+			errs = append(errs, fmt.Errorf("wayplace-adaptive at instr %d: %w", ch.AtInstr, err))
+		}
+	}
+	variants = append(variants, Variant{Name: "wayplace-adaptive", Stats: ars, Changes: changes})
+
+	errs = append(errs, equivalence(variants)...)
+	if len(errs) > 0 {
+		return variants, fmt.Errorf("check: differential: %w", errors.Join(errs...))
+	}
+	return variants, nil
+}
+
+// equivalence holds the cross-variant laws: identical architectural
+// outcome everywhere, and the stat orderings the schemes' saving
+// claims rest on.
+func equivalence(vs []Variant) []error {
+	var errs []error
+	byName := make(map[string]*sim.RunStats, len(vs))
+	ref := vs[0]
+	for _, v := range vs {
+		byName[v.Name] = v.Stats
+		if v.Stats.Checksum != ref.Stats.Checksum {
+			errs = append(errs, fmt.Errorf("%s checksum %#x diverges from %s checksum %#x",
+				v.Name, v.Stats.Checksum, ref.Name, ref.Stats.Checksum))
+		}
+		if v.Stats.Instrs != ref.Stats.Instrs {
+			errs = append(errs, fmt.Errorf("%s retired %d instructions, %s retired %d",
+				v.Name, v.Stats.Instrs, ref.Name, ref.Stats.Instrs))
+		}
+		if v.Stats.MemHash != ref.Stats.MemHash {
+			errs = append(errs, fmt.Errorf("%s memory state %#x diverges from %s memory state %#x",
+				v.Name, v.Stats.MemHash, ref.Name, ref.Stats.MemHash))
+		}
+	}
+
+	base, wp, oracle := byName["baseline"], byName["wayplace"], byName["wayplace-oracle"]
+	if base == nil || wp == nil || oracle == nil {
+		return errs
+	}
+	// The scheme's whole point: fewer tag comparisons than the
+	// baseline's W-per-fetch.
+	if wp.IStats.TagComparisons > base.IStats.TagComparisons {
+		errs = append(errs, fmt.Errorf("way-placement performed %d tag comparisons, baseline only %d",
+			wp.IStats.TagComparisons, base.IStats.TagComparisons))
+	}
+	// The 1-bit hint only ever *adds* mispredicted accesses on top of
+	// what perfect knowledge would do, so the oracle bounds it from
+	// below, event-for-event and in I-cache energy.
+	if oracle.IStats.TagComparisons > wp.IStats.TagComparisons {
+		errs = append(errs, fmt.Errorf("oracle hint performed %d tag comparisons, 1-bit hint only %d",
+			oracle.IStats.TagComparisons, wp.IStats.TagComparisons))
+	}
+	if oracle.Energy.ICache() > wp.Energy.ICache()*(1+1e-12) {
+		errs = append(errs, fmt.Errorf("oracle hint I$ energy %g above 1-bit hint's %g",
+			oracle.Energy.ICache(), wp.Energy.ICache()))
+	}
+	// Hint quality cannot change what the cache holds — fills are
+	// placed by address, not by probe path — so the miss streams of
+	// the two hint variants must be identical.
+	if oracle.IStats.Misses != wp.IStats.Misses {
+		errs = append(errs, fmt.Errorf("oracle hint saw %d I$ misses, 1-bit hint %d — cache contents diverged",
+			oracle.IStats.Misses, wp.IStats.Misses))
+	}
+	return errs
+}

@@ -1,0 +1,172 @@
+package check
+
+// The stale-way-bit regression, demonstrated at the machine level:
+// this file rebuilds the exact OS behaviour sim.RunAdaptive had before
+// the fix — resize the way-placement area, flush the I-cache, leave
+// the I-TLB alone — on a live machine, and shows that the coherence
+// invariant catches the divergence mechanically. The second test shows
+// the fixed sequence (flush + invalidate) satisfies the same
+// invariant, so the bug cannot return silently.
+
+import (
+	"context"
+	"testing"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/cache"
+	"wayplace/internal/cpu"
+	"wayplace/internal/isa"
+	"wayplace/internal/layout"
+	"wayplace/internal/mem"
+	"wayplace/internal/obj"
+	"wayplace/internal/sim"
+	"wayplace/internal/tlb"
+)
+
+// buildSpanningProgram returns a program whose hot loop touches two
+// 1KB I-TLB pages every iteration (main on the first page, a helper
+// pushed past the boundary by never-executed padding).
+func buildSpanningProgram(t *testing.T, iters uint16) *obj.Program {
+	t.Helper()
+	b := asm.NewBuilder("stale")
+	f := b.Func("main")
+	f.Movi(isa.R10, iters)
+	f.Block("loop")
+	f.Call("far")
+	f.Add(isa.R0, isa.R0, isa.R10)
+	f.Subi(isa.R10, isa.R10, 1)
+	f.Cmpi(isa.R10, 0)
+	f.Bgt("loop")
+	f.Halt()
+
+	p := b.Func("pad")
+	for i := 0; i < 300; i++ {
+		p.Addi(isa.R1, isa.R1, 1)
+	}
+	p.Ret()
+
+	h := b.Func("far")
+	h.Movi(isa.R11, 8)
+	h.Block("work")
+	h.Addi(isa.R0, isa.R0, 5)
+	h.Subi(isa.R11, isa.R11, 1)
+	h.Cmpi(isa.R11, 0)
+	h.Bgt("work")
+	h.Ret()
+
+	u, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := layout.LinkOriginal(u, textBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Size() <= 1<<10 {
+		t.Fatalf("program must span two pages, got %d bytes", prog.Size())
+	}
+	return prog
+}
+
+// staleMachine is the hand-wired way-placement machine the tests drive
+// through an OS resize.
+type staleMachine struct {
+	cpu    *cpu.CPU
+	itlb   *tlb.TLB
+	engine *cache.WayPlacementEngine
+}
+
+func newStaleMachine(t *testing.T, prog *obj.Program, areaSize uint32) *staleMachine {
+	t.Helper()
+	cfg := sim.Default()
+	m := mem.New(cfg.Mem)
+	c := cpu.New(prog, m)
+	itlb := tlb.MustNew(cfg.ITLB)
+	if err := itlb.SetWPArea(prog.Base, areaSize); err != nil {
+		t.Fatal(err)
+	}
+	engine, err := cache.NewWayPlacement(cfg.ICache, itlb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.IFetch = engine
+	c.ITLB = itlb
+	return &staleMachine{cpu: c, itlb: itlb, engine: engine}
+}
+
+// TestStaleWayBitCaughtByCoherenceCheck reproduces the pre-fix OS
+// sequence and asserts internal/check flags it: after the resize the
+// helper's page is still resident with the old area's bit, so the bit
+// an I-TLB lookup delivers contradicts the page tables — the exact
+// divergence that made the simulated hardware disagree with what the
+// OS installed.
+func TestStaleWayBitCaughtByCoherenceCheck(t *testing.T) {
+	prog := buildSpanningProgram(t, 2000)
+	sm := newStaleMachine(t, prog, 2<<10) // both pages way-placed
+
+	// Run until both pages are resident.
+	if _, err := sm.cpu.RunInstrs(5_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := TLBCoherence(sm.itlb); err != nil {
+		t.Fatalf("coherent machine reported stale: %v", err)
+	}
+
+	// Pre-fix OS resize: shrink the area to one page, flush the
+	// I-cache — and forget the I-TLB.
+	if err := sm.itlb.SetWPArea(prog.Base, 1<<10); err != nil {
+		t.Fatal(err)
+	}
+	sm.engine.Cache().Flush()
+
+	if err := TLBCoherence(sm.itlb); err == nil {
+		t.Fatal("stale way-bit after resize-without-invalidate not caught")
+	}
+	// The divergence is architectural, not just bookkeeping: the bit a
+	// lookup delivers for the helper's page is the old area's.
+	farPage := prog.Base + 1<<10
+	if _, bit := sm.itlb.Lookup(farPage); !bit {
+		t.Fatal("expected the resident entry to deliver the stale (old-area) bit")
+	}
+	if sm.itlb.PageWayPlaced(farPage) {
+		t.Fatal("page tables should say the helper page left the area")
+	}
+
+	// The fix: the OS invalidates the I-TLB with the flush.
+	sm.itlb.Invalidate()
+	if err := TLBCoherence(sm.itlb); err != nil {
+		t.Fatalf("coherence still violated after invalidate: %v", err)
+	}
+	if _, bit := sm.itlb.Lookup(farPage); bit {
+		t.Fatal("lookup still delivers the old bit after invalidate")
+	}
+}
+
+// TestAdaptiveRunStaysCoherent asserts the fixed sim.RunAdaptive keeps
+// the I-TLB coherent at every OS decision point while actually
+// resizing, and that the run passes the full invariant suite.
+func TestAdaptiveRunStaysCoherent(t *testing.T) {
+	prog := buildSpanningProgram(t, 2000)
+	cfg := sim.Default()
+	cfg.MaxInstrs = 10_000_000
+	pol := sim.DefaultAdaptivePolicy(cfg.ICache, cfg.ITLB.PageBytes)
+	pol.IntervalInstrs = 2_000
+	pol.Inspect = func(itlb *tlb.TLB, _ *cache.Cache) {
+		if err := TLBCoherence(itlb); err != nil {
+			t.Fatalf("mid-run: %v", err)
+		}
+	}
+	rs, changes, err := sim.RunAdaptive(context.Background(), prog, cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) < 2 {
+		t.Fatalf("area never resized, coherence check had no teeth: %+v", changes)
+	}
+	acfg := cfg
+	acfg.Scheme = 1 // energy.WayPlacement
+	acfg.WPSize = pol.StartSize
+	if err := Run(acfg, rs); err != nil {
+		t.Errorf("adaptive run violates invariants: %v", err)
+	}
+}

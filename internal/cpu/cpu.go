@@ -88,6 +88,13 @@ type CPU struct {
 // StackTop is where SP starts; the region below it backs stack frames.
 const StackTop = 0x7fff_f000
 
+// StackRegionBase bounds the stack scratch region from below; no
+// workload's frames grow anywhere near this deep. Memory-image
+// comparisons (sim.RunStats.MemHash) exclude everything from here up,
+// because dead frames hold spilled return addresses — PC values that
+// legitimately differ between code layouts.
+const StackRegionBase = StackTop - 1<<20
+
 // New builds a CPU over a linked program and memory image; the memory
 // is populated with the program's data segment and the architectural
 // state is reset.

@@ -95,6 +95,7 @@ type options struct {
 	workers  int
 	base     sim.Config
 	progress func(Progress)
+	verify   func(sim.Config, *sim.RunStats) error
 }
 
 // WithWorkers caps the number of cells simulated concurrently.
@@ -117,6 +118,15 @@ func WithBaseConfig(cfg sim.Config) Option {
 // completes.
 func WithProgress(fn func(Progress)) Option {
 	return func(o *options) { o.progress = fn }
+}
+
+// WithVerify installs an invariant checker run against every cell
+// result — fresh simulations and run-cache hits alike — with the
+// cell's fully resolved configuration. A non-nil error fails the cell
+// exactly like a simulation error (reported per cell, grid continues).
+// check.VerifyCell is the intended checker.
+func WithVerify(fn func(sim.Config, *sim.RunStats) error) Option {
+	return func(o *options) { o.verify = fn }
 }
 
 // Engine schedules simulation cells over a worker pool with a
@@ -250,6 +260,12 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 				if err != nil {
 					uniqueErr[idx] = err
 					continue
+				}
+				if opt.verify != nil {
+					if verr := opt.verify(resolve(opt.base, spec), stats); verr != nil {
+						uniqueErr[idx] = fmt.Errorf("%s: verify: %w", spec, verr)
+						continue
+					}
 				}
 				r := &Result{Spec: spec, Stats: stats, CacheHit: hit}
 				if !hit {

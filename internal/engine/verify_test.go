@@ -1,0 +1,78 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"wayplace/internal/check"
+	"wayplace/internal/energy"
+	"wayplace/internal/engine"
+	"wayplace/internal/sim"
+)
+
+// TestWithVerifyPassesCleanGrid runs the full test grid under the real
+// invariant checker: every cell a healthy simulator produces must
+// satisfy internal/check.
+func TestWithVerifyPassesCleanGrid(t *testing.T) {
+	e := engine.New(testProvider(t), engine.WithWorkers(4),
+		engine.WithVerify(check.VerifyCell))
+	res, err := e.Run(context.Background(), grid())
+	if err != nil {
+		t.Fatalf("verified grid failed: %v", err)
+	}
+	for i, r := range res {
+		if r == nil || r.Stats == nil {
+			t.Fatalf("cell %d missing result", i)
+		}
+	}
+}
+
+// TestWithVerifyFailsCell installs a checker that rejects one scheme
+// and asserts the rejection surfaces as a per-cell failure — grid
+// continues, failing cells have nil results — and that the checker
+// also runs on run-cache hits, so a cached cell cannot dodge
+// verification.
+func TestWithVerifyFailsCell(t *testing.T) {
+	e := engine.New(testProvider(t), engine.WithWorkers(4))
+	specs := grid()
+
+	// Populate the run cache without any verification.
+	if _, err := e.Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+
+	rejectWaymem := func(cfg sim.Config, rs *sim.RunStats) error {
+		if cfg.Scheme == energy.WayMemoization {
+			return fmt.Errorf("rejected for the test")
+		}
+		return nil
+	}
+	res, err := e.Run(context.Background(), specs,
+		engine.WithVerify(rejectWaymem))
+	if err == nil {
+		t.Fatal("verify rejections did not surface")
+	}
+	var merr *engine.MultiError
+	if !errors.As(err, &merr) {
+		t.Fatalf("error is %T, want *engine.MultiError", err)
+	}
+	if !strings.Contains(err.Error(), "verify") {
+		t.Errorf("verify failure not labelled as such: %v", err)
+	}
+	for i, r := range res {
+		if specs[i].Scheme == energy.WayMemoization {
+			if r != nil {
+				t.Errorf("cell %d: rejected cell produced a result", i)
+			}
+			continue
+		}
+		if r == nil || r.Stats == nil {
+			t.Errorf("cell %d: passing cell aborted by rejected ones", i)
+		} else if !r.CacheHit {
+			t.Errorf("cell %d: expected a run-cache hit on the second batch", i)
+		}
+	}
+}

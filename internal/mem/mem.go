@@ -4,7 +4,10 @@
 // (50-cycle latency, 32-bit bus).
 package mem
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"sort"
+)
 
 const pageShift = 12 // 4KB allocation granules (host-side only)
 const pageSize = 1 << pageShift
@@ -114,6 +117,47 @@ func (m *Memory) Write32(addr uint32, v uint32) {
 	for i := uint32(0); i < 4; i++ {
 		m.put8(addr+i, byte(v>>(8*i)))
 	}
+}
+
+// Hash returns an FNV-1a digest of the memory contents below limit:
+// every page holding a non-zero byte is folded in (page address, then
+// bytes), in ascending address order; pages at or above limit are
+// ignored. Untouched pages and pages written back to all-zeroes hash
+// identically — memory reads as zero either way — so two runs with
+// the same architectural side effects always agree, regardless of
+// which addresses they happened to touch. Used by internal/check to
+// compare memory state across fetch schemes and layouts; callers pass
+// a limit below the stack region, whose dead frames hold spilled
+// return addresses that legitimately differ between code layouts.
+func (m *Memory) Hash(limit uint32) uint64 {
+	keys := make([]uint32, 0, len(m.pages))
+	for k, p := range m.pages {
+		if uint64(k)<<pageShift >= uint64(limit) {
+			continue
+		}
+		zero := true
+		for _, b := range p {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if !zero {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, k := range keys {
+		for shift := 0; shift < 32; shift += 8 {
+			h = (h ^ uint64(byte(k>>shift))) * prime64
+		}
+		for _, b := range m.pages[k] {
+			h = (h ^ uint64(b)) * prime64
+		}
+	}
+	return h
 }
 
 // ReadLine records a line fetch (for stats) and returns the fill stall.

@@ -34,16 +34,29 @@ type AdaptivePolicy struct {
 	// area is larger than the cache, the area halves — way-placed
 	// lines are evicting each other in their designated ways.
 	AliasMissRate float64
+
+	// Inspect, when non-nil, is called after every OS decision point
+	// with the live I-TLB and I-cache. Test hook: internal/check uses
+	// it to assert runtime invariants (e.g. I-TLB way-bit coherence)
+	// while the OS is actively resizing the area.
+	Inspect func(itlb *tlb.TLB, icache *cache.Cache)
 }
 
 // DefaultAdaptivePolicy returns a reasonable OS heuristic for the
-// given machine.
+// given machine. The area is allowed to grow to twice the I-cache
+// capacity — past that point designated ways are so over-committed
+// that the shrink rule always fires first, so a larger bound would
+// only let small-cache sweeps mark useless pages way-placed.
 func DefaultAdaptivePolicy(icache cache.Config, pageBytes int) AdaptivePolicy {
+	maxSize := uint32(icache.SizeBytes) * 2
+	if maxSize < uint32(pageBytes) {
+		maxSize = uint32(pageBytes)
+	}
 	return AdaptivePolicy{
 		IntervalInstrs: 50_000,
 		StartSize:      uint32(pageBytes),
 		MinSize:        uint32(pageBytes),
-		MaxSize:        64 << 10,
+		MaxSize:        maxSize,
 		GrowThreshold:  0.95,
 		AliasMissRate:  0.02,
 	}
@@ -106,9 +119,6 @@ func RunAdaptive(ctx context.Context, prog *obj.Program, cfg Config, pol Adaptiv
 	changes := []AreaChange{{AtInstr: 0, Size: size}}
 	var prev cache.Stats
 	maxInstrs := cfg.MaxInstrs
-	if maxInstrs == 0 {
-		maxInstrs = 2_000_000_000
-	}
 
 	for !c.Halted && c.Instrs < maxInstrs {
 		if err := ctx.Err(); err != nil {
@@ -149,9 +159,17 @@ func RunAdaptive(ctx context.Context, prog *obj.Program, cfg Config, pol Adaptiv
 			if err := itlb.SetWPArea(prog.Base, size); err != nil {
 				return nil, nil, err
 			}
-			// The OS flushes the I-cache so stale placements die.
+			// The OS flushes the I-cache so stale placements die, and
+			// invalidates the I-TLB so resident entries stop delivering
+			// the way-placement bit of the *previous* area (the bit is
+			// cached per entry; without the invalidate the hardware
+			// silently disagrees with the page tables until eviction).
 			engine.Cache().Flush()
+			itlb.Invalidate()
 			changes = append(changes, AreaChange{AtInstr: c.Instrs, Size: size})
+		}
+		if pol.Inspect != nil {
+			pol.Inspect(itlb, engine.Cache())
 		}
 	}
 	if !c.Halted {
@@ -168,6 +186,7 @@ func RunAdaptive(ctx context.Context, prog *obj.Program, cfg Config, pol Adaptiv
 		DTLBStats: dtlb.Stats,
 		MemStats:  m.Stats,
 		Checksum:  c.Regs[0],
+		MemHash:   m.Hash(cpu.StackRegionBase),
 	}
 	rs.Energy = energy.Compute(cfg.Energy, energy.SystemStats{
 		Scheme: energy.WayPlacement,

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"wayplace/internal/asm"
+	"wayplace/internal/cache"
+	"wayplace/internal/isa"
+	"wayplace/internal/layout"
+	"wayplace/internal/obj"
+	"wayplace/internal/tlb"
+)
+
+// buildTwoPageBench builds a program whose hot path alternates between
+// two I-TLB pages: main's loop lives in the first 1KB page and calls a
+// helper pushed past the page boundary by a pad function. Starting the
+// adaptive area at one page therefore guarantees a resize (the
+// way-placed fraction stays well below the grow threshold), which is
+// what the stale-way-bit regression needs to exercise.
+func buildTwoPageBench(t *testing.T, iters uint16) *obj.Unit {
+	t.Helper()
+	b := asm.NewBuilder("twopage")
+
+	f := b.Func("main")
+	f.Movi(isa.R10, iters)
+	f.Movi(isa.R0, 0)
+	f.Block("loop")
+	f.Call("far")
+	f.Add(isa.R0, isa.R0, isa.R10)
+	f.Subi(isa.R10, isa.R10, 1)
+	f.Cmpi(isa.R10, 0)
+	f.Bgt("loop")
+	f.Halt()
+
+	// Never executed; exists only to push "far" onto the next page.
+	p := b.Func("pad")
+	for i := 0; i < 300; i++ {
+		p.Addi(isa.R1, isa.R1, 1)
+	}
+	p.Ret()
+
+	h := b.Func("far")
+	h.Movi(isa.R11, 12)
+	h.Block("work")
+	h.Addi(isa.R0, isa.R0, 3)
+	h.OpI(isa.EORI, isa.R0, isa.R0, 0x55)
+	h.Subi(isa.R11, isa.R11, 1)
+	h.Cmpi(isa.R11, 0)
+	h.Bgt("work")
+	h.Ret()
+
+	u, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return u
+}
+
+// TestRunAdaptiveInvalidatesTLB is the stale-way-bit regression: the
+// OS resizes the way-placement area mid-run, and after every decision
+// point the bit delivered by an I-TLB lookup must match what the page
+// tables hold for every resident page. Before RunAdaptive invalidated
+// the I-TLB alongside the I-cache flush, entries resident across a
+// resize kept the previous area's bit and this test fails.
+func TestRunAdaptiveInvalidatesTLB(t *testing.T) {
+	u := buildTwoPageBench(t, 2000)
+	prog, err := layout.LinkOriginal(u, textBase)
+	if err != nil {
+		t.Fatalf("LinkOriginal: %v", err)
+	}
+	if prog.Size() <= 1<<10 {
+		t.Fatalf("test program must span two 1KB pages, got %d bytes", prog.Size())
+	}
+
+	cfg := Default()
+	pol := DefaultAdaptivePolicy(cfg.ICache, cfg.ITLB.PageBytes)
+	pol.IntervalInstrs = 2_000
+	decisions := 0
+	pol.Inspect = func(itlb *tlb.TLB, _ *cache.Cache) {
+		decisions++
+		for _, r := range itlb.Resident() {
+			addr := r.VPN << itlb.Cfg.PageShift()
+			_, bit := itlb.Lookup(addr)
+			if want := itlb.PageWayPlaced(addr); bit != want {
+				t.Fatalf("decision %d: page %#x lookup delivers way-bit %v, page tables say %v",
+					decisions, addr, bit, want)
+			}
+		}
+	}
+
+	_, changes, err := RunAdaptive(context.Background(), prog, cfg, pol)
+	if err != nil {
+		t.Fatalf("RunAdaptive: %v", err)
+	}
+	if decisions == 0 {
+		t.Fatal("OS never reached a decision point; the coherence assertion did not run")
+	}
+	// The area must actually have been resized, or the test proves
+	// nothing about invalidate-on-resize.
+	if len(changes) < 2 {
+		t.Fatalf("area never resized: %+v", changes)
+	}
+}

@@ -95,6 +95,13 @@ type RunStats struct {
 	// Checksum is R0 at halt — benchmarks leave a result there so
 	// runs can be cross-checked between schemes and layouts.
 	Checksum uint32
+	// MemHash digests the final memory contents below the stack
+	// region (mem.Memory.Hash up to cpu.StackRegionBase), so
+	// differential checks can compare whole-memory side effects, not
+	// just the R0 checksum, across schemes and layouts. Dead stack
+	// frames are excluded: they hold spilled return addresses, which
+	// are layout-dependent PC values.
+	MemHash uint64
 }
 
 // CPI returns cycles per instruction.
@@ -181,6 +188,7 @@ func RunContext(ctx context.Context, prog *obj.Program, cfg Config) (*RunStats, 
 		DTLBStats: dtlb.Stats,
 		MemStats:  m.Stats,
 		Checksum:  c.Regs[0],
+		MemHash:   m.Hash(cpu.StackRegionBase),
 	}
 	rs.Energy = energy.Compute(cfg.Energy, energy.SystemStats{
 		Scheme: cfg.Scheme,

@@ -39,6 +39,10 @@ type Stats struct {
 	Accesses uint64
 	Hits     uint64
 	Misses   uint64
+	// Invalidates counts whole-TLB invalidations (the OS must issue
+	// one whenever it rewrites way-placement bits in the page tables,
+	// or resident entries keep delivering the old bits).
+	Invalidates uint64
 }
 
 // MissRate returns misses/accesses.
@@ -96,7 +100,13 @@ func MustNew(cfg Config) *TLB {
 
 // SetWPArea installs the operating system's way-placement area
 // decision. size must be a multiple of the page size (the paper makes
-// the area page-granular so one bit per I-TLB entry suffices).
+// the area page-granular so one bit per I-TLB entry suffices), and the
+// area must fit below the top of the 32-bit address space.
+//
+// SetWPArea only rewrites the page-table side of the bit. Entries
+// already resident in the TLB keep the bit they were filled with —
+// exactly like hardware — so an OS that changes the area mid-run must
+// also call Invalidate, or stale bits survive until eviction.
 func (t *TLB) SetWPArea(start, size uint32) error {
 	if size%uint32(t.Cfg.PageBytes) != 0 {
 		return fmt.Errorf("tlb: way-placement area size %d is not a multiple of the %dB page",
@@ -105,8 +115,26 @@ func (t *TLB) SetWPArea(start, size uint32) error {
 	if start%uint32(t.Cfg.PageBytes) != 0 {
 		return fmt.Errorf("tlb: way-placement area start %#x is not page-aligned", start)
 	}
+	if uint64(start)+uint64(size) > 1<<32 {
+		return fmt.Errorf("tlb: way-placement area [%#x, %#x+%#x) wraps the 32-bit address space",
+			start, start, size)
+	}
 	t.wpStart, t.wpSize = start, size
 	return nil
+}
+
+// Invalidate drops every resident entry and the single-entry fast-path
+// cache, as an OS TLB-invalidate instruction would. The operating
+// system must issue one after any SetWPArea change during execution:
+// resident entries carry the way-placement bit they were filled with,
+// and serving a stale bit makes the hardware's placement disagree with
+// the page tables (see internal/check's coherence invariant).
+func (t *TLB) Invalidate() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.lastValid, t.lastVPN, t.lastIdx = false, 0, 0
+	t.Stats.Invalidates++
 }
 
 // WPArea returns the installed way-placement area.
@@ -163,7 +191,49 @@ func (t *TLB) Lookup(addr uint32) (miss bool, wayPlaced bool) {
 }
 
 // WayPlaced implements cache.WPOracle: the way-placement bit the
-// I-TLB delivers for addr. The bit's value is the page property
-// itself — on a miss the hardware stalls for the walk (charged by the
-// CPU via Lookup) and then still reads the correct bit.
-func (t *TLB) WayPlaced(addr uint32) bool { return t.pageWayPlaced(addr) }
+// I-TLB delivers for addr. The bit comes from the *resident entry*
+// when the page is in the TLB — the hardware reads it from the entry
+// in parallel with the cache probe, so a stale entry delivers a stale
+// bit. Non-resident pages fall back to the page-table property: the
+// walk (charged by the CPU via Lookup, which runs first) installs the
+// entry with the current bit before the fetch consumes it. No stats
+// are charged; the access was already counted by Lookup.
+func (t *TLB) WayPlaced(addr uint32) bool {
+	vpn := addr >> t.Cfg.PageShift()
+	if t.lastValid && t.lastVPN == vpn {
+		return t.entries[t.lastIdx].wayBit
+	}
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			return e.wayBit
+		}
+	}
+	return t.pageWayPlaced(addr)
+}
+
+// ResidentPage describes one valid TLB entry: the virtual page number
+// and the way-placement bit the entry would deliver.
+type ResidentPage struct {
+	VPN    uint32
+	WayBit bool
+}
+
+// Resident returns every valid entry, in no particular order, without
+// charging any events. Diagnostic helper: internal/check compares each
+// resident bit against PageWayPlaced to detect stale way-bits.
+func (t *TLB) Resident() []ResidentPage {
+	var out []ResidentPage
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid {
+			out = append(out, ResidentPage{VPN: e.vpn, WayBit: e.wayBit})
+		}
+	}
+	return out
+}
+
+// PageWayPlaced exposes the page-table side of the bit for the page
+// containing addr — what a fresh walk would install, independent of
+// any resident entry. Diagnostic helper for coherence checks.
+func (t *TLB) PageWayPlaced(addr uint32) bool { return t.pageWayPlaced(addr) }

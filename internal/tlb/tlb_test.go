@@ -86,18 +86,108 @@ func TestWPAreaBitSurvivesRefill(t *testing.T) {
 }
 
 func TestSetWPAreaValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		start, size uint32
+		ok          bool
+	}{
+		{"zero size disables", 0, 0, true},
+		{"one page", 0, 1 << 10, true},
+		{"many pages", 0x1_0000, 16 << 10, true},
+		{"non-page-multiple size", 0, 1000, false},
+		{"sub-page size", 0, 512, false},
+		{"unaligned start", 512, 1 << 10, false},
+		{"unaligned start and size", 100, 100, false},
+		{"last page of the address space", 0xffff_fc00, 1 << 10, true},
+		{"area ends exactly at 2^32", 0xffff_f000, 4 << 10, true},
+		{"area wraps past 2^32", 0xffff_fc00, 2 << 10, false},
+		{"maximal wrap", 0xffff_fc00, 0xffff_fc00, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := MustNew(cfg32())
+			err := b.SetWPArea(tc.start, tc.size)
+			if tc.ok && err != nil {
+				t.Fatalf("SetWPArea(%#x, %#x) rejected: %v", tc.start, tc.size, err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatalf("SetWPArea(%#x, %#x) accepted", tc.start, tc.size)
+			}
+		})
+	}
+
 	b := MustNew(cfg32())
-	if err := b.SetWPArea(0, 1000); err == nil {
-		t.Error("accepted non-page-multiple size")
-	}
-	if err := b.SetWPArea(512, 1<<10); err == nil {
-		t.Error("accepted unaligned start")
-	}
 	if err := b.SetWPArea(0, 0); err != nil {
-		t.Errorf("zero size (disabled) rejected: %v", err)
+		t.Fatalf("zero size (disabled) rejected: %v", err)
 	}
 	if b.WayPlaced(0) {
 		t.Error("zero-size area still marks pages")
+	}
+}
+
+// TestWPAreaAtTopOfAddressSpace pins the unsigned-overflow hazard:
+// with the area touching the top of the 32-bit space, start+size is
+// exactly 2^32 (i.e. 0 in uint32 arithmetic), and a naive
+// `addr < start+size` bound would mark NO page way-placed — or, with
+// a wrapped area, every low page. The page-table predicate must get
+// both edges right.
+func TestWPAreaAtTopOfAddressSpace(t *testing.T) {
+	b := MustNew(cfg32())
+	if err := b.SetWPArea(0xffff_f000, 4<<10); err != nil {
+		t.Fatalf("SetWPArea: %v", err)
+	}
+	for _, tc := range []struct {
+		addr uint32
+		want bool
+	}{
+		{0xffff_f000, true},
+		{0xffff_ffff, true}, // very last byte
+		{0xffff_efff, false},
+		{0x0000_0000, false}, // no wrap-around marking
+		{0x0001_0000, false},
+	} {
+		if got := b.WayPlaced(tc.addr); got != tc.want {
+			t.Errorf("WayPlaced(%#x) = %v, want %v", tc.addr, got, tc.want)
+		}
+		if got := b.PageWayPlaced(tc.addr); got != tc.want {
+			t.Errorf("PageWayPlaced(%#x) = %v, want %v", tc.addr, got, tc.want)
+		}
+		if _, bit := b.Lookup(tc.addr); bit != tc.want {
+			t.Errorf("Lookup(%#x) bit = %v, want %v", tc.addr, bit, tc.want)
+		}
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	b := MustNew(Config{Entries: 4, PageBytes: 1 << 10})
+	if err := b.SetWPArea(0, 2<<10); err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []uint32{0x000, 0x400, 0x800} {
+		b.Lookup(addr)
+	}
+	if got := len(b.Resident()); got != 3 {
+		t.Fatalf("%d resident entries before invalidate, want 3", got)
+	}
+
+	b.Invalidate()
+	if got := len(b.Resident()); got != 0 {
+		t.Fatalf("%d resident entries after invalidate, want 0", got)
+	}
+	if b.Stats.Invalidates != 1 {
+		t.Errorf("Invalidates = %d, want 1", b.Stats.Invalidates)
+	}
+	// The same-page fast path must be cleared too: the very next
+	// lookup is a miss even for the page the last lookup touched.
+	before := b.Stats.Misses
+	if miss, _ := b.Lookup(0x800); !miss {
+		t.Error("lookup after invalidate hit a dead entry")
+	}
+	if b.Stats.Misses != before+1 {
+		t.Errorf("Misses = %d, want %d", b.Stats.Misses, before+1)
+	}
+	// And refills deliver the page-table truth.
+	if _, bit := b.Lookup(0x400); !bit {
+		t.Error("refilled entry lost the way-placed bit")
 	}
 }
 
