@@ -15,10 +15,20 @@
 // input, demanding architectural equivalence — exiting non-zero on
 // any violation.
 //
+// Observability (internal/obs): -metrics writes the engine's
+// counters, gauges and latency histograms at exit (Prometheus text,
+// or JSON for .json paths), -snapshot writes the machine-readable
+// run record (BENCH_wpbench.json: grid shape, wall time, cells/sec,
+// run-cache hit ratio, per-section timings), and -pprof serves
+// net/http/pprof. Metrics never perturb results: figure output is
+// byte-identical with and without them, and with neither flag set the
+// engine runs with a nil registry that costs nothing per cell.
+//
 // Usage:
 //
 //	wpbench [-table1] [-fig4] [-fig5] [-fig6] [-ablations] [-extensions]
 //	        [-selfcheck] [-benchmarks a,b,c] [-csv dir] [-jobs N] [-progress]
+//	        [-metrics file] [-snapshot file] [-pprof addr]
 package main
 
 import (
@@ -26,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -38,12 +50,17 @@ import (
 	"wayplace/internal/check"
 	"wayplace/internal/engine"
 	"wayplace/internal/experiment"
+	"wayplace/internal/obs"
 )
 
 // exitCode aggregates emitter failures: a broken figure no longer
 // hides the remaining figures, but the process still reports failure
 // to CI.
 var exitCode int
+
+// sections collects per-phase wall times (prepare, each figure /
+// ablation / extension) for the -snapshot record.
+var sections []obs.Section
 
 func main() {
 	table1 := flag.Bool("table1", false, "print the baseline configuration table")
@@ -57,15 +74,30 @@ func main() {
 	csvDir := flag.String("csv", "", "also write figN.csv files into this directory")
 	jobs := flag.Int("jobs", 0, "simulation cells to run concurrently (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "report per-cell progress on stderr")
+	metricsOut := flag.String("metrics", "", `write engine metrics to this file at exit ("-" for stderr; a .json path selects JSON, anything else Prometheus text)`)
+	snapshotOut := flag.String("snapshot", "", "write the machine-readable run snapshot (BENCH_wpbench.json format) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "wpbench: pprof: %v\n", err)
+			}
+		}()
+	}
+
 	all := !*table1 && !*fig4 && !*fig5 && !*fig6 && !*ablations && !*extensions && !*selfcheck
-	names := bench.Names()
-	if *subset != "" {
-		names = strings.Split(*subset, ",")
+	// Validate the benchmark subset up front: a typo or stray
+	// whitespace fails here with the valid names, not deep inside the
+	// workload provider as a per-cell error.
+	names, err := bench.ParseSubset(*subset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wpbench: %v\n", err)
+		os.Exit(2)
 	}
 
 	if *selfcheck {
@@ -80,12 +112,28 @@ func main() {
 		return
 	}
 
+	// The registry exists only when an observability output was
+	// requested; otherwise the engine sees nil and the per-cell path
+	// pays nothing.
+	var reg *obs.Registry
+	if *metricsOut != "" || *snapshotOut != "" {
+		reg = obs.NewRegistry()
+	}
+
 	opts := []engine.Option{
 		engine.WithWorkers(*jobs),
 		engine.WithVerify(check.VerifyCell),
+		engine.WithObserver(reg),
 	}
 	if *progress {
 		opts = append(opts, engine.WithProgress(func(p engine.Progress) {
+			// Failed cells report too (engine.Progress.Err), so the
+			// counter always reaches Total instead of appearing hung.
+			if p.Err != nil {
+				fmt.Fprintf(os.Stderr, "  [%d/%d] %s FAILED: %v\n",
+					p.Done, p.Total, p.Spec, p.Err)
+				return
+			}
 			cached := ""
 			if p.CacheHit {
 				cached = " (cached)"
@@ -102,7 +150,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wpbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "prepared in %v\n", time.Since(start).Round(time.Millisecond))
+	prepared := time.Since(start)
+	sections = append(sections, obs.Section{Name: "prepare", Seconds: prepared.Seconds()})
+	fmt.Fprintf(os.Stderr, "prepared in %v\n", prepared.Round(time.Millisecond))
 
 	if *fig4 || all {
 		run("figure 4", func() (string, error) {
@@ -194,7 +244,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "run cache: %d simulated, %d served from cache\n",
 			suite.Engine().Misses(), hits)
 	}
+	if err := writeObservability(reg, suite, *metricsOut, *snapshotOut, time.Since(start)); err != nil {
+		fmt.Fprintf(os.Stderr, "wpbench: %v\n", err)
+		exitCode = 1
+	}
 	os.Exit(exitCode)
+}
+
+// writeObservability writes the -snapshot and -metrics outputs after
+// the run completes. Both are pure observers of state the engine
+// accumulated — nothing here touches figure output.
+func writeObservability(reg *obs.Registry, suite *experiment.Suite, metricsOut, snapshotOut string, wall time.Duration) error {
+	if snapshotOut != "" {
+		command := strings.TrimSpace("wpbench " + strings.Join(os.Args[1:], " "))
+		snap := experiment.NewSnapshot(command, suite, reg, wall, sections)
+		if err := snap.WriteFile(snapshotOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot: %s (%d cells, %.1f cells/sec, %.0f%% run-cache hits)\n",
+			snapshotOut, snap.Grid.Cells, snap.CellsPerSecond, 100*snap.CacheHitRatio)
+	}
+	if metricsOut != "" {
+		out := io.Writer(os.Stderr)
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		if strings.HasSuffix(metricsOut, ".json") {
+			return reg.WriteJSON(out)
+		}
+		return reg.WritePrometheus(out)
+	}
+	return nil
 }
 
 // writeCSV writes one figure's CSV file when -csv is set.
@@ -275,6 +360,7 @@ func runSelfCheck(ctx context.Context, names []string, jobs int) int {
 func run(name string, f func() (string, error)) {
 	start := time.Now()
 	out, err := f()
+	sections = append(sections, obs.Section{Name: name, Seconds: time.Since(start).Seconds()})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wpbench: %s: %v\n", name, err)
 		exitCode = 1

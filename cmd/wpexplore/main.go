@@ -9,24 +9,35 @@
 // cache is keyed by the fully resolved machine configuration, so the
 // default point shared by several sweeps is simulated once.
 //
+// Observability mirrors cmd/wpbench: -metrics dumps the engine's
+// instruments at exit (Prometheus text, or JSON for .json paths),
+// -snapshot writes a machine-readable run record, -pprof serves
+// net/http/pprof.
+//
 // Usage:
 //
 //	wpexplore [-dim line|page|policy|style|all] [-benchmarks a,b,c] [-jobs N]
+//	          [-metrics file] [-snapshot file] [-pprof addr]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"wayplace/internal/bench"
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
 	"wayplace/internal/engine"
 	"wayplace/internal/experiment"
+	"wayplace/internal/obs"
 	"wayplace/internal/sim"
 	"wayplace/internal/tlb"
 )
@@ -35,19 +46,41 @@ func main() {
 	dim := flag.String("dim", "all", "dimension to sweep: line, page, policy, style or all")
 	subset := flag.String("benchmarks", "sha,susan_c,crc,patricia", "benchmark subset")
 	jobs := flag.Int("jobs", 0, "simulation cells to run concurrently (0 = GOMAXPROCS)")
+	metricsOut := flag.String("metrics", "", `write engine metrics to this file at exit ("-" for stderr; a .json path selects JSON, anything else Prometheus text)`)
+	snapshotOut := flag.String("snapshot", "", "write the machine-readable run snapshot (BENCH_wpbench.json format) to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	names := bench.Names()
-	if *subset != "" {
-		names = strings.Split(*subset, ",")
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "wpexplore: pprof: %v\n", err)
+			}
+		}()
 	}
-	suite, err := experiment.NewSuiteOf(names, engine.WithWorkers(*jobs))
+
+	// Validate the subset up front (trimmed, typos rejected with the
+	// valid names) instead of failing per cell inside the provider.
+	names, err := bench.ParseSubset(*subset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wpexplore: %v\n", err)
+		os.Exit(2)
+	}
+
+	var reg *obs.Registry
+	if *metricsOut != "" || *snapshotOut != "" {
+		reg = obs.NewRegistry()
+	}
+
+	start := time.Now()
+	suite, err := experiment.NewSuiteOf(names, engine.WithWorkers(*jobs), engine.WithObserver(reg))
 	if err != nil {
 		fail(err)
 	}
+	sections := []obs.Section{{Name: "prepare", Seconds: time.Since(start).Seconds()}}
 
 	// avg runs the suite at one sweep point: a (baseline, way-placement)
 	// pair per workload against the mutated machine template, averaged
@@ -85,46 +118,91 @@ func main() {
 
 	want := func(d string) bool { return *dim == "all" || *dim == d }
 
+	// sweep times one dimension for the -snapshot section record.
+	sweep := func(name string, fn func()) {
+		s := time.Now()
+		fn()
+		sections = append(sections, obs.Section{Name: name, Seconds: time.Since(s).Seconds()})
+	}
+
 	if want("line") {
-		fmt.Println("line-size sweep (32KB, 32-way):")
-		for _, lb := range []int{16, 32, 64} {
-			e, ed := avg(func(c *sim.Config) {
-				c.ICache.LineBytes = lb
-				c.DCache.LineBytes = lb
-			})
-			fmt.Printf("  %2dB lines: I$ energy %.1f%%  ED %.3f\n", lb, 100*e, ed)
-		}
-		fmt.Println()
+		sweep("line", func() {
+			fmt.Println("line-size sweep (32KB, 32-way):")
+			for _, lb := range []int{16, 32, 64} {
+				e, ed := avg(func(c *sim.Config) {
+					c.ICache.LineBytes = lb
+					c.DCache.LineBytes = lb
+				})
+				fmt.Printf("  %2dB lines: I$ energy %.1f%%  ED %.3f\n", lb, 100*e, ed)
+			}
+			fmt.Println()
+		})
 	}
 	if want("page") {
-		fmt.Println("page-size sweep (way-placement-bit granularity):")
-		for _, pb := range []int{1 << 10, 2 << 10, 4 << 10} {
-			e, ed := avg(func(c *sim.Config) {
-				c.ITLB = tlb.Config{Entries: 32, PageBytes: pb}
-			})
-			fmt.Printf("  %2dKB pages: I$ energy %.1f%%  ED %.3f\n", pb>>10, 100*e, ed)
-		}
-		fmt.Println()
+		sweep("page", func() {
+			fmt.Println("page-size sweep (way-placement-bit granularity):")
+			for _, pb := range []int{1 << 10, 2 << 10, 4 << 10} {
+				e, ed := avg(func(c *sim.Config) {
+					c.ITLB = tlb.Config{Entries: 32, PageBytes: pb}
+				})
+				fmt.Printf("  %2dKB pages: I$ energy %.1f%%  ED %.3f\n", pb>>10, 100*e, ed)
+			}
+			fmt.Println()
+		})
 	}
 	if want("policy") {
-		fmt.Println("replacement-policy sweep:")
-		for _, p := range []cache.Policy{cache.RoundRobin, cache.LRU} {
-			p := p
-			e, ed := avg(func(c *sim.Config) { c.ICache.Policy = p })
-			fmt.Printf("  %-12s I$ energy %.1f%%  ED %.3f\n", p, 100*e, ed)
-		}
-		fmt.Println()
+		sweep("policy", func() {
+			fmt.Println("replacement-policy sweep:")
+			for _, p := range []cache.Policy{cache.RoundRobin, cache.LRU} {
+				p := p
+				e, ed := avg(func(c *sim.Config) { c.ICache.Policy = p })
+				fmt.Printf("  %-12s I$ energy %.1f%%  ED %.3f\n", p, 100*e, ed)
+			}
+			fmt.Println()
+		})
 	}
 	if want("style") {
-		fmt.Println("array-organisation sweep (8-way, where RAM-tag caches live):")
-		for _, st := range []energy.ArrayStyle{energy.CAMTag, energy.RAMTag} {
-			st := st
-			e, ed := avg(func(c *sim.Config) {
-				c.ICache.Ways = 8
-				c.DCache.Ways = 8
-				c.Style = st
-			})
-			fmt.Printf("  %-8s I$ energy %.1f%%  ED %.3f\n", st, 100*e, ed)
+		sweep("style", func() {
+			fmt.Println("array-organisation sweep (8-way, where RAM-tag caches live):")
+			for _, st := range []energy.ArrayStyle{energy.CAMTag, energy.RAMTag} {
+				st := st
+				e, ed := avg(func(c *sim.Config) {
+					c.ICache.Ways = 8
+					c.DCache.Ways = 8
+					c.Style = st
+				})
+				fmt.Printf("  %-8s I$ energy %.1f%%  ED %.3f\n", st, 100*e, ed)
+			}
+		})
+	}
+
+	if *snapshotOut != "" {
+		command := strings.TrimSpace("wpexplore " + strings.Join(os.Args[1:], " "))
+		snap := experiment.NewSnapshot(command, suite, reg, time.Since(start), sections)
+		if err := snap.WriteFile(*snapshotOut); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "snapshot: %s (%d cells, %.1f cells/sec, %.0f%% run-cache hits)\n",
+			*snapshotOut, snap.Grid.Cells, snap.CellsPerSecond, 100*snap.CacheHitRatio)
+	}
+	if *metricsOut != "" {
+		out := io.Writer(os.Stderr)
+		if *metricsOut != "-" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		var err error
+		if strings.HasSuffix(*metricsOut, ".json") {
+			err = reg.WriteJSON(out)
+		} else {
+			err = reg.WritePrometheus(out)
+		}
+		if err != nil {
+			fail(err)
 		}
 	}
 }

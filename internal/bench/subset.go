@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseSubset parses a comma-separated benchmark subset as given on a
+// CLI (-benchmarks "sha, crc"): elements are whitespace-trimmed,
+// empty elements are dropped, and every name is validated against the
+// registry up front — so a typo fails immediately with the list of
+// valid names instead of surfacing later as a confusing per-cell
+// error deep inside the workload provider. An empty (or all-
+// whitespace) subset means the full suite.
+func ParseSubset(s string) ([]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return Names(), nil
+	}
+	var names, unknown []string
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if _, err := ByName(name); err != nil {
+			unknown = append(unknown, name)
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(unknown) > 0 {
+		return nil, fmt.Errorf("bench: unknown benchmark(s) %s\nvalid names: %s",
+			strings.Join(unknown, ", "), strings.Join(Names(), ", "))
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("bench: benchmark subset %q names no benchmarks", s)
+	}
+	return names, nil
+}

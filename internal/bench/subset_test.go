@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSubset(t *testing.T) {
+	t.Run("empty means full suite", func(t *testing.T) {
+		for _, in := range []string{"", "  ", "\t"} {
+			got, err := ParseSubset(in)
+			if err != nil {
+				t.Fatalf("ParseSubset(%q): %v", in, err)
+			}
+			if !reflect.DeepEqual(got, Names()) {
+				t.Errorf("ParseSubset(%q) != Names()", in)
+			}
+		}
+	})
+
+	t.Run("trims whitespace and drops empties", func(t *testing.T) {
+		got, err := ParseSubset(" sha , crc ,, patricia ,")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"sha", "crc", "patricia"}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	})
+
+	t.Run("unknown names fail up front with the valid list", func(t *testing.T) {
+		_, err := ParseSubset("sha,shaa,crcc")
+		if err == nil {
+			t.Fatal("typo'd subset accepted")
+		}
+		msg := err.Error()
+		for _, want := range []string{"shaa", "crcc", "valid names:", "sha"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("error %q missing %q", msg, want)
+			}
+		}
+	})
+
+	t.Run("only separators is an error", func(t *testing.T) {
+		if _, err := ParseSubset(",, ,"); err == nil {
+			t.Error("separator-only subset accepted")
+		}
+	})
+}

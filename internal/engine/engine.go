@@ -27,8 +27,83 @@ import (
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
 	"wayplace/internal/obj"
+	"wayplace/internal/obs"
 	"wayplace/internal/sim"
 )
+
+// Metric names the engine registers when an observer is installed
+// (WithObserver). Exported so snapshot builders and dashboards can
+// reference them without string duplication.
+const (
+	// MetricCellNS: log-scale histogram of per-cell simulation wall
+	// time in nanoseconds (fresh simulations only — cache hits are
+	// effectively free and would drown the signal).
+	MetricCellNS = "engine_cell_ns"
+	// MetricPrepareNS: histogram of per-workload prepare (build,
+	// profile, relink) wall time in nanoseconds.
+	MetricPrepareNS = "engine_prepare_ns"
+	// MetricCells: cells completed successfully (including cache hits).
+	MetricCells = "engine_cells_total"
+	// MetricCellFailures: cells that failed (simulation error, verify
+	// rejection, or cancellation).
+	MetricCellFailures = "engine_cell_failures_total"
+	// MetricCacheHits / MetricCacheMisses mirror Engine.Hits/Misses.
+	MetricCacheHits   = "engine_cache_hits_total"
+	MetricCacheMisses = "engine_cache_misses_total"
+	// MetricInflight: cells currently inside a simulator.
+	MetricInflight = "engine_inflight_cells"
+	// MetricInstructions: instructions simulated (fresh cells only),
+	// so instructions/second measures simulator throughput.
+	MetricInstructions = "sim_instructions_total"
+	// MetricEnergyPrefix + scheme.String(): summed whole-processor
+	// energy (model units) per scheme, fresh cells only.
+	MetricEnergyPrefix = "sim_energy_total_"
+)
+
+// instruments are the engine's pre-resolved observability hooks. With
+// no observer every field is nil and each call is a nil-receiver
+// no-op, so the per-cell path pays nothing (obs.TestNilRegistryAllocFree
+// proves zero allocations).
+type instruments struct {
+	cellNS    *obs.Histogram
+	prepareNS *obs.Histogram
+	cells     *obs.Counter
+	failures  *obs.Counter
+	hits      *obs.Counter
+	misses    *obs.Counter
+	instrs    *obs.Counter
+	inflight  *obs.Gauge
+	energy    [3]*obs.Gauge // indexed by energy.Scheme
+}
+
+func newInstruments(r *obs.Registry) instruments {
+	if r == nil {
+		return instruments{}
+	}
+	ins := instruments{
+		cellNS:    r.Histogram(MetricCellNS),
+		prepareNS: r.Histogram(MetricPrepareNS),
+		cells:     r.Counter(MetricCells),
+		failures:  r.Counter(MetricCellFailures),
+		hits:      r.Counter(MetricCacheHits),
+		misses:    r.Counter(MetricCacheMisses),
+		instrs:    r.Counter(MetricInstructions),
+		inflight:  r.Gauge(MetricInflight),
+	}
+	for s := range ins.energy {
+		ins.energy[s] = r.Gauge(MetricEnergyPrefix + energy.Scheme(s).String())
+	}
+	return ins
+}
+
+// record books one fresh (simulated) cell's statistics.
+func (ins *instruments) record(spec RunSpec, stats *sim.RunStats, wall time.Duration) {
+	ins.cellNS.ObserveDuration(wall)
+	ins.instrs.Add(stats.Instrs)
+	if int(spec.Scheme) < len(ins.energy) {
+		ins.energy[spec.Scheme].Add(stats.Energy.Total())
+	}
+}
 
 // Workload is one prepared benchmark in the form the engine needs to
 // run cells: the original-layout binary (baseline and way-memoization
@@ -79,11 +154,17 @@ type Result struct {
 }
 
 // Progress is one completed cell's report to the progress callback.
+// Failed cells are reported too (Err non-nil), so Done always reaches
+// Total — a display driven by this callback must not treat a report
+// as success without checking Err.
 type Progress struct {
 	Done, Total int
 	Spec        RunSpec
 	Wall        time.Duration
 	CacheHit    bool
+	// Err is non-nil when the cell failed: simulation error, verify
+	// rejection, or cancellation.
+	Err error
 }
 
 // Option configures an Engine or one Run call. Options passed to New
@@ -96,6 +177,7 @@ type options struct {
 	base     sim.Config
 	progress func(Progress)
 	verify   func(sim.Config, *sim.RunStats) error
+	obs      *obs.Registry
 }
 
 // WithWorkers caps the number of cells simulated concurrently.
@@ -129,11 +211,23 @@ func WithVerify(fn func(sim.Config, *sim.RunStats) error) Option {
 	return func(o *options) { o.verify = fn }
 }
 
+// WithObserver installs an observability registry (internal/obs): the
+// engine registers per-cell and per-prepare latency histograms,
+// run-cache counters, an in-flight gauge, and per-scheme instruction
+// and energy totals (see the Metric* constants). A nil registry — the
+// default — disables metrics entirely; the disabled path performs no
+// allocations and no atomic operations. Observability never perturbs
+// results: instruments are written outside the simulators.
+func WithObserver(r *obs.Registry) Option {
+	return func(o *options) { o.obs = r }
+}
+
 // Engine schedules simulation cells over a worker pool with a
 // memoising run cache. It is safe for concurrent use.
 type Engine struct {
 	provider Provider
 	defaults options
+	ins      instruments
 
 	mu        sync.Mutex
 	workloads map[string]*workloadEntry
@@ -176,6 +270,7 @@ func New(provider Provider, opts ...Option) *Engine {
 	for _, opt := range opts {
 		opt(&e.defaults)
 	}
+	e.ins = newInstruments(e.defaults.obs)
 	return e
 }
 
@@ -210,6 +305,10 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	ins := e.ins
+	if opt.obs != e.defaults.obs {
+		ins = newInstruments(opt.obs)
+	}
 
 	// Deduplicate the batch, preserving first-occurrence order.
 	firstIdx := make(map[RunSpec]int, len(specs))
@@ -229,19 +328,20 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 
-	// Serialise progress callbacks and the done counter.
+	// Serialise progress callbacks and the done counter. Every unique
+	// cell reports exactly once — failures included (Err non-nil) — so
+	// Done always reaches Total and a -progress display never appears
+	// hung on a grid with failing cells.
 	var progMu sync.Mutex
 	done := 0
-	report := func(r *Result) {
+	report := func(p Progress) {
 		if opt.progress == nil {
 			return
 		}
 		progMu.Lock()
 		done++
-		opt.progress(Progress{
-			Done: done, Total: len(unique),
-			Spec: r.Spec, Wall: r.Wall, CacheHit: r.CacheHit,
-		})
+		p.Done, p.Total = done, len(unique)
+		opt.progress(p)
 		progMu.Unlock()
 	}
 
@@ -253,26 +353,34 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 				spec := unique[idx]
 				if err := ctx.Err(); err != nil {
 					uniqueErr[idx] = err
+					ins.failures.Inc()
+					report(Progress{Spec: spec, Err: err})
 					continue
 				}
 				start := time.Now()
-				stats, hit, err := e.cell(ctx, spec, opt.base)
-				if err != nil {
-					uniqueErr[idx] = err
-					continue
+				stats, hit, err := e.cell(ctx, spec, opt.base, ins)
+				var wall time.Duration
+				if !hit {
+					wall = time.Since(start)
 				}
-				if opt.verify != nil {
+				if err == nil && opt.verify != nil {
 					if verr := opt.verify(resolve(opt.base, spec), stats); verr != nil {
-						uniqueErr[idx] = fmt.Errorf("%s: verify: %w", spec, verr)
-						continue
+						err = fmt.Errorf("%s: verify: %w", spec, verr)
 					}
 				}
-				r := &Result{Spec: spec, Stats: stats, CacheHit: hit}
+				if err != nil {
+					uniqueErr[idx] = err
+					ins.failures.Inc()
+					report(Progress{Spec: spec, Wall: wall, Err: err})
+					continue
+				}
+				r := &Result{Spec: spec, Stats: stats, CacheHit: hit, Wall: wall}
+				ins.cells.Inc()
 				if !hit {
-					r.Wall = time.Since(start)
+					ins.record(spec, stats, wall)
 				}
 				uniqueRes[idx] = r
-				report(r)
+				report(Progress{Spec: spec, Wall: wall, CacheHit: hit})
 			}
 		}()
 	}
@@ -301,6 +409,8 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 			results[i] = r
 		} else {
 			e.hits.Add(1)
+			ins.hits.Inc()
+			ins.cells.Inc()
 			results[i] = &Result{Spec: s, Stats: r.Stats, CacheHit: true}
 		}
 		occurrences[s]++
@@ -373,7 +483,7 @@ func (e *Engine) Prepare(ctx context.Context, names []string, opts ...Option) er
 // cell returns the memoised stats for one spec, simulating it if this
 // is the first time the resolved configuration is seen. Concurrent
 // requests for the same cell coalesce onto a single simulation.
-func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config) (*sim.RunStats, bool, error) {
+func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config, ins instruments) (*sim.RunStats, bool, error) {
 	key := runKey{workload: spec.Workload, cfg: resolve(base, spec)}
 
 	e.mu.Lock()
@@ -388,6 +498,7 @@ func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config) (*sim.
 			return nil, false, ent.err
 		}
 		e.hits.Add(1)
+		ins.hits.Inc()
 		return ent.stats, true, nil
 	}
 	ent := &runEntry{done: make(chan struct{})}
@@ -395,7 +506,10 @@ func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config) (*sim.
 	e.mu.Unlock()
 
 	e.misses.Add(1)
+	ins.misses.Inc()
+	ins.inflight.Add(1)
 	ent.stats, ent.err = e.exec(ctx, spec, key.cfg)
+	ins.inflight.Add(-1)
 	if ent.err != nil {
 		// Failed cells are evicted so a later batch can retry (a
 		// cancelled run must not poison the cache).
@@ -443,7 +557,11 @@ func (e *Engine) workload(ctx context.Context, name string) (*Workload, error) {
 	e.workloads[name] = ent
 	e.mu.Unlock()
 
+	start := time.Now()
 	ent.w, ent.err = e.provider(ctx, name)
+	if ent.err == nil {
+		e.ins.prepareNS.ObserveSince(start)
+	}
 	if ent.err == nil && (ent.w == nil || ent.w.Original == nil) {
 		ent.err = fmt.Errorf("engine: provider returned no programs for %q", name)
 	}

@@ -23,6 +23,7 @@ import (
 	"wayplace/internal/isa"
 	"wayplace/internal/layout"
 	"wayplace/internal/obj"
+	"wayplace/internal/obs"
 	"wayplace/internal/sim"
 )
 
@@ -410,5 +411,157 @@ func TestPrepare(t *testing.T) {
 
 	if err := e.Prepare(ctx, []string{"missing"}); err == nil {
 		t.Fatal("Prepare of unknown workload returned nil error")
+	}
+}
+
+// TestProgressReportsFailedCells is the regression test for the
+// -progress stall: a grid containing a failing cell must still drive
+// Done all the way to Total, with the failure visible as a non-nil
+// Progress.Err. Before the fix, only successful cells reported, so
+// the display hung short of Total whenever any cell failed.
+func TestProgressReportsFailedCells(t *testing.T) {
+	icfg := cache.Config{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32}
+	specs := []engine.RunSpec{
+		{Workload: "tiny1", ICache: icfg, Scheme: energy.Baseline},
+		{Workload: "missing", ICache: icfg, Scheme: energy.Baseline},
+		{Workload: "tiny2", ICache: icfg, Scheme: energy.Baseline},
+	}
+	var mu sync.Mutex
+	var seen []engine.Progress
+	e := engine.New(testProvider(t), engine.WithWorkers(2),
+		engine.WithProgress(func(p engine.Progress) {
+			mu.Lock()
+			seen = append(seen, p)
+			mu.Unlock()
+		}))
+	_, err := e.Run(context.Background(), specs)
+	if err == nil {
+		t.Fatal("grid with a bad cell returned nil error")
+	}
+
+	if len(seen) != len(specs) {
+		t.Fatalf("progress reported %d cells, want %d (failed cells must report too)", len(seen), len(specs))
+	}
+	last := seen[len(seen)-1]
+	if last.Done != last.Total || last.Total != len(specs) {
+		t.Errorf("final progress done=%d total=%d, want %d/%d", last.Done, last.Total, len(specs), len(specs))
+	}
+	failed := 0
+	for _, p := range seen {
+		if p.Err != nil {
+			failed++
+			if p.Spec.Workload != "missing" {
+				t.Errorf("unexpected failing cell %v: %v", p.Spec, p.Err)
+			}
+		}
+	}
+	if failed != 1 {
+		t.Errorf("%d progress reports carry an error, want 1", failed)
+	}
+}
+
+// TestProgressReportsVerifyFailures: cells rejected by the verifier
+// must also advance the progress counter.
+func TestProgressReportsVerifyFailures(t *testing.T) {
+	icfg := cache.Config{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32}
+	specs := []engine.RunSpec{
+		{Workload: "tiny1", ICache: icfg, Scheme: energy.Baseline},
+		{Workload: "tiny2", ICache: icfg, Scheme: energy.Baseline},
+	}
+	rejected := errors.New("synthetic invariant violation")
+	var mu sync.Mutex
+	var seen []engine.Progress
+	e := engine.New(testProvider(t),
+		engine.WithVerify(func(cfg sim.Config, st *sim.RunStats) error { return rejected }),
+		engine.WithProgress(func(p engine.Progress) {
+			mu.Lock()
+			seen = append(seen, p)
+			mu.Unlock()
+		}))
+	_, err := e.Run(context.Background(), specs)
+	if err == nil {
+		t.Fatal("verify-rejected grid returned nil error")
+	}
+	if len(seen) != len(specs) {
+		t.Fatalf("progress reported %d cells, want %d", len(seen), len(specs))
+	}
+	for _, p := range seen {
+		if p.Err == nil {
+			t.Errorf("%v: verify failure not reflected in Progress.Err", p.Spec)
+		}
+	}
+}
+
+// TestObserverInstrumentation: with a registry installed, the engine
+// must account cells, cache hits/misses, instructions, per-scheme
+// energy and latency spans — and the instrumented results must be
+// identical to an uninstrumented run.
+func TestObserverInstrumentation(t *testing.T) {
+	specs := grid()
+	reg := obs.NewRegistry()
+	provider := testProvider(t)
+	plain := engine.New(provider, engine.WithWorkers(4))
+	observed := engine.New(provider, engine.WithWorkers(4), engine.WithObserver(reg))
+
+	want, err := plain.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := observed.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if !reflect.DeepEqual(want[i].Stats, got[i].Stats) {
+			t.Errorf("%v: instrumented run perturbed the statistics", specs[i])
+		}
+	}
+
+	if n := reg.Counter(engine.MetricCells).Value(); n != uint64(len(specs)) {
+		t.Errorf("%s = %d, want %d", engine.MetricCells, n, len(specs))
+	}
+	if n := reg.Counter(engine.MetricCacheMisses).Value(); n != observed.Misses() {
+		t.Errorf("%s = %d, want %d", engine.MetricCacheMisses, n, observed.Misses())
+	}
+	if n := reg.Counter(engine.MetricInstructions).Value(); n == 0 {
+		t.Errorf("%s not recorded", engine.MetricInstructions)
+	}
+	if h := reg.Histogram(engine.MetricCellNS); h.Count() != observed.Misses() {
+		t.Errorf("%s recorded %d spans, want %d", engine.MetricCellNS, h.Count(), observed.Misses())
+	}
+	for _, scheme := range []energy.Scheme{energy.Baseline, energy.WayMemoization, energy.WayPlacement} {
+		if v := reg.Gauge(engine.MetricEnergyPrefix + scheme.String()).Value(); v <= 0 {
+			t.Errorf("energy total for %v = %v, want > 0", scheme, v)
+		}
+	}
+
+	// A second, identical batch is all cache hits.
+	if _, err := observed.Run(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter(engine.MetricCacheHits).Value(); n != observed.Hits() {
+		t.Errorf("%s = %d, want %d", engine.MetricCacheHits, n, observed.Hits())
+	}
+	if n := reg.Counter(engine.MetricCacheMisses).Value(); n != observed.Misses() {
+		t.Errorf("after cached batch: %s = %d, want %d (no re-simulation)", engine.MetricCacheMisses, n, observed.Misses())
+	}
+	if v := reg.Gauge(engine.MetricInflight).Value(); v != 0 {
+		t.Errorf("in-flight gauge did not return to 0: %v", v)
+	}
+}
+
+// TestObserverPrepareSpan: workload preparation must record one span
+// per workload, failures excluded.
+func TestObserverPrepareSpan(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := engine.New(testProvider(t), engine.WithObserver(reg), engine.WithWorkers(2))
+	if err := e.Prepare(context.Background(), []string{"tiny1", "tiny2"}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Prepare(context.Background(), []string{"missing"}) == nil {
+		t.Fatal("Prepare of unknown workload returned nil error")
+	}
+	if h := reg.Histogram(engine.MetricPrepareNS); h.Count() != 2 {
+		t.Errorf("%s recorded %d spans, want 2 (failed prepare must not count)", engine.MetricPrepareNS, h.Count())
 	}
 }

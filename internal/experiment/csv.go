@@ -37,7 +37,9 @@ func CSVFig4(out io.Writer, r *Fig4Result) error {
 // CSVFig5 writes figure 5 as CSV.
 func CSVFig5(out io.Writer, r *Fig5Result) error {
 	rows := [][]string{{"scheme", "wp_size_kb", "energy", "ed"}}
-	rows = append(rows, []string{"waymem", "", f(r.WayMem.Energy), f(r.WayMem.ED)})
+	// Way-memoization has no WP area; emit 0 rather than an empty
+	// cell so numeric column parsers never see a hole.
+	rows = append(rows, []string{"waymem", "0", f(r.WayMem.Energy), f(r.WayMem.ED)})
 	for _, p := range r.Points {
 		rows = append(rows, []string{"wayplace", fmt.Sprint(p.WPSizeKB), f(p.Energy), f(p.ED)})
 	}

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden-output tests for the three CSV emitters: the files are
+// consumed by plotting scripts and regression tracking, so their
+// exact byte content is a contract — header order, six-decimal
+// floats, and no empty numeric cells (the waymem row of fig5 once
+// emitted an empty wp_size_kb, breaking numeric parsers).
+
+func TestCSVFig4Golden(t *testing.T) {
+	r := &Fig4Result{
+		Rows: []Fig4Row{
+			{Bench: "sha", WayMem: Pair{Energy: 0.715, ED: 0.962}, WayPlace: Pair{Energy: 0.472, ED: 0.93}},
+			{Bench: "crc", WayMem: Pair{Energy: 0.7, ED: 0.95}, WayPlace: Pair{Energy: 0.5, ED: 0.94}},
+		},
+		Average: Fig4Row{Bench: "average", WayMem: Pair{Energy: 0.7075, ED: 0.956}, WayPlace: Pair{Energy: 0.486, ED: 0.935}},
+	}
+	var sb strings.Builder
+	if err := CSVFig4(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	want := "benchmark,waymem_energy,wayplace_energy,waymem_ed,wayplace_ed\n" +
+		"sha,0.715000,0.472000,0.962000,0.930000\n" +
+		"crc,0.700000,0.500000,0.950000,0.940000\n" +
+		"average,0.707500,0.486000,0.956000,0.935000\n"
+	if sb.String() != want {
+		t.Errorf("fig4 CSV mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestCSVFig5Golden(t *testing.T) {
+	r := &Fig5Result{
+		WayMem: Pair{Energy: 0.715, ED: 0.962},
+		Points: []Fig5Point{
+			{WPSizeKB: 16, Pair: Pair{Energy: 0.472, ED: 0.93}},
+			{WPSizeKB: 1, Pair: Pair{Energy: 0.486, ED: 0.934}},
+		},
+	}
+	var sb strings.Builder
+	if err := CSVFig5(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	// Regression: the waymem row must carry wp_size_kb 0, not an
+	// empty cell.
+	want := "scheme,wp_size_kb,energy,ed\n" +
+		"waymem,0,0.715000,0.962000\n" +
+		"wayplace,16,0.472000,0.930000\n" +
+		"wayplace,1,0.486000,0.934000\n"
+	if sb.String() != want {
+		t.Errorf("fig5 CSV mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		for _, cell := range strings.Split(line, ",") {
+			if cell == "" {
+				t.Errorf("empty CSV cell in line %q", line)
+			}
+		}
+	}
+}
+
+func TestCSVFig6Golden(t *testing.T) {
+	cells := []Fig6Cell{
+		{
+			SizeKB: 8, Ways: 8,
+			WayMem: Pair{Energy: 1.025, ED: 1.01},
+			WP16:   Pair{Energy: 0.771, ED: 0.97},
+			WP8:    Pair{Energy: 0.78, ED: 0.975},
+		},
+	}
+	var sb strings.Builder
+	if err := CSVFig6(&sb, cells); err != nil {
+		t.Fatal(err)
+	}
+	want := "size_kb,ways,waymem_energy,wp16_energy,wp8_energy,waymem_ed,wp16_ed,wp8_ed\n" +
+		"8,8,1.025000,0.771000,0.780000,1.010000,0.970000,0.975000\n"
+	if sb.String() != want {
+		t.Errorf("fig6 CSV mismatch:\ngot:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"runtime"
+	"time"
+
+	"wayplace/internal/energy"
+	"wayplace/internal/engine"
+	"wayplace/internal/obs"
+)
+
+// NewSnapshot assembles the machine-readable record of one evaluation
+// run — the payload CLIs write as BENCH_wpbench.json — from the
+// suite's engine totals (grid shape, run-cache behaviour) and, when a
+// registry was installed with engine.WithObserver, the instrumented
+// totals (simulated instructions, per-scheme energy, cell-latency
+// quantiles). With a nil registry the snapshot still carries the grid
+// shape, wall time and cache-hit ratio; the instrumented fields stay
+// zero and are omitted from the JSON.
+func NewSnapshot(command string, s *Suite, reg *obs.Registry, wall time.Duration, sections []obs.Section) *obs.Snapshot {
+	eng := s.Engine()
+	hits, misses := eng.Hits(), eng.Misses()
+	snap := &obs.Snapshot{
+		Schema:    obs.SnapshotSchema,
+		Command:   command,
+		GoVersion: runtime.Version(),
+		UnixTime:  time.Now().Unix(),
+		Grid: obs.Grid{
+			Workloads: len(s.Workloads),
+			Cells:     hits + misses,
+			Simulated: misses,
+			CacheHits: hits,
+		},
+		WallSeconds: wall.Seconds(),
+		Sections:    sections,
+	}
+	if reg != nil {
+		snap.Instructions = reg.Counter(engine.MetricInstructions).Value()
+		h := reg.Histogram(engine.MetricCellNS)
+		if h.Count() > 0 {
+			snap.CellSecondsP50 = float64(h.Quantile(0.50)) / float64(time.Second)
+			snap.CellSecondsP95 = float64(h.Quantile(0.95)) / float64(time.Second)
+		}
+		for _, scheme := range []energy.Scheme{energy.Baseline, energy.WayPlacement, energy.WayMemoization} {
+			if v := reg.Gauge(engine.MetricEnergyPrefix + scheme.String()).Value(); v > 0 {
+				if snap.EnergyByScheme == nil {
+					snap.EnergyByScheme = make(map[string]float64, 3)
+				}
+				snap.EnergyByScheme[scheme.String()] = v
+			}
+		}
+	}
+	snap.Finalize()
+	return snap
+}

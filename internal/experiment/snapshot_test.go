@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wayplace/internal/energy"
+	"wayplace/internal/engine"
+	"wayplace/internal/obs"
+)
+
+// TestNewSnapshot drives a small observed suite through a grid and
+// checks the snapshot records the grid shape, cache behaviour and
+// instrumented totals, and round-trips through the BENCH file format.
+func TestNewSnapshot(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, err := NewSuiteOf([]string{"sha", "crc"}, engine.WithObserver(reg))
+	if err != nil {
+		t.Fatalf("NewSuiteOf: %v", err)
+	}
+	icfg := XScaleICache()
+	specs := []engine.RunSpec{
+		{Workload: "sha", ICache: icfg, Scheme: energy.Baseline},
+		{Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: InitialWPSize},
+		{Workload: "crc", ICache: icfg, Scheme: energy.Baseline},
+		{Workload: "sha", ICache: icfg, Scheme: energy.Baseline}, // duplicate: cache hit
+	}
+	if _, err := s.RunBatch(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+
+	sections := []obs.Section{{Name: "grid", Seconds: 1.5}}
+	snap := NewSnapshot("wpbench-test", s, reg, 2*time.Second, sections)
+
+	if snap.Schema != obs.SnapshotSchema {
+		t.Errorf("schema %q", snap.Schema)
+	}
+	if snap.Grid.Workloads != 2 {
+		t.Errorf("workloads = %d, want 2", snap.Grid.Workloads)
+	}
+	if snap.Grid.Simulated != 3 || snap.Grid.CacheHits != 1 || snap.Grid.Cells != 4 {
+		t.Errorf("grid = %+v, want 3 simulated / 1 hit / 4 cells", snap.Grid)
+	}
+	if snap.CacheHitRatio != 0.25 {
+		t.Errorf("cache-hit ratio = %v, want 0.25", snap.CacheHitRatio)
+	}
+	if snap.CellsPerSecond != 2 {
+		t.Errorf("cells/sec = %v, want 2", snap.CellsPerSecond)
+	}
+	if snap.Instructions == 0 || snap.InstrsPerSec == 0 {
+		t.Error("instrumented instruction totals missing")
+	}
+	if snap.EnergyByScheme["baseline"] <= 0 || snap.EnergyByScheme["wayplace"] <= 0 {
+		t.Errorf("per-scheme energy totals missing: %v", snap.EnergyByScheme)
+	}
+	if snap.CellSecondsP50 <= 0 || snap.CellSecondsP95 < snap.CellSecondsP50 {
+		t.Errorf("cell latency quantiles inconsistent: p50=%v p95=%v",
+			snap.CellSecondsP50, snap.CellSecondsP95)
+	}
+	if len(snap.Sections) != 1 || snap.Sections[0].Name != "grid" {
+		t.Errorf("sections = %+v", snap.Sections)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_wpbench.json")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Grid != snap.Grid {
+		t.Errorf("grid did not round-trip: %+v vs %+v", back.Grid, snap.Grid)
+	}
+}
+
+// TestNewSnapshotNilRegistry: the uninstrumented path still records
+// grid shape and cache behaviour.
+func TestNewSnapshotNilRegistry(t *testing.T) {
+	s, err := NewSuiteOf([]string{"crc"})
+	if err != nil {
+		t.Fatalf("NewSuiteOf: %v", err)
+	}
+	if _, err := s.RunBatch(context.Background(), []engine.RunSpec{
+		{Workload: "crc", ICache: XScaleICache(), Scheme: energy.Baseline},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := NewSnapshot("wpbench-test", s, nil, time.Second, nil)
+	if snap.Grid.Simulated != 1 || snap.Grid.Cells != 1 {
+		t.Errorf("grid = %+v", snap.Grid)
+	}
+	if snap.Instructions != 0 || snap.EnergyByScheme != nil {
+		t.Error("nil registry produced instrumented fields")
+	}
+}

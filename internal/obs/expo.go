@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Exposition: the registry dumps in two formats. Prometheus text for
+// scrapers and humans, JSON for scripts. Both walk a consistent
+// point-in-time view of the instrument *set* (names sorted, so output
+// order is stable); individual values are read atomically but not
+// snapshotted as a group, which is the usual monitoring contract.
+
+// WritePrometheus writes the registry in the Prometheus text
+// exposition format (version 0.0.4). Histogram buckets are cumulative
+// with power-of-two le bounds in the histogram's native unit
+// (nanoseconds for duration histograms). A nil registry writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	counters, gauges, histograms := r.instruments()
+
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
+			name, name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			name, name, formatFloat(gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(histograms) {
+		h := histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum uint64
+		for i := 0; i < histBuckets; i++ {
+			n := h.buckets[i].Load()
+			if n == 0 {
+				continue
+			}
+			cum += n
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n",
+				name, bucketBound(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, h.Count(), name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistogramBucket is one non-cumulative histogram bucket in the JSON
+// exposition: LE is the inclusive upper bound, Count the observations
+// that landed in this bucket alone.
+type HistogramBucket struct {
+	LE    uint64 `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramDump is a histogram in the JSON exposition.
+type HistogramDump struct {
+	Count   uint64            `json:"count"`
+	Sum     uint64            `json:"sum"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// Dump is the whole registry in exposition form.
+type Dump struct {
+	Counters   map[string]uint64        `json:"counters,omitempty"`
+	Gauges     map[string]float64       `json:"gauges,omitempty"`
+	Histograms map[string]HistogramDump `json:"histograms,omitempty"`
+}
+
+// Dump captures the registry's current values. A nil registry returns
+// an empty dump.
+func (r *Registry) Dump() Dump {
+	var d Dump
+	if r == nil {
+		return d
+	}
+	counters, gauges, histograms := r.instruments()
+	if len(counters) > 0 {
+		d.Counters = make(map[string]uint64, len(counters))
+		for name, c := range counters {
+			d.Counters[name] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		d.Gauges = make(map[string]float64, len(gauges))
+		for name, g := range gauges {
+			d.Gauges[name] = g.Value()
+		}
+	}
+	if len(histograms) > 0 {
+		d.Histograms = make(map[string]HistogramDump, len(histograms))
+		for name, h := range histograms {
+			hd := HistogramDump{Count: h.Count(), Sum: h.Sum()}
+			for i := 0; i < histBuckets; i++ {
+				if n := h.buckets[i].Load(); n > 0 {
+					hd.Buckets = append(hd.Buckets, HistogramBucket{LE: bucketBound(i), Count: n})
+				}
+			}
+			d.Histograms[name] = hd
+		}
+	}
+	return d
+}
+
+// WriteJSON writes the registry as indented JSON. A nil registry
+// writes an empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Dump())
+}
+
+// instruments copies the instrument maps under the registry lock;
+// the *pointers* are shared, so values read afterwards are current.
+func (r *Registry) instruments() (map[string]*Counter, map[string]*Gauge, map[string]*Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
+	return counters, gauges, histograms
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// formatFloat renders a gauge value the way Prometheus expects:
+// shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

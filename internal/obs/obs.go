@@ -1,0 +1,255 @@
+// Package obs is the lock-cheap observability layer for the
+// experiment engine: counters, gauges and log-scale histograms behind
+// a named registry, with Prometheus-text and JSON exposition and a
+// machine-readable run snapshot (BENCH_*.json) so bench trajectories
+// record grid shape, wall time and cache behaviour over the repo's
+// history.
+//
+// Instruments are driven purely by atomics — the registry mutex
+// guards registration, never updates — so concurrent simulation cells
+// can bump counters without contending. Every method is nil-safe: a
+// nil *Registry hands out nil instruments, and methods on nil
+// instruments are no-ops that never allocate, so disabled metrics
+// cost nothing on the per-cell hot path (TestNilRegistryAllocFree
+// proves the zero-allocation property).
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can move both ways (totals, in-flight
+// levels, rates). Add is a CAS loop, so gauges stay lock-free under
+// concurrent writers.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add accumulates v atomically.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is one bucket per possible bits.Len64 of an observation
+// (0..64), i.e. log2-spaced bucket bounds. Bucket i holds values v
+// with bits.Len64(v) == i: bucket 0 is exactly {0}, bucket i covers
+// [2^(i-1), 2^i - 1].
+const histBuckets = 65
+
+// Histogram is a log-scale (power-of-two bucket) histogram over
+// uint64 observations — nanosecond latencies in practice. Log spacing
+// keeps it one fixed array regardless of range, so recording is two
+// atomic adds and an atomic increment: cheap enough for per-cell
+// spans.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative
+// durations clamp to zero).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.ObserveDuration(time.Since(start))
+}
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observation, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1):
+// the upper bucket bound the target observation falls into. Under
+// concurrent writers the answer is approximate (count and buckets are
+// read without a barrier), which is fine for monitoring.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketBound(i)
+		}
+	}
+	return math.MaxUint64
+}
+
+// bucketBound is the inclusive upper bound of bucket i.
+func bucketBound(i int) uint64 {
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return (uint64(1) << i) - 1
+}
+
+// Registry names and owns a set of instruments. Lookup is
+// get-or-create under a mutex; callers resolve instruments once and
+// hold the pointers, so the hot path never touches the registry.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// A nil registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+// A nil registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+// A nil registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterConcurrent: N writers x M increments must never lose an
+// update (run under -race in tier-1).
+func TestCounterConcurrent(t *testing.T) {
+	const writers, perWriter = 16, 10_000
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("counter lost updates: got %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestGaugeConcurrentAdd: the CAS loop must make float accumulation
+// atomic. Integer-valued increments keep the expected sum exact.
+func TestGaugeConcurrentAdd(t *testing.T) {
+	const writers, perWriter = 8, 5_000
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != writers*perWriter {
+		t.Errorf("gauge lost updates: got %v, want %d", got, writers*perWriter)
+	}
+	g.Set(-2.5)
+	if got := g.Value(); got != -2.5 {
+		t.Errorf("Set: got %v, want -2.5", got)
+	}
+}
+
+// TestHistogramConcurrent: concurrent observations must agree on
+// count, sum and bucket placement.
+func TestHistogramConcurrent(t *testing.T) {
+	const writers, perWriter = 8, 2_000
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(v uint64) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				h.Observe(v)
+			}
+		}(uint64(1) << (i % 4)) // values 1, 2, 4, 8
+	}
+	wg.Wait()
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("count %d, want %d", got, writers*perWriter)
+	}
+	// 2 writers each of 1, 2, 4, 8.
+	wantSum := uint64(2 * perWriter * (1 + 2 + 4 + 8))
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("sum %d, want %d", got, wantSum)
+	}
+	for i, want := range map[int]uint64{1: 2 * perWriter, 2: 2 * perWriter, 3: 2 * perWriter, 4: 2 * perWriter} {
+		if got := h.buckets[i].Load(); got != want {
+			t.Errorf("bucket %d holds %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	cases := map[uint64]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, math.MaxUint64: 64}
+	for v, bucket := range cases {
+		before := h.buckets[bucket].Load()
+		h.Observe(v)
+		if got := h.buckets[bucket].Load(); got != before+1 {
+			t.Errorf("Observe(%d) did not land in bucket %d", v, bucket)
+		}
+	}
+	if h.Quantile(0) == 0 && h.Count() > 0 {
+		// q=0 still returns the first occupied bucket's bound.
+		t.Log("quantile(0) returned first bucket bound 0 (value 0 observed) — ok")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket 7, bound 127
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 << 20) // bucket 21, bound 2^21-1
+	}
+	if q := h.Quantile(0.5); q != 127 {
+		t.Errorf("p50 = %d, want 127", q)
+	}
+	if q := h.Quantile(0.99); q != (1<<21)-1 {
+		t.Errorf("p99 = %d, want %d", q, (1<<21)-1)
+	}
+	var empty Histogram
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", q)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Nanosecond)
+	h.ObserveDuration(-time.Second) // clamps to 0
+	if h.Count() != 2 {
+		t.Fatalf("count %d, want 2", h.Count())
+	}
+	if h.Sum() != 1500 {
+		t.Errorf("sum %d, want 1500 (negative duration must clamp to 0)", h.Sum())
+	}
+}
+
+// TestNilRegistryAllocFree is the acceptance proof that a disabled
+// (nil) registry costs nothing on the hot path: every instrument
+// operation on nil receivers performs zero allocations.
+func TestNilRegistryAllocFree(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out non-nil instruments")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		_ = c.Value()
+		g.Set(1)
+		g.Add(2)
+		_ = g.Value()
+		h.Observe(42)
+		h.ObserveDuration(time.Microsecond)
+		_ = h.Count()
+		_ = h.Quantile(0.5)
+		_ = r.Counter("x")
+	})
+	if allocs != 0 {
+		t.Errorf("nil-registry operations allocate: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkNilInstruments is the same property as a benchmark
+// (run with -benchmem: 0 B/op, 0 allocs/op).
+func BenchmarkNilInstruments(b *testing.B) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Add(1)
+		h.Observe(uint64(i))
+	}
+}
+
+// BenchmarkLiveInstruments shows the enabled-path cost for
+// comparison: a handful of atomic operations.
+func BenchmarkLiveInstruments(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Add(1)
+		h.Observe(uint64(i))
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name resolved to two counters")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Error("same name resolved to two gauges")
+	}
+	if r.Histogram("a") != r.Histogram("a") {
+		t.Error("same name resolved to two histograms")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cells_total").Add(7)
+	r.Gauge("mips").Set(12.5)
+	h := r.Histogram("cell_ns")
+	h.Observe(100)
+	h.Observe(100)
+	h.Observe(1 << 20)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE cells_total counter\ncells_total 7\n",
+		"# TYPE mips gauge\nmips 12.5\n",
+		"# TYPE cell_ns histogram\n",
+		"cell_ns_bucket{le=\"127\"} 2\n",
+		"cell_ns_bucket{le=\"2097151\"} 3\n",
+		"cell_ns_bucket{le=\"+Inf\"} 3\n",
+		"cell_ns_sum 1048776\n",
+		"cell_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	var nilReg *Registry
+	var empty strings.Builder
+	if err := nilReg.WritePrometheus(&empty); err != nil || empty.Len() != 0 {
+		t.Errorf("nil registry wrote %q, err %v", empty.String(), err)
+	}
+}
+
+func TestDumpJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h").Observe(5)
+
+	d := r.Dump()
+	if d.Counters["c"] != 3 {
+		t.Errorf("counter dump = %d, want 3", d.Counters["c"])
+	}
+	if d.Gauges["g"] != 1.25 {
+		t.Errorf("gauge dump = %v, want 1.25", d.Gauges["g"])
+	}
+	hd := d.Histograms["h"]
+	if hd.Count != 1 || hd.Sum != 5 || len(hd.Buckets) != 1 || hd.Buckets[0].LE != 7 {
+		t.Errorf("histogram dump = %+v", hd)
+	}
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "\"counters\"") {
+		t.Errorf("JSON output missing counters section: %s", sb.String())
+	}
+
+	var nilReg *Registry
+	if d := nilReg.Dump(); d.Counters != nil || d.Gauges != nil || d.Histograms != nil {
+		t.Error("nil registry dump not empty")
+	}
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleSnapshot() *Snapshot {
+	s := &Snapshot{
+		Command:      "wpbench",
+		GoVersion:    "go1.22",
+		UnixTime:     1700000000,
+		Grid:         Grid{Workloads: 23, Cells: 1000, Simulated: 600, CacheHits: 400},
+		WallSeconds:  40,
+		Instructions: 2_000_000_000,
+		EnergyByScheme: map[string]float64{
+			"baseline": 1234.5, "wayplace": 600.25, "waymem": 900,
+		},
+		Sections: []Section{
+			{Name: "prepare", Seconds: 5.5},
+			{Name: "figure 4", Seconds: 12.25},
+		},
+		CellSecondsP50: 0.031,
+		CellSecondsP95: 0.120,
+	}
+	s.Finalize()
+	return s
+}
+
+func TestSnapshotFinalize(t *testing.T) {
+	s := sampleSnapshot()
+	if s.Schema != SnapshotSchema {
+		t.Errorf("schema %q, want %q", s.Schema, SnapshotSchema)
+	}
+	if s.CellsPerSecond != 25 {
+		t.Errorf("cells/sec = %v, want 25", s.CellsPerSecond)
+	}
+	if s.CacheHitRatio != 0.4 {
+		t.Errorf("cache-hit ratio = %v, want 0.4", s.CacheHitRatio)
+	}
+	if want := 50_000_000.0; s.InstrsPerSec != want {
+		t.Errorf("instrs/sec = %v, want %v", s.InstrsPerSec, want)
+	}
+
+	// Zero wall time and empty grid must not divide by zero.
+	var z Snapshot
+	z.Finalize()
+	if math.IsNaN(z.CellsPerSecond) || math.IsNaN(z.CacheHitRatio) || math.IsNaN(z.InstrsPerSec) {
+		t.Error("empty snapshot finalised to NaN")
+	}
+}
+
+// TestSnapshotRoundTrip: WriteFile then ReadSnapshotFile must
+// reproduce the snapshot exactly.
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_wpbench.json")
+	want := sampleSnapshot()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadSnapshotRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	s := sampleSnapshot()
+	s.Schema = "something-else/v9"
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshotFile(path); err == nil {
+		t.Error("foreign schema accepted")
+	}
+	if _, err := ReadSnapshotFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
