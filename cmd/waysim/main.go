@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -66,7 +67,7 @@ func main() {
 		fail(fmt.Errorf("unknown layout %q", *layoutSel))
 	}
 
-	rs, err := sim.Run(prog, cfg)
+	rs, err := sim.RunContext(context.Background(), prog, cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -74,7 +75,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	base, err := sim.Run(w.Original, baseCfg)
+	base, err := sim.RunContext(context.Background(), w.Original, baseCfg)
 	if err != nil {
 		fail(err)
 	}

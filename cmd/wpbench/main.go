@@ -51,6 +51,7 @@ import (
 	"wayplace/internal/engine"
 	"wayplace/internal/experiment"
 	"wayplace/internal/obs"
+	"wayplace/internal/serve"
 )
 
 // exitCode aggregates emitter failures: a broken figure no longer
@@ -77,6 +78,7 @@ func main() {
 	metricsOut := flag.String("metrics", "", `write engine metrics to this file at exit ("-" for stderr; a .json path selects JSON, anything else Prometheus text)`)
 	snapshotOut := flag.String("snapshot", "", "write the machine-readable run snapshot (BENCH_wpbench.json format) to this file")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	server := flag.String("server", "", "run standard grids on this wpserved instance (e.g. http://127.0.0.1:8100) so concurrent sweeps share one run cache")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -153,6 +155,21 @@ func main() {
 	prepared := time.Since(start)
 	sections = append(sections, obs.Section{Name: "prepare", Seconds: prepared.Seconds()})
 	fmt.Fprintf(os.Stderr, "prepared in %v\n", prepared.Round(time.Millisecond))
+
+	if *server != "" {
+		// Standard grids (every figure) execute on the shared server
+		// engine; batches needing bespoke base configurations (RAM-tag
+		// extension, ablations with per-batch options) stay local. The
+		// aggregation path is identical either way, so figure and CSV
+		// output is byte-for-byte the same as an offline run.
+		client := serve.NewClient(*server)
+		if _, err := client.Health(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "wpbench: -server %s: %v\n", *server, err)
+			os.Exit(1)
+		}
+		suite.SetRunner(serve.NewRemoteRunner(client))
+		fmt.Fprintf(os.Stderr, "standard grids run on %s (shared run cache)\n", *server)
+	}
 
 	if *fig4 || all {
 		run("figure 4", func() (string, error) {

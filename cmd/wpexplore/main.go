@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"wayplace/internal/api"
 	"wayplace/internal/bench"
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
@@ -84,7 +85,10 @@ func main() {
 
 	// avg runs the suite at one sweep point: a (baseline, way-placement)
 	// pair per workload against the mutated machine template, averaged
-	// in workload order.
+	// in workload order. Cells are described in the wire schema
+	// (api.RunRequest) — the same form wpserved accepts — and validated
+	// field-by-field before anything runs; the mutated base template is
+	// a per-batch engine option, so these sweeps execute locally.
 	avg := func(mutate func(*sim.Config)) (float64, float64) {
 		cfg := sim.Default()
 		cfg.MaxInstrs = experiment.MaxInstrs
@@ -93,13 +97,14 @@ func main() {
 		if wpSize == 0 {
 			wpSize = experiment.InitialWPSize
 		}
-		specs := make([]engine.RunSpec, 0, 2*len(suite.Workloads))
+		icache := api.GeometryOf(cfg.ICache)
+		reqs := make([]api.RunRequest, 0, 2*len(suite.Workloads))
 		for _, w := range suite.Workloads {
-			specs = append(specs,
-				engine.RunSpec{Workload: w.Name, ICache: cfg.ICache, Scheme: energy.Baseline},
-				engine.RunSpec{Workload: w.Name, ICache: cfg.ICache, Scheme: energy.WayPlacement, WPSize: wpSize})
+			reqs = append(reqs,
+				api.RunRequest{Workload: w.Name, ICache: icache, Scheme: api.SchemeBaseline},
+				api.RunRequest{Workload: w.Name, ICache: icache, Scheme: api.SchemeWayPlacement, WPSizeBytes: wpSize})
 		}
-		res, err := suite.RunBatch(ctx, specs, engine.WithBaseConfig(cfg))
+		res, err := suite.RunRequests(ctx, reqs, engine.WithBaseConfig(cfg))
 		if err != nil {
 			fail(err)
 		}

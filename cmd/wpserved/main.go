@@ -1,0 +1,207 @@
+// Command wpserved is the experiment service: a long-running daemon
+// that owns one shared experiment engine and exposes it over HTTP as
+// the versioned JSON run API (internal/api). Every client — wpbench
+// -server sweeps, wpexplore, curl — shares the daemon's memoized run
+// cache, so a cell any client has requested is simulated exactly once
+// for the life of the process.
+//
+// Endpoints:
+//
+//	POST /v1/runs      run a batch of cells (async with "async": true)
+//	GET  /v1/runs/{id} poll an async job
+//	GET  /healthz      liveness, queue level, cache totals
+//	GET  /metrics      Prometheus text (?format=json for JSON)
+//
+// Backpressure: -queue bounds concurrently queued batches and
+// -maxbatch the cells per batch; beyond either the server answers 429
+// with Retry-After instead of accumulating work. On SIGINT/SIGTERM
+// the daemon stops accepting batches and drains in-flight cells for
+// up to -drain before exiting.
+//
+// Usage:
+//
+//	wpserved [-addr host:port] [-jobs N] [-queue N] [-maxbatch N]
+//	         [-timeout d] [-drain d] [-noverify] [-oneshot]
+//
+// -oneshot is the self-test: the daemon binds a loopback port, pushes
+// one small batch through the full HTTP path, compares the wire
+// results byte-for-byte against a direct engine run of the same
+// cells, and exits non-zero on any mismatch.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"reflect"
+	"syscall"
+	"time"
+
+	"wayplace/internal/api"
+	"wayplace/internal/check"
+	"wayplace/internal/engine"
+	"wayplace/internal/experiment"
+	"wayplace/internal/obs"
+	"wayplace/internal/serve"
+	"wayplace/internal/sim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8100", "listen address")
+	jobs := flag.Int("jobs", 0, "simulation cells to run concurrently (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 8, "batches queued or running before new ones get 429")
+	maxBatch := flag.Int("maxbatch", 4096, "max cells per batch")
+	timeout := flag.Duration("timeout", 0, "per-batch run timeout (0 = none)")
+	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight cells")
+	noverify := flag.Bool("noverify", false, "skip the per-cell invariant checker (check.VerifyCell)")
+	oneshot := flag.Bool("oneshot", false, "bind a loopback port, run one smoke batch through the HTTP path and exit")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	base := sim.Default()
+	base.MaxInstrs = experiment.MaxInstrs
+	opts := []engine.Option{
+		engine.WithWorkers(*jobs),
+		engine.WithBaseConfig(base),
+		engine.WithObserver(reg),
+	}
+	if !*noverify {
+		opts = append(opts, engine.WithVerify(check.VerifyCell))
+	}
+	// The provider is lazy: a workload is built, profiled and relaid
+	// the first time any client names it, then memoized by the engine.
+	eng := engine.New(provider, opts...)
+
+	srv, err := serve.New(serve.Options{
+		Engine:        eng,
+		Registry:      reg,
+		QueueDepth:    *queue,
+		MaxBatchCells: *maxBatch,
+		RunTimeout:    *timeout,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	if *oneshot {
+		os.Exit(runOneshot(srv, eng, base))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(os.Stderr, "wpserved: api %s listening on http://%s\n", api.Version, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop the listener without cancelling in-flight request
+	// contexts, then wait for queued and async batches to finish.
+	fmt.Fprintf(os.Stderr, "wpserved: draining in-flight batches (up to %v)...\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "wpserved: %v\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wpserved: drained (%d simulated, %d cache hits)\n",
+		eng.Misses(), eng.Hits())
+}
+
+// provider is the daemon's workload source: the full benchmark
+// preparation pipeline (build, profile on the small input, relink),
+// invoked lazily and memoized per name by the engine.
+func provider(ctx context.Context, name string) (*engine.Workload, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w, err := experiment.Prepare(name)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Workload{Name: name, Original: w.Original, Placed: w.Placed}, nil
+}
+
+// runOneshot is the smoke test behind ROADMAP's tier-1 gate: serve
+// one small batch over a real loopback socket and demand the wire
+// results match a direct engine run of the same cells exactly.
+func runOneshot(srv *serve.Server, eng *engine.Engine, base sim.Config) int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	url := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "wpserved: oneshot smoke on %s\n", url)
+
+	icache := api.GeometryOf(experiment.XScaleICache())
+	reqs := []api.RunRequest{
+		{Workload: "crc", ICache: icache, Scheme: api.SchemeBaseline},
+		{Workload: "crc", ICache: icache, Scheme: api.SchemeWayPlacement,
+			WPSizeBytes: experiment.InitialWPSize},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	resp, err := serve.NewClient(url).Run(ctx, reqs)
+	if err != nil {
+		fail(err)
+	}
+	if resp.Status != api.StatusDone || len(resp.Errors) != 0 {
+		fmt.Fprintf(os.Stderr, "wpserved: oneshot batch ended %q: %+v\n", resp.Status, resp.Errors)
+		return 1
+	}
+
+	// Reference: the same cells on a fresh engine, no HTTP involved.
+	specs, err := api.ToSpecs(reqs)
+	if err != nil {
+		fail(err)
+	}
+	ref := engine.New(provider, engine.WithBaseConfig(base), engine.WithVerify(check.VerifyCell))
+	want, err := ref.Run(ctx, specs)
+	if err != nil {
+		fail(err)
+	}
+
+	code := 0
+	for i := range specs {
+		got := resp.Results[i]
+		if got.Key != specs[i].Key() {
+			fmt.Fprintf(os.Stderr, "wpserved: oneshot: cell %d key %q != %q\n", i, got.Key, specs[i].Key())
+			code = 1
+		}
+		if !reflect.DeepEqual(got.Stats, want[i].Stats) {
+			g, _ := json.Marshal(got.Stats)
+			w, _ := json.Marshal(want[i].Stats)
+			fmt.Fprintf(os.Stderr, "wpserved: oneshot: cell %d stats diverge over the wire:\n served %s\n direct %s\n", i, g, w)
+			code = 1
+		}
+	}
+	if code == 0 {
+		fmt.Fprintf(os.Stderr, "wpserved: oneshot ok (%d cells byte-identical to a direct engine run)\n", len(specs))
+	}
+	return code
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "wpserved: %v\n", err)
+	os.Exit(1)
+}

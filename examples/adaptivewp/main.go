@@ -35,7 +35,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	base, err := sim.Run(w.Original, cfg)
+	base, err := sim.RunContext(context.Background(), w.Original, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -46,7 +46,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	static, err := sim.Run(w.Placed, staticCfg)
+	static, err := sim.RunContext(context.Background(), w.Placed, staticCfg)
 	if err != nil {
 		panic(err)
 	}

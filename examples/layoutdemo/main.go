@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"wayplace/internal/asm"
@@ -124,7 +125,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	baseRun, err := sim.Run(orig, cfg)
+	baseRun, err := sim.RunContext(context.Background(), orig, cfg)
 	if err != nil {
 		panic(err)
 	}
@@ -135,11 +136,11 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	origRun, err := sim.Run(orig, wpCfg)
+	origRun, err := sim.RunContext(context.Background(), orig, wpCfg)
 	if err != nil {
 		panic(err)
 	}
-	placedRun, err := sim.Run(placed, wpCfg)
+	placedRun, err := sim.RunContext(context.Background(), placed, wpCfg)
 	if err != nil {
 		panic(err)
 	}

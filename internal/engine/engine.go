@@ -122,15 +122,27 @@ type Workload struct {
 // The provider must return programs that are safe to share read-only.
 type Provider func(ctx context.Context, name string) (*Workload, error)
 
-// RunSpec identifies one simulation cell of the evaluation grid.
+// RunSpec identifies one simulation cell of the evaluation grid. It is
+// comparable (usable as a map key) and has a canonical serialized form
+// (Key) stable across processes; internal/api carries the same
+// information as a versioned JSON schema.
 type RunSpec struct {
 	Workload string
 	ICache   cache.Config
 	Scheme   energy.Scheme
 	WPSize   uint32
+	// Adaptive, when non-zero, runs the cell under the adaptive-OS
+	// area-sizing policy (sim.RunAdaptive) instead of a static WP
+	// area: the scheme is forced to way-placement and the relaid
+	// binary is used. WPSize must be zero — the area is policy-driven.
+	Adaptive AdaptiveSpec
 }
 
 func (s RunSpec) String() string {
+	if s.Adaptive.Enabled() {
+		return fmt.Sprintf("%s/%dKB-%dway/%v/adaptive",
+			s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, energy.WayPlacement)
+	}
 	if s.WPSize > 0 {
 		return fmt.Sprintf("%s/%dKB-%dway/%v/wp%dK",
 			s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, s.Scheme, s.WPSize>>10)
@@ -144,6 +156,11 @@ func (s RunSpec) String() string {
 type Result struct {
 	Spec  RunSpec
 	Stats *sim.RunStats
+	// AreaChanges is the OS resize trace of an adaptive cell
+	// (Spec.Adaptive non-zero): one entry per area the OS installed,
+	// the first at instruction 0. Nil for static cells. The slice is
+	// shared across cache hits and must be treated as read-only.
+	AreaChanges []sim.AreaChange
 	// Wall is the time this cell's simulation took; zero when the
 	// result came from the run cache.
 	Wall time.Duration
@@ -247,16 +264,20 @@ type workloadEntry struct {
 
 // runKey is the run-cache fingerprint: the workload plus the fully
 // resolved machine configuration (sim.Config is a comparable struct,
-// so the key captures every field that can influence the result).
+// so the key captures every field that can influence the result) plus
+// the adaptive policy, which changes the run without being part of the
+// machine configuration.
 type runKey struct {
 	workload string
 	cfg      sim.Config
+	adaptive AdaptiveSpec
 }
 
 type runEntry struct {
-	done  chan struct{}
-	stats *sim.RunStats
-	err   error
+	done    chan struct{}
+	stats   *sim.RunStats
+	changes []sim.AreaChange
+	err     error
 }
 
 // New builds an engine over the given workload provider.
@@ -281,11 +302,18 @@ func (e *Engine) Hits() uint64 { return e.hits.Load() }
 // Misses returns how many cells were actually simulated.
 func (e *Engine) Misses() uint64 { return e.misses.Load() }
 
-// resolve applies a spec to the base machine template.
+// resolve applies a spec to the base machine template. Adaptive cells
+// resolve to the way-placement scheme with the policy's start size —
+// the same configuration sim.RunAdaptive installs before the first OS
+// decision, so verifiers see the machine the run actually began on.
 func resolve(base sim.Config, spec RunSpec) sim.Config {
 	base.ICache = spec.ICache
 	base.Scheme = spec.Scheme
 	base.WPSize = spec.WPSize
+	if spec.Adaptive.Enabled() {
+		base.Scheme = energy.WayPlacement
+		base.WPSize = spec.Adaptive.StartSize
+	}
 	return base
 }
 
@@ -358,7 +386,7 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 					continue
 				}
 				start := time.Now()
-				stats, hit, err := e.cell(ctx, spec, opt.base, ins)
+				stats, changes, hit, err := e.cell(ctx, spec, opt.base, ins)
 				var wall time.Duration
 				if !hit {
 					wall = time.Since(start)
@@ -374,7 +402,7 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 					report(Progress{Spec: spec, Wall: wall, Err: err})
 					continue
 				}
-				r := &Result{Spec: spec, Stats: stats, CacheHit: hit, Wall: wall}
+				r := &Result{Spec: spec, Stats: stats, AreaChanges: changes, CacheHit: hit, Wall: wall}
 				ins.cells.Inc()
 				if !hit {
 					ins.record(spec, stats, wall)
@@ -411,7 +439,7 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 			e.hits.Add(1)
 			ins.hits.Inc()
 			ins.cells.Inc()
-			results[i] = &Result{Spec: s, Stats: r.Stats, CacheHit: true}
+			results[i] = &Result{Spec: s, Stats: r.Stats, AreaChanges: r.AreaChanges, CacheHit: true}
 		}
 		occurrences[s]++
 	}
@@ -483,8 +511,8 @@ func (e *Engine) Prepare(ctx context.Context, names []string, opts ...Option) er
 // cell returns the memoised stats for one spec, simulating it if this
 // is the first time the resolved configuration is seen. Concurrent
 // requests for the same cell coalesce onto a single simulation.
-func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config, ins instruments) (*sim.RunStats, bool, error) {
-	key := runKey{workload: spec.Workload, cfg: resolve(base, spec)}
+func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config, ins instruments) (*sim.RunStats, []sim.AreaChange, bool, error) {
+	key := runKey{workload: spec.Workload, cfg: resolve(base, spec), adaptive: spec.Adaptive}
 
 	e.mu.Lock()
 	if ent, ok := e.runs[key]; ok {
@@ -492,14 +520,14 @@ func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config, ins in
 		select {
 		case <-ent.done:
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return nil, nil, false, ctx.Err()
 		}
 		if ent.err != nil {
-			return nil, false, ent.err
+			return nil, nil, false, ent.err
 		}
 		e.hits.Add(1)
 		ins.hits.Inc()
-		return ent.stats, true, nil
+		return ent.stats, ent.changes, true, nil
 	}
 	ent := &runEntry{done: make(chan struct{})}
 	e.runs[key] = ent
@@ -508,7 +536,7 @@ func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config, ins in
 	e.misses.Add(1)
 	ins.misses.Inc()
 	ins.inflight.Add(1)
-	ent.stats, ent.err = e.exec(ctx, spec, key.cfg)
+	ent.stats, ent.changes, ent.err = e.exec(ctx, spec, key.cfg)
 	ins.inflight.Add(-1)
 	if ent.err != nil {
 		// Failed cells are evicted so a later batch can retry (a
@@ -518,14 +546,22 @@ func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config, ins in
 		e.mu.Unlock()
 	}
 	close(ent.done)
-	return ent.stats, false, ent.err
+	return ent.stats, ent.changes, false, ent.err
 }
 
-// exec simulates one cell.
-func (e *Engine) exec(ctx context.Context, spec RunSpec, cfg sim.Config) (*sim.RunStats, error) {
+// exec simulates one cell. Adaptive cells run the relaid binary under
+// the OS area-sizing policy and also return the resize trace.
+func (e *Engine) exec(ctx context.Context, spec RunSpec, cfg sim.Config) (*sim.RunStats, []sim.AreaChange, error) {
 	w, err := e.workload(ctx, spec.Workload)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if spec.Adaptive.Enabled() {
+		rs, changes, aerr := sim.RunAdaptive(ctx, w.Placed, cfg, spec.Adaptive.Policy())
+		if aerr != nil {
+			return nil, nil, fmt.Errorf("%s: %w", spec, aerr)
+		}
+		return rs, changes, nil
 	}
 	prog := w.Original
 	if spec.Scheme == energy.WayPlacement {
@@ -533,9 +569,9 @@ func (e *Engine) exec(ctx context.Context, spec RunSpec, cfg sim.Config) (*sim.R
 	}
 	rs, err := sim.RunContext(ctx, prog, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", spec, err)
+		return nil, nil, fmt.Errorf("%s: %w", spec, err)
 	}
-	return rs, nil
+	return rs, nil, nil
 }
 
 // workload returns the memoised prepared workload, invoking the

@@ -565,3 +565,62 @@ func TestObserverPrepareSpan(t *testing.T) {
 		t.Errorf("%s recorded %d spans, want 2 (failed prepare must not count)", engine.MetricPrepareNS, h.Count())
 	}
 }
+
+// TestAdaptiveCells: an adaptive-OS cell is a first-class grid member:
+// it runs the relaid binary under sim.RunAdaptive, returns the resize
+// trace, matches a direct sim.RunAdaptive call, and is memoised like
+// any other cell — distinct from the static cell at the policy's
+// start size.
+func TestAdaptiveCells(t *testing.T) {
+	provider := testProvider(t)
+	e := engine.New(provider, engine.WithWorkers(2))
+	ctx := context.Background()
+	icfg := cache.Config{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32}
+	pol := sim.DefaultAdaptivePolicy(icfg, 1<<10)
+	pol.IntervalInstrs = 10_000
+	adaptive := engine.RunSpec{
+		Workload: "tiny1", ICache: icfg, Scheme: energy.WayPlacement,
+		Adaptive: engine.AdaptiveSpecOf(pol),
+	}
+	static := engine.RunSpec{
+		Workload: "tiny1", ICache: icfg, Scheme: energy.WayPlacement, WPSize: pol.StartSize,
+	}
+
+	res, err := e.Run(ctx, []engine.RunSpec{adaptive, static, adaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res[0].AreaChanges) == 0 || res[0].AreaChanges[0].Size != pol.StartSize {
+		t.Fatalf("adaptive cell missing its resize trace: %+v", res[0].AreaChanges)
+	}
+	if res[1].AreaChanges != nil {
+		t.Error("static cell carries a resize trace")
+	}
+	if res[1].Stats == res[0].Stats {
+		t.Error("adaptive cell aliased onto the static start-size cell")
+	}
+	if !res[2].CacheHit || res[2].Stats != res[0].Stats {
+		t.Error("duplicate adaptive cell not served from the cache")
+	}
+	if len(res[2].AreaChanges) != len(res[0].AreaChanges) {
+		t.Error("cache hit lost the resize trace")
+	}
+
+	// The engine cell must be the same simulation as a direct call.
+	w, err := provider(ctx, "tiny1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.ICache = icfg
+	direct, changes, err := sim.RunAdaptive(ctx, w.Placed, cfg, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct, res[0].Stats) {
+		t.Error("engine adaptive cell differs from direct sim.RunAdaptive")
+	}
+	if !reflect.DeepEqual(changes, res[0].AreaChanges) {
+		t.Error("engine adaptive trace differs from direct sim.RunAdaptive")
+	}
+}

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// KeyVersion prefixes every canonical spec key. Bump it whenever the
+// key's field order or encoding changes, so records written by one
+// process version (server job ids, metric labels, cached artifacts)
+// are never misread by another.
+const KeyVersion = "rs1"
+
+// Key returns the canonical, process-stable serialization of the spec:
+// a versioned, '|'-separated string with fixed field order, suitable
+// as a cross-process cache key, a server job-id component, or a metric
+// label. Unlike String(), which is a human-facing summary, Key is
+// exhaustive: two specs have equal keys if and only if they are equal.
+//
+// Shape (static cell):
+//
+//	rs1|<workload>|i$<size>x<ways>x<line>:<policy>|<scheme>|wp<bytes>
+//
+// Adaptive cells append the full policy:
+//
+//	...|ad<interval>:<start>:<min>:<max>:<grow>:<alias>
+func (s RunSpec) Key() string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(KeyVersion)
+	b.WriteByte('|')
+	b.WriteString(s.Workload)
+	fmt.Fprintf(&b, "|i$%dx%dx%d:%d|%s|wp%d",
+		s.ICache.SizeBytes, s.ICache.Ways, s.ICache.LineBytes, uint8(s.ICache.Policy),
+		s.Scheme, s.WPSize)
+	if s.Adaptive.Enabled() {
+		a := s.Adaptive
+		fmt.Fprintf(&b, "|ad%d:%d:%d:%d:%s:%s",
+			a.IntervalInstrs, a.StartSize, a.MinSize, a.MaxSize,
+			keyFloat(a.GrowThreshold), keyFloat(a.AliasMissRate))
+	}
+	return b.String()
+}
+
+// keyFloat renders a policy threshold in the shortest form that
+// round-trips, so keys stay stable across architectures.
+func keyFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

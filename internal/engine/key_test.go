@@ -1,0 +1,107 @@
+package engine_test
+
+import (
+	"testing"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/energy"
+	"wayplace/internal/engine"
+	"wayplace/internal/sim"
+)
+
+// TestKeyGolden pins the canonical key encoding. These strings are a
+// cross-process contract (server job ids, metric labels): if this test
+// fails you have changed the encoding and must bump engine.KeyVersion.
+func TestKeyGolden(t *testing.T) {
+	icfg := cache.Config{SizeBytes: 32 << 10, Ways: 32, LineBytes: 32, Policy: cache.RoundRobin}
+	for _, tc := range []struct {
+		name string
+		spec engine.RunSpec
+		want string
+	}{
+		{
+			name: "baseline",
+			spec: engine.RunSpec{Workload: "sha", ICache: icfg, Scheme: energy.Baseline},
+			want: "rs1|sha|i$32768x32x32:0|baseline|wp0",
+		},
+		{
+			name: "waymem",
+			spec: engine.RunSpec{Workload: "crc", ICache: icfg, Scheme: energy.WayMemoization},
+			want: "rs1|crc|i$32768x32x32:0|waymem|wp0",
+		},
+		{
+			name: "wayplace-16K",
+			spec: engine.RunSpec{Workload: "patricia", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10},
+			want: "rs1|patricia|i$32768x32x32:0|wayplace|wp16384",
+		},
+		{
+			name: "lru-policy",
+			spec: engine.RunSpec{
+				Workload: "sha",
+				ICache:   cache.Config{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32, Policy: cache.LRU},
+				Scheme:   energy.Baseline,
+			},
+			want: "rs1|sha|i$8192x8x32:1|baseline|wp0",
+		},
+		{
+			name: "adaptive",
+			spec: engine.RunSpec{
+				Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement,
+				Adaptive: engine.AdaptiveSpec{
+					IntervalInstrs: 50_000,
+					StartSize:      1 << 10,
+					MinSize:        1 << 10,
+					MaxSize:        64 << 10,
+					GrowThreshold:  0.95,
+					AliasMissRate:  0.02,
+				},
+			},
+			want: "rs1|sha|i$32768x32x32:0|wayplace|wp0|ad50000:1024:1024:65536:0.95:0.02",
+		},
+	} {
+		if got := tc.spec.Key(); got != tc.want {
+			t.Errorf("%s: Key() = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestKeyDistinguishesSpecs: keys must be injective over the fields
+// that define a cell.
+func TestKeyDistinguishesSpecs(t *testing.T) {
+	icfg := cache.Config{SizeBytes: 32 << 10, Ways: 32, LineBytes: 32}
+	base := engine.RunSpec{Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10}
+	seen := map[string]engine.RunSpec{base.Key(): base}
+	for _, mut := range []engine.RunSpec{
+		{Workload: "crc", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10},
+		{Workload: "sha", ICache: cache.Config{SizeBytes: 16 << 10, Ways: 32, LineBytes: 32}, Scheme: energy.WayPlacement, WPSize: 16 << 10},
+		{Workload: "sha", ICache: icfg, Scheme: energy.Baseline, WPSize: 16 << 10},
+		{Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 8 << 10},
+		{Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10,
+			Adaptive: engine.AdaptiveSpec{IntervalInstrs: 1, StartSize: 1024}},
+	} {
+		k := mut.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision: %v and %v both map to %q", prev, mut, k)
+		}
+		seen[k] = mut
+	}
+}
+
+// TestAdaptiveSpecRoundTrip: policy <-> spec conversion preserves
+// every identity-relevant field.
+func TestAdaptiveSpecRoundTrip(t *testing.T) {
+	pol := sim.DefaultAdaptivePolicy(cache.Config{SizeBytes: 32 << 10, Ways: 32, LineBytes: 32}, 1<<10)
+	spec := engine.AdaptiveSpecOf(pol)
+	if !spec.Enabled() {
+		t.Fatal("spec of a real policy reports disabled")
+	}
+	back := spec.Policy()
+	if back.IntervalInstrs != pol.IntervalInstrs || back.StartSize != pol.StartSize ||
+		back.MinSize != pol.MinSize || back.MaxSize != pol.MaxSize ||
+		back.GrowThreshold != pol.GrowThreshold || back.AliasMissRate != pol.AliasMissRate {
+		t.Errorf("round trip lost fields: %+v -> %+v", pol, back)
+	}
+	if (engine.AdaptiveSpec{}).Enabled() {
+		t.Error("zero AdaptiveSpec reports enabled")
+	}
+}

@@ -22,9 +22,9 @@ import (
 	"runtime"
 	"sync"
 
+	"wayplace/internal/api"
 	"wayplace/internal/bench"
 	"wayplace/internal/cache"
-	"wayplace/internal/energy"
 	"wayplace/internal/engine"
 	"wayplace/internal/layout"
 	"wayplace/internal/obj"
@@ -92,6 +92,14 @@ func Prepare(name string) (*Workload, error) {
 	}, nil
 }
 
+// Runner executes a grid of cells and returns results in input order.
+// engine.Engine is the local implementation; serve.RemoteRunner runs
+// the same grids against a wpserved instance, so figure sweeps can be
+// shared, batched and cached across processes.
+type Runner interface {
+	Run(ctx context.Context, specs []engine.RunSpec, opts ...engine.Option) ([]*engine.Result, error)
+}
+
 // Suite is the prepared benchmark suite wired onto the concurrent
 // experiment engine.
 type Suite struct {
@@ -99,6 +107,7 @@ type Suite struct {
 	Base      sim.Config // machine template; I-cache geometry varies
 
 	eng    *engine.Engine
+	runner Runner
 	mu     sync.Mutex
 	byName map[string]*Workload
 }
@@ -149,31 +158,44 @@ func (s *Suite) provide(ctx context.Context, name string) (*engine.Workload, err
 // ad hoc grids).
 func (s *Suite) Engine() *engine.Engine { return s.eng }
 
-// RunSpec executes one simulation cell through the engine, returning
-// the result with wall time and cache-hit provenance.
+// SetRunner routes standard grids (those run without per-batch engine
+// options) through an alternative executor — typically a
+// serve.RemoteRunner pointing at a wpserved instance, whose shared
+// engine keeps its run cache warm across client processes. Batches
+// that carry per-batch options (bespoke base configurations, extra
+// callbacks) cannot be expressed remotely and keep running on the
+// local engine. A nil runner restores fully local execution.
+func (s *Suite) SetRunner(r Runner) { s.runner = r }
+
+// RunSpec executes one simulation cell, returning the result with
+// wall time and cache-hit provenance.
 func (s *Suite) RunSpec(ctx context.Context, spec engine.RunSpec) (*engine.Result, error) {
-	return s.eng.RunOne(ctx, spec)
-}
-
-// RunBatch executes a grid of cells through the engine, in parallel,
-// with results in input order.
-func (s *Suite) RunBatch(ctx context.Context, specs []engine.RunSpec, opts ...engine.Option) ([]*engine.Result, error) {
-	return s.eng.Run(ctx, specs, opts...)
-}
-
-// Run simulates one workload under one machine configuration.
-//
-// Deprecated: use RunSpec, which is context-aware and returns
-// provenance alongside the statistics. This positional wrapper
-// remains for one release.
-func (s *Suite) Run(w *Workload, icfg cache.Config, scheme energy.Scheme, wp uint32) (*sim.RunStats, error) {
-	res, err := s.RunSpec(context.Background(), engine.RunSpec{
-		Workload: w.Name, ICache: icfg, Scheme: scheme, WPSize: wp,
-	})
+	res, err := s.RunBatch(ctx, []engine.RunSpec{spec})
 	if err != nil {
 		return nil, err
 	}
-	return res.Stats, nil
+	return res[0], nil
+}
+
+// RunBatch executes a grid of cells in parallel, with results in
+// input order: on the installed Runner when one is set and the batch
+// carries no per-batch options, on the local engine otherwise.
+func (s *Suite) RunBatch(ctx context.Context, specs []engine.RunSpec, opts ...engine.Option) ([]*engine.Result, error) {
+	if s.runner != nil && len(opts) == 0 {
+		return s.runner.Run(ctx, specs)
+	}
+	return s.eng.Run(ctx, specs, opts...)
+}
+
+// RunRequests executes a grid described in the wire schema
+// (api.RunRequest) — the form the CLIs parse flags into and wpserved
+// accepts over HTTP — after field-level validation.
+func (s *Suite) RunRequests(ctx context.Context, reqs []api.RunRequest, opts ...engine.Option) ([]*engine.Result, error) {
+	specs, err := api.ToSpecs(reqs)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunBatch(ctx, specs, opts...)
 }
 
 // forEach runs fn over all workloads in parallel (for ablation and

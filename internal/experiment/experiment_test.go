@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"wayplace/internal/api"
 	"wayplace/internal/energy"
 	"wayplace/internal/engine"
 	"wayplace/internal/layout"
@@ -63,13 +64,21 @@ func TestRunMemoisation(t *testing.T) {
 	if !b.CacheHit {
 		t.Error("second run not marked as a cache hit")
 	}
-	// The deprecated positional wrapper must hit the same cache.
-	c, err := s.Run(w, XScaleICache(), energy.Baseline, 0)
+	// The wire schema (api.RunRequest) must resolve to the same cell
+	// and hit the same cache entry.
+	res, err := s.RunRequests(ctx, []api.RunRequest{{
+		Workload: w.Name,
+		ICache:   api.GeometryOf(XScaleICache()),
+		Scheme:   api.SchemeBaseline,
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c != a.Stats {
-		t.Error("deprecated Suite.Run bypassed the run cache")
+	if res[0].Stats != a.Stats {
+		t.Error("api.RunRequest path bypassed the run cache")
+	}
+	if !res[0].CacheHit {
+		t.Error("api.RunRequest path not marked as a cache hit")
 	}
 }
 

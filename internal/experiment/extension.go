@@ -99,46 +99,41 @@ type AdaptiveRow struct {
 
 // ExtensionAdaptive runs the adaptive OS policy (starting from one
 // page) on each workload and compares it with the static 16KB area.
+// Adaptive cells are first-class grid members (engine.RunSpec.Adaptive),
+// so the whole comparison is one parallel, memoised batch.
 func (s *Suite) ExtensionAdaptive(ctx context.Context) ([]AdaptiveRow, error) {
 	icfg := XScaleICache()
-	rows := make([]AdaptiveRow, len(s.Workloads))
-	idx := make(map[string]int)
-	for i, w := range s.Workloads {
-		idx[w.Name] = i
+	pol := sim.DefaultAdaptivePolicy(icfg, s.Base.ITLB.PageBytes)
+	adaptive := engine.AdaptiveSpecOf(pol)
+	const stride = 3 // baseline, static WP, adaptive WP
+	specs := make([]engine.RunSpec, 0, stride*len(s.Workloads))
+	for _, w := range s.Workloads {
+		specs = append(specs,
+			spec(w, icfg, energy.Baseline, 0),
+			spec(w, icfg, energy.WayPlacement, InitialWPSize),
+			engine.RunSpec{Workload: w.Name, ICache: icfg, Scheme: energy.WayPlacement, Adaptive: adaptive})
 	}
-	err := s.forEach(ctx, func(ctx context.Context, w *Workload) error {
-		baseRes, err := s.RunSpec(ctx, spec(w, icfg, energy.Baseline, 0))
-		if err != nil {
-			return err
+	res, err := s.RunBatch(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AdaptiveRow, len(s.Workloads))
+	for i, w := range s.Workloads {
+		base, static, ad := res[stride*i].Stats, res[stride*i+1].Stats, res[stride*i+2]
+		if ad.Stats.Checksum != base.Checksum {
+			return nil, fmt.Errorf("%s: adaptive run changed the checksum", w.Name)
 		}
-		base := baseRes.Stats
-		staticRes, err := s.RunSpec(ctx, spec(w, icfg, energy.WayPlacement, InitialWPSize))
-		if err != nil {
-			return err
+		changes := ad.AreaChanges
+		if len(changes) == 0 {
+			return nil, fmt.Errorf("%s: adaptive cell returned no resize trace", w.Name)
 		}
-		cfg := s.Base
-		cfg.ICache = icfg
-		cfg.MaxInstrs = MaxInstrs
-		cfg.Scheme = energy.WayPlacement
-		pol := sim.DefaultAdaptivePolicy(icfg, cfg.ITLB.PageBytes)
-		adaptive, changes, err := sim.RunAdaptive(ctx, w.Placed, cfg, pol)
-		if err != nil {
-			return fmt.Errorf("%s: adaptive: %w", w.Name, err)
-		}
-		if adaptive.Checksum != base.Checksum {
-			return fmt.Errorf("%s: adaptive run changed the checksum", w.Name)
-		}
-		rows[idx[w.Name]] = AdaptiveRow{
+		rows[i] = AdaptiveRow{
 			Bench:     w.Name,
-			Static:    pairOf(staticRes.Stats, base),
-			Adaptive:  pairOf(adaptive, base),
+			Static:    pairOf(static, base),
+			Adaptive:  pairOf(ad.Stats, base),
 			FinalSize: changes[len(changes)-1].Size,
 			Resizes:   len(changes) - 1,
 		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
 	return rows, nil
 }

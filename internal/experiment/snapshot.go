@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"wayplace/internal/api"
 	"wayplace/internal/energy"
 	"wayplace/internal/engine"
 	"wayplace/internal/obs"
@@ -21,10 +22,11 @@ func NewSnapshot(command string, s *Suite, reg *obs.Registry, wall time.Duration
 	eng := s.Engine()
 	hits, misses := eng.Hits(), eng.Misses()
 	snap := &obs.Snapshot{
-		Schema:    obs.SnapshotSchema,
-		Command:   command,
-		GoVersion: runtime.Version(),
-		UnixTime:  time.Now().Unix(),
+		Schema:     obs.SnapshotSchema,
+		APIVersion: api.Version,
+		Command:    command,
+		GoVersion:  runtime.Version(),
+		UnixTime:   time.Now().Unix(),
 		Grid: obs.Grid{
 			Workloads: len(s.Workloads),
 			Cells:     hits + misses,

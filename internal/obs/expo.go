@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Exposition: the registry dumps in two formats. Prometheus text for
@@ -19,27 +20,47 @@ import (
 // with power-of-two le bounds in the histogram's native unit
 // (nanoseconds for duration histograms). A nil registry writes
 // nothing.
+//
+// Instrument names may carry an inline label set in Prometheus series
+// syntax — `name{key="value"}`, typically built with LabeledName. The
+// exposition treats everything before the brace as the metric family:
+// the TYPE header names the family once, and each labeled series
+// prints as its own sample line.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
 	counters, gauges, histograms := r.instruments()
+	typed := make(map[string]bool)
+	header := func(name, kind string) error {
+		base := baseName(name)
+		if typed[base] {
+			return nil
+		}
+		typed[base] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		return err
+	}
 
 	for _, name := range sortedKeys(counters) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n",
-			name, name, counters[name].Value()); err != nil {
+		if err := header(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, counters[name].Value()); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(gauges) {
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
-			name, name, formatFloat(gauges[name].Value())); err != nil {
+		if err := header(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(gauges[name].Value())); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(histograms) {
 		h := histograms[name]
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		if err := header(name, "histogram"); err != nil {
 			return err
 		}
 		var cum uint64
@@ -160,4 +181,40 @@ func sortedKeys[V any](m map[string]V) []string {
 // shortest representation that round-trips.
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// LabeledName builds an instrument name carrying one Prometheus label
+// — `name{key="value"}` — escaping the value per the text exposition
+// rules. Labeled instruments register as independent series under one
+// metric family (counters and gauges only; histogram sample suffixes
+// do not compose with an inline label set).
+func LabeledName(name, key, value string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len(key) + len(value) + 5)
+	b.WriteString(name)
+	b.WriteByte('{')
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for _, r := range value {
+		switch r {
+		case '\\', '"':
+			b.WriteByte('\\')
+			b.WriteRune(r)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// baseName strips an inline label set, returning the metric family a
+// (possibly labeled) instrument name belongs to.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
 }

@@ -241,6 +241,44 @@ func TestWritePrometheus(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLabeledSeries: labeled instrument names share one
+// TYPE header per metric family and print as independent samples.
+func TestWritePrometheusLabeledSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(LabeledName("run_cache_hits_total", "key", `rs1|sha|i$32768x32x32:0|baseline|wp0`)).Add(3)
+	r.Counter(LabeledName("run_cache_hits_total", "key", `rs1|crc|i$32768x32x32:0|wayplace|wp16384`)).Add(1)
+	r.Counter("run_cache_hits_total").Add(4)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE run_cache_hits_total counter"); n != 1 {
+		t.Errorf("family declared %d times, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		"run_cache_hits_total 4\n",
+		`run_cache_hits_total{key="rs1|sha|i$32768x32x32:0|baseline|wp0"} 3` + "\n",
+		`run_cache_hits_total{key="rs1|crc|i$32768x32x32:0|wayplace|wp16384"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledNameEscapes(t *testing.T) {
+	got := LabeledName("m", "k", "a\"b\\c\nd")
+	want := `m{k="a\"b\\c\nd"}`
+	if got != want {
+		t.Errorf("LabeledName = %q, want %q", got, want)
+	}
+	if baseName(got) != "m" {
+		t.Errorf("baseName(%q) = %q", got, baseName(got))
+	}
+}
+
 func TestDumpJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("c").Add(3)

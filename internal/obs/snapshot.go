@@ -33,7 +33,11 @@ type Section struct {
 // cache-hit ratio, instructions/sec) are computed by Finalize so the
 // raw fields stay the single source of truth.
 type Snapshot struct {
-	Schema         string             `json:"schema"`
+	Schema string `json:"schema"`
+	// APIVersion records which wire-schema revision (api.Version) the
+	// run's cells were described in, so snapshots written through
+	// wpserved and offline runs stay comparable.
+	APIVersion     string             `json:"api_version,omitempty"`
 	Command        string             `json:"command"`
 	GoVersion      string             `json:"go_version,omitempty"`
 	UnixTime       int64              `json:"unix_time,omitempty"`

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"wayplace/internal/api"
+	"wayplace/internal/engine"
+	"wayplace/internal/sim"
+)
+
+// Client talks the api schema to a wpserved instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8100".
+	BaseURL string
+	// HTTP is the transport; nil means http.DefaultClient.
+	HTTP *http.Client
+	// MaxRetries bounds how many 429 answers are retried (honouring
+	// Retry-After) before giving up. Default 4; negative disables
+	// retrying.
+	MaxRetries int
+}
+
+// NewClient returns a client for the given server root.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, MaxRetries: 4}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Run executes one synchronous batch, retrying on 429 with the
+// server's Retry-After hint. A response with failed cells is returned
+// as-is — callers inspect BatchResponse.Errors.
+func (c *Client) Run(ctx context.Context, reqs []api.RunRequest) (*api.BatchResponse, error) {
+	body, err := json.Marshal(api.BatchRequest{APIVersion: api.Version, Requests: reqs})
+	if err != nil {
+		return nil, err
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 4
+	}
+	for attempt := 0; ; attempt++ {
+		resp, retryAfter, err := c.post(ctx, bytes.NewReader(body))
+		if err == nil {
+			return resp, nil
+		}
+		if retryAfter <= 0 || attempt >= retries {
+			return nil, err
+		}
+		select {
+		case <-time.After(retryAfter):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// post performs one POST /v1/runs exchange. A 429 answer returns the
+// backoff to wait (>0) alongside the error.
+func (c *Client) post(ctx context.Context, body io.Reader) (*api.BatchResponse, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/runs", body)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode == http.StatusTooManyRequests {
+		msg := "server busy"
+		var eresp api.ErrorResponse
+		if json.NewDecoder(httpResp.Body).Decode(&eresp) == nil && eresp.Error != "" {
+			msg = eresp.Error
+		}
+		// Retry only when the server sent a backoff hint; a 429
+		// without one (oversized batch) is a permanent rejection.
+		var retry time.Duration
+		if secs, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return nil, retry, fmt.Errorf("serve: %s (429)", msg)
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var eresp api.ErrorResponse
+		if json.NewDecoder(httpResp.Body).Decode(&eresp) == nil && eresp.Error != "" {
+			if len(eresp.Fields) > 0 {
+				return nil, 0, fmt.Errorf("serve: %s (%d): %w", eresp.Error, httpResp.StatusCode,
+					&api.ValidationError{Fields: eresp.Fields})
+			}
+			return nil, 0, fmt.Errorf("serve: %s (%d)", eresp.Error, httpResp.StatusCode)
+		}
+		return nil, 0, fmt.Errorf("serve: unexpected status %d", httpResp.StatusCode)
+	}
+	var resp api.BatchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, 0, fmt.Errorf("serve: decoding response: %w", err)
+	}
+	if resp.APIVersion != api.Version {
+		return nil, 0, fmt.Errorf("serve: server speaks api %q, client %q", resp.APIVersion, api.Version)
+	}
+	return &resp, 0, nil
+}
+
+// Health fetches GET /healthz.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	httpResp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: healthz status %d", httpResp.StatusCode)
+	}
+	var h map[string]any
+	if err := json.NewDecoder(httpResp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// RemoteRunner adapts a Client to the experiment.Runner seam: a suite
+// with SetRunner(NewRemoteRunner(client)) executes its standard grids
+// on the shared server engine, so figure sweeps from many processes
+// hit one run cache. The aggregation code above the seam is
+// unchanged, which is what keeps CSV output byte-identical between
+// local and served runs.
+type RemoteRunner struct {
+	Client *Client
+}
+
+// NewRemoteRunner wraps a client as a batch runner.
+func NewRemoteRunner(c *Client) *RemoteRunner { return &RemoteRunner{Client: c} }
+
+// Run ships the specs as one api batch and maps the answer back onto
+// engine results, preserving input order and the engine's error
+// contract: per-cell failures come back as a *engine.MultiError with
+// nil result slots.
+func (r *RemoteRunner) Run(ctx context.Context, specs []engine.RunSpec, opts ...engine.Option) ([]*engine.Result, error) {
+	if len(opts) > 0 {
+		return nil, fmt.Errorf("serve: per-batch engine options are not expressible over the wire; run this batch on a local engine")
+	}
+	reqs := make([]api.RunRequest, len(specs))
+	for i, s := range specs {
+		reqs[i] = api.RequestOf(s)
+	}
+	resp, err := r.Client.Run(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != len(specs) {
+		return nil, fmt.Errorf("serve: server answered %d results for %d cells", len(resp.Results), len(specs))
+	}
+	failed := make(map[int]string, len(resp.Errors))
+	for _, f := range resp.Errors {
+		failed[f.Index] = f.Error
+	}
+	results := make([]*engine.Result, len(specs))
+	var merr engine.MultiError
+	for i, rr := range resp.Results {
+		if msg, ok := failed[i]; ok || rr.Stats == nil {
+			if msg == "" {
+				msg = "cell failed"
+			}
+			merr.Errors = append(merr.Errors, &engine.CellError{Spec: specs[i], Err: fmt.Errorf("%s", msg)})
+			continue
+		}
+		results[i] = &engine.Result{
+			Spec:        specs[i],
+			Stats:       rr.Stats,
+			AreaChanges: areaChangesOf(rr.AreaChanges),
+			Wall:        time.Duration(rr.WallSeconds * float64(time.Second)),
+			CacheHit:    rr.CacheHit,
+		}
+	}
+	if len(merr.Errors) > 0 {
+		return results, &merr
+	}
+	return results, nil
+}
+
+func areaChangesOf(wire []api.AreaChange) []sim.AreaChange {
+	if len(wire) == 0 {
+		return nil
+	}
+	out := make([]sim.AreaChange, len(wire))
+	for i, ch := range wire {
+		out[i] = sim.AreaChange{AtInstr: ch.AtInstr, Size: ch.SizeBytes}
+	}
+	return out
+}

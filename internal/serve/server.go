@@ -1,0 +1,432 @@
+// Package serve exposes the experiment engine as a long-running JSON
+// service. One wpserved process owns a single engine.Engine, so every
+// client — concurrent figure sweeps, ad hoc curl requests, repeated
+// CI runs — shares one warm memoized run cache: a cell any client has
+// ever requested is simulated exactly once for the life of the
+// daemon.
+//
+// The wire surface is internal/api: POST /v1/runs takes a
+// BatchRequest and answers synchronously by default, or — with
+// "async": true — immediately with a deterministic job id
+// (api.BatchKey) to poll at GET /v1/runs/{id}. Identical async
+// batches coalesce onto one job, so re-submissions attach instead of
+// duplicating work. GET /healthz reports liveness and queue levels;
+// GET /metrics re-exposes the installed obs.Registry in Prometheus
+// text (or JSON with ?format=json).
+//
+// Backpressure is explicit: a bounded batch queue answers 429 with a
+// Retry-After header (never OOM) once the server is saturated, and
+// oversized batches are rejected the same way before any cell runs.
+// Shutdown drains: in-flight batches run to completion while the
+// listener stops accepting new work.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wayplace/internal/api"
+	"wayplace/internal/engine"
+	"wayplace/internal/obs"
+)
+
+// Metric names the server registers on the installed registry, next
+// to the engine_* instruments of the shared engine.
+const (
+	// MetricBatches: batches accepted (sync and async).
+	MetricBatches = "serve_batches_total"
+	// MetricRejected: batches refused with 429 (queue full or
+	// oversized).
+	MetricRejected = "serve_rejected_total"
+	// MetricInflight: batches currently queued or running.
+	MetricInflight = "serve_inflight_batches"
+	// MetricCellHits is the per-cell run-cache hit family; each series
+	// is labelled with the cell's canonical engine.RunSpec.Key(), so a
+	// scrape shows exactly which cells the warm cache is serving.
+	MetricCellHits = "serve_run_cache_hits_total"
+
+	// keyCardinalityCap bounds the number of distinct per-key series;
+	// past it, further cells land on the key="overflow" series so a
+	// hostile or huge sweep cannot grow the registry without bound.
+	keyCardinalityCap = 1024
+)
+
+// Options configures a Server.
+type Options struct {
+	// Engine is the shared scheduler; required.
+	Engine *engine.Engine
+	// Registry, when non-nil, receives serve_* instruments and is
+	// re-exposed at GET /metrics. Install the same registry on the
+	// engine (engine.WithObserver) to serve its metrics too.
+	Registry *obs.Registry
+	// QueueDepth bounds how many batches may be queued or running at
+	// once; further POSTs get 429. Default 8.
+	QueueDepth int
+	// MaxBatchCells bounds the cells of one batch; larger batches get
+	// 429 before any work starts. Default 4096.
+	MaxBatchCells int
+	// RunTimeout bounds one batch's execution; 0 means none.
+	RunTimeout time.Duration
+	// RetryAfter is the backoff hint sent with 429. Default 1s.
+	RetryAfter time.Duration
+}
+
+// Server is the HTTP facade over one shared engine.
+type Server struct {
+	opt  Options
+	jobs sync.Map // job id -> *job
+	wg   sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	slots    chan struct{}
+
+	batches  *obs.Counter
+	rejected *obs.Counter
+	inflight *obs.Gauge
+	keyMu    sync.Mutex
+	keySet   map[string]*obs.Counter
+}
+
+// job is one async batch. done closes when resp is final.
+type job struct {
+	id   string
+	done chan struct{}
+
+	mu     sync.Mutex
+	status string
+	resp   *api.BatchResponse
+}
+
+// New builds a server over the shared engine.
+func New(opt Options) (*Server, error) {
+	if opt.Engine == nil {
+		return nil, fmt.Errorf("serve: Options.Engine is required")
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 8
+	}
+	if opt.MaxBatchCells <= 0 {
+		opt.MaxBatchCells = 4096
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = time.Second
+	}
+	return &Server{
+		opt:      opt,
+		slots:    make(chan struct{}, opt.QueueDepth),
+		batches:  opt.Registry.Counter(MetricBatches),
+		rejected: opt.Registry.Counter(MetricRejected),
+		inflight: opt.Registry.Gauge(MetricInflight),
+		keySet:   make(map[string]*obs.Counter),
+	}, nil
+}
+
+// Handler returns the route mux. Mount it on an http.Server (wpserved
+// does) or an httptest.Server (the tests do).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown drains the server: new batches are refused with 429 and
+// the call blocks until every queued and in-flight batch (sync and
+// async) has completed, or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// acquire claims a queue slot without blocking; ok=false means the
+// caller must answer 429. While a drain is in progress no new slots
+// are handed out.
+func (s *Server) acquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.wg.Add(1)
+		s.inflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() {
+	<-s.slots
+	s.wg.Done()
+	s.inflight.Add(-1)
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	var breq api.BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&breq); err != nil {
+		writeError(w, http.StatusBadRequest, api.ErrorResponse{Error: "malformed JSON: " + err.Error()})
+		return
+	}
+	if breq.APIVersion != "" && breq.APIVersion != api.Version {
+		writeError(w, http.StatusBadRequest, api.ErrorResponse{
+			Error: fmt.Sprintf("api_version %q not supported (server speaks %q)", breq.APIVersion, api.Version),
+		})
+		return
+	}
+	if len(breq.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, api.ErrorResponse{
+			Error:  "empty batch",
+			Fields: []api.FieldError{{Field: "requests", Message: "must contain at least one run request"}},
+		})
+		return
+	}
+	if len(breq.Requests) > s.opt.MaxBatchCells {
+		// 429 without Retry-After: resubmitting the same batch can
+		// never succeed — the client must split the sweep.
+		s.rejected.Inc()
+		writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
+			Error: fmt.Sprintf("batch of %d cells exceeds the server limit of %d; split the sweep",
+				len(breq.Requests), s.opt.MaxBatchCells),
+		})
+		return
+	}
+	specs, err := api.ToSpecs(breq.Requests)
+	if err != nil {
+		resp := api.ErrorResponse{Error: "invalid batch"}
+		if verr, ok := err.(*api.ValidationError); ok {
+			resp.Fields = verr.Fields
+		} else {
+			resp.Error = err.Error()
+		}
+		writeError(w, http.StatusBadRequest, resp)
+		return
+	}
+
+	if breq.Async {
+		s.startAsync(w, breq.Requests, specs)
+		return
+	}
+	if !s.acquire() {
+		s.rejected.Inc()
+		s.writeBusy(w, "server at capacity")
+		return
+	}
+	defer s.release()
+	s.batches.Inc()
+	// Run under the request context so a disconnected client cancels
+	// its own cells; Shutdown still drains connected clients because
+	// http.Server.Shutdown leaves active request contexts alone.
+	resp := s.runBatch(r.Context(), breq.Requests, specs)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// startAsync registers (or re-attaches to) the deterministic job for
+// this batch and answers 202 immediately.
+func (s *Server) startAsync(w http.ResponseWriter, reqs []api.RunRequest, specs []engine.RunSpec) {
+	id := api.BatchKey(reqs)
+	j := &job{id: id, status: api.StatusQueued, done: make(chan struct{})}
+	if cur, loaded := s.jobs.LoadOrStore(id, j); loaded {
+		// Identical batch already known: report its current state
+		// instead of queueing duplicate work.
+		writeJSON(w, http.StatusAccepted, cur.(*job).snapshot())
+		return
+	}
+	if !s.acquire() {
+		s.rejected.Inc()
+		s.jobs.Delete(id)
+		s.writeBusy(w, "server at capacity")
+		return
+	}
+	s.batches.Inc()
+	go func() {
+		defer s.release()
+		j.setStatus(api.StatusRunning)
+		// Async jobs outlive their submitting request, so they run
+		// under the background context; Shutdown waits for them.
+		resp := s.runBatch(context.Background(), reqs, specs)
+		j.finish(resp)
+	}()
+	writeJSON(w, http.StatusAccepted, api.BatchResponse{
+		APIVersion: api.Version, JobID: id, Status: api.StatusQueued,
+	})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.jobs.Load(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, api.ErrorResponse{Error: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, v.(*job).snapshot())
+}
+
+// runBatch executes one validated batch on the shared engine and maps
+// the outcome onto the wire schema. Per-cell failures become indexed
+// CellFailures; the batch itself always yields a BatchResponse.
+func (s *Server) runBatch(ctx context.Context, reqs []api.RunRequest, specs []engine.RunSpec) *api.BatchResponse {
+	if s.opt.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.RunTimeout)
+		defer cancel()
+	}
+	results, err := s.opt.Engine.Run(ctx, specs)
+	resp := &api.BatchResponse{
+		APIVersion: api.Version,
+		JobID:      api.BatchKey(reqs),
+		Status:     api.StatusDone,
+		Results:    make([]api.RunResult, len(results)),
+	}
+	failed := make(map[engine.RunSpec]string)
+	if err != nil {
+		if merr, ok := err.(*engine.MultiError); ok {
+			for _, cellErr := range merr.Errors {
+				if ce, ok := cellErr.(*engine.CellError); ok {
+					failed[ce.Spec] = ce.Err.Error()
+				}
+			}
+		} else {
+			resp.Status = api.StatusFailed
+			resp.Errors = append(resp.Errors, api.CellFailure{Index: -1, Error: err.Error()})
+			return resp
+		}
+	}
+	for i, res := range results {
+		if res == nil {
+			msg := failed[specs[i]]
+			if msg == "" {
+				msg = "cell failed"
+			}
+			resp.Status = api.StatusFailed
+			resp.Errors = append(resp.Errors, api.CellFailure{Index: i, Key: specs[i].Key(), Error: msg})
+			resp.Results[i] = api.RunResult{Request: reqs[i], Key: specs[i].Key()}
+			continue
+		}
+		resp.Results[i] = api.ResultOf(res)
+		if res.CacheHit {
+			s.countHit(specs[i].Key())
+		}
+	}
+	return resp
+}
+
+// countHit bumps the per-key run-cache hit series, folding keys past
+// the cardinality cap into one overflow series.
+func (s *Server) countHit(key string) {
+	if s.opt.Registry == nil {
+		return
+	}
+	s.keyMu.Lock()
+	c, ok := s.keySet[key]
+	if !ok {
+		if len(s.keySet) >= keyCardinalityCap {
+			key = "overflow"
+		}
+		c = s.opt.Registry.Counter(obs.LabeledName(MetricCellHits, "key", key))
+		s.keySet[key] = c
+	}
+	s.keyMu.Unlock()
+	c.Inc()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       status,
+		"api_version":  api.Version,
+		"queue_depth":  s.opt.QueueDepth,
+		"inflight":     len(s.slots),
+		"cache_hits":   s.opt.Engine.Hits(),
+		"cache_misses": s.opt.Engine.Misses(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.opt.Registry == nil {
+		http.Error(w, "no metrics registry installed", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		s.opt.Registry.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.opt.Registry.WritePrometheus(w)
+}
+
+// writeBusy answers 429 with the Retry-After header and a body that
+// mirrors it for clients that only parse JSON.
+func (s *Server) writeBusy(w http.ResponseWriter, msg string) {
+	retry := s.opt.RetryAfter
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+	writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
+		Error:             msg,
+		RetryAfterSeconds: retry.Seconds(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, resp api.ErrorResponse) {
+	writeJSON(w, code, resp)
+}
+
+func (j *job) setStatus(st string) {
+	j.mu.Lock()
+	j.status = st
+	j.mu.Unlock()
+}
+
+func (j *job) finish(resp *api.BatchResponse) {
+	j.mu.Lock()
+	j.status = resp.Status
+	j.resp = resp
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// snapshot renders the job's current state as a poll answer: the full
+// response once done, a status-only shell while queued or running.
+func (j *job) snapshot() *api.BatchResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.resp != nil {
+		return j.resp
+	}
+	return &api.BatchResponse{APIVersion: api.Version, JobID: j.id, Status: j.status}
+}

@@ -72,6 +72,11 @@ type AreaChange struct {
 // OS resizing the area per pol, honouring ctx cancellation between OS
 // decision intervals. It returns the run statistics and the resize
 // trace.
+//
+// Most callers should not invoke this directly: adaptive cells are
+// first-class grid cells — set engine.RunSpec.Adaptive (or the
+// Adaptive field of an api.RunRequest) and the engine routes the cell
+// here, memoised and deduplicated like any static cell.
 func RunAdaptive(ctx context.Context, prog *obj.Program, cfg Config, pol AdaptivePolicy) (*RunStats, []AreaChange, error) {
 	if pol.IntervalInstrs == 0 || pol.StartSize == 0 {
 		return nil, nil, fmt.Errorf("sim: adaptive policy needs an interval and a start size")

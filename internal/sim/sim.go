@@ -113,6 +113,10 @@ func (r *RunStats) CPI() float64 {
 }
 
 // Run executes prog on the configured machine.
+//
+// Deprecated: Run is RunContext with context.Background(); call
+// RunContext so cancellation and deadlines propagate into the
+// instruction loop. This wrapper remains for one release.
 func Run(prog *obj.Program, cfg Config) (*RunStats, error) {
 	return RunContext(context.Background(), prog, cfg)
 }
