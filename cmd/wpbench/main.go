@@ -4,16 +4,21 @@
 // Simulation cells are scheduled on the concurrent experiment engine
 // (internal/engine): -jobs caps the worker pool, -progress streams
 // per-cell completions, and overlapping cells between figures are
-// simulated once and served from the run cache thereafter. Output is
-// byte-identical for every -jobs value.
+// simulated once and served from the run cache thereafter. Cells that
+// share a workload and fetch stream execute as single-pass multi-model
+// groups (sim.RunMulti); a full run submits the union of every grid as
+// a warmup batch first, so the whole evaluation costs roughly two
+// producer passes per workload. Output is byte-identical for every
+// -jobs value and with grouping disabled.
 //
 // Every simulation cell is additionally passed through the runtime
 // invariant checker (internal/check): a run whose statistics violate
 // the conservation laws fails its cell rather than silently feeding a
 // figure. -selfcheck goes further and runs the full differential
 // harness — every benchmark under every scheme variant on the Large
-// input, demanding architectural equivalence — exiting non-zero on
-// any violation.
+// input, demanding architectural equivalence — plus an execution-shape
+// check that the figure 4/5 CSVs are byte-identical with single-pass
+// grouping on and off, exiting non-zero on any violation.
 //
 // Observability (internal/obs): -metrics writes the engine's
 // counters, gauges and latency histograms at exit (Prometheus text,
@@ -32,6 +37,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -157,9 +163,10 @@ func main() {
 	fmt.Fprintf(os.Stderr, "prepared in %v\n", prepared.Round(time.Millisecond))
 
 	if *server != "" {
-		// Standard grids (every figure) execute on the shared server
-		// engine; batches needing bespoke base configurations (RAM-tag
-		// extension, ablations with per-batch options) stay local. The
+		// Standard grids — every figure, the RAM-tag and adaptive
+		// extensions, the flag ablations and the warmup batch — execute
+		// on the shared server engine; only the layout ablation and the
+		// profile-transfer extension (custom binaries) stay local. The
 		// aggregation path is identical either way, so figure and CSV
 		// output is byte-for-byte the same as an offline run.
 		client := serve.NewClient(*server)
@@ -171,6 +178,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "standard grids run on %s (shared run cache)\n", *server)
 	}
 
+	if all {
+		// Full evaluation: submit the union of every grid first. The
+		// engine coalesces all cells sharing a workload and fetch stream
+		// into single-pass multi-model groups — roughly two producer
+		// passes per workload instead of one per cell — and every figure
+		// section below becomes a run-cache hit.
+		run("single-pass warmup", func() (string, error) {
+			specs := suite.WarmupSpecs()
+			res, err := suite.RunBatch(ctx, specs)
+			if err != nil {
+				return "", err
+			}
+			groups := map[string]bool{}
+			cached := 0
+			for _, r := range res {
+				if r.GroupID != "" {
+					groups[r.GroupID] = true
+				}
+				if r.CacheHit {
+					cached++
+				}
+			}
+			return fmt.Sprintf("warmup: %d cells (%d unique) in %d single-pass groups, %d already cached\n",
+				len(specs), len(specs)-cached, len(groups), cached), nil
+		})
+	}
 	if *fig4 || all {
 		run("figure 4", func() (string, error) {
 			r, err := suite.Figure4(ctx)
@@ -367,8 +400,86 @@ func runSelfCheck(ctx context.Context, names []string, jobs int) int {
 			fmt.Printf("ok   %s\n", r.name)
 		}
 	}
+
+	// Execution-shape check: the figure CSVs must be byte-identical
+	// whether the engine coalesces cells into single-pass multi-model
+	// groups (the default) or simulates every cell separately.
+	if err := csvIdentity(ctx, suite); err != nil {
+		fmt.Printf("FAIL %-12s %v\n", "csv-identity", err)
+		code = 1
+	} else {
+		fmt.Printf("ok   csv-identity (coalesced and per-cell figure CSVs byte-identical)\n")
+	}
 	fmt.Fprintf(os.Stderr, "self-check done in %v\n", time.Since(start).Round(time.Millisecond))
 	return code
+}
+
+// engineRunner routes a suite's standard grids onto a bespoke local
+// engine (csvIdentity uses fresh engines so the comparison is not
+// served from an already-warm run cache).
+type engineRunner struct{ eng *engine.Engine }
+
+func (r engineRunner) Run(ctx context.Context, specs []engine.RunSpec, opts ...engine.Option) ([]*engine.Result, error) {
+	return r.eng.Run(ctx, specs, opts...)
+}
+
+// csvIdentity renders the figure 4 and 5 CSVs twice on fresh engines —
+// once with single-pass grouping, once per-cell — and demands the
+// bytes match exactly.
+func csvIdentity(ctx context.Context, suite *experiment.Suite) error {
+	wl := make(map[string]*engine.Workload, len(suite.Workloads))
+	for _, w := range suite.Workloads {
+		wl[w.Name] = &engine.Workload{Name: w.Name, Original: w.Original, Placed: w.Placed}
+	}
+	provider := func(ctx context.Context, name string) (*engine.Workload, error) {
+		w, ok := wl[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		return w, nil
+	}
+	base := suite.Base
+	base.MaxInstrs = experiment.MaxInstrs
+	render := func(coalesce bool) ([]byte, error) {
+		eng := engine.New(provider, engine.WithBaseConfig(base),
+			engine.WithVerify(check.VerifyCell), engine.WithCoalesce(coalesce))
+		suite.SetRunner(engineRunner{eng})
+		defer suite.SetRunner(nil)
+		var buf bytes.Buffer
+		r4, err := suite.Figure4(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := experiment.CSVFig4(&buf, r4); err != nil {
+			return nil, err
+		}
+		r5, err := suite.Figure5(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := experiment.CSVFig5(&buf, r5); err != nil {
+			return nil, err
+		}
+		if coalesce && eng.Groups() == 0 {
+			return nil, fmt.Errorf("coalesced sweep formed no single-pass groups")
+		}
+		if !coalesce && eng.Groups() != 0 {
+			return nil, fmt.Errorf("per-cell sweep formed %d single-pass groups", eng.Groups())
+		}
+		return buf.Bytes(), nil
+	}
+	co, err := render(true)
+	if err != nil {
+		return err
+	}
+	pc, err := render(false)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(co, pc) {
+		return fmt.Errorf("figure CSVs differ between coalesced and per-cell execution")
+	}
+	return nil
 }
 
 // run executes one figure emitter. A failure is reported on stderr

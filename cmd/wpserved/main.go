@@ -24,9 +24,10 @@
 //	         [-timeout d] [-drain d] [-noverify] [-oneshot]
 //
 // -oneshot is the self-test: the daemon binds a loopback port, pushes
-// one small batch through the full HTTP path, compares the wire
-// results byte-for-byte against a direct engine run of the same
-// cells, and exits non-zero on any mismatch.
+// one small coalescible batch (cells sharing a fetch stream, so the
+// engine's single-pass grouping is on the path) through the full HTTP
+// stack, compares the wire results byte-for-byte against a direct
+// engine run of the same cells, and exits non-zero on any mismatch.
 package main
 
 import (
@@ -153,11 +154,18 @@ func runOneshot(srv *serve.Server, eng *engine.Engine, base sim.Config) int {
 	url := "http://" + ln.Addr().String()
 	fmt.Fprintf(os.Stderr, "wpserved: oneshot smoke on %s\n", url)
 
+	// The batch is deliberately coalescible: baseline and waymem share
+	// the original binary, the two way-placement sizes share the relaid
+	// one, so the server must form two single-pass groups and still
+	// answer per-cell results identical to a direct run.
 	icache := api.GeometryOf(experiment.XScaleICache())
 	reqs := []api.RunRequest{
 		{Workload: "crc", ICache: icache, Scheme: api.SchemeBaseline},
+		{Workload: "crc", ICache: icache, Scheme: api.SchemeWayMemoization},
 		{Workload: "crc", ICache: icache, Scheme: api.SchemeWayPlacement,
 			WPSizeBytes: experiment.InitialWPSize},
+		{Workload: "crc", ICache: icache, Scheme: api.SchemeWayPlacement,
+			WPSizeBytes: experiment.InitialWPSize / 2},
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
@@ -167,6 +175,10 @@ func runOneshot(srv *serve.Server, eng *engine.Engine, base sim.Config) int {
 	}
 	if resp.Status != api.StatusDone || len(resp.Errors) != 0 {
 		fmt.Fprintf(os.Stderr, "wpserved: oneshot batch ended %q: %+v\n", resp.Status, resp.Errors)
+		return 1
+	}
+	if eng.Groups() != 2 {
+		fmt.Fprintf(os.Stderr, "wpserved: oneshot: server formed %d single-pass groups, want 2\n", eng.Groups())
 		return 1
 	}
 
@@ -188,6 +200,10 @@ func runOneshot(srv *serve.Server, eng *engine.Engine, base sim.Config) int {
 			fmt.Fprintf(os.Stderr, "wpserved: oneshot: cell %d key %q != %q\n", i, got.Key, specs[i].Key())
 			code = 1
 		}
+		if got.GroupID == "" {
+			fmt.Fprintf(os.Stderr, "wpserved: oneshot: cell %d missing group_id\n", i)
+			code = 1
+		}
 		if !reflect.DeepEqual(got.Stats, want[i].Stats) {
 			g, _ := json.Marshal(got.Stats)
 			w, _ := json.Marshal(want[i].Stats)
@@ -196,7 +212,8 @@ func runOneshot(srv *serve.Server, eng *engine.Engine, base sim.Config) int {
 		}
 	}
 	if code == 0 {
-		fmt.Fprintf(os.Stderr, "wpserved: oneshot ok (%d cells byte-identical to a direct engine run)\n", len(specs))
+		fmt.Fprintf(os.Stderr, "wpserved: oneshot ok (%d cells in %d single-pass groups, byte-identical to a direct engine run)\n",
+			len(specs), eng.Groups())
 	}
 	return code
 }

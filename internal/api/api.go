@@ -50,6 +50,26 @@ func ParseScheme(s string) (energy.Scheme, error) {
 		s, SchemeBaseline, SchemeWayPlacement, SchemeWayMemoization)
 }
 
+// Array-style names accepted on the wire, matching
+// energy.ArrayStyle.String().
+const (
+	StyleCAMTag = "cam-tag"
+	StyleRAMTag = "ram-tag"
+)
+
+// ParseStyle maps a wire array-style name to the energy-model enum.
+// Empty selects the default (CAM-tag, inheriting any server-side base
+// template style).
+func ParseStyle(s string) (energy.ArrayStyle, error) {
+	switch s {
+	case "", StyleCAMTag:
+		return energy.CAMTag, nil
+	case StyleRAMTag:
+		return energy.RAMTag, nil
+	}
+	return 0, fmt.Errorf("unknown array style %q (want %q or %q)", s, StyleCAMTag, StyleRAMTag)
+}
+
 // ParsePolicy maps a wire replacement-policy name to the cache enum.
 // Empty selects the default (round-robin).
 func ParsePolicy(s string) (cache.Policy, error) {
@@ -136,11 +156,19 @@ func AdaptiveOf(a engine.AdaptiveSpec) *AdaptivePolicySpec {
 // adaptive-OS cells — the resize policy. It is the JSON twin of
 // engine.RunSpec.
 type RunRequest struct {
-	Workload    string              `json:"workload"`
-	ICache      CacheGeometry       `json:"icache"`
-	Scheme      string              `json:"scheme"`
-	WPSizeBytes uint32              `json:"wp_size_bytes,omitempty"`
-	Adaptive    *AdaptivePolicySpec `json:"adaptive,omitempty"`
+	Workload    string        `json:"workload"`
+	ICache      CacheGeometry `json:"icache"`
+	Scheme      string        `json:"scheme"`
+	WPSizeBytes uint32        `json:"wp_size_bytes,omitempty"`
+	// Style is the cache array organisation for the energy model
+	// ("cam-tag", "ram-tag"); empty means CAM-tag.
+	Style string `json:"style,omitempty"`
+	// OracleHint and NoSameLine are the way-placement ablation
+	// switches: perfect way prediction instead of the 1-bit hint, and
+	// the same-line tag-check skip disabled.
+	OracleHint bool                `json:"oracle_hint,omitempty"`
+	NoSameLine bool                `json:"no_same_line,omitempty"`
+	Adaptive   *AdaptivePolicySpec `json:"adaptive,omitempty"`
 }
 
 // FieldError locates one invalid field by its JSON path.
@@ -207,6 +235,15 @@ func (r RunRequest) validate(prefix string) error {
 	if r.WPSizeBytes > 0 && r.Scheme != SchemeWayPlacement {
 		verr.add(prefix, "wp_size_bytes", "only valid with scheme %q", SchemeWayPlacement)
 	}
+	if _, err := ParseStyle(r.Style); err != nil {
+		verr.add(prefix, "style", "%v", err)
+	}
+	if r.OracleHint && r.Scheme != SchemeWayPlacement {
+		verr.add(prefix, "oracle_hint", "only valid with scheme %q", SchemeWayPlacement)
+	}
+	if r.NoSameLine && r.Scheme != SchemeWayPlacement {
+		verr.add(prefix, "no_same_line", "only valid with scheme %q", SchemeWayPlacement)
+	}
 	if r.Adaptive != nil {
 		if r.Scheme != SchemeWayPlacement {
 			verr.add(prefix, "adaptive", "only valid with scheme %q", SchemeWayPlacement)
@@ -233,11 +270,15 @@ func (r RunRequest) Spec() (engine.RunSpec, error) {
 	}
 	scheme, _ := ParseScheme(r.Scheme)
 	icfg, _ := r.ICache.Config()
+	style, _ := ParseStyle(r.Style)
 	spec := engine.RunSpec{
-		Workload: r.Workload,
-		ICache:   icfg,
-		Scheme:   scheme,
-		WPSize:   r.WPSizeBytes,
+		Workload:   r.Workload,
+		ICache:     icfg,
+		Scheme:     scheme,
+		WPSize:     r.WPSizeBytes,
+		Style:      style,
+		OracleHint: r.OracleHint,
+		NoSameLine: r.NoSameLine,
 	}
 	if r.Adaptive != nil {
 		spec.Adaptive = r.Adaptive.EngineSpec()
@@ -258,13 +299,20 @@ func (r RunRequest) Key() string {
 // RequestOf captures an engine cell on the wire. FromSpec∘Spec is the
 // identity on valid specs.
 func RequestOf(s engine.RunSpec) RunRequest {
-	return RunRequest{
+	req := RunRequest{
 		Workload:    s.Workload,
 		ICache:      GeometryOf(s.ICache),
 		Scheme:      s.Scheme.String(),
 		WPSizeBytes: s.WPSize,
+		OracleHint:  s.OracleHint,
+		NoSameLine:  s.NoSameLine,
 		Adaptive:    AdaptiveOf(s.Adaptive),
 	}
+	// The default style is omitted so CAM-tag requests stay minimal.
+	if s.Style != energy.CAMTag {
+		req.Style = s.Style.String()
+	}
+	return req
 }
 
 // ToSpecs converts a batch, aggregating field errors under their
@@ -299,6 +347,11 @@ type RunResult struct {
 	Key         string        `json:"key"`
 	CacheHit    bool          `json:"cache_hit"`
 	WallSeconds float64       `json:"wall_seconds,omitempty"`
+	// GroupID names the single-pass group that simulated this cell
+	// server-side ("<workload>/original" or "<workload>/placed");
+	// empty for cache hits and uncoalesced batches. Informational —
+	// grouping never changes statistics.
+	GroupID     string        `json:"group_id,omitempty"`
 	Stats       *sim.RunStats `json:"stats"`
 	AreaChanges []AreaChange  `json:"area_changes,omitempty"`
 }
@@ -310,6 +363,7 @@ func ResultOf(res *engine.Result) RunResult {
 		Key:         res.Spec.Key(),
 		CacheHit:    res.CacheHit,
 		WallSeconds: res.Wall.Seconds(),
+		GroupID:     res.GroupID,
 		Stats:       res.Stats,
 	}
 	for _, ch := range res.AreaChanges {
@@ -341,6 +395,11 @@ type BatchRequest struct {
 	// Async requests job-style execution: the server answers
 	// immediately with a job id to poll at GET /v1/runs/{id}.
 	Async bool `json:"async,omitempty"`
+	// Coalesce controls server-side single-pass grouping of the
+	// batch's cells. Omitted (nil) means the server default — grouping
+	// on. Results are bit-identical either way; disabling it forces
+	// the per-cell reference path.
+	Coalesce *bool `json:"coalesce,omitempty"`
 }
 
 // BatchResponse answers both POST /v1/runs and GET /v1/runs/{id}.

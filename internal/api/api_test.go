@@ -21,6 +21,10 @@ func TestRequestSpecRoundTrip(t *testing.T) {
 		{Workload: "sha", ICache: xscale(), Scheme: api.SchemeBaseline},
 		{Workload: "crc", ICache: xscale(), Scheme: api.SchemeWayMemoization},
 		{Workload: "patricia", ICache: xscale(), Scheme: api.SchemeWayPlacement, WPSizeBytes: 16 << 10},
+		{Workload: "sha", ICache: xscale(), Scheme: api.SchemeWayPlacement, WPSizeBytes: 16 << 10,
+			Style: api.StyleRAMTag, OracleHint: true},
+		{Workload: "sha", ICache: xscale(), Scheme: api.SchemeWayPlacement, WPSizeBytes: 16 << 10,
+			NoSameLine: true},
 		{Workload: "sha",
 			ICache: api.CacheGeometry{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32, Policy: "lru"},
 			Scheme: api.SchemeWayPlacement,
@@ -119,6 +123,15 @@ func TestValidateFieldErrors(t *testing.T) {
 			api.RunRequest{Workload: "sha", ICache: xscale(), Scheme: "wayplace",
 				Adaptive: &api.AdaptivePolicySpec{StartSizeBytes: 1024}},
 			"adaptive.interval_instrs"},
+		{"bad-style",
+			api.RunRequest{Workload: "sha", ICache: xscale(), Scheme: "baseline", Style: "nvram"},
+			"style"},
+		{"oracle-on-baseline",
+			api.RunRequest{Workload: "sha", ICache: xscale(), Scheme: "baseline", OracleHint: true},
+			"oracle_hint"},
+		{"nosameline-on-waymem",
+			api.RunRequest{Workload: "sha", ICache: xscale(), Scheme: "waymem", NoSameLine: true},
+			"no_same_line"},
 	} {
 		err := tc.req.Validate()
 		if err == nil {

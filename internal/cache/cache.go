@@ -189,9 +189,28 @@ type Cache struct {
 
 	sets [][]line
 	rr   []int // round-robin victim pointer per set
+	mru  []int // most recently touched/filled way per set (probe shortcut)
 	tick uint64
 	gen  uint64
+
+	// Address decomposition, precomputed from Cfg at construction: the
+	// Config methods derive shifts and masks from first principles on
+	// every call, which is measurable on the per-fetch path.
+	offBits  uint32
+	setMask  uint32
+	tagShift uint32
+	lineMask uint32
+	wayMask  uint32
+	slotMask uint32
 }
+
+// setOf/tagOf/wayOf/lineAddr/slotOf mirror the Config methods of the
+// same names using the precomputed masks (hot-path variants).
+func (c *Cache) setOf(addr uint32) int       { return int((addr >> c.offBits) & c.setMask) }
+func (c *Cache) tagOf(addr uint32) uint32    { return addr >> c.tagShift }
+func (c *Cache) wayOf(addr uint32) int       { return int((addr >> c.tagShift) & c.wayMask) }
+func (c *Cache) lineAddr(addr uint32) uint32 { return addr & c.lineMask }
+func (c *Cache) slotOf(addr uint32) int      { return int((addr >> 2) & c.slotMask) }
 
 // New builds an empty cache.
 func New(cfg Config) (*Cache, error) {
@@ -199,12 +218,19 @@ func New(cfg Config) (*Cache, error) {
 		return nil, err
 	}
 	c := &Cache{Cfg: cfg}
+	c.offBits = uint32(cfg.OffsetBits())
+	c.setMask = uint32(cfg.Sets() - 1)
+	c.tagShift = uint32(cfg.OffsetBits() + cfg.SetBits())
+	c.lineMask = ^uint32(cfg.LineBytes - 1)
+	c.wayMask = uint32(cfg.Ways - 1)
+	c.slotMask = uint32(cfg.InstrsPerLine() - 1)
 	c.sets = make([][]line, cfg.Sets())
 	storage := make([]line, cfg.Sets()*cfg.Ways)
 	for i := range c.sets {
 		c.sets[i], storage = storage[:cfg.Ways:cfg.Ways], storage[cfg.Ways:]
 	}
 	c.rr = make([]int, cfg.Sets())
+	c.mru = make([]int, cfg.Sets())
 	return c, nil
 }
 
@@ -222,6 +248,17 @@ func MustNew(cfg Config) *Cache {
 func (c *Cache) probeAll(set int, tag uint32) (int, bool) {
 	c.Stats.TagComparisons += uint64(c.Cfg.Ways)
 	c.Stats.FullSearches++
+	// Most-recently-used shortcut. All W comparisons are charged above
+	// regardless — in hardware they happen in parallel — and a tag is
+	// resident in at most one way (fills only follow a full-search
+	// miss, and way-placed lines only ever fill their designated way),
+	// so checking the MRU way first cannot change the outcome.
+	if w := c.mru[set]; w < len(c.sets[set]) {
+		l := &c.sets[set][w]
+		if l.valid && l.tag == tag {
+			return w, true
+		}
+	}
 	for w := range c.sets[set] {
 		l := &c.sets[set][w]
 		if l.valid && l.tag == tag {
@@ -287,6 +324,7 @@ func (c *Cache) fillAt(set, way int, tag uint32) (evictedDirty bool) {
 	c.gen++
 	*l = line{valid: true, tag: tag, lastUse: c.tick, gen: c.gen}
 	c.Stats.LineFills++
+	c.mru[set] = way
 	return evictedDirty
 }
 
@@ -294,6 +332,7 @@ func (c *Cache) fillAt(set, way int, tag uint32) (evictedDirty bool) {
 func (c *Cache) touch(set, way int) {
 	c.tick++
 	c.sets[set][way].lastUse = c.tick
+	c.mru[set] = way
 }
 
 // lineRef returns the line at (set, way).

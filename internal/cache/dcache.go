@@ -29,7 +29,7 @@ type AccessResult struct {
 
 func (d *DataCache) access(addr uint32, write bool) AccessResult {
 	c := d.c
-	set, tag := c.Cfg.SetOf(addr), c.Cfg.TagOf(addr)
+	set, tag := c.setOf(addr), c.tagOf(addr)
 	way, hit := c.probeAll(set, tag)
 	res := AccessResult{Hit: hit}
 	if !hit {

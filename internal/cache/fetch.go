@@ -35,6 +35,10 @@ type FetchEngine interface {
 // a 2-set/4-way cache cost 12 comparisons).
 type BaselineEngine struct {
 	c *Cache
+
+	// Way holding the most recently fetched line, for FetchSameLine.
+	lastSet int
+	lastWay int
 }
 
 // NewBaseline returns the baseline fetch engine.
@@ -56,12 +60,13 @@ func (e *BaselineEngine) Name() string { return "baseline" }
 func (e *BaselineEngine) Fetch(addr uint32, indirect bool) FetchResult {
 	c := e.c
 	c.Stats.Fetches++
-	set, tag := c.Cfg.SetOf(addr), c.Cfg.TagOf(addr)
+	set, tag := c.setOf(addr), c.tagOf(addr)
 	way, hit := c.probeAll(set, tag)
 	if hit {
 		c.Stats.Hits++
 		c.touch(set, way)
 		c.Stats.DataReads++
+		e.lastSet, e.lastWay = set, way
 		return FetchResult{Hit: true}
 	}
 	c.Stats.Misses++
@@ -69,7 +74,28 @@ func (e *BaselineEngine) Fetch(addr uint32, indirect bool) FetchResult {
 	c.fillAt(set, w, tag)
 	c.Stats.NonDesignatedFills++
 	c.Stats.DataReads++
+	e.lastSet, e.lastWay = set, w
 	return FetchResult{Filled: true}
+}
+
+// FetchSameLine charges n further fetches of the line the previous
+// Fetch touched, in bulk. The caller guarantees every one of the n
+// addresses lies in that line (sim.RunMulti's stream segmentation):
+// the line is resident — nothing was filled since — so each fetch is a
+// full-search hit, and the bulk update leaves every counter and every
+// replacement-relevant field (recency, generation, victim pointers)
+// exactly as n individual Fetch calls would.
+func (e *BaselineEngine) FetchSameLine(n int) {
+	c := e.c
+	un := uint64(n)
+	c.Stats.Fetches += un
+	c.Stats.TagComparisons += uint64(c.Cfg.Ways) * un
+	c.Stats.FullSearches += un
+	c.Stats.Hits += un
+	c.Stats.DataReads += un
+	c.tick += un
+	c.sets[e.lastSet][e.lastWay].lastUse = c.tick
+	c.mru[e.lastSet] = e.lastWay
 }
 
 // --- way-placement ---
@@ -132,7 +158,7 @@ func (e *WayPlacementEngine) Name() string { return "wayplace" }
 // sameLine reports whether addr lies in the line buffer established by
 // the previous fetch and that line is still resident.
 func (e *WayPlacementEngine) sameLine(addr uint32) bool {
-	if !e.haveLine || e.c.Cfg.LineAddr(addr) != e.lineAddr {
+	if !e.haveLine || e.c.lineAddr(addr) != e.lineAddr {
 		return false
 	}
 	return e.c.lineRef(e.lineSet, e.lineWay).gen == e.lineGen
@@ -140,7 +166,7 @@ func (e *WayPlacementEngine) sameLine(addr uint32) bool {
 
 func (e *WayPlacementEngine) noteLine(addr uint32, set, way int) {
 	e.haveLine = true
-	e.lineAddr = e.c.Cfg.LineAddr(addr)
+	e.lineAddr = e.c.lineAddr(addr)
 	e.lineSet, e.lineWay = set, way
 	e.lineGen = e.c.lineRef(set, way).gen
 }
@@ -165,7 +191,7 @@ func (e *WayPlacementEngine) Fetch(addr uint32, indirect bool) FetchResult {
 		return FetchResult{Hit: true}
 	}
 
-	set, tag := c.Cfg.SetOf(addr), c.Cfg.TagOf(addr)
+	set, tag := c.setOf(addr), c.tagOf(addr)
 	res := FetchResult{}
 
 	hint := e.hint
@@ -178,7 +204,7 @@ func (e *WayPlacementEngine) Fetch(addr uint32, indirect bool) FetchResult {
 		// Predicted way-placed, and it is: single-tag probe.
 		c.Stats.HintCorrectWP++
 		c.Stats.WPAccesses++
-		way := c.Cfg.WayOf(addr)
+		way := c.wayOf(addr)
 		if c.probeOne(set, way, tag) {
 			c.Stats.Hits++
 			c.touch(set, way)
@@ -200,7 +226,7 @@ func (e *WayPlacementEngine) Fetch(addr uint32, indirect bool) FetchResult {
 		// second, full access follows (cycle + energy penalty, both
 		// charged — section 4.1's second scenario).
 		c.Stats.HintExtraAccess++
-		way := c.Cfg.WayOf(addr)
+		way := c.wayOf(addr)
 		c.probeOne(set, way, tag) // wasted probe
 		c.Stats.DataReads++       // wasted data read
 		res.ExtraAccess = true
@@ -221,6 +247,28 @@ func (e *WayPlacementEngine) Fetch(addr uint32, indirect bool) FetchResult {
 	return res
 }
 
+// FetchSameLine charges n further fetches inside the current line
+// buffer, in bulk. The caller guarantees every address lies in the
+// line of the previous fetch, on the same page (lastAddr is one of
+// them, used for the way-placement-area check — the whole run shares
+// its page, so one oracle consultation covers all n), and that the
+// engine's same-line optimisation is enabled. Each fetch would take
+// the SameLineHits path: no tag check, hint unchanged.
+func (e *WayPlacementEngine) FetchSameLine(n int, lastAddr uint32) {
+	c := e.c
+	un := uint64(n)
+	c.Stats.Fetches += un
+	if e.oracle.WayPlaced(lastAddr) {
+		c.Stats.WPAreaFetches += un
+	}
+	c.Stats.SameLineHits += un
+	c.Stats.Hits += un
+	c.Stats.DataReads += un
+	c.tick += un
+	c.sets[e.lineSet][e.lineWay].lastUse = c.tick
+	c.mru[e.lineSet] = e.lineWay
+}
+
 // fullAccess performs a conventional all-ways access. Lines belonging
 // to the way-placement area are still filled into their designated
 // way: placement is a property of the address, not of how the access
@@ -238,7 +286,7 @@ func (e *WayPlacementEngine) fullAccess(addr uint32, set int, tag uint32, inWP b
 	c.Stats.Misses++
 	var way int
 	if inWP {
-		way = c.Cfg.WayOf(addr)
+		way = c.wayOf(addr)
 		c.Stats.DesignatedFills++
 	} else {
 		way = c.victim(set)
@@ -290,7 +338,7 @@ func (e *WayMemoizationEngine) prevLine() *line {
 
 // slotOf returns the instruction slot index of addr within its line.
 func (e *WayMemoizationEngine) slotOf(addr uint32) int {
-	return int(addr>>2) & (e.c.Cfg.InstrsPerLine() - 1)
+	return e.c.slotOf(addr)
 }
 
 // linkFor returns the link the previous fetch provides for the
@@ -317,11 +365,11 @@ func (e *WayMemoizationEngine) Fetch(addr uint32, indirect bool) FetchResult {
 	c := e.c
 	c.Stats.Fetches++
 	cfg := c.Cfg
-	set, tag := cfg.SetOf(addr), cfg.TagOf(addr)
+	set, tag := c.setOf(addr), c.tagOf(addr)
 
 	// Intra-line sequential fetch: no tag check (the same optimisation
 	// the paper applies to its own scheme, section 4.2 / ref [12]).
-	if e.havePrev && cfg.LineAddr(addr) == cfg.LineAddr(e.prevAddr) &&
+	if e.havePrev && c.lineAddr(addr) == c.lineAddr(e.prevAddr) &&
 		e.prevLine().gen == e.prevGen {
 		c.Stats.SameLineHits++
 		c.Stats.Hits++
@@ -390,6 +438,26 @@ func (e *WayMemoizationEngine) Fetch(addr uint32, indirect bool) FetchResult {
 	}
 	e.note(addr, set, way)
 	return res
+}
+
+// FetchSameLine charges n further fetches inside the previous fetch's
+// line, in bulk. The caller guarantees every address lies in that line
+// (the intra-line path ignores the indirect flag, so any same-line
+// transfer qualifies). lastAddr must be the last of the n addresses:
+// the next cross-line fetch consults the link slot of the previous
+// *address*, so the memoization state has to end exactly where n
+// individual Fetch calls would leave it.
+func (e *WayMemoizationEngine) FetchSameLine(n int, lastAddr uint32) {
+	c := e.c
+	un := uint64(n)
+	c.Stats.Fetches += un
+	c.Stats.SameLineHits += un
+	c.Stats.Hits += un
+	c.Stats.DataReads += un
+	c.tick += un
+	c.sets[e.prevSet][e.prevWay].lastUse = c.tick
+	c.mru[e.prevSet] = e.prevWay
+	e.prevAddr = lastAddr
 }
 
 func (e *WayMemoizationEngine) note(addr uint32, set, way int) {

@@ -10,11 +10,20 @@ package check
 // (a scheme that claims to save tag comparisons must actually perform
 // fewer). Every variant's statistics additionally pass the full
 // invariant suite of check.go.
+//
+// Since the sim package split into fetch-stream production and cache
+// modelling, the harness is also a cross-implementation check: every
+// variant executes twice — once through the coupled reference loop
+// (sim.RunCoupled / sim.RunAdaptive) and once through the single-pass
+// machinery (sim.RunMulti) — and the two statistics must match field
+// for field, bit for bit. A defect in either implementation surfaces
+// as a divergence here instead of a silently wrong figure.
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
 
 	"wayplace/internal/energy"
 	"wayplace/internal/obj"
@@ -32,73 +41,151 @@ type Variant struct {
 // Differential runs original and placed images of one program under
 // all five scheme variants — baseline, way-memoization, way-placement,
 // way-placement with the oracle hint, and way-placement under the
-// OS-adaptive area policy — and checks per-variant invariants plus
-// cross-variant architectural equivalence. The returned variants are
-// always complete when err reports only check violations; a nil stats
-// slice means a variant failed to execute at all.
+// OS-adaptive area policy — and checks per-variant invariants,
+// cross-variant architectural equivalence, and coupled-vs-single-pass
+// implementation agreement. The returned variants are always complete
+// when err reports only check violations; a shorter slice means a
+// variant failed to execute at all.
+//
+// The single-pass leg runs coalesced: variants sharing a binary are
+// evaluated by one sim.RunMulti pass, exactly as the engine's
+// grouping planner batches grid cells. DifferentialMode exposes the
+// per-cell alternative.
 func Differential(ctx context.Context, original, placed *obj.Program, base sim.Config, wpSize uint32) ([]Variant, error) {
+	return DifferentialMode(ctx, original, placed, base, wpSize, true)
+}
+
+// DifferentialMode is Differential with the single-pass execution
+// shape under caller control: coalesced (one multi-model pass per
+// binary) or per-cell (one single-model pass per variant). Both shapes
+// must agree with the coupled reference; the fuzzer alternates them.
+func DifferentialMode(ctx context.Context, original, placed *obj.Program, base sim.Config, wpSize uint32, coalesce bool) ([]Variant, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	type runSpec struct {
-		name   string
-		prog   *obj.Program
-		cfg    sim.Config
-		oracle bool
+	pol := sim.DefaultAdaptivePolicy(base.ICache, base.ITLB.PageBytes)
+	type variantSpec struct {
+		name     string
+		prog     *obj.Program
+		cfg      sim.Config // resolved configuration of the coupled run
+		model    sim.ModelSpec
+		adaptive bool
 	}
-	mk := func(name string, prog *obj.Program, scheme energy.Scheme, wp uint32, oracle bool) runSpec {
+	mk := func(name string, prog *obj.Program, scheme energy.Scheme, wp uint32, oracle bool) variantSpec {
 		cfg := base
 		cfg.Scheme = scheme
 		cfg.WPSize = wp
 		cfg.OracleHint = oracle
-		return runSpec{name: name, prog: prog, cfg: cfg, oracle: oracle}
+		return variantSpec{name: name, prog: prog, cfg: cfg, model: sim.ModelSpecOf(cfg)}
 	}
-	specs := []runSpec{
+	acfg := base
+	acfg.Scheme = energy.WayPlacement
+	acfg.WPSize = pol.StartSize
+	specs := []variantSpec{
 		mk("baseline", original, energy.Baseline, 0, false),
 		mk("waymem", original, energy.WayMemoization, 0, false),
 		mk("wayplace", placed, energy.WayPlacement, wpSize, false),
 		mk("wayplace-oracle", placed, energy.WayPlacement, wpSize, true),
+		{name: "wayplace-adaptive", prog: placed, cfg: acfg,
+			model: sim.ModelSpec{Geometry: base.ICache, Adaptive: &pol}, adaptive: true},
+	}
+
+	// Single-pass leg. Coalesced mode batches the variants sharing a
+	// binary into one RunMulti pass each.
+	single := make([]*sim.ModelResult, len(specs))
+	if coalesce {
+		for _, prog := range []*obj.Program{original, placed} {
+			var idx []int
+			var models []sim.ModelSpec
+			for i, s := range specs {
+				if s.prog == prog {
+					idx = append(idx, i)
+					models = append(models, s.model)
+				}
+			}
+			res, err := sim.RunMulti(ctx, prog, base, models)
+			if err != nil {
+				return nil, fmt.Errorf("check: differential single-pass: %w", err)
+			}
+			for j, i := range idx {
+				single[i] = res[j]
+			}
+		}
+	} else {
+		for i, s := range specs {
+			res, err := sim.RunMulti(ctx, s.prog, base, []sim.ModelSpec{s.model})
+			if err != nil {
+				return nil, fmt.Errorf("check: differential single-pass %s: %w", s.name, err)
+			}
+			single[i] = res[0]
+		}
 	}
 
 	var errs []error
-	variants := make([]Variant, 0, len(specs)+1)
-	for _, s := range specs {
-		rs, err := sim.RunContext(ctx, s.prog, s.cfg)
+	variants := make([]Variant, 0, len(specs))
+	for i, s := range specs {
+		// Coupled reference leg.
+		var rs *sim.RunStats
+		var changes []sim.AreaChange
+		var err error
+		if s.adaptive {
+			rs, changes, err = sim.RunAdaptive(ctx, s.prog, base, pol)
+		} else {
+			rs, err = sim.RunCoupled(ctx, s.prog, s.cfg)
+		}
 		if err != nil {
 			return variants, fmt.Errorf("check: differential %s: %w", s.name, err)
 		}
+
+		// Implementation agreement: single-pass vs coupled, bit for bit.
+		if serr := single[i].Err; serr != nil {
+			errs = append(errs, fmt.Errorf("%s: single-pass failed where coupled succeeded: %w", s.name, serr))
+		} else {
+			for _, d := range StatDiffs(single[i].Stats, rs) {
+				errs = append(errs, fmt.Errorf("%s: single-pass diverges from coupled: %s", s.name, d))
+			}
+			if s.adaptive && !reflect.DeepEqual(single[i].AreaChanges, changes) {
+				errs = append(errs, fmt.Errorf("%s: single-pass area trace %v diverges from coupled %v",
+					s.name, single[i].AreaChanges, changes))
+			}
+		}
+
 		if err := Run(s.cfg, rs); err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", s.name, err))
 		}
-		variants = append(variants, Variant{Name: s.name, Stats: rs})
-	}
-
-	// Adaptive variant: the OS resizes the area mid-run, so on top of
-	// the per-run invariants every area the OS ever installed must
-	// place bijectively while it fits the cache.
-	acfg := base
-	acfg.Scheme = energy.WayPlacement
-	pol := sim.DefaultAdaptivePolicy(base.ICache, base.ITLB.PageBytes)
-	ars, changes, err := sim.RunAdaptive(ctx, placed, acfg, pol)
-	if err != nil {
-		return variants, fmt.Errorf("check: differential wayplace-adaptive: %w", err)
-	}
-	acfg.WPSize = pol.StartSize
-	if err := Run(acfg, ars); err != nil {
-		errs = append(errs, fmt.Errorf("wayplace-adaptive: %w", err))
-	}
-	for _, ch := range changes {
-		if err := WPBijective(base.ICache, placed.Base, ch.Size); err != nil {
-			errs = append(errs, fmt.Errorf("wayplace-adaptive at instr %d: %w", ch.AtInstr, err))
+		if s.adaptive {
+			// The OS resizes the area mid-run, so on top of the per-run
+			// invariants every area the OS ever installed must place
+			// bijectively while it fits the cache.
+			for _, ch := range changes {
+				if err := WPBijective(base.ICache, placed.Base, ch.Size); err != nil {
+					errs = append(errs, fmt.Errorf("%s at instr %d: %w", s.name, ch.AtInstr, err))
+				}
+			}
 		}
+		variants = append(variants, Variant{Name: s.name, Stats: rs, Changes: changes})
 	}
-	variants = append(variants, Variant{Name: "wayplace-adaptive", Stats: ars, Changes: changes})
 
 	errs = append(errs, equivalence(variants)...)
 	if len(errs) > 0 {
 		return variants, fmt.Errorf("check: differential: %w", errors.Join(errs...))
 	}
 	return variants, nil
+}
+
+// StatDiffs compares two run-statistic records field by field and
+// describes every top-level field that differs. Empty means identical.
+func StatDiffs(got, want *sim.RunStats) []string {
+	var diffs []string
+	gv, wv := reflect.ValueOf(*got), reflect.ValueOf(*want)
+	t := gv.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if !reflect.DeepEqual(gv.Field(i).Interface(), wv.Field(i).Interface()) {
+			diffs = append(diffs, fmt.Sprintf("%s: got %+v, want %+v",
+				t.Field(i).Name, gv.Field(i).Interface(), wv.Field(i).Interface()))
+		}
+	}
+	return diffs
 }
 
 // equivalence holds the cross-variant laws: identical architectural

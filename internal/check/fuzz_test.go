@@ -12,7 +12,10 @@ import (
 // FuzzDifferential drives randomly generated programs through the
 // full differential harness: whatever control flow and memory traffic
 // progen emits, all five scheme variants must agree architecturally
-// and every stat invariant must hold. The seed corpus runs on every
+// and every stat invariant must hold. The seed parity picks the
+// single-pass execution shape — coalesced multi-model passes or
+// per-cell single-model passes — so both shapes of sim.RunMulti are
+// fuzzed against the coupled reference. The seed corpus runs on every
 // plain `go test`, so the harness is exercised on each tier-1 pass
 // even without -fuzz.
 func FuzzDifferential(f *testing.F) {
@@ -37,7 +40,7 @@ func FuzzDifferential(f *testing.F) {
 		if err != nil {
 			t.Fatalf("link placed: %v", err)
 		}
-		if _, err := Differential(context.Background(), original, placed, cfg, 2<<10); err != nil {
+		if _, err := DifferentialMode(context.Background(), original, placed, cfg, 2<<10, seed%2 == 0); err != nil {
 			t.Fatalf("differential (seed %d): %v", seed, err)
 		}
 	})

@@ -197,6 +197,12 @@ func (c *CPU) RunInstrs(budget uint64) (uint64, error) {
 // accumulated so far.
 func (c *CPU) InstrCounts() []uint64 { return c.counts }
 
+// DisableInstrCounts drops the per-instruction execution counters for
+// runs that never build a profile (fetch-event production), removing a
+// counter update from the per-instruction hot path. Reset re-enables
+// them.
+func (c *CPU) DisableInstrCounts() { c.counts = nil }
+
 // Step executes a single instruction.
 func (c *CPU) Step() error {
 	idx, ok := c.Prog.IndexOf(c.PC)
@@ -204,7 +210,9 @@ func (c *CPU) Step() error {
 		return c.fault(isa.Instr{}, "instruction fetch outside image")
 	}
 	in := c.Prog.Code[idx]
-	c.counts[idx]++
+	if c.counts != nil {
+		c.counts[idx]++
+	}
 	c.Instrs++
 
 	stall := 0

@@ -1,0 +1,47 @@
+package cpu
+
+import "fmt"
+
+// Fetch-event production for single-pass multi-model simulation
+// (sim.RunMulti): the CPU executes the program once with the
+// instruction-side memory system detached (IFetch and ITLB nil) and
+// records, for every retired instruction, the fetch address it was
+// fetched from plus whether control arrived via an indirect transfer.
+// Independent cache models then replay the recorded stream.
+
+// EventIndirect is the indirect-transfer flag of a fetch event.
+// Instruction addresses are 4-byte aligned, so the low two bits of an
+// event word are free; bit 0 carries the flag and EventAddr recovers
+// the address.
+const EventIndirect uint32 = 1
+
+// EventAddr returns the fetch address of an event word.
+func EventAddr(ev uint32) uint32 { return ev &^ 3 }
+
+// RunEvents executes up to len(buf) further instructions, storing one
+// fetch event per instruction (PC | indirect flag, captured before the
+// instruction executes). It returns the number of events produced and
+// stops early at HALT. Exceeding maxInstrs with the program still
+// running is an error, exactly as in Run/RunContext.
+//
+// The CPU should have IFetch and ITLB nil: the caller replays the
+// event stream through its own instruction-side models, so Cycles
+// accumulates only the base and data-side components here.
+func (c *CPU) RunEvents(buf []uint32, maxInstrs uint64) (int, error) {
+	n := 0
+	for !c.Halted && n < len(buf) {
+		if c.Instrs >= maxInstrs {
+			return n, fmt.Errorf("cpu: instruction budget %d exhausted at pc=%#x", maxInstrs, c.PC)
+		}
+		ev := c.PC
+		if c.lastIndirect {
+			ev |= EventIndirect
+		}
+		if err := c.Step(); err != nil {
+			return n, err
+		}
+		buf[n] = ev
+		n++
+	}
+	return n, nil
+}

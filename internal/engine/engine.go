@@ -50,6 +50,11 @@ const (
 	// MetricCacheHits / MetricCacheMisses mirror Engine.Hits/Misses.
 	MetricCacheHits   = "engine_cache_hits_total"
 	MetricCacheMisses = "engine_cache_misses_total"
+	// MetricGroups / MetricCoalescedCells mirror Engine.Groups and
+	// Engine.CoalescedCells: multi-cell single-pass groups executed,
+	// and the cells that rode in them.
+	MetricGroups         = "engine_groups_total"
+	MetricCoalescedCells = "engine_coalesced_cells_total"
 	// MetricInflight: cells currently inside a simulator.
 	MetricInflight = "engine_inflight_cells"
 	// MetricInstructions: instructions simulated (fresh cells only),
@@ -71,6 +76,8 @@ type instruments struct {
 	failures  *obs.Counter
 	hits      *obs.Counter
 	misses    *obs.Counter
+	groups    *obs.Counter
+	coalesced *obs.Counter
 	instrs    *obs.Counter
 	inflight  *obs.Gauge
 	energy    [3]*obs.Gauge // indexed by energy.Scheme
@@ -87,6 +94,8 @@ func newInstruments(r *obs.Registry) instruments {
 		failures:  r.Counter(MetricCellFailures),
 		hits:      r.Counter(MetricCacheHits),
 		misses:    r.Counter(MetricCacheMisses),
+		groups:    r.Counter(MetricGroups),
+		coalesced: r.Counter(MetricCoalescedCells),
 		instrs:    r.Counter(MetricInstructions),
 		inflight:  r.Gauge(MetricInflight),
 	}
@@ -131,6 +140,17 @@ type RunSpec struct {
 	ICache   cache.Config
 	Scheme   energy.Scheme
 	WPSize   uint32
+	// Style selects the cache's physical array organisation for the
+	// energy model. The zero value (CAM-tag) inherits the base
+	// template's style; RAMTag overrides it, so RAM-tag cells can sit
+	// in the same batch — and the same single-pass group — as CAM
+	// cells.
+	Style energy.ArrayStyle
+	// OracleHint and NoSameLine are the way-placement ablation
+	// switches (perfect way prediction; same-line skip disabled). They
+	// extend the base template: a switch set in either place is on.
+	OracleHint bool
+	NoSameLine bool
 	// Adaptive, when non-zero, runs the cell under the adaptive-OS
 	// area-sizing policy (sim.RunAdaptive) instead of a static WP
 	// area: the scheme is forced to way-placement and the relaid
@@ -138,17 +158,33 @@ type RunSpec struct {
 	Adaptive AdaptiveSpec
 }
 
+// variantSuffix renders the ablation/style markers shared by String
+// and error messages; empty for a plain cell.
+func (s RunSpec) variantSuffix() string {
+	var suffix string
+	if s.Style == energy.RAMTag {
+		suffix += "+ramtag"
+	}
+	if s.OracleHint {
+		suffix += "+oracle"
+	}
+	if s.NoSameLine {
+		suffix += "+nosameline"
+	}
+	return suffix
+}
+
 func (s RunSpec) String() string {
 	if s.Adaptive.Enabled() {
-		return fmt.Sprintf("%s/%dKB-%dway/%v/adaptive",
-			s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, energy.WayPlacement)
+		return fmt.Sprintf("%s/%dKB-%dway/%v/adaptive%s",
+			s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, energy.WayPlacement, s.variantSuffix())
 	}
 	if s.WPSize > 0 {
-		return fmt.Sprintf("%s/%dKB-%dway/%v/wp%dK",
-			s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, s.Scheme, s.WPSize>>10)
+		return fmt.Sprintf("%s/%dKB-%dway/%v/wp%dK%s",
+			s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, s.Scheme, s.WPSize>>10, s.variantSuffix())
 	}
-	return fmt.Sprintf("%s/%dKB-%dway/%v",
-		s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, s.Scheme)
+	return fmt.Sprintf("%s/%dKB-%dway/%v%s",
+		s.Workload, s.ICache.SizeBytes>>10, s.ICache.Ways, s.Scheme, s.variantSuffix())
 }
 
 // Result bundles one cell's statistics with its spec, wall time and
@@ -168,6 +204,13 @@ type Result struct {
 	// (or deduplicated against an identical in-flight cell) rather
 	// than simulated anew.
 	CacheHit bool
+	// GroupID names the single-pass group that simulated this cell:
+	// cells sharing a workload and binary within one batch execute as
+	// one multi-model pass (sim.RunMulti), and every fresh cell of
+	// that pass carries the same deterministic id
+	// ("<workload>/original" or "<workload>/placed"). Empty for
+	// cache hits and for batches run with WithCoalesce(false).
+	GroupID string
 }
 
 // Progress is one completed cell's report to the progress callback.
@@ -190,11 +233,12 @@ type Progress struct {
 type Option func(*options)
 
 type options struct {
-	workers  int
-	base     sim.Config
-	progress func(Progress)
-	verify   func(sim.Config, *sim.RunStats) error
-	obs      *obs.Registry
+	workers    int
+	base       sim.Config
+	progress   func(Progress)
+	verify     func(sim.Config, *sim.RunStats) error
+	obs        *obs.Registry
+	noCoalesce bool
 }
 
 // WithWorkers caps the number of cells simulated concurrently.
@@ -228,6 +272,18 @@ func WithVerify(fn func(sim.Config, *sim.RunStats) error) Option {
 	return func(o *options) { o.verify = fn }
 }
 
+// WithCoalesce enables or disables single-pass grouping (the default
+// is on). When enabled, cells of one batch that share a workload and
+// binary — and therefore an identical fetch stream — are simulated by
+// one sim.RunMulti pass driving all their cache models at once; each
+// cell keeps its own memoization key, verify call, progress report
+// and result slot, so output is byte-identical either way (the
+// differential harness in internal/check and wpbench -selfcheck both
+// enforce this). Disable it to force the per-cell reference path.
+func WithCoalesce(on bool) Option {
+	return func(o *options) { o.noCoalesce = !on }
+}
+
 // WithObserver installs an observability registry (internal/obs): the
 // engine registers per-cell and per-prepare latency histograms,
 // run-cache counters, an in-flight gauge, and per-scheme instruction
@@ -250,8 +306,10 @@ type Engine struct {
 	workloads map[string]*workloadEntry
 	runs      map[runKey]*runEntry
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	groups    atomic.Uint64
+	coalesced atomic.Uint64
 }
 
 // workloadEntry memoises one provider call; done is closed when w/err
@@ -302,6 +360,17 @@ func (e *Engine) Hits() uint64 { return e.hits.Load() }
 // Misses returns how many cells were actually simulated.
 func (e *Engine) Misses() uint64 { return e.misses.Load() }
 
+// Groups returns how many multi-cell single-pass groups the engine
+// has executed: batches of cells sharing one fetch stream that were
+// simulated by a single sim.RunMulti call. Single-cell passes do not
+// count.
+func (e *Engine) Groups() uint64 { return e.groups.Load() }
+
+// CoalescedCells returns how many fresh cells were simulated inside
+// multi-cell groups — the cells that shared a fetch stream instead of
+// re-executing the program.
+func (e *Engine) CoalescedCells() uint64 { return e.coalesced.Load() }
+
 // resolve applies a spec to the base machine template. Adaptive cells
 // resolve to the way-placement scheme with the policy's start size —
 // the same configuration sim.RunAdaptive installs before the first OS
@@ -310,6 +379,15 @@ func resolve(base sim.Config, spec RunSpec) sim.Config {
 	base.ICache = spec.ICache
 	base.Scheme = spec.Scheme
 	base.WPSize = spec.WPSize
+	// The spec's variant fields extend the template rather than reset
+	// it: a zero-valued spec leaves a base-config style or ablation
+	// switch in force, so batches run against a specialised template
+	// keep their meaning.
+	if spec.Style != 0 {
+		base.Style = spec.Style
+	}
+	base.OracleHint = base.OracleHint || spec.OracleHint
+	base.NoSameLine = base.NoSameLine || spec.NoSameLine
 	if spec.Adaptive.Enabled() {
 		base.Scheme = energy.WayPlacement
 		base.WPSize = spec.Adaptive.StartSize
@@ -317,13 +395,36 @@ func resolve(base sim.Config, spec RunSpec) sim.Config {
 	return base
 }
 
+// usesPlaced reports which binary the cell fetches from: the relaid
+// image for way-placement (static or adaptive), the original layout
+// otherwise. Cells agreeing here (and on the workload) share a fetch
+// stream and may coalesce.
+func usesPlaced(spec RunSpec) bool {
+	return spec.Scheme == energy.WayPlacement || spec.Adaptive.Enabled()
+}
+
+// modelOf translates one cell into the instruction-side cache model
+// it contributes to a single-pass group. cfg must be the cell's
+// resolved configuration.
+func modelOf(spec RunSpec, cfg sim.Config) sim.ModelSpec {
+	if spec.Adaptive.Enabled() {
+		pol := spec.Adaptive.Policy()
+		return sim.ModelSpec{Geometry: cfg.ICache, Adaptive: &pol}
+	}
+	return sim.ModelSpecOf(cfg)
+}
+
 // Run executes a batch of cells and returns their results in input
 // order. Identical specs within the batch are simulated once; specs
-// seen in earlier batches are served from the run cache. Per-cell
-// failures do not abort the grid: every runnable cell still runs, the
-// failures come back as a *MultiError, and the corresponding result
-// slots are nil. Cancelling ctx stops the batch promptly, abandoning
-// unstarted cells and interrupting in-flight instruction loops.
+// seen in earlier batches are served from the run cache. Unless
+// WithCoalesce(false) is in force, fresh cells sharing a workload and
+// binary are planned into single-pass groups, each simulated by one
+// sim.RunMulti call driving every member's cache model off one fetch
+// stream. Per-cell failures do not abort the grid: every runnable
+// cell still runs, the failures come back as a *MultiError, and the
+// corresponding result slots are nil. Cancelling ctx stops the batch
+// promptly, abandoning unstarted cells and interrupting in-flight
+// instruction loops.
 func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*Result, error) {
 	opt := e.defaults
 	for _, o := range opts {
@@ -349,12 +450,7 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 	}
 	uniqueRes := make([]*Result, len(unique))
 	uniqueErr := make([]error, len(unique))
-
-	if workers > len(unique) {
-		workers = len(unique)
-	}
-	jobs := make(chan int)
-	var wg sync.WaitGroup
+	groupIDs := make([]string, len(unique))
 
 	// Serialise progress callbacks and the done counter. Every unique
 	// cell reports exactly once — failures included (Err non-nil) — so
@@ -373,47 +469,225 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 		progMu.Unlock()
 	}
 
+	// finish books one unique cell's outcome: verify, instruments,
+	// result/error slot, progress. Shared by every execution shape.
+	finish := func(idx int, stats *sim.RunStats, changes []sim.AreaChange, hit bool, wall time.Duration, err error) {
+		spec := unique[idx]
+		if err == nil && opt.verify != nil {
+			if verr := opt.verify(resolve(opt.base, spec), stats); verr != nil {
+				err = fmt.Errorf("%s: verify: %w", spec, verr)
+			}
+		}
+		if err != nil {
+			uniqueErr[idx] = err
+			ins.failures.Inc()
+			report(Progress{Spec: spec, Wall: wall, Err: err})
+			return
+		}
+		r := &Result{Spec: spec, Stats: stats, AreaChanges: changes, CacheHit: hit, Wall: wall, GroupID: groupIDs[idx]}
+		ins.cells.Inc()
+		if !hit {
+			ins.record(spec, stats, wall)
+		}
+		uniqueRes[idx] = r
+		report(Progress{Spec: spec, Wall: wall, CacheHit: hit})
+	}
+
+	// runWait serves a cell whose key already has an in-flight or
+	// finished entry — a cross-batch cache hit. It still books the hit
+	// counters and fires the progress callback, so a display over a
+	// half-memoized grid sees Done reach Total.
+	runWait := func(idx int, ent *runEntry) {
+		spec := unique[idx]
+		select {
+		case <-ent.done:
+		case <-ctx.Done():
+			err := ctx.Err()
+			uniqueErr[idx] = err
+			ins.failures.Inc()
+			report(Progress{Spec: spec, Err: err})
+			return
+		}
+		if ent.err != nil {
+			uniqueErr[idx] = ent.err
+			ins.failures.Inc()
+			report(Progress{Spec: spec, Err: ent.err})
+			return
+		}
+		e.hits.Add(1)
+		ins.hits.Inc()
+		finish(idx, ent.stats, ent.changes, true, 0, nil)
+	}
+
+	// runCell is the per-cell reference path (WithCoalesce(false)).
+	runCell := func(idx int) {
+		spec := unique[idx]
+		if err := ctx.Err(); err != nil {
+			uniqueErr[idx] = err
+			ins.failures.Inc()
+			report(Progress{Spec: spec, Err: err})
+			return
+		}
+		start := time.Now()
+		stats, changes, hit, err := e.cell(ctx, spec, opt.base, ins)
+		var wall time.Duration
+		if !hit {
+			wall = time.Since(start)
+		}
+		finish(idx, stats, changes, hit, wall, err)
+	}
+
+	type member struct {
+		idx int
+		key runKey
+		ent *runEntry
+	}
+	type group struct {
+		workload string
+		placed   bool
+		members  []member
+	}
+
+	// runGroup executes one planned group: a single multi-model pass
+	// over the shared fetch stream. Its entries were registered at
+	// plan time, so it must settle every one of them on every path —
+	// a waiter in another batch may be blocked on them.
+	runGroup := func(g *group) {
+		fail := func(err error) {
+			e.mu.Lock()
+			for _, m := range g.members {
+				delete(e.runs, m.key)
+			}
+			e.mu.Unlock()
+			for _, m := range g.members {
+				spec := unique[m.idx]
+				m.ent.err = fmt.Errorf("%s: %w", spec, err)
+				close(m.ent.done)
+				uniqueErr[m.idx] = m.ent.err
+				ins.failures.Inc()
+				report(Progress{Spec: spec, Err: m.ent.err})
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			return
+		}
+		e.misses.Add(uint64(len(g.members)))
+		ins.misses.Add(uint64(len(g.members)))
+		w, err := e.workload(ctx, g.workload)
+		if err != nil {
+			fail(err)
+			return
+		}
+		prog := w.Original
+		if g.placed {
+			prog = w.Placed
+		}
+		models := make([]sim.ModelSpec, len(g.members))
+		for i, m := range g.members {
+			models[i] = modelOf(unique[m.idx], m.key.cfg)
+		}
+		ins.inflight.Add(float64(len(g.members)))
+		start := time.Now()
+		res, err := sim.RunMulti(ctx, prog, opt.base, models)
+		wall := time.Since(start)
+		ins.inflight.Add(-float64(len(g.members)))
+		if err != nil {
+			// A producer-level failure (fault, budget, cancellation)
+			// fails every member; per-model errors below fail only
+			// their own cell.
+			fail(err)
+			return
+		}
+		if len(g.members) > 1 {
+			e.groups.Add(1)
+			ins.groups.Inc()
+			e.coalesced.Add(uint64(len(g.members)))
+			ins.coalesced.Add(uint64(len(g.members)))
+		}
+		// The pass's wall time is shared work: split it evenly so
+		// per-cell walls still sum to real simulation time.
+		share := wall / time.Duration(len(g.members))
+		for i, m := range g.members {
+			spec := unique[m.idx]
+			if res[i].Err != nil {
+				m.ent.err = fmt.Errorf("%s: %w", spec, res[i].Err)
+				e.mu.Lock()
+				delete(e.runs, m.key)
+				e.mu.Unlock()
+			} else {
+				m.ent.stats, m.ent.changes = res[i].Stats, res[i].AreaChanges
+			}
+			close(m.ent.done)
+			finish(m.idx, m.ent.stats, m.ent.changes, false, share, m.ent.err)
+		}
+	}
+
+	// Plan the batch. Under the engine lock each unique cell either
+	// joins an existing run entry (a waiter: some earlier batch — or
+	// this planning pass — owns the simulation) or registers a fresh
+	// entry and is assigned to the single-pass group for its
+	// (workload, binary) pair. Group membership follows unique order,
+	// so the model list — and therefore the output — is deterministic
+	// regardless of worker count.
+	var tasks []func()
+	if !opt.noCoalesce {
+		var order []*group
+		byStream := make(map[groupKey]*group)
+		e.mu.Lock()
+		for idx, spec := range unique {
+			key := runKey{workload: spec.Workload, cfg: resolve(opt.base, spec), adaptive: spec.Adaptive}
+			if ent, ok := e.runs[key]; ok {
+				idx, ent := idx, ent
+				tasks = append(tasks, func() { runWait(idx, ent) })
+				continue
+			}
+			ent := &runEntry{done: make(chan struct{})}
+			e.runs[key] = ent
+			gk := groupKey{workload: spec.Workload, placed: usesPlaced(spec)}
+			g := byStream[gk]
+			if g == nil {
+				g = &group{workload: gk.workload, placed: gk.placed}
+				byStream[gk] = g
+				order = append(order, g)
+			}
+			g.members = append(g.members, member{idx: idx, key: key, ent: ent})
+		}
+		e.mu.Unlock()
+		for _, g := range order {
+			gid := g.workload + "/original"
+			if g.placed {
+				gid = g.workload + "/placed"
+			}
+			for _, m := range g.members {
+				groupIDs[m.idx] = gid
+			}
+			g := g
+			tasks = append(tasks, func() { runGroup(g) })
+		}
+	} else {
+		for idx := range unique {
+			idx := idx
+			tasks = append(tasks, func() { runCell(idx) })
+		}
+	}
+
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	jobs := make(chan func())
+	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for idx := range jobs {
-				spec := unique[idx]
-				if err := ctx.Err(); err != nil {
-					uniqueErr[idx] = err
-					ins.failures.Inc()
-					report(Progress{Spec: spec, Err: err})
-					continue
-				}
-				start := time.Now()
-				stats, changes, hit, err := e.cell(ctx, spec, opt.base, ins)
-				var wall time.Duration
-				if !hit {
-					wall = time.Since(start)
-				}
-				if err == nil && opt.verify != nil {
-					if verr := opt.verify(resolve(opt.base, spec), stats); verr != nil {
-						err = fmt.Errorf("%s: verify: %w", spec, verr)
-					}
-				}
-				if err != nil {
-					uniqueErr[idx] = err
-					ins.failures.Inc()
-					report(Progress{Spec: spec, Wall: wall, Err: err})
-					continue
-				}
-				r := &Result{Spec: spec, Stats: stats, AreaChanges: changes, CacheHit: hit, Wall: wall}
-				ins.cells.Inc()
-				if !hit {
-					ins.record(spec, stats, wall)
-				}
-				uniqueRes[idx] = r
-				report(Progress{Spec: spec, Wall: wall, CacheHit: hit})
+			for task := range jobs {
+				task()
 			}
 		}()
 	}
-	for idx := range unique {
-		jobs <- idx
+	for _, t := range tasks {
+		jobs <- t
 	}
 	close(jobs)
 	wg.Wait()
@@ -439,7 +713,7 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 			e.hits.Add(1)
 			ins.hits.Inc()
 			ins.cells.Inc()
-			results[i] = &Result{Spec: s, Stats: r.Stats, AreaChanges: r.AreaChanges, CacheHit: true}
+			results[i] = &Result{Spec: s, Stats: r.Stats, AreaChanges: r.AreaChanges, CacheHit: true, GroupID: r.GroupID}
 		}
 		occurrences[s]++
 	}
@@ -447,6 +721,13 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 		return results, &merr
 	}
 	return results, nil
+}
+
+// groupKey identifies one fetch stream within a batch: cells with the
+// same workload and binary replay identical (addr, indirect) events.
+type groupKey struct {
+	workload string
+	placed   bool
 }
 
 // RunOne executes a single cell.

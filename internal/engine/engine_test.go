@@ -624,3 +624,126 @@ func TestAdaptiveCells(t *testing.T) {
 		t.Error("engine adaptive trace differs from direct sim.RunAdaptive")
 	}
 }
+
+// TestCoalescedMatchesPerCell: grouping is a scheduling optimisation,
+// not a model change — a grid run coalesced (the default) and one run
+// through the per-cell reference path must produce identical
+// statistics, and only the coalesced run reports groups.
+func TestCoalescedMatchesPerCell(t *testing.T) {
+	provider := testProvider(t)
+	specs := grid()
+
+	co := engine.New(provider, engine.WithWorkers(4))
+	coRes, err := co.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := engine.New(provider, engine.WithWorkers(4), engine.WithCoalesce(false))
+	pcRes, err := pc.Run(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range specs {
+		if !reflect.DeepEqual(coRes[i].Stats, pcRes[i].Stats) {
+			t.Errorf("%v: coalesced stats diverge from per-cell", specs[i])
+		}
+		if coRes[i].GroupID == "" {
+			t.Errorf("%v: coalesced result carries no group id", specs[i])
+		}
+		if pcRes[i].GroupID != "" {
+			t.Errorf("%v: per-cell result carries group id %q", specs[i], pcRes[i].GroupID)
+		}
+	}
+	// grid() is 2 workloads x (2 geometries x {baseline, waymem}) on
+	// the original binary + (2 geometries x wayplace) on the placed
+	// binary: 4 fetch streams, 12 cells, all coalesced.
+	if co.Groups() != 4 {
+		t.Errorf("Groups() = %d, want 4", co.Groups())
+	}
+	if co.CoalescedCells() != uint64(len(specs)) {
+		t.Errorf("CoalescedCells() = %d, want %d", co.CoalescedCells(), len(specs))
+	}
+	if pc.Groups() != 0 || pc.CoalescedCells() != 0 {
+		t.Errorf("per-cell engine reports groups: %d/%d", pc.Groups(), pc.CoalescedCells())
+	}
+}
+
+// TestCoalescedGroupWithMemoizedCells is the regression test for
+// cache hits inside a coalesced group: when half a group's cells are
+// already memoized from an earlier batch, the second batch must still
+// (a) count each memoized cell as a cache hit in both the engine
+// counters and the obs registry, (b) fire the progress callback for
+// every cell so Done reaches Total, and (c) only simulate the fresh
+// half.
+func TestCoalescedGroupWithMemoizedCells(t *testing.T) {
+	specs := grid()
+	half := specs[:len(specs)/2]
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	var seen []engine.Progress
+	e := engine.New(testProvider(t), engine.WithWorkers(4), engine.WithObserver(reg),
+		engine.WithProgress(func(p engine.Progress) {
+			mu.Lock()
+			seen = append(seen, p)
+			mu.Unlock()
+		}))
+	ctx := context.Background()
+
+	firstRes, err := e.Run(ctx, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterHalf := e.Misses()
+	if missesAfterHalf != uint64(len(half)) {
+		t.Fatalf("first batch: misses=%d, want %d", missesAfterHalf, len(half))
+	}
+	seen = nil
+
+	res, err := e.Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// (c) Only the fresh half simulated; the memoized half are hits.
+	if e.Misses() != uint64(len(specs)) {
+		t.Errorf("after full grid: misses=%d, want %d (memoized cells re-simulated)", e.Misses(), len(specs))
+	}
+	if e.Hits() != uint64(len(half)) {
+		t.Errorf("after full grid: hits=%d, want %d", e.Hits(), len(half))
+	}
+	// (a) The obs counters agree with the engine counters.
+	if n := reg.Counter(engine.MetricCacheHits).Value(); n != e.Hits() {
+		t.Errorf("%s = %d, want %d", engine.MetricCacheHits, n, e.Hits())
+	}
+	if n := reg.Counter(engine.MetricCacheMisses).Value(); n != e.Misses() {
+		t.Errorf("%s = %d, want %d", engine.MetricCacheMisses, n, e.Misses())
+	}
+	// (b) Every cell of the second batch reported progress, hits
+	// included, and the counter ran all the way to Total.
+	if len(seen) != len(specs) {
+		t.Fatalf("progress reported %d cells, want %d", len(seen), len(specs))
+	}
+	last := seen[len(seen)-1]
+	if last.Done != last.Total || last.Total != len(specs) {
+		t.Errorf("final progress done=%d total=%d, want %d/%d", last.Done, last.Total, len(specs), len(specs))
+	}
+	hitReports := 0
+	for _, p := range seen {
+		if p.CacheHit {
+			hitReports++
+		}
+	}
+	if hitReports != len(half) {
+		t.Errorf("%d progress reports marked as cache hits, want %d", hitReports, len(half))
+	}
+	// Memoized cells share the first batch's stats objects.
+	for i := range half {
+		if res[i].Stats != firstRes[i].Stats {
+			t.Errorf("%v: memoized cell returned a different stats object", specs[i])
+		}
+		if !res[i].CacheHit {
+			t.Errorf("%v: memoized cell not marked as a cache hit", specs[i])
+		}
+	}
+}

@@ -10,7 +10,7 @@ import (
 // key's field order or encoding changes, so records written by one
 // process version (server job ids, metric labels, cached artifacts)
 // are never misread by another.
-const KeyVersion = "rs1"
+const KeyVersion = "rs2"
 
 // Key returns the canonical, process-stable serialization of the spec:
 // a versioned, '|'-separated string with fixed field order, suitable
@@ -18,22 +18,23 @@ const KeyVersion = "rs1"
 // label. Unlike String(), which is a human-facing summary, Key is
 // exhaustive: two specs have equal keys if and only if they are equal.
 //
-// Shape (static cell):
+// Shape (static cell; st is the array style, v the oracle-hint and
+// no-same-line ablation bits):
 //
-//	rs1|<workload>|i$<size>x<ways>x<line>:<policy>|<scheme>|wp<bytes>
+//	rs2|<workload>|i$<size>x<ways>x<line>:<policy>|<scheme>|wp<bytes>|st<style>|v<oracle><nosameline>
 //
 // Adaptive cells append the full policy:
 //
 //	...|ad<interval>:<start>:<min>:<max>:<grow>:<alias>
 func (s RunSpec) Key() string {
 	var b strings.Builder
-	b.Grow(64)
+	b.Grow(80)
 	b.WriteString(KeyVersion)
 	b.WriteByte('|')
 	b.WriteString(s.Workload)
-	fmt.Fprintf(&b, "|i$%dx%dx%d:%d|%s|wp%d",
+	fmt.Fprintf(&b, "|i$%dx%dx%d:%d|%s|wp%d|st%d|v%d%d",
 		s.ICache.SizeBytes, s.ICache.Ways, s.ICache.LineBytes, uint8(s.ICache.Policy),
-		s.Scheme, s.WPSize)
+		s.Scheme, s.WPSize, uint8(s.Style), keyBit(s.OracleHint), keyBit(s.NoSameLine))
 	if s.Adaptive.Enabled() {
 		a := s.Adaptive
 		fmt.Fprintf(&b, "|ad%d:%d:%d:%d:%s:%s",
@@ -41,6 +42,14 @@ func (s RunSpec) Key() string {
 			keyFloat(a.GrowThreshold), keyFloat(a.AliasMissRate))
 	}
 	return b.String()
+}
+
+// keyBit renders an ablation switch as a stable 0/1 digit.
+func keyBit(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }
 
 // keyFloat renders a policy threshold in the shortest form that

@@ -22,17 +22,17 @@ func TestKeyGolden(t *testing.T) {
 		{
 			name: "baseline",
 			spec: engine.RunSpec{Workload: "sha", ICache: icfg, Scheme: energy.Baseline},
-			want: "rs1|sha|i$32768x32x32:0|baseline|wp0",
+			want: "rs2|sha|i$32768x32x32:0|baseline|wp0|st0|v00",
 		},
 		{
 			name: "waymem",
 			spec: engine.RunSpec{Workload: "crc", ICache: icfg, Scheme: energy.WayMemoization},
-			want: "rs1|crc|i$32768x32x32:0|waymem|wp0",
+			want: "rs2|crc|i$32768x32x32:0|waymem|wp0|st0|v00",
 		},
 		{
 			name: "wayplace-16K",
 			spec: engine.RunSpec{Workload: "patricia", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10},
-			want: "rs1|patricia|i$32768x32x32:0|wayplace|wp16384",
+			want: "rs2|patricia|i$32768x32x32:0|wayplace|wp16384|st0|v00",
 		},
 		{
 			name: "lru-policy",
@@ -41,7 +41,23 @@ func TestKeyGolden(t *testing.T) {
 				ICache:   cache.Config{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32, Policy: cache.LRU},
 				Scheme:   energy.Baseline,
 			},
-			want: "rs1|sha|i$8192x8x32:1|baseline|wp0",
+			want: "rs2|sha|i$8192x8x32:1|baseline|wp0|st0|v00",
+		},
+		{
+			name: "ramtag-oracle",
+			spec: engine.RunSpec{
+				Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10,
+				Style: energy.RAMTag, OracleHint: true,
+			},
+			want: "rs2|sha|i$32768x32x32:0|wayplace|wp16384|st1|v10",
+		},
+		{
+			name: "nosameline",
+			spec: engine.RunSpec{
+				Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10,
+				NoSameLine: true,
+			},
+			want: "rs2|sha|i$32768x32x32:0|wayplace|wp16384|st0|v01",
 		},
 		{
 			name: "adaptive",
@@ -56,7 +72,7 @@ func TestKeyGolden(t *testing.T) {
 					AliasMissRate:  0.02,
 				},
 			},
-			want: "rs1|sha|i$32768x32x32:0|wayplace|wp0|ad50000:1024:1024:65536:0.95:0.02",
+			want: "rs2|sha|i$32768x32x32:0|wayplace|wp0|st0|v00|ad50000:1024:1024:65536:0.95:0.02",
 		},
 	} {
 		if got := tc.spec.Key(); got != tc.want {
@@ -76,6 +92,9 @@ func TestKeyDistinguishesSpecs(t *testing.T) {
 		{Workload: "sha", ICache: cache.Config{SizeBytes: 16 << 10, Ways: 32, LineBytes: 32}, Scheme: energy.WayPlacement, WPSize: 16 << 10},
 		{Workload: "sha", ICache: icfg, Scheme: energy.Baseline, WPSize: 16 << 10},
 		{Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 8 << 10},
+		{Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10, Style: energy.RAMTag},
+		{Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10, OracleHint: true},
+		{Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10, NoSameLine: true},
 		{Workload: "sha", ICache: icfg, Scheme: energy.WayPlacement, WPSize: 16 << 10,
 			Adaptive: engine.AdaptiveSpec{IntervalInstrs: 1, StartSize: 1024}},
 	} {

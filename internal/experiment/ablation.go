@@ -7,6 +7,7 @@ import (
 
 	"wayplace/internal/cache"
 	"wayplace/internal/energy"
+	"wayplace/internal/engine"
 	"wayplace/internal/layout"
 	"wayplace/internal/obj"
 	"wayplace/internal/sim"
@@ -20,9 +21,14 @@ import (
 // how often the fetch stream crosses the area boundary — only matters
 // when the area is scarce.
 //
-// Variant runs use custom binaries or ablation switches outside the
-// engine's cell grid, so they execute through sim.RunContext directly;
-// their baselines still come from the engine's memoised run cache.
+// The hint, same-line and replacement ablations are ordinary engine
+// cells (the switches ride on engine.RunSpec.OracleHint/NoSameLine and
+// cache.Config.Policy), so they are memoised, coalesced into shared
+// fetch passes, and runnable against a remote engine. Only the layout
+// ablation's custom binaries (original, random, Pettis-Hansen) fall
+// outside the engine's cell grid and execute through sim.RunContext
+// directly; its profile-guided leg and every baseline still come from
+// the engine's memoised run cache.
 
 // AblationRow is one variant's result.
 type AblationRow struct {
@@ -30,16 +36,47 @@ type AblationRow struct {
 	Pair
 }
 
+// cellSpec reports whether (cfg, prog) is expressible as a standard
+// engine cell for w — the scheme's standard binary under the suite's
+// base machine, differing only in cell-level fields — and returns
+// that cell. Routing such variants through the engine instead of a
+// direct sim run makes them memoised, coalesced and remote-runnable.
+func (s *Suite) cellSpec(w *Workload, cfg sim.Config, prog *obj.Program) (engine.RunSpec, bool) {
+	if prog != w.Placed || cfg.Scheme != energy.WayPlacement {
+		return engine.RunSpec{}, false
+	}
+	want := s.Base
+	want.MaxInstrs = MaxInstrs
+	norm := cfg
+	norm.ICache, norm.Scheme, norm.Style = want.ICache, want.Scheme, want.Style
+	norm.WPSize, norm.OracleHint, norm.NoSameLine = want.WPSize, want.OracleHint, want.NoSameLine
+	if norm != want {
+		return engine.RunSpec{}, false
+	}
+	return engine.RunSpec{
+		Workload: w.Name, ICache: cfg.ICache, Scheme: cfg.Scheme, Style: cfg.Style,
+		WPSize: cfg.WPSize, OracleHint: cfg.OracleHint, NoSameLine: cfg.NoSameLine,
+	}, true
+}
+
 // runVariant executes one workload under a full custom config and
-// binary, normalising against the memoised baseline.
+// binary, normalising against the memoised baseline. Variants that
+// reduce to a standard cell (the placed binary on the base machine)
+// run through the engine's memoised grid.
 func (s *Suite) runVariant(ctx context.Context, w *Workload, cfg sim.Config, prog *obj.Program) (Pair, error) {
 	baseRes, err := s.RunSpec(ctx, spec(w, cfg.ICache, energy.Baseline, 0))
 	if err != nil {
 		return Pair{}, err
 	}
 	base := baseRes.Stats
-	rs, err := sim.RunContext(ctx, prog, cfg)
-	if err != nil {
+	var rs *sim.RunStats
+	if cell, ok := s.cellSpec(w, cfg, prog); ok {
+		res, err := s.RunSpec(ctx, cell)
+		if err != nil {
+			return Pair{}, err
+		}
+		rs = res.Stats
+	} else if rs, err = sim.RunContext(ctx, prog, cfg); err != nil {
 		return Pair{}, err
 	}
 	if rs.Checksum != base.Checksum {
@@ -95,6 +132,91 @@ func (s *Suite) wpConfig(wpSize uint32) sim.Config {
 // hint ablations.
 const tightWPSize = 2 << 10
 
+// flagVariant is one engine-expressible ablation variant: a cell
+// template applied to every workload, normalised against a baseline
+// cell on the same cache geometry.
+type flagVariant struct {
+	name     string
+	template engine.RunSpec // Workload filled in per benchmark
+}
+
+func hintVariants() []flagVariant {
+	wp := engine.RunSpec{ICache: XScaleICache(), Scheme: energy.WayPlacement, WPSize: tightWPSize}
+	oracle := wp
+	oracle.OracleHint = true
+	return []flagVariant{
+		{"1-bit way hint", wp},
+		{"oracle hint", oracle},
+	}
+}
+
+func sameLineVariants() []flagVariant {
+	wp := engine.RunSpec{ICache: XScaleICache(), Scheme: energy.WayPlacement, WPSize: InitialWPSize}
+	off := wp
+	off.NoSameLine = true
+	return []flagVariant{
+		{"same-line skip on", wp},
+		{"same-line skip off", off},
+	}
+}
+
+func replacementVariants() []flagVariant {
+	rr := engine.RunSpec{ICache: XScaleICache(), Scheme: energy.WayPlacement, WPSize: InitialWPSize}
+	lru := rr
+	lru.ICache.Policy = cache.LRU
+	return []flagVariant{
+		{"round-robin (XScale)", rr},
+		{"true LRU", lru},
+	}
+}
+
+// variantSpecs expands one variant into its grid: a baseline cell and
+// a variant cell per workload, stride 2.
+func (s *Suite) variantSpecs(v flagVariant) []engine.RunSpec {
+	specs := make([]engine.RunSpec, 0, 2*len(s.Workloads))
+	for _, w := range s.Workloads {
+		cell := v.template
+		cell.Workload = w.Name
+		specs = append(specs, spec(w, v.template.ICache, energy.Baseline, 0), cell)
+	}
+	return specs
+}
+
+// averageGrid runs one engine-expressible variant across the suite as
+// a single batch and averages the normalised pairs in workload order.
+func (s *Suite) averageGrid(ctx context.Context, v flagVariant) (AblationRow, error) {
+	row := AblationRow{Variant: v.name}
+	res, err := s.RunBatch(ctx, s.variantSpecs(v))
+	if err != nil {
+		return row, err
+	}
+	for i, w := range s.Workloads {
+		base, got := res[2*i].Stats, res[2*i+1].Stats
+		if got.Checksum != base.Checksum {
+			return row, fmt.Errorf("%s: variant changed the checksum: %#x vs %#x",
+				w.Name, got.Checksum, base.Checksum)
+		}
+		addPair(&row.Pair, pairOf(got, base))
+	}
+	n := float64(len(s.Workloads))
+	row.Energy /= n
+	row.ED /= n
+	return row, nil
+}
+
+// flagAblationRows runs a set of engine-expressible variants in order.
+func (s *Suite) flagAblationRows(ctx context.Context, variants []flagVariant) ([]AblationRow, error) {
+	rows := make([]AblationRow, 0, len(variants))
+	for _, v := range variants {
+		row, err := s.averageGrid(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // AblationLayout quantifies how much of the saving is the compiler
 // pass itself: the way-placement hardware running over the profile-
 // guided layout, the original layout, a random (constraint-
@@ -136,69 +258,19 @@ func (s *Suite) AblationLayout(ctx context.Context) ([]AblationRow, error) {
 // of the way-placement bit — the cost of predicting instead of
 // serialising on the I-TLB.
 func (s *Suite) AblationHint(ctx context.Context) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, oracle := range []bool{false, true} {
-		name := "1-bit way hint"
-		if oracle {
-			name = "oracle hint"
-		}
-		oracle := oracle
-		row, err := s.averageVariant(ctx, name, func(w *Workload) (sim.Config, *obj.Program, error) {
-			cfg := s.wpConfig(tightWPSize)
-			cfg.OracleHint = oracle
-			return cfg, w.Placed, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return s.flagAblationRows(ctx, hintVariants())
 }
 
 // AblationSameLine measures the contribution of the same-line
 // tag-check skip (section 4.2's "further modification").
 func (s *Suite) AblationSameLine(ctx context.Context) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, off := range []bool{false, true} {
-		name := "same-line skip on"
-		if off {
-			name = "same-line skip off"
-		}
-		off := off
-		row, err := s.averageVariant(ctx, name, func(w *Workload) (sim.Config, *obj.Program, error) {
-			cfg := s.wpConfig(InitialWPSize)
-			cfg.NoSameLine = off
-			return cfg, w.Placed, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return s.flagAblationRows(ctx, sameLineVariants())
 }
 
 // AblationReplacement checks that the scheme is insensitive to the
 // replacement policy (explicit placement bypasses it for hot lines).
 func (s *Suite) AblationReplacement(ctx context.Context) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, policy := range []struct {
-		name string
-		p    cache.Policy
-	}{{"round-robin (XScale)", cache.RoundRobin}, {"true LRU", cache.LRU}} {
-		policy := policy
-		row, err := s.averageVariant(ctx, policy.name, func(w *Workload) (sim.Config, *obj.Program, error) {
-			cfg := s.wpConfig(InitialWPSize)
-			cfg.ICache.Policy = policy.p
-			return cfg, w.Placed, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+	return s.flagAblationRows(ctx, replacementVariants())
 }
 
 // FormatAblation renders ablation rows.

@@ -198,6 +198,33 @@ func (s *Suite) RunRequests(ctx context.Context, reqs []api.RunRequest, opts ...
 	return s.RunBatch(ctx, specs, opts...)
 }
 
+// WarmupSpecs returns the union of every standard grid the suite's
+// figures, extensions and flag ablations submit: the whole evaluation
+// expressed as one batch. Submitting it up front lets the engine's
+// single-pass grouping coalesce all cells that share a workload and
+// fetch stream — roughly two producer passes per workload per cache
+// geometry instead of one per cell — after which every individual
+// section is a pure run-cache hit. The engine deduplicates cells
+// repeated across grids, so the overlap between figures is free.
+func (s *Suite) WarmupSpecs() []engine.RunSpec {
+	var specs []engine.RunSpec
+	specs = append(specs, s.fig4Specs()...)
+	specs = append(specs, s.fig5Specs()...)
+	specs = append(specs, s.fig6Specs()...)
+	specs = append(specs, s.ramTagSpecs()...)
+	specs = append(specs, s.adaptiveSpecs()...)
+	for _, v := range hintVariants() {
+		specs = append(specs, s.variantSpecs(v)...)
+	}
+	for _, v := range sameLineVariants() {
+		specs = append(specs, s.variantSpecs(v)...)
+	}
+	for _, v := range replacementVariants() {
+		specs = append(specs, s.variantSpecs(v)...)
+	}
+	return specs
+}
+
 // forEach runs fn over all workloads in parallel (for ablation and
 // extension variants that fall outside the engine's cell grid),
 // stopping new work once ctx is cancelled and collecting errors.

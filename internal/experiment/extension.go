@@ -30,43 +30,56 @@ type RAMRow struct {
 	WayPlace Pair
 }
 
-// ExtensionRAMTag evaluates way-placement on conventional RAM-tag
-// caches at the associativities such caches are actually built with
-// (4/8-way), alongside the XScale CAM points, averaged over the suite.
-// The baseline for each row uses the same array style. Each row is an
-// engine grid run against a base config carrying the array style —
-// the run cache keys on the full resolved config, so CAM and RAM rows
-// never alias.
-func (s *Suite) ExtensionRAMTag(ctx context.Context) ([]RAMRow, error) {
-	var rows []RAMRow
-	for _, rc := range []struct {
-		ways  int
-		style energy.ArrayStyle
-	}{
-		{4, energy.RAMTag},
-		{8, energy.RAMTag},
-		{8, energy.CAMTag},
-		{32, energy.CAMTag},
-	} {
+// ramTagPoints are the organisations the RAM-tag extension evaluates:
+// the associativities conventional RAM-tag caches are actually built
+// with (4/8-way) alongside the XScale CAM points.
+var ramTagPoints = []struct {
+	ways  int
+	style energy.ArrayStyle
+}{
+	{4, energy.RAMTag},
+	{8, energy.RAMTag},
+	{8, energy.CAMTag},
+	{32, energy.CAMTag},
+}
+
+// ramTagSpecs is the RAM-tag extension's grid: baseline and 16KB
+// way-placement per organisation per benchmark, organisation-major,
+// stride 2. The array style rides on each spec (engine.RunSpec.Style),
+// so the whole extension is one batch — the run cache keys on the full
+// resolved config, so CAM and RAM cells never alias, while same-
+// geometry CAM and RAM cells share one fetch pass when coalesced.
+func (s *Suite) ramTagSpecs() []engine.RunSpec {
+	specs := make([]engine.RunSpec, 0, 2*len(ramTagPoints)*len(s.Workloads))
+	for _, rc := range ramTagPoints {
 		icfg := cache.Config{SizeBytes: 32 << 10, Ways: rc.ways, LineBytes: 32, Policy: cache.RoundRobin}
-		base := s.Base
-		base.MaxInstrs = MaxInstrs
-		base.Style = rc.style
-		specs := make([]engine.RunSpec, 0, 2*len(s.Workloads))
 		for _, w := range s.Workloads {
-			specs = append(specs,
-				spec(w, icfg, energy.Baseline, 0),
-				spec(w, icfg, energy.WayPlacement, InitialWPSize))
+			b := spec(w, icfg, energy.Baseline, 0)
+			b.Style = rc.style
+			p := spec(w, icfg, energy.WayPlacement, InitialWPSize)
+			p.Style = rc.style
+			specs = append(specs, b, p)
 		}
-		res, err := s.RunBatch(ctx, specs, engine.WithBaseConfig(base))
-		if err != nil {
-			return nil, err
-		}
+	}
+	return specs
+}
+
+// ExtensionRAMTag evaluates way-placement on conventional RAM-tag
+// caches, averaged over the suite. The baseline for each row uses the
+// same array style.
+func (s *Suite) ExtensionRAMTag(ctx context.Context) ([]RAMRow, error) {
+	res, err := s.RunBatch(ctx, s.ramTagSpecs())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]RAMRow, 0, len(ramTagPoints))
+	n := float64(len(s.Workloads))
+	for ri, rc := range ramTagPoints {
 		row := RAMRow{Ways: rc.ways, Style: rc.style}
+		off := 2 * len(s.Workloads) * ri
 		for i := range s.Workloads {
-			addPair(&row.WayPlace, pairOf(res[2*i+1].Stats, res[2*i].Stats))
+			addPair(&row.WayPlace, pairOf(res[off+2*i+1].Stats, res[off+2*i].Stats))
 		}
-		n := float64(len(s.Workloads))
 		row.WayPlace.Energy /= n
 		row.WayPlace.ED /= n
 		rows = append(rows, row)
@@ -97,23 +110,28 @@ type AdaptiveRow struct {
 	Resizes   int
 }
 
-// ExtensionAdaptive runs the adaptive OS policy (starting from one
-// page) on each workload and compares it with the static 16KB area.
-// Adaptive cells are first-class grid members (engine.RunSpec.Adaptive),
-// so the whole comparison is one parallel, memoised batch.
-func (s *Suite) ExtensionAdaptive(ctx context.Context) ([]AdaptiveRow, error) {
+// adaptiveSpecs is the adaptive extension's grid: baseline, static
+// 16KB way-placement and the adaptive policy per benchmark, stride 3.
+func (s *Suite) adaptiveSpecs() []engine.RunSpec {
 	icfg := XScaleICache()
-	pol := sim.DefaultAdaptivePolicy(icfg, s.Base.ITLB.PageBytes)
-	adaptive := engine.AdaptiveSpecOf(pol)
-	const stride = 3 // baseline, static WP, adaptive WP
-	specs := make([]engine.RunSpec, 0, stride*len(s.Workloads))
+	adaptive := engine.AdaptiveSpecOf(sim.DefaultAdaptivePolicy(icfg, s.Base.ITLB.PageBytes))
+	specs := make([]engine.RunSpec, 0, 3*len(s.Workloads))
 	for _, w := range s.Workloads {
 		specs = append(specs,
 			spec(w, icfg, energy.Baseline, 0),
 			spec(w, icfg, energy.WayPlacement, InitialWPSize),
 			engine.RunSpec{Workload: w.Name, ICache: icfg, Scheme: energy.WayPlacement, Adaptive: adaptive})
 	}
-	res, err := s.RunBatch(ctx, specs)
+	return specs
+}
+
+// ExtensionAdaptive runs the adaptive OS policy (starting from one
+// page) on each workload and compares it with the static 16KB area.
+// Adaptive cells are first-class grid members (engine.RunSpec.Adaptive),
+// so the whole comparison is one parallel, memoised batch.
+func (s *Suite) ExtensionAdaptive(ctx context.Context) ([]AdaptiveRow, error) {
+	const stride = 3 // baseline, static WP, adaptive WP
+	res, err := s.RunBatch(ctx, s.adaptiveSpecs())
 	if err != nil {
 		return nil, err
 	}

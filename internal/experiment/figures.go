@@ -24,6 +24,20 @@ func spec(w *Workload, icfg cache.Config, scheme energy.Scheme, wp uint32) engin
 	return engine.RunSpec{Workload: w.Name, ICache: icfg, Scheme: scheme, WPSize: wp}
 }
 
+// fig4Specs is figure 4's grid: baseline, way-memoization and 16KB
+// way-placement per benchmark, stride 3.
+func (s *Suite) fig4Specs() []engine.RunSpec {
+	icfg := XScaleICache()
+	specs := make([]engine.RunSpec, 0, 3*len(s.Workloads))
+	for _, w := range s.Workloads {
+		specs = append(specs,
+			spec(w, icfg, energy.Baseline, 0),
+			spec(w, icfg, energy.WayMemoization, 0),
+			spec(w, icfg, energy.WayPlacement, InitialWPSize))
+	}
+	return specs
+}
+
 // Fig4Row is one benchmark's bars in figure 4.
 type Fig4Row struct {
 	Bench    string
@@ -41,15 +55,7 @@ type Fig4Result struct {
 // I-cache energy and ED product for way-memoization and
 // way-placement on the 32KB/32-way cache with a 16KB WP area.
 func (s *Suite) Figure4(ctx context.Context) (*Fig4Result, error) {
-	icfg := XScaleICache()
-	specs := make([]engine.RunSpec, 0, 3*len(s.Workloads))
-	for _, w := range s.Workloads {
-		specs = append(specs,
-			spec(w, icfg, energy.Baseline, 0),
-			spec(w, icfg, energy.WayMemoization, 0),
-			spec(w, icfg, energy.WayPlacement, InitialWPSize))
-	}
-	res, err := s.RunBatch(ctx, specs)
+	res, err := s.RunBatch(ctx, s.fig4Specs())
 	if err != nil {
 		return nil, err
 	}
@@ -94,14 +100,11 @@ type Fig5Result struct {
 // Fig5Sizes are the way-placement area sizes of section 6.2.
 var Fig5Sizes = []int{16, 8, 4, 2, 1} // KB
 
-// Figure5 reproduces figures 5(a) and 5(b): average normalised
-// I-cache energy and ED product while the way-placement area shrinks
-// from 16KB to 1KB on the 32KB/32-way cache. No relinking happens —
-// the same placed binary serves every size, as in section 4.1.
-func (s *Suite) Figure5(ctx context.Context) (*Fig5Result, error) {
+// fig5Specs is figure 5's grid: baseline, way-memoization and the
+// area-size sweep per benchmark, stride 2+len(Fig5Sizes).
+func (s *Suite) fig5Specs() []engine.RunSpec {
 	icfg := XScaleICache()
-	stride := 2 + len(Fig5Sizes)
-	specs := make([]engine.RunSpec, 0, stride*len(s.Workloads))
+	specs := make([]engine.RunSpec, 0, (2+len(Fig5Sizes))*len(s.Workloads))
 	for _, w := range s.Workloads {
 		specs = append(specs,
 			spec(w, icfg, energy.Baseline, 0),
@@ -110,7 +113,16 @@ func (s *Suite) Figure5(ctx context.Context) (*Fig5Result, error) {
 			specs = append(specs, spec(w, icfg, energy.WayPlacement, uint32(kb)<<10))
 		}
 	}
-	res, err := s.RunBatch(ctx, specs)
+	return specs
+}
+
+// Figure5 reproduces figures 5(a) and 5(b): average normalised
+// I-cache energy and ED product while the way-placement area shrinks
+// from 16KB to 1KB on the 32KB/32-way cache. No relinking happens —
+// the same placed binary serves every size, as in section 4.1.
+func (s *Suite) Figure5(ctx context.Context) (*Fig5Result, error) {
+	stride := 2 + len(Fig5Sizes)
+	res, err := s.RunBatch(ctx, s.fig5Specs())
 	if err != nil {
 		return nil, err
 	}
@@ -155,12 +167,8 @@ var (
 	Fig6Ways  = []int{8, 16, 32}
 )
 
-// Figure6 reproduces figures 6(a) and 6(b): the cache size and
-// associativity sweep. The whole sweep — every cache configuration
-// times every workload times four schemes — is submitted as a single
-// grid, so the engine parallelises across configurations as well as
-// benchmarks.
-func (s *Suite) Figure6(ctx context.Context) ([]Fig6Cell, error) {
+// fig6Cfgs enumerates the sweep's cache configurations.
+func fig6Cfgs() []cache.Config {
 	var cfgs []cache.Config
 	for _, kb := range Fig6Sizes {
 		for _, ways := range Fig6Ways {
@@ -169,8 +177,14 @@ func (s *Suite) Figure6(ctx context.Context) ([]Fig6Cell, error) {
 			})
 		}
 	}
-	const stride = 4 // baseline, waymem, wp16, wp8
-	specs := make([]engine.RunSpec, 0, stride*len(cfgs)*len(s.Workloads))
+	return cfgs
+}
+
+// fig6Specs is figure 6's grid: four schemes per cache configuration
+// per benchmark, configuration-major, stride 4.
+func (s *Suite) fig6Specs() []engine.RunSpec {
+	cfgs := fig6Cfgs()
+	specs := make([]engine.RunSpec, 0, 4*len(cfgs)*len(s.Workloads))
 	for _, icfg := range cfgs {
 		for _, w := range s.Workloads {
 			specs = append(specs,
@@ -180,7 +194,18 @@ func (s *Suite) Figure6(ctx context.Context) ([]Fig6Cell, error) {
 				spec(w, icfg, energy.WayPlacement, 8<<10))
 		}
 	}
-	res, err := s.RunBatch(ctx, specs)
+	return specs
+}
+
+// Figure6 reproduces figures 6(a) and 6(b): the cache size and
+// associativity sweep. The whole sweep — every cache configuration
+// times every workload times four schemes — is submitted as a single
+// grid, so the engine parallelises across configurations as well as
+// benchmarks.
+func (s *Suite) Figure6(ctx context.Context) ([]Fig6Cell, error) {
+	cfgs := fig6Cfgs()
+	const stride = 4 // baseline, waymem, wp16, wp8
+	res, err := s.RunBatch(ctx, s.fig6Specs())
 	if err != nil {
 		return nil, err
 	}

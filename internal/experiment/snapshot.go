@@ -28,10 +28,12 @@ func NewSnapshot(command string, s *Suite, reg *obs.Registry, wall time.Duration
 		GoVersion:  runtime.Version(),
 		UnixTime:   time.Now().Unix(),
 		Grid: obs.Grid{
-			Workloads: len(s.Workloads),
-			Cells:     hits + misses,
-			Simulated: misses,
-			CacheHits: hits,
+			Workloads:      len(s.Workloads),
+			Cells:          hits + misses,
+			Simulated:      misses,
+			CacheHits:      hits,
+			Groups:         eng.Groups(),
+			CoalescedCells: eng.CoalescedCells(),
 		},
 		WallSeconds: wall.Seconds(),
 		Sections:    sections,

@@ -47,6 +47,12 @@ type Memory struct {
 	Config Config
 	Stats  Stats
 	pages  map[uint32]*[pageSize]byte
+
+	// Last page served, short-circuiting the map lookup: accesses
+	// cluster heavily (stack frames, sequential buffers), and the
+	// simulator's data path goes through here on every load and store.
+	lastKey  uint32
+	lastPage *[pageSize]byte
 }
 
 // New returns an empty memory with the given timing.
@@ -56,10 +62,16 @@ func New(cfg Config) *Memory {
 
 func (m *Memory) page(addr uint32, create bool) *[pageSize]byte {
 	key := addr >> pageShift
+	if m.lastPage != nil && m.lastKey == key {
+		return m.lastPage
+	}
 	p := m.pages[key]
 	if p == nil && create {
 		p = new([pageSize]byte)
 		m.pages[key] = p
+	}
+	if p != nil {
+		m.lastKey, m.lastPage = key, p
 	}
 	return p
 }

@@ -19,6 +19,14 @@ type Grid struct {
 	Cells     uint64 `json:"cells"`
 	Simulated uint64 `json:"simulated"`
 	CacheHits uint64 `json:"cache_hits"`
+	// Groups counts the single-pass multi-model groups the engine
+	// formed (cells sharing a workload and fetch stream simulated by
+	// one sim.RunMulti pass); CoalescedCells is how many of the
+	// simulated cells were members of such groups. Both stay zero on
+	// runs predating single-pass grouping or with it disabled, and are
+	// then omitted from the JSON.
+	Groups         uint64 `json:"groups,omitempty"`
+	CoalescedCells uint64 `json:"coalesced_cells,omitempty"`
 }
 
 // Section is one timed phase of a run (prepare, each figure, each

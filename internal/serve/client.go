@@ -188,6 +188,7 @@ func (r *RemoteRunner) Run(ctx context.Context, specs []engine.RunSpec, opts ...
 			AreaChanges: areaChangesOf(rr.AreaChanges),
 			Wall:        time.Duration(rr.WallSeconds * float64(time.Second)),
 			CacheHit:    rr.CacheHit,
+			GroupID:     rr.GroupID,
 		}
 	}
 	if len(merr.Errors) > 0 {

@@ -621,3 +621,65 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("healthz = %+v", health)
 	}
 }
+
+// TestCoalesceField: the optional batch "coalesce" field selects
+// server-side single-pass grouping per batch. Results must be
+// identical either way (the v1 contract is unchanged), group ids
+// appear only on coalesced fresh cells, and omitting the field means
+// grouping is on.
+func TestCoalesceField(t *testing.T) {
+	reqs := smallBatch()
+	post := func(env *testEnv, coalesce *bool) *api.BatchResponse {
+		t.Helper()
+		body, err := json.Marshal(api.BatchRequest{Requests: reqs, Coalesce: coalesce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		httpResp, err := http.Post(env.http.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer httpResp.Body.Close()
+		if httpResp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(httpResp.Body)
+			t.Fatalf("status %d: %s", httpResp.StatusCode, b)
+		}
+		var resp api.BatchResponse
+		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != api.StatusDone || len(resp.Errors) != 0 {
+			t.Fatalf("batch ended %q: %+v", resp.Status, resp.Errors)
+		}
+		return &resp
+	}
+
+	off := false
+	envDefault := newEnv(t, nil)
+	envOff := newEnv(t, nil)
+	got := post(envDefault, nil)
+	want := post(envOff, &off)
+
+	for i := range reqs {
+		if !reflect.DeepEqual(got.Results[i].Stats, want.Results[i].Stats) {
+			t.Errorf("cell %d: coalesced stats diverge from uncoalesced", i)
+		}
+		if got.Results[i].GroupID == "" {
+			t.Errorf("cell %d: coalesced result missing group_id", i)
+		}
+		if want.Results[i].GroupID != "" {
+			t.Errorf("cell %d: uncoalesced result carries group_id %q", i, want.Results[i].GroupID)
+		}
+	}
+	// smallBatch is tiny1 {baseline, wayplace} + tiny2 {waymem,
+	// adaptive}: one multi-cell group per workload binary pair that
+	// shares a stream — tiny1's two cells use different binaries, so
+	// only tiny2's waymem does not group either. Count what actually
+	// coalesced instead of hard-coding.
+	if envDefault.eng.CoalescedCells() != 0 && envDefault.eng.Groups() == 0 {
+		t.Error("coalesced cells without groups")
+	}
+	if envOff.eng.Groups() != 0 {
+		t.Errorf("uncoalesced engine formed %d groups", envOff.eng.Groups())
+	}
+}

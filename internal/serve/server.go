@@ -226,7 +226,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if breq.Async {
-		s.startAsync(w, breq.Requests, specs)
+		s.startAsync(w, &breq, specs)
 		return
 	}
 	if !s.acquire() {
@@ -239,14 +239,14 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	// Run under the request context so a disconnected client cancels
 	// its own cells; Shutdown still drains connected clients because
 	// http.Server.Shutdown leaves active request contexts alone.
-	resp := s.runBatch(r.Context(), breq.Requests, specs)
+	resp := s.runBatch(r.Context(), &breq, specs)
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // startAsync registers (or re-attaches to) the deterministic job for
 // this batch and answers 202 immediately.
-func (s *Server) startAsync(w http.ResponseWriter, reqs []api.RunRequest, specs []engine.RunSpec) {
-	id := api.BatchKey(reqs)
+func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs []engine.RunSpec) {
+	id := api.BatchKey(breq.Requests)
 	j := &job{id: id, status: api.StatusQueued, done: make(chan struct{})}
 	if cur, loaded := s.jobs.LoadOrStore(id, j); loaded {
 		// Identical batch already known: report its current state
@@ -266,7 +266,7 @@ func (s *Server) startAsync(w http.ResponseWriter, reqs []api.RunRequest, specs 
 		j.setStatus(api.StatusRunning)
 		// Async jobs outlive their submitting request, so they run
 		// under the background context; Shutdown waits for them.
-		resp := s.runBatch(context.Background(), reqs, specs)
+		resp := s.runBatch(context.Background(), breq, specs)
 		j.finish(resp)
 	}()
 	writeJSON(w, http.StatusAccepted, api.BatchResponse{
@@ -286,14 +286,22 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // runBatch executes one validated batch on the shared engine and maps
 // the outcome onto the wire schema. Per-cell failures become indexed
-// CellFailures; the batch itself always yields a BatchResponse.
-func (s *Server) runBatch(ctx context.Context, reqs []api.RunRequest, specs []engine.RunSpec) *api.BatchResponse {
+// CellFailures; the batch itself always yields a BatchResponse. The
+// optional coalesce field selects single-pass grouping per batch; the
+// v1 semantics — results, ordering, statistics — are identical either
+// way, so v1 clients that never send the field see no change.
+func (s *Server) runBatch(ctx context.Context, breq *api.BatchRequest, specs []engine.RunSpec) *api.BatchResponse {
+	reqs := breq.Requests
 	if s.opt.RunTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.opt.RunTimeout)
 		defer cancel()
 	}
-	results, err := s.opt.Engine.Run(ctx, specs)
+	var opts []engine.Option
+	if breq.Coalesce != nil {
+		opts = append(opts, engine.WithCoalesce(*breq.Coalesce))
+	}
+	results, err := s.opt.Engine.Run(ctx, specs, opts...)
 	resp := &api.BatchResponse{
 		APIVersion: api.Version,
 		JobID:      api.BatchKey(reqs),

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/cpu"
+	"wayplace/internal/energy"
+	"wayplace/internal/mem"
+	"wayplace/internal/obj"
+	"wayplace/internal/tlb"
+)
+
+// RunCoupled executes prog with the instruction-side models coupled
+// directly into the CPU loop — the original single-model simulator,
+// where each instruction drives the I-TLB and fetch engine in line and
+// stalls accumulate as they happen.
+//
+// Production callers should use RunContext (which routes through the
+// single-pass RunMulti machinery); RunCoupled is kept as an
+// independent reference implementation. internal/check's differential
+// harness runs both and requires bit-identical statistics, so a defect
+// in either the event-stream replay or the coupled loop surfaces as a
+// divergence instead of a silently wrong figure.
+func RunCoupled(ctx context.Context, prog *obj.Program, cfg Config) (*RunStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := mem.New(cfg.Mem)
+	c := cpu.New(prog, m)
+	c.Timing = cfg.Timing
+
+	itlb, err := tlb.New(cfg.ITLB)
+	if err != nil {
+		return nil, err
+	}
+	dtlb, err := tlb.New(cfg.DTLB)
+	if err != nil {
+		return nil, err
+	}
+	dcache, err := cache.NewData(cfg.DCache)
+	if err != nil {
+		return nil, err
+	}
+
+	var engine cache.FetchEngine
+	switch cfg.Scheme {
+	case energy.Baseline:
+		engine, err = cache.NewBaseline(cfg.ICache)
+	case energy.WayPlacement:
+		if cfg.WPSize > 0 {
+			if err := itlb.SetWPArea(prog.Base, cfg.WPSize); err != nil {
+				return nil, err
+			}
+		}
+		var wpe *cache.WayPlacementEngine
+		wpe, err = cache.NewWayPlacement(cfg.ICache, itlb)
+		if wpe != nil {
+			wpe.OracleHint = cfg.OracleHint
+			wpe.NoSameLine = cfg.NoSameLine
+			engine = wpe
+		}
+	case energy.WayMemoization:
+		engine, err = cache.NewWayMemoization(cfg.ICache)
+	default:
+		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	c.IFetch = engine
+	c.ITLB = itlb
+	c.DCache = dcache
+	c.DTLB = dtlb
+
+	res, err := c.RunContext(ctx, cfg.MaxInstrs)
+	if err != nil {
+		return nil, err
+	}
+
+	rs := &RunStats{
+		Scheme:    cfg.Scheme,
+		Instrs:    res.Instrs,
+		Cycles:    res.Cycles,
+		IStats:    engine.Cache().Stats,
+		DStats:    dcache.Cache().Stats,
+		ITLBStats: itlb.Stats,
+		DTLBStats: dtlb.Stats,
+		MemStats:  m.Stats,
+		Checksum:  c.Regs[0],
+		MemHash:   m.Hash(cpu.StackRegionBase),
+	}
+	rs.Energy = energy.Compute(cfg.Energy, energy.SystemStats{
+		Scheme: cfg.Scheme,
+		Style:  cfg.Style,
+		ICfg:   cfg.ICache,
+		IStats: rs.IStats,
+		DCfg:   cfg.DCache,
+		DStats: rs.DStats,
+		ITLB:   rs.ITLBStats,
+		DTLB:   rs.DTLBStats,
+		Cycles: rs.Cycles,
+	})
+	return rs, nil
+}

@@ -1,0 +1,685 @@
+package sim
+
+// Single-pass multi-model simulation. The detailed run of a program is
+// split into two halves:
+//
+//   - a FetchSource: CPU + memory image + data-side hierarchy
+//     executing the program once and emitting the instruction-fetch
+//     event stream (address + indirect-transfer flag per instruction);
+//   - N CacheModels: independent instruction-side models (I-cache
+//     fetch engine, I-TLB, energy accounting) replaying that stream.
+//
+// Every figure-6 style sweep re-executes the same program under
+// configurations that differ only in the instruction side, so one
+// fetch stream can drive every (geometry, scheme, WP-size) cell of a
+// workload at once. RunMulti is the entry point; RunContext is now a
+// thin one-model wrapper around it, and RunCoupled keeps the original
+// coupled loop as the reference implementation for internal/check.
+//
+// What is fetch-relevant in a Config — i.e. what must be shared by
+// models driven from one source — is exactly what the producer owns:
+// the program binary, Mem, Timing, DCache, DTLB, the I-TLB geometry
+// and MaxInstrs. Everything instruction-side (ICache geometry, scheme,
+// array style, WP size, ablation switches, adaptive policy) is
+// per-model, carried by a ModelSpec.
+
+import (
+	"context"
+	"fmt"
+
+	"wayplace/internal/cache"
+	"wayplace/internal/cpu"
+	"wayplace/internal/energy"
+	"wayplace/internal/mem"
+	"wayplace/internal/obj"
+	"wayplace/internal/tlb"
+)
+
+// ModelSpec describes one instruction-side model evaluated against a
+// shared fetch stream: the I-cache geometry, the fetch scheme and its
+// knobs. It replaces the Config.WithScheme copy-and-mutate idiom as
+// the way to say "the same machine, under scheme X".
+type ModelSpec struct {
+	// Geometry is the I-cache configuration.
+	Geometry cache.Config
+	Scheme   energy.Scheme
+	// Style selects CAM-tag (default) or RAM-tag energy accounting.
+	Style energy.ArrayStyle
+	// WPSize is the static way-placement area size in bytes
+	// (way-placement scheme only, multiple of the I-TLB page).
+	WPSize uint32
+
+	// Ablation switches (way-placement scheme only).
+	OracleHint bool
+	NoSameLine bool
+
+	// Adaptive, when non-nil, runs the model under the adaptive OS
+	// area-sizing policy: the scheme is forced to way-placement and the
+	// model keeps a private I-TLB, since OS invalidations perturb it.
+	Adaptive *AdaptivePolicy
+}
+
+// ModelSpecOf extracts the instruction-side half of a Config.
+func ModelSpecOf(cfg Config) ModelSpec {
+	return ModelSpec{
+		Geometry:   cfg.ICache,
+		Scheme:     cfg.Scheme,
+		Style:      cfg.Style,
+		WPSize:     cfg.WPSize,
+		OracleHint: cfg.OracleHint,
+		NoSameLine: cfg.NoSameLine,
+	}
+}
+
+// ModelResult is one model's outcome from a RunMulti pass. Exactly one
+// of Err and Stats is non-nil.
+type ModelResult struct {
+	Stats *RunStats
+	// AreaChanges is the OS resize trace of an adaptive model.
+	AreaChanges []AreaChange
+	// Err reports a per-model failure (invalid spec, policy error);
+	// other models of the same pass are unaffected.
+	Err error
+}
+
+// FetchRun is a maximal sub-sequence of a chunk whose events all lie
+// in one aligned block no larger than any model's cache line and the
+// I-TLB page: after the first event the line is resident and the page
+// translated for every model, so the remaining N-1 events can be
+// replayed in bulk (cache.FetchEngine FetchSameLine, tlb.TLB.BulkHits).
+type FetchRun struct {
+	Start uint32 // index of the run's first event in Events
+	N     uint32 // number of events in the run
+}
+
+// FetchChunk is one batch of fetch events. Events holds one word per
+// retired instruction: the fetch address with cpu.EventIndirect in bit
+// 0. Runs segments the same events for bulk replay. Both slices alias
+// buffers reused by the next NextChunk call.
+type FetchChunk struct {
+	Events []uint32
+	Runs   []FetchRun
+}
+
+// fetchChunkEvents is the production batch size: large enough to
+// amortise per-chunk work, small enough to stay cache-resident, and
+// matching the granularity of context cancellation checks.
+const fetchChunkEvents = 64 << 10
+
+// FetchSource executes a program once — CPU, memory image and
+// data-side hierarchy live; instruction side detached — and emits the
+// fetch-event stream in chunks.
+type FetchSource struct {
+	cpu    *cpu.CPU
+	mem    *mem.Memory
+	dcache *cache.DataCache
+	dtlb   *tlb.TLB
+
+	maxInstrs uint64
+	blockNeg  uint32 // blockBytes-1: events with equal ev&^blockNeg share a run
+	events    []uint32
+	runs      []FetchRun
+	done      bool
+}
+
+// NewFetchSource builds the producer half of a single-pass run.
+// blockBytes (a power of two ≥ 4) is the run-segmentation granule; it
+// must not exceed any consuming model's line size or the I-TLB page.
+func NewFetchSource(prog *obj.Program, base Config, blockBytes int) (*FetchSource, error) {
+	if blockBytes < 4 || blockBytes&(blockBytes-1) != 0 {
+		return nil, fmt.Errorf("sim: fetch-run block size must be a power of two ≥ 4, got %d", blockBytes)
+	}
+	m := mem.New(base.Mem)
+	c := cpu.New(prog, m)
+	c.DisableInstrCounts() // event production never builds a profile
+	c.Timing = base.Timing
+	dtlb, err := tlb.New(base.DTLB)
+	if err != nil {
+		return nil, err
+	}
+	dcache, err := cache.NewData(base.DCache)
+	if err != nil {
+		return nil, err
+	}
+	c.DCache = dcache
+	c.DTLB = dtlb
+	maxInstrs := base.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = Default().MaxInstrs
+	}
+	return &FetchSource{
+		cpu:       c,
+		mem:       m,
+		dcache:    dcache,
+		dtlb:      dtlb,
+		maxInstrs: maxInstrs,
+		blockNeg:  uint32(blockBytes - 1),
+		events:    make([]uint32, fetchChunkEvents),
+	}, nil
+}
+
+// NextChunk produces the next batch of fetch events, or (nil, nil)
+// once the program has halted. The returned chunk's slices are only
+// valid until the next call.
+func (s *FetchSource) NextChunk(ctx context.Context) (*FetchChunk, error) {
+	if s.done {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n, err := s.cpu.RunEvents(s.events, s.maxInstrs)
+	if err != nil {
+		return nil, err
+	}
+	s.done = s.cpu.Halted
+	if n == 0 {
+		return nil, nil
+	}
+	// Segment into same-block runs. blockNeg ≥ 3, so masking it off
+	// also clears the indirect flag bit.
+	ev := s.events[:n]
+	runs := s.runs[:0]
+	start, block := 0, ev[0]&^s.blockNeg
+	for i := 1; i < n; i++ {
+		if b := ev[i] &^ s.blockNeg; b != block {
+			runs = append(runs, FetchRun{Start: uint32(start), N: uint32(i - start)})
+			start, block = i, b
+		}
+	}
+	runs = append(runs, FetchRun{Start: uint32(start), N: uint32(n - start)})
+	s.runs = runs
+	return &FetchChunk{Events: ev, Runs: runs}, nil
+}
+
+// CacheModel is one instruction-side model consuming a fetch-event
+// stream. Implementations are created by RunMulti from ModelSpecs;
+// the interface is the seam between production and modelling.
+type CacheModel interface {
+	// Consume replays one chunk. An error marks this model failed;
+	// other models sharing the stream continue.
+	Consume(*FetchChunk) error
+
+	core() *modelCore
+}
+
+// modelCore is the state every model shape shares.
+type modelCore struct {
+	spec    ModelSpec
+	fe      cache.FetchEngine
+	ownITLB *tlb.TLB     // adaptive models only; nil means use the shared reference I-TLB
+	changes []AreaChange // adaptive resize trace
+}
+
+func (m *modelCore) core() *modelCore { return m }
+
+// staticWPOracle is the way-placement bit for a run whose area never
+// changes: a pure range check. With a static area the I-TLB's resident
+// way-bits always agree with the page tables, so the hardware's
+// entry-sourced bit reduces to exactly this predicate.
+type staticWPOracle struct{ start, size uint32 }
+
+func (o staticWPOracle) WayPlaced(addr uint32) bool {
+	return o.size != 0 && addr >= o.start && addr-o.start < o.size
+}
+
+// The bulk models replay runs in bulk: one real Fetch per run, then
+// the engine's FetchSameLine fast path for the rest. Valid for every
+// scheme whose per-event behaviour inside a resident line is
+// state-independent (baseline, way-memoization, way-placement with the
+// same-line optimisation on). One concrete model type per engine keeps
+// the per-run calls direct (devirtualised and inlinable) — this loop
+// runs once per fetch run per model and dominates consume time.
+
+type baselineBulkModel struct {
+	modelCore
+	be *cache.BaselineEngine
+}
+
+func (m *baselineBulkModel) Consume(ch *FetchChunk) error {
+	for _, r := range ch.Runs {
+		ev := ch.Events[r.Start]
+		m.be.Fetch(cpu.EventAddr(ev), ev&cpu.EventIndirect != 0)
+		if r.N > 1 {
+			m.be.FetchSameLine(int(r.N - 1))
+		}
+	}
+	return nil
+}
+
+type wayMemoBulkModel struct {
+	modelCore
+	wm *cache.WayMemoizationEngine
+}
+
+func (m *wayMemoBulkModel) Consume(ch *FetchChunk) error {
+	for _, r := range ch.Runs {
+		ev := ch.Events[r.Start]
+		m.wm.Fetch(cpu.EventAddr(ev), ev&cpu.EventIndirect != 0)
+		if r.N > 1 {
+			m.wm.FetchSameLine(int(r.N-1), cpu.EventAddr(ch.Events[r.Start+r.N-1]))
+		}
+	}
+	return nil
+}
+
+type wayPlaceBulkModel struct {
+	modelCore
+	wpe *cache.WayPlacementEngine
+}
+
+func (m *wayPlaceBulkModel) Consume(ch *FetchChunk) error {
+	for _, r := range ch.Runs {
+		ev := ch.Events[r.Start]
+		m.wpe.Fetch(cpu.EventAddr(ev), ev&cpu.EventIndirect != 0)
+		if r.N > 1 {
+			m.wpe.FetchSameLine(int(r.N-1), cpu.EventAddr(ch.Events[r.Start+r.N-1]))
+		}
+	}
+	return nil
+}
+
+// eventModel replays every event individually — needed when the
+// same-line shortcut is ablated away (NoSameLine), where even
+// intra-line fetches change hint state and tag-check counts.
+type eventModel struct {
+	modelCore
+}
+
+func (m *eventModel) Consume(ch *FetchChunk) error {
+	for _, ev := range ch.Events {
+		m.fe.Fetch(cpu.EventAddr(ev), ev&cpu.EventIndirect != 0)
+	}
+	return nil
+}
+
+// adaptiveModel replays events under the adaptive OS policy: a private
+// I-TLB (OS invalidations make its stats diverge from the shared one)
+// and an OS decision point every IntervalInstrs consumed events,
+// reproducing sim.RunAdaptive's coupled loop bit for bit.
+type adaptiveModel struct {
+	modelCore
+	wpe      *cache.WayPlacementEngine
+	pol      AdaptivePolicy
+	progBase uint32
+	size     uint32
+	prev     cache.Stats
+	consumed uint64
+}
+
+func (m *adaptiveModel) Consume(ch *FetchChunk) error {
+	interval := m.pol.IntervalInstrs
+	for _, ev := range ch.Events {
+		if m.consumed > 0 && m.consumed%interval == 0 {
+			if err := m.decide(); err != nil {
+				return err
+			}
+		}
+		addr := cpu.EventAddr(ev)
+		m.ownITLB.Lookup(addr)
+		m.wpe.Fetch(addr, ev&cpu.EventIndirect != 0)
+		m.consumed++
+	}
+	return nil
+}
+
+// decide is one OS decision point, mirroring RunAdaptive's loop body:
+// inspect the window, maybe resize, flush and invalidate on a change.
+func (m *adaptiveModel) decide() error {
+	cur := m.wpe.Cache().Stats
+	dFetch := cur.Fetches - m.prev.Fetches
+	if dFetch == 0 {
+		m.prev = cur
+		return nil
+	}
+	wpFrac := float64(cur.WPAreaFetches-m.prev.WPAreaFetches) / float64(dFetch)
+	missRate := float64(cur.Misses-m.prev.Misses) / float64(dFetch)
+	m.prev = cur
+
+	newSize := m.size
+	switch {
+	case m.size > uint32(m.spec.Geometry.SizeBytes) && missRate > m.pol.AliasMissRate && m.size/2 >= m.pol.MinSize:
+		newSize = m.size / 2
+	case wpFrac < m.pol.GrowThreshold && m.size*2 <= m.pol.MaxSize:
+		newSize = m.size * 2
+	}
+	if newSize != m.size {
+		m.size = newSize
+		if err := m.ownITLB.SetWPArea(m.progBase, m.size); err != nil {
+			return err
+		}
+		m.wpe.Cache().Flush()
+		m.ownITLB.Invalidate()
+		m.changes = append(m.changes, AreaChange{AtInstr: m.consumed, Size: m.size})
+	}
+	if m.pol.Inspect != nil {
+		m.pol.Inspect(m.ownITLB, m.wpe.Cache())
+	}
+	return nil
+}
+
+// newModel builds the CacheModel for one spec.
+func newModel(base Config, spec ModelSpec, prog *obj.Program) (CacheModel, error) {
+	if err := spec.Geometry.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: i-cache: %w", err)
+	}
+	if spec.Adaptive != nil {
+		pol := *spec.Adaptive
+		if pol.IntervalInstrs == 0 || pol.StartSize == 0 {
+			return nil, fmt.Errorf("sim: adaptive policy needs an interval and a start size")
+		}
+		itlb, err := tlb.New(base.ITLB)
+		if err != nil {
+			return nil, err
+		}
+		if err := itlb.SetWPArea(prog.Base, pol.StartSize); err != nil {
+			return nil, err
+		}
+		wpe, err := cache.NewWayPlacement(spec.Geometry, itlb)
+		if err != nil {
+			return nil, err
+		}
+		spec.Scheme = energy.WayPlacement
+		spec.WPSize = pol.StartSize
+		m := &adaptiveModel{
+			modelCore: modelCore{spec: spec, fe: wpe, ownITLB: itlb,
+				changes: []AreaChange{{AtInstr: 0, Size: pol.StartSize}}},
+			wpe: wpe, pol: pol, progBase: prog.Base, size: pol.StartSize,
+		}
+		return m, nil
+	}
+
+	switch spec.Scheme {
+	case energy.Baseline:
+		be, err := cache.NewBaseline(spec.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		return &baselineBulkModel{
+			modelCore: modelCore{spec: spec, fe: be},
+			be:        be,
+		}, nil
+
+	case energy.WayMemoization:
+		wm, err := cache.NewWayMemoization(spec.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		return &wayMemoBulkModel{
+			modelCore: modelCore{spec: spec, fe: wm},
+			wm:        wm,
+		}, nil
+
+	case energy.WayPlacement:
+		if spec.WPSize > 0 {
+			// Reuse the TLB's own area validation (page alignment,
+			// multiple-of-page size, no address-space wrap) so a bad
+			// spec fails with the same error as the coupled path.
+			t, err := tlb.New(base.ITLB)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.SetWPArea(prog.Base, spec.WPSize); err != nil {
+				return nil, err
+			}
+		}
+		wpe, err := cache.NewWayPlacement(spec.Geometry, staticWPOracle{start: prog.Base, size: spec.WPSize})
+		if err != nil {
+			return nil, err
+		}
+		wpe.OracleHint = spec.OracleHint
+		wpe.NoSameLine = spec.NoSameLine
+		if spec.NoSameLine {
+			return &eventModel{modelCore: modelCore{spec: spec, fe: wpe}}, nil
+		}
+		return &wayPlaceBulkModel{
+			modelCore: modelCore{spec: spec, fe: wpe},
+			wpe:       wpe,
+		}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown scheme %v", spec.Scheme)
+}
+
+// validateShared checks the producer-side half of the base Config.
+func validateShared(base Config) error {
+	if err := base.DCache.Validate(); err != nil {
+		return fmt.Errorf("sim: d-cache: %w", err)
+	}
+	if err := base.ITLB.Validate(); err != nil {
+		return fmt.Errorf("sim: i-tlb: %w", err)
+	}
+	if err := base.DTLB.Validate(); err != nil {
+		return fmt.Errorf("sim: d-tlb: %w", err)
+	}
+	return nil
+}
+
+// RunMulti executes prog once on the machine described by base's
+// producer-side fields and evaluates every model against the shared
+// fetch stream. Results are positional: results[i] belongs to
+// models[i], carrying either stats or a per-model error. The returned
+// error is reserved for whole-pass failures — producer faults, budget
+// exhaustion, cancellation — which leave no per-model results.
+//
+// Stats are bit-identical to running each model through the coupled
+// per-cell loop (RunCoupled / RunAdaptive); internal/check's
+// differential harness and check.TestSinglePassMatchesPerCell enforce
+// this.
+func RunMulti(ctx context.Context, prog *obj.Program, base Config, models []ModelSpec) ([]*ModelResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validateShared(base); err != nil {
+		return nil, err
+	}
+	results := make([]*ModelResult, len(models))
+
+	// Behaviourally identical specs consume the stream once. Two specs
+	// whose key below matches produce bit-identical cache and I-TLB
+	// activity, so one consumed model serves all of them and each spec
+	// gets its own finalize (energy accounting reads the spec's array
+	// style). Beyond exact instruction-side duplicates this collapses
+	// way-placement areas that both cover the whole text image: every
+	// fetch address lies inside [Base, Base+Size()), so any area at
+	// least that large saturates the static oracle.
+	type behaviourKey struct {
+		geom       cache.Config
+		scheme     energy.Scheme
+		wp         uint32 // effective WP size; wpSaturated once ≥ text
+		oracleHint bool
+		noSameLine bool
+	}
+	const wpSaturated = ^uint32(0)
+	primary := make(map[behaviourKey]int, len(models))
+	aliasOf := make([]int, len(models))
+
+	// Build models; spec problems fail per model, not the pass. Every
+	// spec is built (keeping per-spec validation errors identical to the
+	// coupled path) but aliases are then discarded rather than driven.
+	built := make([]CacheModel, len(models))
+	live := make([]CacheModel, 0, len(models))
+	needShared := false
+	block := base.ITLB.PageBytes
+	for i, spec := range models {
+		aliasOf[i] = -1
+		m, err := newModel(base, spec, prog)
+		if err != nil {
+			results[i] = &ModelResult{Err: err}
+			continue
+		}
+		if spec.Adaptive == nil {
+			k := behaviourKey{
+				geom:       spec.Geometry,
+				scheme:     spec.Scheme,
+				oracleHint: spec.OracleHint,
+				noSameLine: spec.NoSameLine,
+			}
+			if spec.Scheme == energy.WayPlacement {
+				k.wp = spec.WPSize
+				if spec.WPSize >= prog.Size() {
+					k.wp = wpSaturated
+				}
+			}
+			if p, ok := primary[k]; ok {
+				aliasOf[i] = p
+				continue
+			}
+			primary[k] = i
+		}
+		built[i] = m
+		live = append(live, m)
+		if m.core().ownITLB == nil {
+			needShared = true
+		}
+		if lb := m.core().spec.Geometry.LineBytes; lb < block {
+			block = lb
+		}
+	}
+	if len(live) == 0 {
+		return results, nil
+	}
+
+	// Shared reference I-TLB: lookup outcomes depend only on the
+	// address stream and the TLB geometry — never on the WP area — so
+	// one replay serves every non-adaptive model.
+	var shared *tlb.TLB
+	if needShared {
+		t, err := tlb.New(base.ITLB)
+		if err != nil {
+			return nil, err
+		}
+		shared = t
+	}
+
+	src, err := NewFetchSource(prog, base, block)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		ch, err := src.NextChunk(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if ch == nil {
+			break
+		}
+		if shared != nil {
+			for _, r := range ch.Runs {
+				shared.Lookup(cpu.EventAddr(ch.Events[r.Start]))
+				if r.N > 1 {
+					shared.BulkHits(uint64(r.N - 1))
+				}
+			}
+		}
+		n := 0
+		for _, m := range live {
+			if cerr := m.Consume(ch); cerr != nil {
+				for i, b := range built {
+					if b == m {
+						results[i] = &ModelResult{Err: cerr}
+						built[i] = nil
+					}
+				}
+				continue
+			}
+			live[n] = m
+			n++
+		}
+		live = live[:n]
+		if len(live) == 0 {
+			break
+		}
+	}
+
+	memHash := src.mem.Hash(cpu.StackRegionBase)
+	var sharedStats tlb.Stats
+	if shared != nil {
+		sharedStats = shared.Stats
+	}
+	for i, m := range built {
+		if m == nil {
+			continue
+		}
+		c := m.core()
+		results[i] = &ModelResult{
+			Stats:       c.finalize(base, src, sharedStats, memHash),
+			AreaChanges: c.changes,
+		}
+	}
+	// Alias specs finalize from their primary's consumed state; a
+	// primary that failed mid-stream fails its aliases the same way.
+	for i, p := range aliasOf {
+		if p < 0 {
+			continue
+		}
+		if built[p] == nil {
+			results[i] = &ModelResult{Err: results[p].Err}
+			continue
+		}
+		results[i] = &ModelResult{
+			Stats: built[p].core().finalizeAs(models[i], base, src, sharedStats, memHash),
+		}
+	}
+	return results, nil
+}
+
+// finalize assembles one model's RunStats from the producer outcome
+// and the model's instruction-side state. The coupled loop interleaves
+// instruction-side stalls into the cycle count as it goes; here they
+// are reconstructed in closed form — each charged stall corresponds
+// one-to-one to a counted event:
+//
+//	cycles = producer cycles (base + data-side stalls)
+//	       + TLBWalkPenalty × I-TLB misses
+//	       + LineFillCycles(line) × I-cache line fills
+//	       + HintExtraPenalty × way-hint extra accesses
+func (m *modelCore) finalize(base Config, src *FetchSource, shared tlb.Stats, memHash uint64) *RunStats {
+	return m.finalizeAs(m.spec, base, src, shared, memHash)
+}
+
+// finalizeAs assembles RunStats for spec from m's consumed state. spec
+// must be behaviourally identical to m.spec (same geometry, scheme and
+// effective WP area); it may differ in array style and in the exact WP
+// size when both areas cover the text image, neither of which affects
+// the counted events — only the energy model reads them.
+func (m *modelCore) finalizeAs(spec ModelSpec, base Config, src *FetchSource, shared tlb.Stats, memHash uint64) *RunStats {
+	istats := m.fe.Cache().Stats
+	itlbStats := shared
+	if m.ownITLB != nil {
+		itlbStats = m.ownITLB.Stats
+	}
+	lineBytes := spec.Geometry.LineBytes
+	cycles := src.cpu.Cycles +
+		uint64(base.Timing.TLBWalkPenalty)*itlbStats.Misses +
+		uint64(base.Mem.LineFillCycles(lineBytes))*istats.LineFills +
+		uint64(base.Timing.HintExtraPenalty)*istats.HintExtraAccess
+
+	memStats := src.mem.Stats
+	memStats.Reads += istats.LineFills
+	memStats.BytesRead += istats.LineFills * uint64(lineBytes)
+
+	rs := &RunStats{
+		Scheme:    spec.Scheme,
+		Instrs:    src.cpu.Instrs,
+		Cycles:    cycles,
+		IStats:    istats,
+		DStats:    src.dcache.Cache().Stats,
+		ITLBStats: itlbStats,
+		DTLBStats: src.dtlb.Stats,
+		MemStats:  memStats,
+		Checksum:  src.cpu.Regs[0],
+		MemHash:   memHash,
+	}
+	rs.Energy = energy.Compute(base.Energy, energy.SystemStats{
+		Scheme: spec.Scheme,
+		Style:  spec.Style,
+		ICfg:   spec.Geometry,
+		IStats: rs.IStats,
+		DCfg:   base.DCache,
+		DStats: rs.DStats,
+		ITLB:   rs.ITLBStats,
+		DTLB:   rs.DTLBStats,
+		Cycles: rs.Cycles,
+	})
+	return rs
+}

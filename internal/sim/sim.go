@@ -8,7 +8,6 @@ package sim
 
 import (
 	"context"
-	"fmt"
 
 	"wayplace/internal/cache"
 	"wayplace/internal/cpu"
@@ -125,87 +124,23 @@ func Run(prog *obj.Program, cfg Config) (*RunStats, error) {
 // instruction loop checks for cancellation periodically and returns
 // ctx.Err() once the context is done. The configuration is validated
 // eagerly before any machine state is built.
+//
+// RunContext is a thin one-model wrapper over RunMulti — the machine
+// is split into a fetch-event producer and the configured
+// instruction-side model. Statistics are bit-identical to the coupled
+// reference loop (RunCoupled); internal/check enforces this.
 func RunContext(ctx context.Context, prog *obj.Program, cfg Config) (*RunStats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := mem.New(cfg.Mem)
-	c := cpu.New(prog, m)
-	c.Timing = cfg.Timing
-
-	itlb, err := tlb.New(cfg.ITLB)
+	res, err := RunMulti(ctx, prog, cfg, []ModelSpec{ModelSpecOf(cfg)})
 	if err != nil {
 		return nil, err
 	}
-	dtlb, err := tlb.New(cfg.DTLB)
-	if err != nil {
-		return nil, err
+	if res[0].Err != nil {
+		return nil, res[0].Err
 	}
-	dcache, err := cache.NewData(cfg.DCache)
-	if err != nil {
-		return nil, err
-	}
-
-	var engine cache.FetchEngine
-	switch cfg.Scheme {
-	case energy.Baseline:
-		engine, err = cache.NewBaseline(cfg.ICache)
-	case energy.WayPlacement:
-		if cfg.WPSize > 0 {
-			if err := itlb.SetWPArea(prog.Base, cfg.WPSize); err != nil {
-				return nil, err
-			}
-		}
-		var wpe *cache.WayPlacementEngine
-		wpe, err = cache.NewWayPlacement(cfg.ICache, itlb)
-		if wpe != nil {
-			wpe.OracleHint = cfg.OracleHint
-			wpe.NoSameLine = cfg.NoSameLine
-			engine = wpe
-		}
-	case energy.WayMemoization:
-		engine, err = cache.NewWayMemoization(cfg.ICache)
-	default:
-		return nil, fmt.Errorf("sim: unknown scheme %v", cfg.Scheme)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	c.IFetch = engine
-	c.ITLB = itlb
-	c.DCache = dcache
-	c.DTLB = dtlb
-
-	res, err := c.RunContext(ctx, cfg.MaxInstrs)
-	if err != nil {
-		return nil, err
-	}
-
-	rs := &RunStats{
-		Scheme:    cfg.Scheme,
-		Instrs:    res.Instrs,
-		Cycles:    res.Cycles,
-		IStats:    engine.Cache().Stats,
-		DStats:    dcache.Cache().Stats,
-		ITLBStats: itlb.Stats,
-		DTLBStats: dtlb.Stats,
-		MemStats:  m.Stats,
-		Checksum:  c.Regs[0],
-		MemHash:   m.Hash(cpu.StackRegionBase),
-	}
-	rs.Energy = energy.Compute(cfg.Energy, energy.SystemStats{
-		Scheme: cfg.Scheme,
-		Style:  cfg.Style,
-		ICfg:   cfg.ICache,
-		IStats: rs.IStats,
-		DCfg:   cfg.DCache,
-		DStats: rs.DStats,
-		ITLB:   rs.ITLBStats,
-		DTLB:   rs.DTLBStats,
-		Cycles: rs.Cycles,
-	})
-	return rs, nil
+	return res[0].Stats, nil
 }
 
 // ProfileRun executes prog functionally (no caches, no timing detail)

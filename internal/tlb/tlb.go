@@ -190,6 +190,23 @@ func (t *TLB) Lookup(addr uint32) (miss bool, wayPlaced bool) {
 	return true, bit
 }
 
+// BulkHits charges n further accesses to the page of the most recent
+// Lookup, all hits. It is the batched equivalent of n Lookup calls
+// that stay on one page: the single-entry fast path would serve each
+// of them, so only the entry's recency and the counters change. The
+// caller must have completed at least one Lookup and guarantee the n
+// accesses address the same page (sim.RunMulti segments the fetch
+// stream so a run never crosses a page boundary).
+func (t *TLB) BulkHits(n uint64) {
+	if n == 0 || !t.lastValid {
+		return
+	}
+	t.Stats.Accesses += n
+	t.Stats.Hits += n
+	t.tick += n
+	t.entries[t.lastIdx].lastUse = t.tick
+}
+
 // WayPlaced implements cache.WPOracle: the way-placement bit the
 // I-TLB delivers for addr. The bit comes from the *resident entry*
 // when the page is in the TLB — the hardware reads it from the entry
