@@ -1,0 +1,240 @@
+// Command wpload is the concurrent-client load harness for wpserved.
+// It drives a fleet of independent HTTP clients — hundreds by default
+// — against a daemon, each submitting sync and async batches drawn
+// zipfian-hot from a fixed pool of canonical cells, honouring 429
+// backpressure with capped Retry-After backoff and (with -churn)
+// hanging up mid-request to exercise abandoned-connection paths. The
+// run's latency quantiles, 429/retry/error rates and throughput land
+// in a machine-readable BENCH_wpload.json snapshot, optionally
+// checked against p50/p99 SLOs.
+//
+// Usage:
+//
+//	wpload [-addr URL] [-clients N] [-duration d] [-async F]
+//	       [-batch N] [-zipf S] [-churn F] [-retries N]
+//	       [-workloads N] [-pool a,b,...] [-queue N] [-jobs N]
+//	       [-snapshot file] [-metrics file] [-seed N]
+//	       [-slo-p50 d] [-slo-p99 d] [-slo-cell-p99 d]
+//	       [-slo-429 F] [-slo-errors F] [-smoke]
+//
+// With no -addr, wpload starts an in-process wpserved over tiny
+// synthetic workloads on a loopback socket — the full HTTP stack with
+// none of the network or benchmark-preparation noise, which is what
+// CI wants. With -addr it targets a running daemon; -pool then names
+// the workloads to draw cells from (default: the daemon's standard
+// benchmark set is NOT assumed — the flag is required).
+//
+// -smoke is the tier-1 CI gate: loopback target, 200 clients for 2
+// seconds, generous SLOs that catch breakage (orphaned async jobs,
+// starved sync callers, buffered encodes) without flaking on slow
+// runners. Exit status 1 on any SLO violation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wayplace/internal/api"
+	"wayplace/internal/experiment"
+	"wayplace/internal/load"
+	"wayplace/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target wpserved base URL, e.g. http://127.0.0.1:8100 (empty = in-process loopback server)")
+	clients := flag.Int("clients", 256, "concurrent clients")
+	duration := flag.Duration("duration", 10*time.Second, "how long clients keep submitting")
+	async := flag.Float64("async", 0.25, "fraction of batches submitted async (202 + poll)")
+	batch := flag.Int("batch", 8, "max cells per batch (sizes are uniform 1..N)")
+	zipf := flag.Float64("zipf", 1.2, "zipfian skew over pool ranks (>1; larger = hotter hot set)")
+	churn := flag.Float64("churn", 0.02, "probability a client abandons a submission mid-request")
+	retries := flag.Int("retries", 8, "resubmissions after 429 before a batch counts as dropped")
+	workloads := flag.Int("workloads", 4, "synthetic workloads behind the loopback server")
+	poolNames := flag.String("pool", "", "comma-separated workload names for the cell pool (required with -addr)")
+	queue := flag.Int("queue", 64, "loopback server queue depth")
+	jobs := flag.Int("jobs", 0, "loopback engine workers (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 1, "client RNG seed")
+	snapshotPath := flag.String("snapshot", "BENCH_wpload.json", "write the run snapshot here (empty = skip)")
+	metricsPath := flag.String("metrics", "", "also dump the client-side load_* registry as JSON here")
+	smoke := flag.Bool("smoke", false, "CI smoke: loopback, 200 clients, 2s, SLOs asserted, exit 1 on violation")
+
+	sloP50 := flag.Duration("slo-p50", 0, "max HTTP p50 (0 = unchecked)")
+	sloP99 := flag.Duration("slo-p99", 0, "max HTTP p99 (0 = unchecked)")
+	sloCellP99 := flag.Duration("slo-cell-p99", 0, "max per-cell p99 (0 = unchecked)")
+	slo429 := flag.Float64("slo-429", -1, "max 429s per HTTP request (negative = unchecked)")
+	sloErrors := flag.Float64("slo-errors", -1, "max batch error rate (negative = unchecked)")
+	flag.Parse()
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *smoke {
+		// Presets only where the user did not choose: -smoke -clients 500
+		// smokes with 500 clients.
+		if !set["clients"] {
+			*clients = 200
+		}
+		if !set["duration"] {
+			*duration = 2 * time.Second
+		}
+		if !set["slo-p50"] {
+			*sloP50 = 250 * time.Millisecond
+		}
+		if !set["slo-p99"] {
+			*sloP99 = 2 * time.Second
+		}
+		if !set["slo-cell-p99"] {
+			*sloCellP99 = time.Second
+		}
+		if !set["slo-429"] {
+			// Backpressure is expected under a 200-client burst; what the
+			// gate rejects is every request bouncing.
+			*slo429 = 0.95
+		}
+		if !set["slo-errors"] {
+			*sloErrors = 0.01
+		}
+	}
+
+	// The pool: synthetic cells on the loopback geometry, or the named
+	// daemon workloads on the paper's XScale geometry.
+	var pool []api.RunRequest
+	target := *addr
+	serverReg := obs.NewRegistry()
+	if *addr == "" {
+		lb, err := load.StartLoopback(load.LoopbackOptions{
+			Workloads:  *workloads,
+			Workers:    *jobs,
+			QueueDepth: *queue,
+			Registry:   serverReg,
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			lb.Close(ctx)
+		}()
+		target = lb.URL
+		names := lb.Workloads
+		if *poolNames != "" {
+			names = strings.Split(*poolNames, ",")
+		}
+		pool = load.Pool(names, load.SyntheticGeometry(), []uint32{1 << 10, 2 << 10})
+		fmt.Fprintf(os.Stderr, "wpload: loopback wpserved on %s (%d synthetic workloads, queue %d)\n",
+			lb.URL, *workloads, *queue)
+	} else {
+		if *poolNames == "" {
+			fail(fmt.Errorf("-addr needs -pool: which workloads should the cells name?"))
+		}
+		icache := api.GeometryOf(experiment.XScaleICache())
+		pool = load.Pool(strings.Split(*poolNames, ","), icache,
+			[]uint32{experiment.InitialWPSize, experiment.InitialWPSize / 2})
+	}
+
+	opt := load.Options{
+		BaseURL:       target,
+		Pool:          pool,
+		Clients:       *clients,
+		Duration:      *duration,
+		AsyncFraction: *async,
+		MaxBatchCells: *batch,
+		ZipfS:         *zipf,
+		Churn:         *churn,
+		MaxRetries:    *retries,
+		Seed:          *seed,
+	}
+	gen, err := load.New(opt)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "wpload: %d clients for %v against %s (%d-cell pool, async %.2f, churn %.2f)\n",
+		*clients, *duration, targetLabel(*addr), len(pool), *async, *churn)
+	report, err := gen.Run(context.Background())
+	if err != nil {
+		fail(err)
+	}
+
+	slo := load.SLO{
+		HTTPP50Max:   *sloP50,
+		HTTPP99Max:   *sloP99,
+		CellP99Max:   *sloCellP99,
+		Max429Rate:   *slo429,
+		MaxErrorRate: *sloErrors,
+	}
+	checked := *smoke || *sloP50 > 0 || *sloP99 > 0 || *sloCellP99 > 0 || *slo429 >= 0 || *sloErrors >= 0
+
+	printReport(report)
+
+	var sloPtr *load.SLO
+	if checked {
+		sloPtr = &slo
+	}
+	snap := report.Snapshot(commandLine(), targetLabel(*addr), api.Version, opt, sloPtr)
+	snap.UnixTime = time.Now().Unix()
+	if *snapshotPath != "" {
+		if err := snap.WriteFile(*snapshotPath); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wpload: snapshot written to %s\n", *snapshotPath)
+	}
+	if *metricsPath != "" {
+		if err := writeMetrics(gen.Registry(), *metricsPath); err != nil {
+			fail(err)
+		}
+	}
+
+	if checked {
+		if violations := slo.Check(report); len(violations) != 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "wpload: SLO VIOLATION: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wpload: SLOs ok\n")
+	}
+}
+
+func printReport(r *load.Report) {
+	fmt.Fprintf(os.Stderr,
+		"wpload: %d batches (%d cells) in %.2fs — %.0f batches/s, %.0f cells/s\n"+
+			"wpload: http %d requests, p50 %v, p99 %v; batch p50 %v, p99 %v; cell p50 %v, p99 %v\n"+
+			"wpload: 429s %d (rate %.3f), retries %d, dropped %d, errors %d (rate %.4f), aborts %d, polls %d\n",
+		r.Batches, r.Cells, r.Elapsed.Seconds(), r.BatchesPerSecond, r.CellsPerSecond,
+		r.Requests, r.HTTPP50, r.HTTPP99, r.BatchP50, r.BatchP99, r.CellP50, r.CellP99,
+		r.Status429, r.Rate429, r.Retries, r.Dropped, r.Errors, r.ErrorRate, r.Aborts, r.AsyncPolls)
+}
+
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func targetLabel(addr string) string {
+	if addr == "" {
+		return "loopback"
+	}
+	return addr
+}
+
+func commandLine() string {
+	// os.Args[0] is a temp path under `go run`; normalise it.
+	return strings.Join(append([]string{"wpload"}, os.Args[1:]...), " ")
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "wpload: %v\n", err)
+	os.Exit(1)
+}

@@ -20,8 +20,9 @@
 //
 // Usage:
 //
-//	wpserved [-addr host:port] [-jobs N] [-queue N] [-maxbatch N]
-//	         [-timeout d] [-drain d] [-noverify] [-oneshot]
+//	wpserved [-addr host:port] [-jobs N] [-queue N] [-asyncslots N]
+//	         [-maxbatch N] [-jobttl d] [-timeout d] [-drain d]
+//	         [-noverify] [-oneshot]
 //
 // -oneshot is the self-test: the daemon binds a loopback port, pushes
 // one small coalescible batch (cells sharing a fetch stream, so the
@@ -56,7 +57,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8100", "listen address")
 	jobs := flag.Int("jobs", 0, "simulation cells to run concurrently (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 8, "batches queued or running before new ones get 429")
+	asyncSlots := flag.Int("asyncslots", 0, "queue slots async batches may hold at once (0 = queue-1, so sync callers always have one)")
 	maxBatch := flag.Int("maxbatch", 4096, "max cells per batch")
+	jobTTL := flag.Duration("jobttl", 10*time.Minute, "how long finished async jobs stay pollable (negative = forever)")
 	timeout := flag.Duration("timeout", 0, "per-batch run timeout (0 = none)")
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight cells")
 	noverify := flag.Bool("noverify", false, "skip the per-cell invariant checker (check.VerifyCell)")
@@ -82,7 +85,9 @@ func main() {
 		Engine:        eng,
 		Registry:      reg,
 		QueueDepth:    *queue,
+		AsyncSlots:    *asyncSlots,
 		MaxBatchCells: *maxBatch,
+		JobTTL:        *jobTTL,
 		RunTimeout:    *timeout,
 	})
 	if err != nil {

@@ -1,0 +1,78 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// EncodeBatchResponse writes resp as one JSON object, encoding each
+// RunResult individually instead of marshalling the whole response
+// into a single buffer. A 4096-cell BatchResponse therefore needs
+// transient encoding memory proportional to its *largest result*, not
+// its total body — the property that lets the serve layer stream huge
+// sync batches under load without doubling its resident set.
+//
+// The byte stream is exactly what json.NewEncoder(w).Encode(resp)
+// would produce (field order, HTML escaping, trailing newline), so v1
+// clients that decode the body as one JSON object see no difference;
+// TestEncodeBatchResponseByteCompat holds the two encodings equal.
+func EncodeBatchResponse(w io.Writer, resp *BatchResponse) error {
+	if err := writeChunks(w,
+		[]byte(`{"api_version":`), jsonBytes(resp.APIVersion),
+		[]byte(`,"job_id":`), jsonBytes(resp.JobID),
+		[]byte(`,"status":`), jsonBytes(resp.Status),
+	); err != nil {
+		return err
+	}
+	if len(resp.Results) > 0 {
+		if _, err := w.Write([]byte(`,"results":[`)); err != nil {
+			return err
+		}
+		for i := range resp.Results {
+			if i > 0 {
+				if _, err := w.Write([]byte{','}); err != nil {
+					return err
+				}
+			}
+			b, err := json.Marshal(&resp.Results[i])
+			if err != nil {
+				return err
+			}
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write([]byte{']'}); err != nil {
+			return err
+		}
+	}
+	if len(resp.Errors) > 0 {
+		if _, err := w.Write([]byte(`,"errors":`)); err != nil {
+			return err
+		}
+		b, err := json.Marshal(resp.Errors)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write([]byte("}\n"))
+	return err
+}
+
+// jsonBytes marshals a value known not to fail (plain strings).
+func jsonBytes(v any) []byte {
+	b, _ := json.Marshal(v)
+	return b
+}
+
+func writeChunks(w io.Writer, chunks ...[]byte) error {
+	for _, c := range chunks {
+		if _, err := w.Write(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

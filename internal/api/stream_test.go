@@ -1,0 +1,124 @@
+package api_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"wayplace/internal/api"
+	"wayplace/internal/sim"
+)
+
+// streamResp builds a response with n results cycling a few shapes
+// (healthy cells, a failed cell, escaping-hostile strings) so the
+// byte-compat test covers every branch of the streaming encoder.
+func streamResp(n int) *api.BatchResponse {
+	resp := &api.BatchResponse{
+		APIVersion: api.Version,
+		JobID:      `job-<&>"quoted"`,
+		Status:     api.StatusDone,
+	}
+	for i := 0; i < n; i++ {
+		rr := api.RunResult{
+			Request: api.RunRequest{
+				Workload: fmt.Sprintf("w%d", i%7),
+				ICache:   api.CacheGeometry{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32},
+				Scheme:   api.SchemeBaseline,
+			},
+			Key:         fmt.Sprintf("key-%d", i),
+			CacheHit:    i%2 == 0,
+			WallSeconds: float64(i) / 1000,
+			Stats:       &sim.RunStats{Instrs: uint64(i) * 1000},
+		}
+		if i%13 == 12 {
+			rr.Stats = nil
+			resp.Status = api.StatusFailed
+			resp.Errors = append(resp.Errors, api.CellFailure{
+				Index: i, Key: rr.Key, Error: "cell <failed> & gave up",
+			})
+		}
+		resp.Results = append(resp.Results, rr)
+	}
+	return resp
+}
+
+// TestEncodeBatchResponseByteCompat: the streaming encoder and
+// json.Encoder produce identical bytes — the v1 wire contract — for
+// empty, small, failing and large responses.
+func TestEncodeBatchResponseByteCompat(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 40, 4096} {
+		resp := streamResp(n)
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(resp); err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := api.EncodeBatchResponse(&got, resp); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("n=%d: streamed bytes differ from json.Encoder\n got %.200s...\nwant %.200s...",
+				n, got.String(), want.String())
+		}
+		// And the stream decodes back as one JSON object.
+		var rt api.BatchResponse
+		if err := json.Unmarshal(got.Bytes(), &rt); err != nil {
+			t.Fatalf("n=%d: streamed body does not decode: %v", n, err)
+		}
+		if len(rt.Results) != n {
+			t.Errorf("n=%d: round-trip lost results: %d", n, len(rt.Results))
+		}
+	}
+}
+
+// chunkRecorder records the largest single Write the encoder issues —
+// a proxy for its transient buffering.
+type chunkRecorder struct {
+	total    int
+	maxChunk int
+}
+
+func (c *chunkRecorder) Write(p []byte) (int, error) {
+	c.total += len(p)
+	if len(p) > c.maxChunk {
+		c.maxChunk = len(p)
+	}
+	return len(p), nil
+}
+
+// TestEncodeBatchResponseBoundedChunks: a 4096-cell response is
+// emitted in per-result chunks, never as one body-sized buffer — the
+// memory-bounded property the serve layer relies on for huge grids.
+func TestEncodeBatchResponseBoundedChunks(t *testing.T) {
+	resp := streamResp(4096)
+	var rec chunkRecorder
+	if err := api.EncodeBatchResponse(&rec, resp); err != nil {
+		t.Fatal(err)
+	}
+	if rec.total < 4096*100 {
+		t.Fatalf("suspiciously small body: %d bytes", rec.total)
+	}
+	if rec.maxChunk*16 > rec.total {
+		t.Errorf("largest write is %d of %d total bytes — the encoder buffered the body instead of streaming per result",
+			rec.maxChunk, rec.total)
+	}
+}
+
+// failWriter fails after the first write, so mid-stream errors
+// propagate instead of silently truncating.
+type failWriter struct{ writes int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.writes++
+	if f.writes > 1 {
+		return 0, fmt.Errorf("connection reset")
+	}
+	return len(p), nil
+}
+
+func TestEncodeBatchResponseReportsWriteError(t *testing.T) {
+	if err := api.EncodeBatchResponse(&failWriter{}, streamResp(4)); err == nil {
+		t.Fatal("mid-stream write failure was swallowed")
+	}
+}

@@ -1,0 +1,506 @@
+// Package load is the concurrent-client load harness for wpserved.
+// A Generator runs hundreds of independent clients against one
+// daemon, each submitting batches drawn zipfian-hot from a fixed pool
+// of canonical cells (so the warm run-cache path dominates, exactly
+// like a production key distribution), mixing sync and async
+// submissions, varying batch sizes, honouring 429 backpressure with
+// capped Retry-After backoff, and — with churn — hanging up
+// mid-request to exercise the server's abandoned-connection paths.
+// Everything is instrumented through internal/obs; Report distils the
+// run into the p50/p99 latencies and error rates that the SLO check
+// and the BENCH_wpload.json snapshot assert on.
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wayplace/internal/api"
+	"wayplace/internal/obs"
+)
+
+// Metric names the generator registers. All are client-side views:
+// load_http_request_ns is one HTTP round trip, load_batch_ns one
+// batch end-to-end (submit, retries, async polls until done),
+// load_cell_ns the batch wall time amortised per cell.
+const (
+	MetricRequestNS = "load_http_request_ns"
+	MetricBatchNS   = "load_batch_ns"
+	MetricCellNS    = "load_cell_ns"
+	MetricRequests  = "load_http_requests_total"
+	MetricBatches   = "load_batches_total"
+	MetricCells     = "load_cells_total"
+	Metric429       = "load_http_429_total"
+	MetricRetries   = "load_retries_total"
+	MetricDropped   = "load_dropped_total"
+	MetricErrors    = "load_errors_total"
+	MetricAborts    = "load_aborts_total"
+	MetricPolls     = "load_async_polls_total"
+)
+
+// Options configures a Generator. Zero values pick the documented
+// defaults; only Pool and BaseURL are mandatory.
+type Options struct {
+	// BaseURL is the wpserved instance under load, e.g. the URL of a
+	// Loopback or a real daemon's http://host:port.
+	BaseURL string
+	// Pool is the canonical cell pool, hottest first: client batches
+	// are drawn from it with zipfian rank skew (see ZipfS).
+	Pool []api.RunRequest
+
+	Clients  int           // concurrent clients (default 200)
+	Duration time.Duration // how long clients keep submitting (default 5s)
+
+	// AsyncFraction of batches submit with "async": true and poll
+	// GET /v1/runs/{id} until done (default 0.25).
+	AsyncFraction float64
+	// MaxBatchCells bounds batch size; each batch holds uniform
+	// 1..MaxBatchCells cells (default 8).
+	MaxBatchCells int
+	// ZipfS is the zipfian skew exponent over pool ranks; must be > 1
+	// for rand.NewZipf, anything lower (including zero) becomes the
+	// default 1.2. Larger is hotter.
+	ZipfS float64
+	// Churn is the probability a client abandons a submission
+	// mid-request — cancelling the request context within ~2ms and
+	// reconnecting fresh — to simulate client crashes and timeouts
+	// (default 0).
+	Churn float64
+
+	// MaxRetries bounds resubmissions after 429 before the batch is
+	// counted dropped (default 8). MaxRetryBackoff caps how much of
+	// the server's Retry-After a client honours, so a short load run
+	// is not parked forever by a 1s hint (default 250ms).
+	MaxRetries      int
+	MaxRetryBackoff time.Duration
+	// PollInterval spaces async status polls (default 5ms).
+	PollInterval time.Duration
+	// BatchTimeout bounds one batch end-to-end, retries and polls
+	// included (default 60s).
+	BatchTimeout time.Duration
+
+	// Registry receives the load_* instruments (default: a private
+	// registry, readable via Generator.Registry).
+	Registry *obs.Registry
+	// Seed makes client RNGs deterministic (default 1).
+	Seed int64
+}
+
+func (o *Options) setDefaults() {
+	if o.Clients == 0 {
+		o.Clients = 200
+	}
+	if o.Duration == 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.AsyncFraction == 0 {
+		o.AsyncFraction = 0.25
+	}
+	if o.MaxBatchCells == 0 {
+		o.MaxBatchCells = 8
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.2
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 8
+	}
+	if o.MaxRetryBackoff == 0 {
+		o.MaxRetryBackoff = 250 * time.Millisecond
+	}
+	if o.PollInterval == 0 {
+		o.PollInterval = 5 * time.Millisecond
+	}
+	if o.BatchTimeout == 0 {
+		o.BatchTimeout = 60 * time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Generator drives Options.Clients concurrent clients for
+// Options.Duration and reports what they saw.
+type Generator struct {
+	opt Options
+
+	requestNS *obs.Histogram
+	batchNS   *obs.Histogram
+	cellNS    *obs.Histogram
+	requests  *obs.Counter
+	batches   *obs.Counter
+	cells     *obs.Counter
+	status429 *obs.Counter
+	retries   *obs.Counter
+	dropped   *obs.Counter
+	errors    *obs.Counter
+	aborts    *obs.Counter
+	polls     *obs.Counter
+}
+
+// New validates opt and builds a Generator with its instruments
+// registered on opt.Registry.
+func New(opt Options) (*Generator, error) {
+	opt.setDefaults()
+	if opt.BaseURL == "" {
+		return nil, errors.New("load: Options.BaseURL is required")
+	}
+	if len(opt.Pool) == 0 {
+		return nil, errors.New("load: Options.Pool is empty")
+	}
+	if opt.Clients < 1 {
+		return nil, fmt.Errorf("load: Clients %d < 1", opt.Clients)
+	}
+	if opt.Churn < 0 || opt.Churn > 1 {
+		return nil, fmt.Errorf("load: Churn %v outside [0,1]", opt.Churn)
+	}
+	if opt.AsyncFraction < 0 || opt.AsyncFraction > 1 {
+		return nil, fmt.Errorf("load: AsyncFraction %v outside [0,1]", opt.AsyncFraction)
+	}
+	r := opt.Registry
+	return &Generator{
+		opt:       opt,
+		requestNS: r.Histogram(MetricRequestNS),
+		batchNS:   r.Histogram(MetricBatchNS),
+		cellNS:    r.Histogram(MetricCellNS),
+		requests:  r.Counter(MetricRequests),
+		batches:   r.Counter(MetricBatches),
+		cells:     r.Counter(MetricCells),
+		status429: r.Counter(Metric429),
+		retries:   r.Counter(MetricRetries),
+		dropped:   r.Counter(MetricDropped),
+		errors:    r.Counter(MetricErrors),
+		aborts:    r.Counter(MetricAborts),
+		polls:     r.Counter(MetricPolls),
+	}, nil
+}
+
+// Registry returns the registry holding the generator's instruments.
+func (g *Generator) Registry() *obs.Registry { return g.opt.Registry }
+
+// Run drives the full client fleet until Options.Duration elapses (or
+// ctx is cancelled first) and returns the distilled Report. Batches
+// in flight at the deadline are cut off and counted in neither the
+// success nor the error totals.
+func (g *Generator) Run(ctx context.Context) (*Report, error) {
+	start := time.Now()
+	rctx, cancel := context.WithTimeout(ctx, g.opt.Duration)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for i := 0; i < g.opt.Clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g.runClient(rctx, id)
+		}(i)
+	}
+	wg.Wait()
+	return g.report(time.Since(start)), nil
+}
+
+// newPicker returns a zipfian rank picker over [0,n): rank 0 is the
+// hottest pool entry. Split out so the skew itself is testable.
+func newPicker(rng *rand.Rand, s float64, n int) func() int {
+	if n <= 1 {
+		return func() int { return 0 }
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return func() int { return int(z.Uint64()) }
+}
+
+// runClient is one client's life: build a batch, submit it (sync or
+// async), repeat until the run ends. Each client owns its RNG and its
+// HTTP connections, so clients interleave but never share state.
+func (g *Generator) runClient(ctx context.Context, id int) {
+	rng := rand.New(rand.NewSource(g.opt.Seed + 7919*int64(id)))
+	pick := newPicker(rng, g.opt.ZipfS, len(g.opt.Pool))
+	transport := &http.Transport{MaxIdleConnsPerHost: 2}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	for ctx.Err() == nil {
+		n := 1 + rng.Intn(g.opt.MaxBatchCells)
+		reqs := make([]api.RunRequest, n)
+		for i := range reqs {
+			reqs[i] = g.opt.Pool[pick()]
+		}
+		async := rng.Float64() < g.opt.AsyncFraction
+		abort := rng.Float64() < g.opt.Churn
+		g.oneBatch(ctx, client, transport, rng, reqs, async, abort)
+	}
+}
+
+// oneBatch submits one batch and follows it to completion: retry
+// loop on 429, poll loop when async, context hang-up when this
+// client is churning.
+func (g *Generator) oneBatch(ctx context.Context, client *http.Client, transport *http.Transport, rng *rand.Rand, reqs []api.RunRequest, async, abort bool) {
+	body, err := json.Marshal(api.BatchRequest{APIVersion: api.Version, Requests: reqs, Async: async})
+	if err != nil {
+		g.errors.Inc()
+		return
+	}
+	bctx, cancel := context.WithTimeout(ctx, g.opt.BatchTimeout)
+	defer cancel()
+
+	if abort {
+		// Churn: hang up mid-request (0–2ms in) and reconnect fresh.
+		// Whatever the server had done so far is abandoned; the only
+		// record is the abort counter.
+		actx, acancel := context.WithCancel(bctx)
+		timer := time.AfterFunc(time.Duration(rng.Int63n(int64(2*time.Millisecond))), acancel)
+		g.exchange(actx, client, http.MethodPost, "/v1/runs", body)
+		timer.Stop()
+		acancel()
+		g.aborts.Inc()
+		transport.CloseIdleConnections()
+		return
+	}
+
+	start := time.Now()
+	resp, ok := g.submitWithRetry(bctx, client, rng, body)
+	if !ok {
+		return // counted as dropped or errored inside
+	}
+	if async {
+		if resp, ok = g.pollUntilDone(bctx, client, resp.JobID); !ok {
+			return
+		}
+	}
+	wall := time.Since(start)
+	if resp.Status != api.StatusDone {
+		g.errors.Inc()
+		return
+	}
+	g.batches.Inc()
+	g.cells.Add(uint64(len(reqs)))
+	g.batchNS.ObserveDuration(wall)
+	per := wall / time.Duration(len(reqs))
+	for range reqs {
+		g.cellNS.ObserveDuration(per)
+	}
+}
+
+// submitWithRetry POSTs the batch, resubmitting after 429 with the
+// server's Retry-After (capped at MaxRetryBackoff, jittered ±50% so
+// retries from a fleet of clients do not re-align into the next
+// burst). Returns ok=false once the batch is accounted for as
+// dropped or errored.
+func (g *Generator) submitWithRetry(ctx context.Context, client *http.Client, rng *rand.Rand, body []byte) (*api.BatchResponse, bool) {
+	for attempt := 0; ; attempt++ {
+		status, br, retryAfter, err := g.exchange(ctx, client, http.MethodPost, "/v1/runs", body)
+		if err != nil {
+			if ctx.Err() == nil {
+				g.errors.Inc()
+			}
+			return nil, false
+		}
+		if status != http.StatusTooManyRequests {
+			return br, true
+		}
+		if retryAfter == 0 {
+			// 429 without Retry-After is the server's "never": the
+			// batch itself is oversized, resubmitting cannot help.
+			g.errors.Inc()
+			return nil, false
+		}
+		if attempt >= g.opt.MaxRetries {
+			g.dropped.Inc()
+			return nil, false
+		}
+		g.retries.Inc()
+		backoff := retryAfter
+		if backoff > g.opt.MaxRetryBackoff {
+			backoff = g.opt.MaxRetryBackoff
+		}
+		backoff = backoff/2 + time.Duration(rng.Int63n(int64(backoff)+1))/2
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// pollUntilDone follows an accepted async job until it reports done
+// or failed. A 404 here is exactly the orphaned-202 bug the harness
+// exists to catch, and lands in load_errors_total.
+func (g *Generator) pollUntilDone(ctx context.Context, client *http.Client, jobID string) (*api.BatchResponse, bool) {
+	for {
+		select {
+		case <-time.After(g.opt.PollInterval):
+		case <-ctx.Done():
+			return nil, false
+		}
+		g.polls.Inc()
+		status, br, _, err := g.exchange(ctx, client, http.MethodGet, "/v1/runs/"+jobID, nil)
+		if err != nil {
+			if ctx.Err() == nil {
+				g.errors.Inc()
+			}
+			return nil, false
+		}
+		if status == http.StatusTooManyRequests {
+			continue
+		}
+		switch br.Status {
+		case api.StatusDone, api.StatusFailed:
+			return br, true
+		}
+	}
+}
+
+// exchange is one instrumented HTTP round trip. 200/202 parse into a
+// BatchResponse; 429 returns the Retry-After hint (0 when absent);
+// anything else is an error carrying the server's message.
+func (g *Generator) exchange(ctx context.Context, client *http.Client, method, path string, body []byte) (int, *api.BatchResponse, time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, g.opt.BaseURL+path, rd)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	httpResp, err := client.Do(req)
+	g.requests.Inc()
+	if err != nil {
+		g.requestNS.ObserveSince(start)
+		return 0, nil, 0, err
+	}
+	defer httpResp.Body.Close()
+	switch httpResp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var br api.BatchResponse
+		err := json.NewDecoder(httpResp.Body).Decode(&br)
+		g.requestNS.ObserveSince(start)
+		if err != nil {
+			return httpResp.StatusCode, nil, 0, fmt.Errorf("load: decoding %d body: %w", httpResp.StatusCode, err)
+		}
+		return httpResp.StatusCode, &br, 0, nil
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, httpResp.Body)
+		g.requestNS.ObserveSince(start)
+		g.status429.Inc()
+		var retry time.Duration
+		if secs, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return httpResp.StatusCode, nil, retry, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		g.requestNS.ObserveSince(start)
+		return httpResp.StatusCode, nil, 0, fmt.Errorf("load: %s %s: status %d: %s", method, path, httpResp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
+
+// Report distils one load run. Latency quantiles come from the obs
+// histograms, so each is the upper bound of its power-of-two bucket —
+// conservative, never flattering.
+type Report struct {
+	Elapsed time.Duration
+	Clients int
+
+	Requests   uint64 // HTTP round trips, all kinds
+	Batches    uint64 // batches completed with status done
+	Cells      uint64 // cells inside completed batches
+	Status429  uint64 // backpressured responses observed
+	Retries    uint64 // resubmissions after a 429
+	Dropped    uint64 // batches given up after MaxRetries
+	Errors     uint64 // batches ending in transport/decode/non-done errors
+	Aborts     uint64 // batches abandoned mid-request by churn
+	AsyncPolls uint64 // GET /v1/runs/{id} polls issued
+
+	HTTPP50, HTTPP99   time.Duration // per HTTP round trip
+	BatchP50, BatchP99 time.Duration // per batch end-to-end
+	CellP50, CellP99   time.Duration // batch wall amortised per cell
+
+	Rate429          float64 // Status429 / Requests
+	ErrorRate        float64 // Errors / batches reaching a verdict
+	BatchesPerSecond float64
+	CellsPerSecond   float64
+}
+
+func (g *Generator) report(elapsed time.Duration) *Report {
+	r := &Report{
+		Elapsed:    elapsed,
+		Clients:    g.opt.Clients,
+		Requests:   g.requests.Value(),
+		Batches:    g.batches.Value(),
+		Cells:      g.cells.Value(),
+		Status429:  g.status429.Value(),
+		Retries:    g.retries.Value(),
+		Dropped:    g.dropped.Value(),
+		Errors:     g.errors.Value(),
+		Aborts:     g.aborts.Value(),
+		AsyncPolls: g.polls.Value(),
+		HTTPP50:    time.Duration(g.requestNS.Quantile(0.50)),
+		HTTPP99:    time.Duration(g.requestNS.Quantile(0.99)),
+		BatchP50:   time.Duration(g.batchNS.Quantile(0.50)),
+		BatchP99:   time.Duration(g.batchNS.Quantile(0.99)),
+		CellP50:    time.Duration(g.cellNS.Quantile(0.50)),
+		CellP99:    time.Duration(g.cellNS.Quantile(0.99)),
+	}
+	if r.Requests > 0 {
+		r.Rate429 = float64(r.Status429) / float64(r.Requests)
+	}
+	if verdicts := r.Batches + r.Errors + r.Dropped; verdicts > 0 {
+		r.ErrorRate = float64(r.Errors) / float64(verdicts)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		r.BatchesPerSecond = float64(r.Batches) / secs
+		r.CellsPerSecond = float64(r.Cells) / secs
+	}
+	return r
+}
+
+// SLO is the acceptance envelope a Report is checked against. Zero
+// duration fields and negative rate fields are unchecked.
+type SLO struct {
+	HTTPP50Max   time.Duration
+	HTTPP99Max   time.Duration
+	CellP99Max   time.Duration
+	Max429Rate   float64
+	MaxErrorRate float64
+}
+
+// Check returns one human-readable violation per SLO the report
+// misses; empty means the run passed.
+func (s SLO) Check(r *Report) []string {
+	var v []string
+	if r.Batches == 0 {
+		v = append(v, "no batch completed — the run measured nothing")
+	}
+	if s.HTTPP50Max > 0 && r.HTTPP50 > s.HTTPP50Max {
+		v = append(v, fmt.Sprintf("http p50 %v > max %v", r.HTTPP50, s.HTTPP50Max))
+	}
+	if s.HTTPP99Max > 0 && r.HTTPP99 > s.HTTPP99Max {
+		v = append(v, fmt.Sprintf("http p99 %v > max %v", r.HTTPP99, s.HTTPP99Max))
+	}
+	if s.CellP99Max > 0 && r.CellP99 > s.CellP99Max {
+		v = append(v, fmt.Sprintf("cell p99 %v > max %v", r.CellP99, s.CellP99Max))
+	}
+	if s.Max429Rate >= 0 && r.Rate429 > s.Max429Rate {
+		v = append(v, fmt.Sprintf("429 rate %.3f > max %.3f", r.Rate429, s.Max429Rate))
+	}
+	if s.MaxErrorRate >= 0 && r.ErrorRate > s.MaxErrorRate {
+		v = append(v, fmt.Sprintf("error rate %.4f > max %.4f (%d errors)", r.ErrorRate, s.MaxErrorRate, r.Errors))
+	}
+	return v
+}

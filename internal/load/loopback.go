@@ -1,0 +1,113 @@
+package load
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+
+	"wayplace/internal/check"
+	"wayplace/internal/engine"
+	"wayplace/internal/obs"
+	"wayplace/internal/serve"
+	"wayplace/internal/sim"
+)
+
+// LoopbackOptions sizes the in-process wpserved a load run targets
+// when no external daemon is given. Zero values pick defaults tuned
+// for load testing rather than for real experiments: many queue
+// slots, a short Retry-After so backoff fits inside short runs, and
+// tiny synthetic workloads so the serve path, not the simulator, is
+// the bottleneck under measurement.
+type LoopbackOptions struct {
+	Workloads     int           // synthetic workloads to serve (default 4)
+	Workers       int           // engine workers (default GOMAXPROCS)
+	QueueDepth    int           // serve queue slots (default 64)
+	AsyncSlots    int           // async slot cap (default QueueDepth-1)
+	MaxBatchCells int           // per-batch cell cap (default serve's 4096)
+	JobTTL        time.Duration // async job eviction TTL (default serve's 10m)
+	RetryAfter    time.Duration // 429 backoff hint (default 1s; serve rounds up to whole seconds on the wire)
+	// Verify installs check.VerifyCell on the engine. Off by default:
+	// the checker re-verifies every cell on every request including
+	// run-cache hits, which under thousands of hot-key requests would
+	// measure the checker, not the serve path.
+	Verify bool
+	// Registry, when non-nil, receives the serve_*/engine metrics
+	// (the generator's load_* metrics live on its own registry).
+	Registry *obs.Registry
+}
+
+// Loopback is an in-process wpserved on a real 127.0.0.1 socket — the
+// full HTTP stack, loopback latency only.
+type Loopback struct {
+	URL       string
+	Engine    *engine.Engine
+	Server    *serve.Server
+	Workloads []string // names the synthetic provider serves
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// StartLoopback builds the synthetic-workload engine, the serve
+// facade and the listener, and starts serving.
+func StartLoopback(opt LoopbackOptions) (*Loopback, error) {
+	if opt.Workloads == 0 {
+		opt.Workloads = 4
+	}
+	if opt.QueueDepth == 0 {
+		opt.QueueDepth = 64
+	}
+
+	base := sim.Default()
+	engOpts := []engine.Option{
+		engine.WithWorkers(opt.Workers),
+		engine.WithBaseConfig(base),
+	}
+	if opt.Registry != nil {
+		engOpts = append(engOpts, engine.WithObserver(opt.Registry))
+	}
+	if opt.Verify {
+		engOpts = append(engOpts, engine.WithVerify(check.VerifyCell))
+	}
+	eng := engine.New(SyntheticProvider(opt.Workloads), engOpts...)
+
+	srv, err := serve.New(serve.Options{
+		Engine:        eng,
+		Registry:      opt.Registry,
+		QueueDepth:    opt.QueueDepth,
+		AsyncSlots:    opt.AsyncSlots,
+		MaxBatchCells: opt.MaxBatchCells,
+		JobTTL:        opt.JobTTL,
+		RetryAfter:    opt.RetryAfter,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+
+	return &Loopback{
+		URL:       "http://" + ln.Addr().String(),
+		Engine:    eng,
+		Server:    srv,
+		Workloads: SyntheticNames(opt.Workloads),
+		httpSrv:   httpSrv,
+		ln:        ln,
+	}, nil
+}
+
+// Close stops the listener and drains in-flight batches, bounded by
+// ctx.
+func (l *Loopback) Close(ctx context.Context) error {
+	err := l.httpSrv.Shutdown(ctx)
+	if derr := l.Server.Shutdown(ctx); err == nil {
+		err = derr
+	}
+	return err
+}

@@ -1,0 +1,165 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"wayplace/internal/api"
+	"wayplace/internal/asm"
+	"wayplace/internal/engine"
+	"wayplace/internal/isa"
+	"wayplace/internal/layout"
+	"wayplace/internal/obj"
+	"wayplace/internal/sim"
+)
+
+const textBase = 0x0001_0000
+
+// buildSynthetic assembles one tiny benchmark with a hot kernel and a
+// cold-handler tail (the same shape the serve tests use), sized by
+// iters and handlers so each synthetic workload has a distinct fetch
+// stream and therefore distinct canonical cell keys.
+func buildSynthetic(name string, iters uint16, handlers int) *obj.Unit {
+	b := asm.NewBuilder(name)
+	buf := b.Zeros(256)
+
+	f := b.Func("main")
+	f.Call("setup")
+	f.Movi(isa.R5, iters)
+	f.Block("outer")
+	f.Call("kernel")
+	f.Subi(isa.R5, isa.R5, 1)
+	f.Cmpi(isa.R5, 0)
+	f.Bgt("outer")
+	f.Halt()
+
+	for i := 0; i < handlers; i++ {
+		h := b.Func(fmt.Sprintf("cold_%d", i))
+		for k := 0; k < 24; k++ {
+			h.Addi(isa.R9, isa.R9, 1)
+		}
+		h.Ret()
+	}
+
+	s := b.Func("setup")
+	s.Li(isa.R1, buf)
+	s.Movi(isa.R2, 64)
+	s.Block("fill")
+	s.Str(isa.R2, isa.R1, 0)
+	s.Addi(isa.R1, isa.R1, 4)
+	s.Subi(isa.R2, isa.R2, 1)
+	s.Cmpi(isa.R2, 0)
+	s.Bgt("fill")
+	s.Ret()
+
+	k := b.Func("kernel")
+	k.Li(isa.R1, buf)
+	k.Movi(isa.R2, 64)
+	k.Block("loop")
+	k.Ldr(isa.R3, isa.R1, 0)
+	k.Add(isa.R0, isa.R0, isa.R3)
+	k.Addi(isa.R1, isa.R1, 4)
+	k.Subi(isa.R2, isa.R2, 1)
+	k.Cmpi(isa.R2, 0)
+	k.Bgt("loop")
+	k.Ret()
+
+	return b.MustBuild()
+}
+
+// prepareSynthetic runs the full pipeline (link original, profile,
+// relink placed) for one synthetic program.
+func prepareSynthetic(name string, iters uint16, handlers int) (*engine.Workload, error) {
+	u := buildSynthetic(name, iters, handlers)
+	orig, err := layout.LinkOriginal(u, textBase)
+	if err != nil {
+		return nil, err
+	}
+	prof, _, err := sim.ProfileRun(orig, 50_000_000)
+	if err != nil {
+		return nil, err
+	}
+	placed, err := layout.Link(u, prof, textBase)
+	if err != nil {
+		return nil, err
+	}
+	return &engine.Workload{Name: name, Original: orig, Placed: placed}, nil
+}
+
+// SyntheticNames returns the workload names a SyntheticProvider(n)
+// serves: synth0..synth<n-1>.
+func SyntheticNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("synth%d", i)
+	}
+	return names
+}
+
+// SyntheticProvider is an engine.Provider over n tiny generated
+// benchmarks. They prepare in milliseconds — the load harness wants a
+// server whose per-cell cost is small enough that the serve path
+// (queueing, encoding, run-cache lookups), not the simulator, is what
+// the measurement stresses. Preparation is lazy and memoized, exactly
+// like wpserved's real-benchmark provider.
+func SyntheticProvider(n int) engine.Provider {
+	var mu sync.Mutex
+	cache := make(map[string]*engine.Workload)
+	index := make(map[string]int, n)
+	for i, name := range SyntheticNames(n) {
+		index[name] = i
+	}
+	return func(ctx context.Context, name string) (*engine.Workload, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		i, ok := index[name]
+		if !ok {
+			return nil, fmt.Errorf("load: no synthetic workload %q (have %d)", name, n)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if w, ok := cache[name]; ok {
+			return w, nil
+		}
+		// Distinct iteration counts and cold-tail lengths give every
+		// workload its own fetch stream and key space.
+		w, err := prepareSynthetic(name, uint16(120+i*40), 4+i%4)
+		if err != nil {
+			return nil, err
+		}
+		cache[name] = w
+		return w, nil
+	}
+}
+
+// SyntheticGeometry is the I-cache the synthetic pool runs on: small
+// enough that way placement matters for programs this size.
+func SyntheticGeometry() api.CacheGeometry {
+	return api.CacheGeometry{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32}
+}
+
+// Pool builds the canonical cell pool the generator draws from: for
+// every workload one baseline, one way-memoization and one
+// way-placement cell per WP size. Pool order is rank order — the
+// zipfian picker hits low indices hardest — so the hot set spans
+// schemes and workloads the way a warm production cache would see
+// them: the same canonical RunSpec keys over and over, with a long
+// cold tail.
+func Pool(workloads []string, icache api.CacheGeometry, wpSizes []uint32) []api.RunRequest {
+	var pool []api.RunRequest
+	for _, wl := range workloads {
+		pool = append(pool,
+			api.RunRequest{Workload: wl, ICache: icache, Scheme: api.SchemeBaseline},
+			api.RunRequest{Workload: wl, ICache: icache, Scheme: api.SchemeWayMemoization},
+		)
+		for _, size := range wpSizes {
+			pool = append(pool, api.RunRequest{
+				Workload: wl, ICache: icache,
+				Scheme: api.SchemeWayPlacement, WPSizeBytes: size,
+			})
+		}
+	}
+	return pool
+}

@@ -683,3 +683,355 @@ func TestCoalesceField(t *testing.T) {
 		t.Errorf("uncoalesced engine formed %d groups", envOff.eng.Groups())
 	}
 }
+
+// TestAsyncSubmitRaceNeverOrphans202: regression for the
+// publish-before-acquire race. With the queue pinned full, concurrent
+// identical async submissions used to interleave so that one attached
+// (202) to a job the other deleted on its failed acquire — an id that
+// never ran and 404'd on every poll. The invariant now: any 202 ever
+// answered names a job that stays pollable. Run under -race.
+func TestAsyncSubmitRaceNeverOrphans202(t *testing.T) {
+	env := newEnv(t, func(o *serve.Options) { o.QueueDepth = 1 })
+
+	// Pin the only queue slot with a blocked sync batch.
+	var pinned sync.WaitGroup
+	pinned.Add(1)
+	go func() {
+		defer pinned.Done()
+		body, _ := json.Marshal(api.BatchRequest{Requests: []api.RunRequest{
+			{Workload: "block:tiny1", ICache: xscale8(), Scheme: api.SchemeBaseline},
+		}})
+		http.Post(env.http.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	}()
+	waitInflight(t, env, 1)
+
+	// Hammer the handler in-process — the race window between
+	// publishing a job and deleting it on a failed acquire is well
+	// under a microsecond, so the rounds must be tight loops, not
+	// real HTTP exchanges.
+	handler := env.srv.Handler()
+	var mu sync.Mutex
+	var acceptedIDs []string
+	rounds := 3000
+	if testing.Short() {
+		rounds = 300
+	}
+	for round := 0; round < rounds; round++ {
+		// A fresh job id per round: the WP size varies.
+		reqs := []api.RunRequest{{Workload: "tiny2", ICache: xscale8(),
+			Scheme: api.SchemeWayPlacement, WPSizeBytes: uint32(round+1) << 7}}
+		body, _ := json.Marshal(api.BatchRequest{Async: true, Requests: reqs})
+		var wg sync.WaitGroup
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req := httptest.NewRequest(http.MethodPost, "/v1/runs", bytes.NewReader(body))
+				rec := httptest.NewRecorder()
+				handler.ServeHTTP(rec, req)
+				if rec.Code == http.StatusAccepted {
+					var br api.BatchResponse
+					json.NewDecoder(rec.Body).Decode(&br)
+					mu.Lock()
+					acceptedIDs = append(acceptedIDs, br.JobID)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	t.Logf("accepted 202s: %d", len(acceptedIDs))
+	// Every 202 the server handed out must still resolve. (An
+	// orphaned job can never run — the queue stayed pinned — so a
+	// pre-fix deletion is still visible here as a 404.)
+	for _, id := range acceptedIDs {
+		req := httptest.NewRequest(http.MethodGet, "/v1/runs/"+id, nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code == http.StatusNotFound {
+			t.Fatalf("job %s was 202-accepted but polls as 404 — orphaned by the submit race", id)
+		}
+	}
+
+	env.gate <- struct{}{} // release the pinned batch
+	pinned.Wait()
+}
+
+// TestDuplicateAsyncSubmissionsRace: concurrent identical async
+// submissions converge on one job — same deterministic id for every
+// 202, exactly one accepted batch doing the work — and the job
+// completes with full results. Run under -race.
+func TestDuplicateAsyncSubmissionsRace(t *testing.T) {
+	env := newEnv(t, nil)
+	reqs := smallBatch()
+	body, _ := json.Marshal(api.BatchRequest{Async: true, Requests: reqs})
+
+	ids := make([]string, 6)
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(env.http.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submission %d answered %d, want 202", i, resp.StatusCode)
+				return
+			}
+			var br api.BatchResponse
+			if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = br.JobID
+		}(i)
+	}
+	wg.Wait()
+
+	want := api.BatchKey(reqs)
+	for i, id := range ids {
+		if id != want {
+			t.Fatalf("submission %d got job id %q, want the shared deterministic %q", i, id, want)
+		}
+	}
+	if got := env.reg.Dump().Counters[serve.MetricBatches]; got != 1 {
+		t.Errorf("%d batches accepted for 6 identical submissions, want 1 (the rest attach)", got)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jr, err := http.Get(env.http.URL + "/v1/runs/" + want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var br api.BatchResponse
+		err = json.NewDecoder(jr.Body).Decode(&br)
+		jr.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Status == api.StatusDone {
+			if len(br.Results) != len(reqs) {
+				t.Fatalf("deduplicated job finished with %d results, want %d", len(br.Results), len(reqs))
+			}
+			return
+		}
+		if br.Status == api.StatusFailed || time.Now().After(deadline) {
+			t.Fatalf("deduplicated job ended %q", br.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFinishedJobEvicted: a completed async job is evicted after
+// Options.JobTTL, so a long-lived daemon does not hold one
+// BatchResponse per distinct batch forever; post-eviction polls 404.
+func TestFinishedJobEvicted(t *testing.T) {
+	env := newEnv(t, func(o *serve.Options) { o.JobTTL = 50 * time.Millisecond })
+	body, _ := json.Marshal(api.BatchRequest{Async: true, Requests: []api.RunRequest{
+		{Workload: "tiny1", ICache: xscale8(), Scheme: api.SchemeBaseline},
+	}})
+	resp, err := http.Post(env.http.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted api.BatchResponse
+	err = json.NewDecoder(resp.Body).Decode(&accepted)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", resp.StatusCode, err)
+	}
+
+	sawDone := false
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		jr, err := http.Get(env.http.URL + "/v1/runs/" + accepted.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var br api.BatchResponse
+		json.NewDecoder(jr.Body).Decode(&br)
+		jr.Body.Close()
+		if jr.StatusCode == http.StatusNotFound {
+			if !sawDone {
+				t.Fatal("job vanished before ever reporting done")
+			}
+			return // evicted after completing: the fix works
+		}
+		if br.Status == api.StatusDone {
+			sawDone = true
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("finished job never evicted — Server.jobs leaks one BatchResponse per batch")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAsyncBurstCannotStarveSync: async batches may hold at most
+// AsyncSlots queue slots, so with the async side saturated a sync
+// caller still gets the reserved slot — and the surplus async
+// submission bounces with a retryable 429.
+func TestAsyncBurstCannotStarveSync(t *testing.T) {
+	env := newEnv(t, func(o *serve.Options) { o.QueueDepth = 3 }) // AsyncSlots defaults to 2
+
+	for _, wl := range []string{"block:tiny1", "block:tiny2"} {
+		body, _ := json.Marshal(api.BatchRequest{Async: true, Requests: []api.RunRequest{
+			{Workload: wl, ICache: xscale8(), Scheme: api.SchemeBaseline},
+		}})
+		resp, err := http.Post(env.http.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("async submit of %s answered %d, want 202", wl, resp.StatusCode)
+		}
+	}
+	waitInflight(t, env, 2)
+
+	// The async side is at its cap: a further async batch is refused
+	// even though a queue slot is free...
+	body, _ := json.Marshal(api.BatchRequest{Async: true, Requests: []api.RunRequest{
+		{Workload: "tiny2", ICache: xscale8(), Scheme: api.SchemeWayMemoization},
+	}})
+	resp, err := http.Post(env.http.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("async burst past the cap answered %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("fairness 429 lacks Retry-After (it is retryable)")
+	}
+
+	// ...while a sync caller takes the reserved slot and completes.
+	syncResp, err := env.client.Run(context.Background(), []api.RunRequest{
+		{Workload: "tiny1", ICache: xscale8(), Scheme: api.SchemeBaseline},
+	})
+	if err != nil {
+		t.Fatalf("sync batch starved while async burst held the queue: %v", err)
+	}
+	if syncResp.Status != api.StatusDone {
+		t.Fatalf("sync batch ended %q", syncResp.Status)
+	}
+
+	env.gate <- struct{}{}
+	env.gate <- struct{}{}
+}
+
+// TestLargeBatchStreams: a MaxBatchCells-sized sync batch (4096
+// cells) answers as one chunked JSON object that a v1 client decodes
+// unchanged — the server streamed it result by result instead of
+// buffering a multi-megabyte body.
+func TestLargeBatchStreams(t *testing.T) {
+	env := newEnv(t, nil)
+	unique := smallBatch()
+	reqs := make([]api.RunRequest, 4096)
+	for i := range reqs {
+		reqs[i] = unique[i%len(unique)]
+	}
+	body, _ := json.Marshal(api.BatchRequest{Requests: reqs})
+	resp, err := http.Post(env.http.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("4096-cell batch answered %d: %.300s", resp.StatusCode, b)
+	}
+	if resp.ContentLength != -1 {
+		t.Errorf("response carries Content-Length %d — the body was buffered, not streamed", resp.ContentLength)
+	}
+
+	var br api.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatalf("streamed body does not decode as one JSON object: %v", err)
+	}
+	if br.Status != api.StatusDone || len(br.Errors) != 0 {
+		t.Fatalf("batch ended %q: %v", br.Status, br.Errors)
+	}
+	if len(br.Results) != len(reqs) {
+		t.Fatalf("%d results for %d requests", len(br.Results), len(reqs))
+	}
+	specs, err := api.ToSpecs(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rr := range br.Results {
+		if rr.Key != specs[i].Key() || rr.Stats == nil {
+			t.Fatalf("result %d: key %q stats %v", i, rr.Key, rr.Stats != nil)
+		}
+	}
+	// 4096 requested cells collapse onto the unique specs: the repeats
+	// come from the run cache, not 4096 simulations.
+	if misses := env.eng.Misses(); misses != uint64(len(unique)) {
+		t.Errorf("4096-cell batch cost %d simulations, want %d", misses, len(unique))
+	}
+}
+
+// TestShutdownRacesAsyncSubmissions: Shutdown racing a burst of async
+// submissions must drain cleanly — every job that was 202-accepted is
+// final (done, never lost) once Shutdown returns. Run under -race.
+func TestShutdownRacesAsyncSubmissions(t *testing.T) {
+	env := newEnv(t, nil)
+
+	var wg sync.WaitGroup
+	accepted := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reqs := []api.RunRequest{{Workload: "tiny1", ICache: xscale8(),
+				Scheme: api.SchemeWayPlacement, WPSizeBytes: uint32(i+1) << 9}}
+			body, _ := json.Marshal(api.BatchRequest{Async: true, Requests: reqs})
+			resp, err := http.Post(env.http.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var br api.BatchResponse
+			json.NewDecoder(resp.Body).Decode(&br)
+			if resp.StatusCode == http.StatusAccepted {
+				accepted <- br.JobID
+			}
+		}(i)
+	}
+
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		shutdownErr <- env.srv.Shutdown(ctx)
+	}()
+
+	wg.Wait()
+	close(accepted)
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown racing async submissions: %v", err)
+	}
+	for id := range accepted {
+		jr, err := http.Get(env.http.URL + "/v1/runs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var br api.BatchResponse
+		err = json.NewDecoder(jr.Body).Decode(&br)
+		jr.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Status != api.StatusDone || len(br.Results) != 1 || br.Results[0].Stats == nil {
+			t.Errorf("accepted job %s ended %q after drain (results: %d)", id, br.Status, len(br.Results))
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -49,11 +50,20 @@ const (
 	// is labelled with the cell's canonical engine.RunSpec.Key(), so a
 	// scrape shows exactly which cells the warm cache is serving.
 	MetricCellHits = "serve_run_cache_hits_total"
+	// MetricWriteErrors: response bodies that failed mid-write after
+	// headers were sent. The client saw a truncated 200 — invisible in
+	// status-code metrics, so it gets its own counter.
+	MetricWriteErrors = "serve_write_errors_total"
 
 	// keyCardinalityCap bounds the number of distinct per-key series;
 	// past it, further cells land on the key="overflow" series so a
 	// hostile or huge sweep cannot grow the registry without bound.
 	keyCardinalityCap = 1024
+	// keyMemoCap bounds the key→counter memo map itself (entries past
+	// the cardinality cap alias the one overflow counter, so the memo
+	// costs a map entry per key, not a registry series). Past this the
+	// hot path answers the cached overflow counter without memoizing.
+	keyMemoCap = 8 * keyCardinalityCap
 )
 
 // Options configures a Server.
@@ -74,6 +84,16 @@ type Options struct {
 	RunTimeout time.Duration
 	// RetryAfter is the backoff hint sent with 429. Default 1s.
 	RetryAfter time.Duration
+	// AsyncSlots caps how many queue slots async batches may hold at
+	// once, reserving the remainder for sync callers so an async burst
+	// can never starve them indefinitely. Default QueueDepth-1
+	// (minimum 1); clamped to [1, QueueDepth].
+	AsyncSlots int
+	// JobTTL is how long a finished async job stays pollable before it
+	// is evicted (poll answers 404 afterwards; resubmitting the batch
+	// recomputes against the warm run cache). 0 means the default of
+	// 10 minutes; negative disables eviction.
+	JobTTL time.Duration
 }
 
 // Server is the HTTP facade over one shared engine.
@@ -82,15 +102,18 @@ type Server struct {
 	jobs sync.Map // job id -> *job
 	wg   sync.WaitGroup
 
-	mu       sync.Mutex
-	draining bool
-	slots    chan struct{}
+	mu        sync.Mutex
+	draining  bool
+	asyncHeld int // queue slots currently held by async batches
+	slots     chan struct{}
 
-	batches  *obs.Counter
-	rejected *obs.Counter
-	inflight *obs.Gauge
-	keyMu    sync.Mutex
-	keySet   map[string]*obs.Counter
+	batches   *obs.Counter
+	rejected  *obs.Counter
+	writeErrs *obs.Counter
+	inflight  *obs.Gauge
+	keyMu     sync.Mutex
+	keySet    map[string]*obs.Counter
+	overflow  *obs.Counter // the shared past-the-cap hit series
 }
 
 // job is one async batch. done closes when resp is final.
@@ -117,13 +140,26 @@ func New(opt Options) (*Server, error) {
 	if opt.RetryAfter <= 0 {
 		opt.RetryAfter = time.Second
 	}
+	if opt.AsyncSlots <= 0 {
+		opt.AsyncSlots = opt.QueueDepth - 1
+	}
+	if opt.AsyncSlots < 1 {
+		opt.AsyncSlots = 1
+	}
+	if opt.AsyncSlots > opt.QueueDepth {
+		opt.AsyncSlots = opt.QueueDepth
+	}
+	if opt.JobTTL == 0 {
+		opt.JobTTL = 10 * time.Minute
+	}
 	return &Server{
-		opt:      opt,
-		slots:    make(chan struct{}, opt.QueueDepth),
-		batches:  opt.Registry.Counter(MetricBatches),
-		rejected: opt.Registry.Counter(MetricRejected),
-		inflight: opt.Registry.Gauge(MetricInflight),
-		keySet:   make(map[string]*obs.Counter),
+		opt:       opt,
+		slots:     make(chan struct{}, opt.QueueDepth),
+		batches:   opt.Registry.Counter(MetricBatches),
+		rejected:  opt.Registry.Counter(MetricRejected),
+		writeErrs: opt.Registry.Counter(MetricWriteErrors),
+		inflight:  opt.Registry.Gauge(MetricInflight),
+		keySet:    make(map[string]*obs.Counter),
 	}, nil
 }
 
@@ -160,15 +196,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // acquire claims a queue slot without blocking; ok=false means the
 // caller must answer 429. While a drain is in progress no new slots
-// are handed out.
-func (s *Server) acquire() bool {
+// are handed out. Async batches are additionally capped at
+// Options.AsyncSlots held slots, so at least one slot always remains
+// that only sync callers can take — an async burst saturating the
+// queue cannot starve sync traffic indefinitely.
+func (s *Server) acquire(async bool) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
 		return false
 	}
+	if async && s.asyncHeld >= s.opt.AsyncSlots {
+		return false
+	}
 	select {
 	case s.slots <- struct{}{}:
+		if async {
+			s.asyncHeld++
+		}
 		s.wg.Add(1)
 		s.inflight.Add(1)
 		return true
@@ -177,8 +222,13 @@ func (s *Server) acquire() bool {
 	}
 }
 
-func (s *Server) release() {
+func (s *Server) release(async bool) {
 	<-s.slots
+	if async {
+		s.mu.Lock()
+		s.asyncHeld--
+		s.mu.Unlock()
+	}
 	s.wg.Done()
 	s.inflight.Add(-1)
 }
@@ -187,17 +237,17 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	var breq api.BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(&breq); err != nil {
-		writeError(w, http.StatusBadRequest, api.ErrorResponse{Error: "malformed JSON: " + err.Error()})
+		s.writeError(w, http.StatusBadRequest, api.ErrorResponse{Error: "malformed JSON: " + err.Error()})
 		return
 	}
 	if breq.APIVersion != "" && breq.APIVersion != api.Version {
-		writeError(w, http.StatusBadRequest, api.ErrorResponse{
+		s.writeError(w, http.StatusBadRequest, api.ErrorResponse{
 			Error: fmt.Sprintf("api_version %q not supported (server speaks %q)", breq.APIVersion, api.Version),
 		})
 		return
 	}
 	if len(breq.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, api.ErrorResponse{
+		s.writeError(w, http.StatusBadRequest, api.ErrorResponse{
 			Error:  "empty batch",
 			Fields: []api.FieldError{{Field: "requests", Message: "must contain at least one run request"}},
 		})
@@ -207,7 +257,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		// 429 without Retry-After: resubmitting the same batch can
 		// never succeed — the client must split the sweep.
 		s.rejected.Inc()
-		writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
+		s.writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
 			Error: fmt.Sprintf("batch of %d cells exceeds the server limit of %d; split the sweep",
 				len(breq.Requests), s.opt.MaxBatchCells),
 		})
@@ -221,7 +271,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		} else {
 			resp.Error = err.Error()
 		}
-		writeError(w, http.StatusBadRequest, resp)
+		s.writeError(w, http.StatusBadRequest, resp)
 		return
 	}
 
@@ -229,59 +279,87 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		s.startAsync(w, &breq, specs)
 		return
 	}
-	if !s.acquire() {
+	if !s.acquire(false) {
 		s.rejected.Inc()
 		s.writeBusy(w, "server at capacity")
 		return
 	}
-	defer s.release()
+	defer s.release(false)
 	s.batches.Inc()
 	// Run under the request context so a disconnected client cancels
 	// its own cells; Shutdown still drains connected clients because
 	// http.Server.Shutdown leaves active request contexts alone.
 	resp := s.runBatch(r.Context(), &breq, specs)
-	writeJSON(w, http.StatusOK, resp)
+	s.writeBatchResponse(w, http.StatusOK, resp)
 }
 
 // startAsync registers (or re-attaches to) the deterministic job for
 // this batch and answers 202 immediately.
+//
+// Ordering matters: the slot is acquired *before* the job is
+// published. The old publish-then-acquire order had a race — on a
+// full queue the loser deleted its freshly published job, but a
+// concurrent identical submission that had already attached to it was
+// told 202 with an id that would never run and then 404 on every
+// poll. Now a job is only ever visible once its slot is secured, and
+// the only deletions are TTL evictions after completion.
 func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs []engine.RunSpec) {
 	id := api.BatchKey(breq.Requests)
-	j := &job{id: id, status: api.StatusQueued, done: make(chan struct{})}
-	if cur, loaded := s.jobs.LoadOrStore(id, j); loaded {
+	if cur, ok := s.jobs.Load(id); ok {
 		// Identical batch already known: report its current state
-		// instead of queueing duplicate work.
-		writeJSON(w, http.StatusAccepted, cur.(*job).snapshot())
+		// instead of queueing duplicate work — no slot needed.
+		s.writeBatchResponse(w, http.StatusAccepted, cur.(*job).snapshot())
 		return
 	}
-	if !s.acquire() {
+	if !s.acquire(true) {
 		s.rejected.Inc()
-		s.jobs.Delete(id)
 		s.writeBusy(w, "server at capacity")
+		return
+	}
+	j := &job{id: id, status: api.StatusQueued, done: make(chan struct{})}
+	if cur, loaded := s.jobs.LoadOrStore(id, j); loaded {
+		// Lost a publish race against an identical submission that
+		// acquired its own slot: attach to the winner.
+		s.release(true)
+		s.writeBatchResponse(w, http.StatusAccepted, cur.(*job).snapshot())
 		return
 	}
 	s.batches.Inc()
 	go func() {
-		defer s.release()
+		defer s.release(true)
 		j.setStatus(api.StatusRunning)
 		// Async jobs outlive their submitting request, so they run
 		// under the background context; Shutdown waits for them.
 		resp := s.runBatch(context.Background(), breq, specs)
 		j.finish(resp)
+		s.scheduleEviction(id)
 	}()
-	writeJSON(w, http.StatusAccepted, api.BatchResponse{
+	s.writeJSON(w, http.StatusAccepted, api.BatchResponse{
 		APIVersion: api.Version, JobID: id, Status: api.StatusQueued,
 	})
+}
+
+// scheduleEviction deletes a finished job after Options.JobTTL, so a
+// long-lived daemon does not leak one BatchResponse per distinct
+// batch forever. Polls after eviction answer 404; resubmitting the
+// batch recomputes it against the still-warm run cache.
+func (s *Server) scheduleEviction(id string) {
+	if s.opt.JobTTL < 0 {
+		return
+	}
+	time.AfterFunc(s.opt.JobTTL, func() { s.jobs.Delete(id) })
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	v, ok := s.jobs.Load(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, api.ErrorResponse{Error: fmt.Sprintf("unknown job %q", id)})
+		s.writeError(w, http.StatusNotFound, api.ErrorResponse{Error: fmt.Sprintf("unknown job %q", id)})
 		return
 	}
-	writeJSON(w, http.StatusOK, v.(*job).snapshot())
+	// A finished job's snapshot carries the full result set, so polls
+	// stream it like the sync path does.
+	s.writeBatchResponse(w, http.StatusOK, v.(*job).snapshot())
 }
 
 // runBatch executes one validated batch on the shared engine and maps
@@ -342,7 +420,13 @@ func (s *Server) runBatch(ctx context.Context, breq *api.BatchRequest, specs []e
 }
 
 // countHit bumps the per-key run-cache hit series, folding keys past
-// the cardinality cap into one overflow series.
+// the cardinality cap into one overflow series. The memo is keyed by
+// the *original* key even when it resolves to the overflow counter —
+// the old code stored under the literal "overflow", so every repeat
+// hit on a fresh past-the-cap key took the lock *and* a registry
+// lookup and re-stored the same entry; now any key seen before is one
+// map read. Past keyMemoCap the memo itself stops growing and the
+// cached overflow counter answers directly.
 func (s *Server) countHit(key string) {
 	if s.opt.Registry == nil {
 		return
@@ -350,11 +434,17 @@ func (s *Server) countHit(key string) {
 	s.keyMu.Lock()
 	c, ok := s.keySet[key]
 	if !ok {
-		if len(s.keySet) >= keyCardinalityCap {
-			key = "overflow"
+		if len(s.keySet) < keyCardinalityCap {
+			c = s.opt.Registry.Counter(obs.LabeledName(MetricCellHits, "key", key))
+		} else {
+			if s.overflow == nil {
+				s.overflow = s.opt.Registry.Counter(obs.LabeledName(MetricCellHits, "key", "overflow"))
+			}
+			c = s.overflow
 		}
-		c = s.opt.Registry.Counter(obs.LabeledName(MetricCellHits, "key", key))
-		s.keySet[key] = c
+		if len(s.keySet) < keyMemoCap {
+			s.keySet[key] = c
+		}
 	}
 	s.keyMu.Unlock()
 	c.Inc()
@@ -368,7 +458,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":       status,
 		"api_version":  api.Version,
 		"queue_depth":  s.opt.QueueDepth,
@@ -397,21 +487,44 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writeBusy(w http.ResponseWriter, msg string) {
 	retry := s.opt.RetryAfter
 	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
-	writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
+	s.writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
 		Error:             msg,
 		RetryAfterSeconds: retry.Seconds(),
 	})
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeJSON answers small payloads (errors, 202 shells, healthz) in
+// one encode. Once headers are out a failure cannot change the status
+// line, so it is logged and counted (MetricWriteErrors) instead of
+// silently yielding a truncated 200.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.countWriteError(err)
+	}
 }
 
-func writeError(w http.ResponseWriter, code int, resp api.ErrorResponse) {
-	writeJSON(w, code, resp)
+// writeBatchResponse streams a BatchResponse result by result
+// (api.EncodeBatchResponse), so a MaxBatchCells-sized grid answer
+// never materialises a second body-sized buffer; the bytes on the
+// wire are identical to a one-shot encode. Mid-stream failures are
+// logged and counted like writeJSON's.
+func (s *Server) writeBatchResponse(w http.ResponseWriter, code int, resp *api.BatchResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := api.EncodeBatchResponse(w, resp); err != nil {
+		s.countWriteError(err)
+	}
+}
+
+func (s *Server) countWriteError(err error) {
+	s.writeErrs.Inc()
+	log.Printf("serve: response body write failed after headers (client sees a truncated 200): %v", err)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, resp api.ErrorResponse) {
+	s.writeJSON(w, code, resp)
 }
 
 func (j *job) setStatus(st string) {
