@@ -15,7 +15,7 @@
 //	       [-workloads N] [-pool a,b,...] [-queue N] [-jobs N]
 //	       [-snapshot file] [-metrics file] [-seed N]
 //	       [-slo-p50 d] [-slo-p99 d] [-slo-cell-p99 d]
-//	       [-slo-429 F] [-slo-errors F] [-smoke]
+//	       [-slo-429 F] [-slo-errors F] [-smoke] [-crash]
 //
 // With no -addr, wpload starts an in-process wpserved over tiny
 // synthetic workloads on a loopback socket — the full HTTP stack with
@@ -28,6 +28,13 @@
 // seconds, generous SLOs that catch breakage (orphaned async jobs,
 // starved sync callers, buffered encodes) without flaking on slow
 // runners. Exit status 1 on any SLO violation.
+//
+// -crash is the durability gate: wpload re-execs itself as a
+// store-backed daemon, submits async batches, SIGKILLs the daemon the
+// moment the last 202 lands, restarts it on the same store and
+// asserts every pre-kill job id resolves to results byte-identical to
+// a direct engine run — then proves a third, cold-memory daemon
+// serves the warm store without re-simulating a single cell.
 package main
 
 import (
@@ -45,6 +52,10 @@ import (
 )
 
 func main() {
+	// Re-exec'd as a crash-choreography daemon child? Then this call
+	// runs the daemon and never returns.
+	load.MaybeDaemonChild()
+
 	addr := flag.String("addr", "", "target wpserved base URL, e.g. http://127.0.0.1:8100 (empty = in-process loopback server)")
 	clients := flag.Int("clients", 256, "concurrent clients")
 	duration := flag.Duration("duration", 10*time.Second, "how long clients keep submitting")
@@ -61,6 +72,7 @@ func main() {
 	snapshotPath := flag.String("snapshot", "BENCH_wpload.json", "write the run snapshot here (empty = skip)")
 	metricsPath := flag.String("metrics", "", "also dump the client-side load_* registry as JSON here")
 	smoke := flag.Bool("smoke", false, "CI smoke: loopback, 200 clients, 2s, SLOs asserted, exit 1 on violation")
+	crash := flag.Bool("crash", false, "kill/restart durability choreography: SIGKILL a store-backed daemon mid-load, restart, assert nothing observable was lost")
 
 	sloP50 := flag.Duration("slo-p50", 0, "max HTTP p50 (0 = unchecked)")
 	sloP99 := flag.Duration("slo-p99", 0, "max HTTP p99 (0 = unchecked)")
@@ -68,6 +80,14 @@ func main() {
 	slo429 := flag.Float64("slo-429", -1, "max 429s per HTTP request (negative = unchecked)")
 	sloErrors := flag.Float64("slo-errors", -1, "max batch error rate (negative = unchecked)")
 	flag.Parse()
+
+	if *crash {
+		if err := load.RunCrash(context.Background(), load.CrashOptions{Log: os.Stderr}); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "wpload: crash choreography ok")
+		return
+	}
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })

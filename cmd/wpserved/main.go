@@ -18,10 +18,20 @@
 // the daemon stops accepting batches and drains in-flight cells for
 // up to -drain before exiting.
 //
+// Durability: with -store DIR the daemon layers a disk-backed
+// content-addressed result store under the engine run cache (one file
+// per canonical cell key, atomic fsync'd writes) and journals every
+// accepted async batch to DIR/journal.wal before answering 202. A
+// SIGKILL loses nothing a client can observe: on restart the journal
+// is replayed — unfinished jobs resume, finished ones stay pollable
+// until -jobttl — and warm-store cells are served from disk instead
+// of re-simulated. -store-fsck verifies the store and exits.
+//
 // Usage:
 //
 //	wpserved [-addr host:port] [-jobs N] [-queue N] [-asyncslots N]
 //	         [-maxbatch N] [-jobttl d] [-timeout d] [-drain d]
+//	         [-store DIR] [-journal FILE] [-store-fsck]
 //	         [-noverify] [-oneshot]
 //
 // -oneshot is the self-test: the daemon binds a loopback port, pushes
@@ -40,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"reflect"
 	"syscall"
 	"time"
@@ -51,6 +62,7 @@ import (
 	"wayplace/internal/obs"
 	"wayplace/internal/serve"
 	"wayplace/internal/sim"
+	"wayplace/internal/store"
 )
 
 func main() {
@@ -64,7 +76,14 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight cells")
 	noverify := flag.Bool("noverify", false, "skip the per-cell invariant checker (check.VerifyCell)")
 	oneshot := flag.Bool("oneshot", false, "bind a loopback port, run one smoke batch through the HTTP path and exit")
+	storeDir := flag.String("store", "", "persistent result store directory (empty = in-memory only)")
+	journalPath := flag.String("journal", "", "async-job journal file (default <store>/journal.wal; requires -store)")
+	storeFsck := flag.Bool("store-fsck", false, "verify every CAS object in -store re-hashes to its key, then exit (non-zero on corruption)")
 	flag.Parse()
+
+	if *storeFsck {
+		os.Exit(runFsck(*storeDir))
+	}
 
 	reg := obs.NewRegistry()
 	base := sim.Default()
@@ -77,6 +96,37 @@ func main() {
 	if !*noverify {
 		opts = append(opts, engine.WithVerify(check.VerifyCell))
 	}
+
+	// Persistence: the CAS store slots under the engine run cache, the
+	// journal under the async job table. Both live in -store so one
+	// directory is the whole durable state of a daemon.
+	var st *store.Store
+	var journal *store.Journal
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:         *storeDir,
+			Registry:    reg,
+			Fingerprint: store.Fingerprint(base),
+		})
+		if err != nil {
+			fail(err)
+		}
+		defer st.Close()
+		opts = append(opts, engine.WithStore(st))
+		jp := *journalPath
+		if jp == "" {
+			jp = filepath.Join(*storeDir, "journal.wal")
+		}
+		journal, err = store.OpenJournal(jp, reg)
+		if err != nil {
+			fail(err)
+		}
+		defer journal.Close()
+	} else if *journalPath != "" {
+		fail(fmt.Errorf("-journal requires -store (results a replayed job needs must be durable too)"))
+	}
+
 	// The provider is lazy: a workload is built, profiled and relaid
 	// the first time any client names it, then memoized by the engine.
 	eng := engine.New(provider, opts...)
@@ -89,6 +139,7 @@ func main() {
 		MaxBatchCells: *maxBatch,
 		JobTTL:        *jobTTL,
 		RunTimeout:    *timeout,
+		Journal:       journal,
 	})
 	if err != nil {
 		fail(err)
@@ -127,8 +178,37 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fail(err)
 	}
+	if st != nil {
+		// Flush write-behind saves so the next boot's store is as warm
+		// as this process's run cache was.
+		st.Flush()
+	}
 	fmt.Fprintf(os.Stderr, "wpserved: drained (%d simulated, %d cache hits)\n",
 		eng.Misses(), eng.Hits())
+}
+
+// runFsck walks the store and verifies every CAS object decodes and
+// re-hashes to its filename; the exit status is the integrity verdict
+// CI and operators script against.
+func runFsck(dir string) int {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "wpserved: -store-fsck requires -store DIR")
+		return 2
+	}
+	rep, err := store.Fsck(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wpserved: %v\n", err)
+		return 2
+	}
+	for _, c := range rep.Corrupt {
+		fmt.Fprintf(os.Stderr, "wpserved: store-fsck: CORRUPT %s\n", c)
+	}
+	fmt.Fprintf(os.Stderr, "wpserved: store-fsck: %d objects ok, %d corrupt in %s\n",
+		rep.Objects, len(rep.Corrupt), dir)
+	if len(rep.Corrupt) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // provider is the daemon's workload source: the full benchmark

@@ -343,10 +343,10 @@ type AreaChange struct {
 // RunResult is one cell's outcome: the echoed request, the canonical
 // key, provenance (cache hit, wall seconds) and the full statistics.
 type RunResult struct {
-	Request     RunRequest    `json:"request"`
-	Key         string        `json:"key"`
-	CacheHit    bool          `json:"cache_hit"`
-	WallSeconds float64       `json:"wall_seconds,omitempty"`
+	Request     RunRequest `json:"request"`
+	Key         string     `json:"key"`
+	CacheHit    bool       `json:"cache_hit"`
+	WallSeconds float64    `json:"wall_seconds,omitempty"`
 	// GroupID names the single-pass group that simulated this cell
 	// server-side ("<workload>/original" or "<workload>/placed");
 	// empty for cache hits and uncoalesced batches. Informational —

@@ -1,0 +1,40 @@
+package api
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseRetryAfter parses an RFC 9110 Retry-After value: either
+// delta-seconds ("120") or an HTTP-date in any of the three accepted
+// formats (IMF-fixdate, RFC 850, ANSI C asctime). It returns how long
+// the sender asked the client to wait — measured from now for the
+// date form — and whether the value was present and well-formed.
+//
+// ok distinguishes "Retry-After: 0" (a valid hint: retry immediately)
+// from an absent or garbled header (no hint at all; for this API's
+// 429s that means a permanent rejection, not an invitation to retry).
+// A date in the past parses to 0, retry immediately, per the RFC's
+// "delay-seconds = 0" equivalence. Negative delta-seconds are not
+// valid delay-seconds and report ok=false.
+func ParseRetryAfter(value string, now time.Time) (wait time.Duration, ok bool) {
+	value = strings.TrimSpace(value)
+	if value == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(value); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(value); err == nil {
+		if wait := t.Sub(now); wait > 0 {
+			return wait, true
+		}
+		return 0, true
+	}
+	return 0, false
+}

@@ -1,0 +1,41 @@
+package api
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name  string
+		value string
+		want  time.Duration
+		ok    bool
+	}{
+		{"absent", "", 0, false},
+		{"blank", "   ", 0, false},
+		{"delta seconds", "120", 120 * time.Second, true},
+		{"delta one", "1", time.Second, true},
+		{"delta zero is retry-immediately, not absent", "0", 0, true},
+		{"negative delta is not valid delay-seconds", "-5", 0, false},
+		{"garbage", "soon", 0, false},
+		{"float is not delta-seconds", "1.5", 0, false},
+		{"imf-fixdate in the future", "Sat, 08 Aug 2026 12:00:30 GMT", 30 * time.Second, true},
+		{"imf-fixdate in the past clamps to zero", "Sat, 08 Aug 2026 11:59:00 GMT", 0, true},
+		{"imf-fixdate exactly now", "Sat, 08 Aug 2026 12:00:00 GMT", 0, true},
+		{"rfc850 date", "Saturday, 08-Aug-26 12:01:00 GMT", time.Minute, true},
+		{"asctime date", "Sat Aug  8 12:00:10 2026", 10 * time.Second, true},
+		{"truncated date", "Sat, 08 Aug", 0, false},
+		{"leading space delta", " 42", 42 * time.Second, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := ParseRetryAfter(tc.value, now)
+			if got != tc.want || ok != tc.ok {
+				t.Fatalf("ParseRetryAfter(%q) = (%v, %v), want (%v, %v)",
+					tc.value, got, ok, tc.want, tc.ok)
+			}
+		})
+	}
+}

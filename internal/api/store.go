@@ -1,0 +1,57 @@
+package api
+
+import "wayplace/internal/sim"
+
+// Wire schema tags for the persistent layer (internal/store). They
+// live here, next to the run schema, because the store's on-disk
+// records are made of the same wire types a serving response is: a
+// StoredResult is the durable half of a RunResult, a JournalRecord
+// carries a verbatim BatchRequest. Any process that can speak the run
+// API can read the store.
+const (
+	// StoreSchema tags one content-addressed result object (one file
+	// per canonical engine.RunSpec.Key).
+	StoreSchema = "wpstore/v1"
+	// JournalSchema tags one line of the append-only async-batch
+	// journal.
+	JournalSchema = "wpjournal/v1"
+)
+
+// StoredResult is the durable form of one simulation cell's outcome:
+// the canonical cell key and the statistics that every consumer
+// (figures, snapshots, serving responses) is derived from. Provenance
+// fields (cache hit, wall time, group id) are deliberately absent —
+// they describe one particular execution, not the content the key
+// addresses.
+type StoredResult struct {
+	Schema      string        `json:"schema"`
+	Key         string        `json:"key"`
+	Stats       *sim.RunStats `json:"stats"`
+	AreaChanges []AreaChange  `json:"area_changes,omitempty"`
+}
+
+// Journal operations, in the order they appear for one job.
+const (
+	// JournalOpAccept records a batch the server has accepted for
+	// async execution. It is fsync'd to the journal *before* the 202
+	// response leaves the server, so any id a client holds survives a
+	// crash.
+	JournalOpAccept = "accept"
+	// JournalOpDone records that the job finished (status done or
+	// failed). A job with no done record is resumed on boot replay; a
+	// done job is kept pollable until its TTL expires.
+	JournalOpDone = "done"
+)
+
+// JournalRecord is one line of the async-batch journal. Accept
+// records carry the verbatim batch so replay can re-submit it to the
+// engine; done records carry only the job id and timestamp.
+type JournalRecord struct {
+	Schema string `json:"schema"`
+	Op     string `json:"op"`
+	Job    string `json:"job"`
+	// Unix is the wall-clock second the record was appended; replay
+	// uses it to expire done jobs against the job TTL.
+	Unix  int64         `json:"unix"`
+	Batch *BatchRequest `json:"batch,omitempty"`
+}

@@ -239,6 +239,7 @@ type options struct {
 	verify     func(sim.Config, *sim.RunStats) error
 	obs        *obs.Registry
 	noCoalesce bool
+	store      StoreTier
 }
 
 // WithWorkers caps the number of cells simulated concurrently.
@@ -282,6 +283,29 @@ func WithVerify(fn func(sim.Config, *sim.RunStats) error) Option {
 // enforce this). Disable it to force the per-cell reference path.
 func WithCoalesce(on bool) Option {
 	return func(o *options) { o.noCoalesce = !on }
+}
+
+// StoreTier is a persistent result tier layered under the in-memory
+// run cache (internal/store implements it over a disk CAS). Load is
+// read-through — consulted on a memory miss before simulating, keyed
+// by the cell's canonical RunSpec.Key() — and Save is write-behind:
+// called after every fresh successful simulation, expected to queue
+// the durable write off the hot path. Both must be safe for
+// concurrent use. RunSpec.Key captures the cell but not the base
+// machine template, so the tier is only consulted for batches run
+// under the engine's default base configuration; a Run call that
+// overrides WithBaseConfig bypasses it.
+type StoreTier interface {
+	Load(key string) (stats *sim.RunStats, changes []sim.AreaChange, ok bool)
+	Save(key string, stats *sim.RunStats, changes []sim.AreaChange)
+}
+
+// WithStore installs a persistent result tier under the run cache.
+// Results loaded from it count as cache hits (Result.CacheHit true,
+// zero wall time) and are verified like any other result when
+// WithVerify is installed.
+func WithStore(tier StoreTier) Option {
+	return func(o *options) { o.store = tier }
 }
 
 // WithObserver installs an observability registry (internal/obs): the
@@ -438,6 +462,13 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 	if opt.obs != e.defaults.obs {
 		ins = newInstruments(opt.obs)
 	}
+	// The persistent tier is keyed by RunSpec.Key, which does not
+	// cover the base template; a batch overriding the engine's base
+	// must not read or write it (results would alias across bases).
+	tier := opt.store
+	if opt.base != e.defaults.base {
+		tier = nil
+	}
 
 	// Deduplicate the batch, preserving first-occurrence order.
 	firstIdx := make(map[RunSpec]int, len(specs))
@@ -529,7 +560,7 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 			return
 		}
 		start := time.Now()
-		stats, changes, hit, err := e.cell(ctx, spec, opt.base, ins)
+		stats, changes, hit, err := e.cell(ctx, spec, opt.base, ins, tier)
 		var wall time.Duration
 		if !hit {
 			wall = time.Since(start)
@@ -571,6 +602,29 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 		if err := ctx.Err(); err != nil {
 			fail(err)
 			return
+		}
+		if tier != nil {
+			// Read-through: members already durable in the store are
+			// settled without touching a simulator; the remainder — if
+			// any — forms the single-pass group.
+			remaining := g.members[:0]
+			for _, m := range g.members {
+				spec := unique[m.idx]
+				if stats, changes, ok := tier.Load(spec.Key()); ok {
+					m.ent.stats, m.ent.changes = stats, changes
+					close(m.ent.done)
+					e.hits.Add(1)
+					ins.hits.Inc()
+					groupIDs[m.idx] = "" // served from the store, not a pass
+					finish(m.idx, stats, changes, true, 0, nil)
+					continue
+				}
+				remaining = append(remaining, m)
+			}
+			g.members = remaining
+			if len(g.members) == 0 {
+				return
+			}
 		}
 		e.misses.Add(uint64(len(g.members)))
 		ins.misses.Add(uint64(len(g.members)))
@@ -617,6 +671,12 @@ func (e *Engine) Run(ctx context.Context, specs []RunSpec, opts ...Option) ([]*R
 				e.mu.Unlock()
 			} else {
 				m.ent.stats, m.ent.changes = res[i].Stats, res[i].AreaChanges
+				if tier != nil {
+					// Write-behind: the durable copy is queued off the
+					// hot path; losing it to a crash only costs a
+					// deterministic re-simulation.
+					tier.Save(spec.Key(), m.ent.stats, m.ent.changes)
+				}
 			}
 			close(m.ent.done)
 			finish(m.idx, m.ent.stats, m.ent.changes, false, share, m.ent.err)
@@ -792,7 +852,7 @@ func (e *Engine) Prepare(ctx context.Context, names []string, opts ...Option) er
 // cell returns the memoised stats for one spec, simulating it if this
 // is the first time the resolved configuration is seen. Concurrent
 // requests for the same cell coalesce onto a single simulation.
-func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config, ins instruments) (*sim.RunStats, []sim.AreaChange, bool, error) {
+func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config, ins instruments, tier StoreTier) (*sim.RunStats, []sim.AreaChange, bool, error) {
 	key := runKey{workload: spec.Workload, cfg: resolve(base, spec), adaptive: spec.Adaptive}
 
 	e.mu.Lock()
@@ -814,11 +874,26 @@ func (e *Engine) cell(ctx context.Context, spec RunSpec, base sim.Config, ins in
 	e.runs[key] = ent
 	e.mu.Unlock()
 
+	if tier != nil {
+		// Read-through: a result durable from an earlier process is a
+		// hit, not a simulation.
+		if stats, changes, ok := tier.Load(spec.Key()); ok {
+			ent.stats, ent.changes = stats, changes
+			close(ent.done)
+			e.hits.Add(1)
+			ins.hits.Inc()
+			return ent.stats, ent.changes, true, nil
+		}
+	}
+
 	e.misses.Add(1)
 	ins.misses.Inc()
 	ins.inflight.Add(1)
 	ent.stats, ent.changes, ent.err = e.exec(ctx, spec, key.cfg)
 	ins.inflight.Add(-1)
+	if ent.err == nil && tier != nil {
+		tier.Save(spec.Key(), ent.stats, ent.changes)
+	}
 	if ent.err != nil {
 		// Failed cells are evicted so a later batch can retry (a
 		// cancelled run must not poison the cache).

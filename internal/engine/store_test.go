@@ -1,0 +1,96 @@
+// Store-tier tests: the persistent CAS slots under the run cache as a
+// read-through/write-behind tier, so a fresh engine over a warm store
+// serves every cell from disk — and a batch run under an overridden
+// base config must bypass the tier entirely, because RunSpec.Key does
+// not capture the base machine template.
+package engine_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"wayplace/internal/engine"
+	"wayplace/internal/obs"
+	"wayplace/internal/sim"
+	"wayplace/internal/store"
+)
+
+func TestStoreTierWarmRestart(t *testing.T) {
+	provider := testProvider(t)
+	specs := grid()
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	// Cold engine: every cell simulates, every result lands on disk.
+	regA := obs.NewRegistry()
+	stA, err := store.Open(store.Options{Dir: dir, Registry: regA, Fingerprint: "test-base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eA := engine.New(provider, engine.WithWorkers(4), engine.WithStore(stA))
+	want, err := eA.Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eA.Misses() != uint64(len(specs)) {
+		t.Fatalf("cold engine missed %d, want %d", eA.Misses(), len(specs))
+	}
+	stA.Flush()
+	stA.Close()
+	if got := regA.Counter(store.MetricWrites).Value(); got != uint64(len(specs)) {
+		t.Errorf("%s = %d, want %d", store.MetricWrites, got, len(specs))
+	}
+
+	// Fresh engine, warm store: zero simulations, identical results,
+	// marked as cache hits.
+	regB := obs.NewRegistry()
+	stB, err := store.Open(store.Options{Dir: dir, Registry: regB, Fingerprint: "test-base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stB.Close()
+	eB := engine.New(provider, engine.WithWorkers(4), engine.WithStore(stB))
+	got, err := eB.Run(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if !reflect.DeepEqual(got[i].Stats, want[i].Stats) {
+			t.Errorf("%v: warm-store stats differ from the original run", specs[i])
+		}
+		if !got[i].CacheHit {
+			t.Errorf("%v: store load not marked as a cache hit", specs[i])
+		}
+	}
+	if eB.Misses() != 0 {
+		t.Errorf("warm-store engine re-simulated %d cells, want 0", eB.Misses())
+	}
+	if eB.Hits() != uint64(len(specs)) {
+		t.Errorf("warm-store engine hits = %d, want %d", eB.Hits(), len(specs))
+	}
+	if hits := regB.Counter(store.MetricHits).Value(); hits != uint64(len(specs)) {
+		t.Errorf("%s = %d, want %d", store.MetricHits, hits, len(specs))
+	}
+
+	// A per-batch base-config override changes what a key means, so
+	// the tier must be bypassed: everything re-simulates, and the
+	// store is neither read nor (wrongly) overwritten.
+	base := sim.Default()
+	base.MaxInstrs = 123_456_789
+	loadsBefore := regB.Counter(store.MetricHits).Value() + regB.Counter(store.MetricMisses).Value()
+	if _, err := eB.Run(ctx, specs, engine.WithBaseConfig(base)); err != nil {
+		t.Fatal(err)
+	}
+	if eB.Misses() != uint64(len(specs)) {
+		t.Errorf("base-override run missed %d cells, want %d (tier must be bypassed)", eB.Misses(), len(specs))
+	}
+	stB.Flush()
+	loadsAfter := regB.Counter(store.MetricHits).Value() + regB.Counter(store.MetricMisses).Value()
+	if loadsAfter != loadsBefore {
+		t.Errorf("base-override run touched the store: %d loads, want 0", loadsAfter-loadsBefore)
+	}
+	if writes := regB.Counter(store.MetricWrites).Value(); writes != 0 {
+		t.Errorf("base-override run wrote %d objects into a store pinned to another base", writes)
+	}
+}

@@ -1,0 +1,468 @@
+package load
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"time"
+
+	"wayplace/internal/api"
+	"wayplace/internal/engine"
+	"wayplace/internal/sim"
+	"wayplace/internal/store"
+)
+
+// The kill/restart choreography needs a daemon it can SIGKILL, which
+// rules out goroutines: only a separate process dies abruptly enough
+// to prove the store and journal orderings. The harness re-execs its
+// own binary as that process — MaybeDaemonChild, called first thing
+// from main (and from the load package's TestMain), turns the child
+// invocation into a store-backed loopback daemon and never returns.
+const (
+	crashDirEnv       = "WPLOAD_CRASH_DIR"
+	crashWorkersEnv   = "WPLOAD_CRASH_WORKERS"
+	crashWorkloadsEnv = "WPLOAD_CRASH_WORKLOADS"
+)
+
+// MaybeDaemonChild checks whether this process was re-exec'd as a
+// crash-choreography daemon child and, if so, runs the daemon and
+// exits. A no-op in ordinary invocations.
+func MaybeDaemonChild() {
+	dir := os.Getenv(crashDirEnv)
+	if dir == "" {
+		return
+	}
+	os.Exit(runDaemonChild(dir))
+}
+
+func runDaemonChild(dir string) int {
+	lb, err := StartLoopback(LoopbackOptions{
+		Workloads: envInt(crashWorkloadsEnv, 3),
+		Workers:   envInt(crashWorkersEnv, 1),
+		StoreDir:  filepath.Join(dir, "store"),
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash-child: %v\n", err)
+		return 1
+	}
+	// Publish the URL only once the listener is live, atomically, so
+	// the parent never reads a half-written file.
+	urlPath := filepath.Join(dir, "url")
+	tmp := urlPath + ".tmp"
+	if err := os.WriteFile(tmp, []byte(lb.URL), 0o644); err == nil {
+		err = os.Rename(tmp, urlPath)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crash-child: %v\n", err)
+		return 1
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	<-sig
+	// Graceful exit: drain, flush the store, leave a clean journal.
+	// The interesting exits are the ungraceful ones the parent forces
+	// with SIGKILL, which never reach this code.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := lb.Close(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "crash-child: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func envInt(name string, def int) int {
+	if v, err := strconv.Atoi(os.Getenv(name)); err == nil && v > 0 {
+		return v
+	}
+	return def
+}
+
+// CrashOptions configures one kill/restart choreography run.
+type CrashOptions struct {
+	// Dir is the scratch directory holding the store, journal and the
+	// child's URL file. Empty means a fresh temp dir, removed again
+	// when the choreography passes.
+	Dir string
+	// Exe is the binary to re-exec as the daemon child; empty means
+	// os.Executable(). The binary's main (or TestMain) must call
+	// MaybeDaemonChild.
+	Exe string
+	// Batches is how many distinct async batches are submitted before
+	// the kill (default 6). Every batch covers the whole cell pool in
+	// a rotated order, so each gets its own job id but the union of
+	// work stays fixed and known.
+	Batches int
+	// Workloads sizes the synthetic pool (default 3 workloads, 4 cells
+	// each).
+	Workloads int
+	// Timeout bounds the whole choreography (default 3 minutes).
+	Timeout time.Duration
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+// RunCrash is the kill/restart choreography, the durability proof for
+// the store+journal design:
+//
+//  1. start a store-backed daemon child (one engine worker, so async
+//     work backs up), submit async batches, collect the 202 job ids;
+//  2. SIGKILL the child the moment the last 202 lands;
+//  3. restart a child on the same directory and poll every pre-kill
+//     id until it answers 200/done with results byte-identical to a
+//     direct engine run of the same cells — no id a client holds may
+//     be lost, no replayed result may differ;
+//  4. stop the child gracefully, start a third (cold process memory,
+//     warm store) and run the whole pool through it: its engine must
+//     report zero cache misses, proving warm-store cells are loaded,
+//     not re-simulated; finally fsck the store.
+func RunCrash(ctx context.Context, opt CrashOptions) (err error) {
+	if opt.Batches == 0 {
+		opt.Batches = 6
+	}
+	if opt.Workloads == 0 {
+		opt.Workloads = 3
+	}
+	if opt.Timeout == 0 {
+		opt.Timeout = 3 * time.Minute
+	}
+	logw := opt.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	if opt.Exe == "" {
+		exe, exeErr := os.Executable()
+		if exeErr != nil {
+			return fmt.Errorf("crash: %w", exeErr)
+		}
+		opt.Exe = exe
+	}
+	dir := opt.Dir
+	if dir == "" {
+		tmp, tmpErr := os.MkdirTemp("", "wpcrash-")
+		if tmpErr != nil {
+			return fmt.Errorf("crash: %w", tmpErr)
+		}
+		dir = tmp
+		defer func() {
+			if err == nil {
+				os.RemoveAll(tmp)
+			} else {
+				fmt.Fprintf(logw, "crash: keeping %s for inspection\n", tmp)
+			}
+		}()
+	}
+	ctx, cancel := context.WithTimeout(ctx, opt.Timeout)
+	defer cancel()
+
+	// Every batch is the full pool in a rotated order: distinct job
+	// ids (api.BatchKey hashes keys in request order), identical work
+	// coverage, so phase 4 knows exactly which cells must be warm.
+	pool := Pool(SyntheticNames(opt.Workloads), SyntheticGeometry(), []uint32{1 << 10, 2 << 10})
+	batches := make([][]api.RunRequest, opt.Batches)
+	for i := range batches {
+		r := i % len(pool)
+		batches[i] = append(append([]api.RunRequest{}, pool[r:]...), pool[:r]...)
+	}
+
+	// Phase 1: daemon up, async batches in, ids durable.
+	fmt.Fprintf(logw, "crash: phase 1: starting daemon child on %s\n", dir)
+	child, url, err := startCrashChild(ctx, opt, dir)
+	if err != nil {
+		return err
+	}
+	ids := make([]string, len(batches))
+	for i, reqs := range batches {
+		resp, status, err := postBatch(ctx, url, api.BatchRequest{
+			APIVersion: api.Version, Requests: reqs, Async: true,
+		})
+		if err != nil {
+			child.kill()
+			return fmt.Errorf("crash: async submit %d: %w", i, err)
+		}
+		if status != http.StatusAccepted || resp.JobID == "" {
+			child.kill()
+			return fmt.Errorf("crash: async submit %d: status %d, job id %q", i, status, resp.JobID)
+		}
+		ids[i] = resp.JobID
+	}
+
+	// Phase 2: SIGKILL — no drain, no flush, no goodbye.
+	fmt.Fprintf(logw, "crash: phase 2: SIGKILL after %d accepted batches\n", len(ids))
+	child.kill()
+
+	// Phase 3: restart on the same directory; every pre-kill id must
+	// come back, finish, and match a direct engine run byte for byte.
+	fmt.Fprintf(logw, "crash: phase 3: restarting on the same store\n")
+	child, url, err = startCrashChild(ctx, opt, dir)
+	if err != nil {
+		return err
+	}
+	want, err := referenceResults(ctx, opt.Workloads, pool)
+	if err != nil {
+		child.kill()
+		return err
+	}
+	for i, id := range ids {
+		resp, err := pollJob(ctx, url, id)
+		if err != nil {
+			child.kill()
+			return fmt.Errorf("crash: job %s (batch %d): %w", id, i, err)
+		}
+		if err := checkBatch(batches[i], resp, want); err != nil {
+			child.kill()
+			return fmt.Errorf("crash: job %s (batch %d): %w", id, i, err)
+		}
+	}
+	if err := child.stop(); err != nil {
+		return err
+	}
+
+	// Phase 4: cold process, warm store. The whole pool must be served
+	// without a single engine miss, and the store must fsck clean.
+	fmt.Fprintf(logw, "crash: phase 4: cold restart, warm store: %d cells, expecting 0 misses\n", len(pool))
+	child, url, err = startCrashChild(ctx, opt, dir)
+	if err != nil {
+		return err
+	}
+	resp, status, err := postBatch(ctx, url, api.BatchRequest{APIVersion: api.Version, Requests: pool})
+	if err != nil || status != http.StatusOK {
+		child.kill()
+		return fmt.Errorf("crash: warm-store batch: status %d: %w", status, err)
+	}
+	if err := checkBatch(pool, resp, want); err != nil {
+		child.kill()
+		return fmt.Errorf("crash: warm-store batch: %w", err)
+	}
+	misses, err := healthzMisses(ctx, url)
+	if err != nil {
+		child.kill()
+		return fmt.Errorf("crash: %w", err)
+	}
+	if misses != 0 {
+		child.kill()
+		return fmt.Errorf("crash: warm-store child re-simulated %d cells, want 0 (store loads must count as hits)", misses)
+	}
+	if err := child.stop(); err != nil {
+		return err
+	}
+	rep, err := store.Fsck(filepath.Join(dir, "store"))
+	if err != nil {
+		return fmt.Errorf("crash: fsck: %w", err)
+	}
+	if len(rep.Corrupt) != 0 {
+		return fmt.Errorf("crash: fsck: %d corrupt objects: %v", len(rep.Corrupt), rep.Corrupt)
+	}
+	fmt.Fprintf(logw, "crash: ok — %d jobs survived SIGKILL, %d store objects fsck clean\n", len(ids), rep.Objects)
+	return nil
+}
+
+// crashChild is one running daemon child. exited carries the single
+// cmd.Wait result — every shutdown path consumes it exactly once.
+type crashChild struct {
+	cmd    *exec.Cmd
+	exited chan error
+}
+
+// kill SIGKILLs the child and reaps it. The wait error (signal:
+// killed) is the expected outcome, not a failure.
+func (c *crashChild) kill() {
+	c.cmd.Process.Kill()
+	<-c.exited
+}
+
+// stop asks the child to drain and flush (SIGTERM) and requires a
+// clean exit — a child that cannot shut down gracefully would leave
+// the next phase's premises unproven.
+func (c *crashChild) stop() error {
+	if err := c.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("crash: stopping child: %w", err)
+	}
+	if err := <-c.exited; err != nil {
+		return fmt.Errorf("crash: child exited dirty on graceful stop: %w", err)
+	}
+	return nil
+}
+
+// startCrashChild re-execs the harness binary as a daemon child and
+// waits for it to publish its URL.
+func startCrashChild(ctx context.Context, opt CrashOptions, dir string) (*crashChild, string, error) {
+	urlPath := filepath.Join(dir, "url")
+	os.Remove(urlPath) // stale URL from a previous incarnation
+	cmd := exec.Command(opt.Exe)
+	cmd.Env = append(os.Environ(),
+		crashDirEnv+"="+dir,
+		crashWorkersEnv+"=1",
+		crashWorkloadsEnv+"="+strconv.Itoa(opt.Workloads),
+	)
+	if opt.Log != nil {
+		cmd.Stderr = opt.Log
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, "", fmt.Errorf("crash: starting child: %w", err)
+	}
+	child := &crashChild{cmd: cmd, exited: make(chan error, 1)}
+	go func() { child.exited <- cmd.Wait() }()
+	for {
+		if data, err := os.ReadFile(urlPath); err == nil && len(data) > 0 {
+			return child, string(bytes.TrimSpace(data)), nil
+		}
+		select {
+		case err := <-child.exited:
+			return nil, "", fmt.Errorf("crash: child exited before publishing its URL: %v", err)
+		case <-ctx.Done():
+			child.kill()
+			return nil, "", fmt.Errorf("crash: waiting for child URL: %w", ctx.Err())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// referenceResults runs the whole pool on a fresh in-process engine —
+// no HTTP, no store — and indexes the marshalled stats by cell key.
+// This is the byte-identity oracle the replayed results must match.
+func referenceResults(ctx context.Context, workloads int, pool []api.RunRequest) (map[string][]byte, error) {
+	specs, err := api.ToSpecs(pool)
+	if err != nil {
+		return nil, fmt.Errorf("crash: reference: %w", err)
+	}
+	eng := engine.New(SyntheticProvider(workloads), engine.WithBaseConfig(sim.Default()))
+	results, err := eng.Run(ctx, specs)
+	if err != nil {
+		return nil, fmt.Errorf("crash: reference: %w", err)
+	}
+	want := make(map[string][]byte, len(results))
+	for i, res := range results {
+		data, err := json.Marshal(res.Stats)
+		if err != nil {
+			return nil, fmt.Errorf("crash: reference: %w", err)
+		}
+		want[specs[i].Key()] = data
+	}
+	return want, nil
+}
+
+// checkBatch verifies a batch response is done, complete, error-free
+// and byte-identical to the reference results, request by request.
+func checkBatch(reqs []api.RunRequest, resp *api.BatchResponse, want map[string][]byte) error {
+	if resp.Status != api.StatusDone {
+		return fmt.Errorf("status %q, want %q", resp.Status, api.StatusDone)
+	}
+	if len(resp.Errors) != 0 {
+		return fmt.Errorf("%d cell errors: %+v", len(resp.Errors), resp.Errors)
+	}
+	if len(resp.Results) != len(reqs) {
+		return fmt.Errorf("%d results for %d requests", len(resp.Results), len(reqs))
+	}
+	for i, rr := range resp.Results {
+		key := reqs[i].Key()
+		if rr.Key != key {
+			return fmt.Errorf("cell %d: key %q, want %q", i, rr.Key, key)
+		}
+		ref, ok := want[key]
+		if !ok {
+			return fmt.Errorf("cell %d: key %q not in reference set", i, key)
+		}
+		got, err := json.Marshal(rr.Stats)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, ref) {
+			return fmt.Errorf("cell %d (%s): stats diverge from direct engine run:\n got  %s\n want %s", i, key, got, ref)
+		}
+	}
+	return nil
+}
+
+// postBatch is one raw POST /v1/runs exchange, returning the decoded
+// response and HTTP status. (serve.Client is sync-only; the
+// choreography needs the 202 shell verbatim.)
+func postBatch(ctx context.Context, baseURL string, breq api.BatchRequest) (*api.BatchResponse, int, error) {
+	body, err := json.Marshal(breq)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK && httpResp.StatusCode != http.StatusAccepted {
+		data, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+		return nil, httpResp.StatusCode, fmt.Errorf("status %d: %s", httpResp.StatusCode, data)
+	}
+	var resp api.BatchResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, httpResp.StatusCode, err
+	}
+	return &resp, httpResp.StatusCode, nil
+}
+
+// pollJob polls GET /v1/runs/{id} until the job reports a terminal
+// status. A 404 is an immediate failure: the journal was supposed to
+// make that id durable.
+func pollJob(ctx context.Context, baseURL, id string) (*api.BatchResponse, error) {
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/runs/"+id, nil)
+		if err != nil {
+			return nil, err
+		}
+		httpResp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if httpResp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(io.LimitReader(httpResp.Body, 4096))
+			httpResp.Body.Close()
+			return nil, fmt.Errorf("poll status %d: %s", httpResp.StatusCode, data)
+		}
+		var resp api.BatchResponse
+		err = json.NewDecoder(httpResp.Body).Decode(&resp)
+		httpResp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status == api.StatusDone || resp.Status == api.StatusFailed {
+			return &resp, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("job still %q: %w", resp.Status, ctx.Err())
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// healthzMisses reads the engine miss counter off GET /healthz.
+func healthzMisses(ctx context.Context, baseURL string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return 0, err
+	}
+	httpResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer httpResp.Body.Close()
+	var h struct {
+		CacheMisses uint64 `json:"cache_misses"`
+	}
+	if err := json.NewDecoder(httpResp.Body).Decode(&h); err != nil {
+		return 0, fmt.Errorf("healthz: %w", err)
+	}
+	return h.CacheMisses, nil
+}

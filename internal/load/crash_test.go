@@ -1,0 +1,40 @@
+package load
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary double as the crash choreography's
+// daemon child: re-exec'd with the crash env set, it serves instead
+// of testing.
+func TestMain(m *testing.M) {
+	MaybeDaemonChild()
+	os.Exit(m.Run())
+}
+
+// TestCrashRestart is the kill/restart durability gate from ROADMAP
+// tier-1: SIGKILL a store-backed daemon holding accepted async jobs,
+// restart it on the same directory, and require that every pre-kill
+// job id resolves to byte-identical results and that a cold process
+// serves the warm store without re-simulating anything.
+func TestCrashRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and SIGKILLs subprocesses")
+	}
+	err := RunCrash(context.Background(), CrashOptions{
+		Dir: t.TempDir(),
+		Log: testWriter{t},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}

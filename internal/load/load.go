@@ -20,7 +20,6 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
@@ -300,7 +299,7 @@ func (g *Generator) oneBatch(ctx context.Context, client *http.Client, transport
 // dropped or errored.
 func (g *Generator) submitWithRetry(ctx context.Context, client *http.Client, rng *rand.Rand, body []byte) (*api.BatchResponse, bool) {
 	for attempt := 0; ; attempt++ {
-		status, br, retryAfter, err := g.exchange(ctx, client, http.MethodPost, "/v1/runs", body)
+		status, br, retryAfter, retryable, err := g.exchange(ctx, client, http.MethodPost, "/v1/runs", body)
 		if err != nil {
 			if ctx.Err() == nil {
 				g.errors.Inc()
@@ -310,9 +309,11 @@ func (g *Generator) submitWithRetry(ctx context.Context, client *http.Client, rn
 		if status != http.StatusTooManyRequests {
 			return br, true
 		}
-		if retryAfter == 0 {
-			// 429 without Retry-After is the server's "never": the
-			// batch itself is oversized, resubmitting cannot help.
+		if !retryable {
+			// 429 without a parseable Retry-After is the server's
+			// "never": the batch itself is oversized, resubmitting
+			// cannot help. (Retry-After: 0 is NOT this case — it is a
+			// valid hint to retry immediately.)
 			g.errors.Inc()
 			return nil, false
 		}
@@ -325,7 +326,9 @@ func (g *Generator) submitWithRetry(ctx context.Context, client *http.Client, rn
 		if backoff > g.opt.MaxRetryBackoff {
 			backoff = g.opt.MaxRetryBackoff
 		}
-		backoff = backoff/2 + time.Duration(rng.Int63n(int64(backoff)+1))/2
+		if backoff > 0 {
+			backoff = backoff/2 + time.Duration(rng.Int63n(int64(backoff)+1))/2
+		}
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -345,7 +348,7 @@ func (g *Generator) pollUntilDone(ctx context.Context, client *http.Client, jobI
 			return nil, false
 		}
 		g.polls.Inc()
-		status, br, _, err := g.exchange(ctx, client, http.MethodGet, "/v1/runs/"+jobID, nil)
+		status, br, _, _, err := g.exchange(ctx, client, http.MethodGet, "/v1/runs/"+jobID, nil)
 		if err != nil {
 			if ctx.Err() == nil {
 				g.errors.Inc()
@@ -363,16 +366,17 @@ func (g *Generator) pollUntilDone(ctx context.Context, client *http.Client, jobI
 }
 
 // exchange is one instrumented HTTP round trip. 200/202 parse into a
-// BatchResponse; 429 returns the Retry-After hint (0 when absent);
-// anything else is an error carrying the server's message.
-func (g *Generator) exchange(ctx context.Context, client *http.Client, method, path string, body []byte) (int, *api.BatchResponse, time.Duration, error) {
+// BatchResponse; 429 returns the Retry-After hint in either RFC 9110
+// form plus whether one was present at all; anything else is an error
+// carrying the server's message.
+func (g *Generator) exchange(ctx context.Context, client *http.Client, method, path string, body []byte) (int, *api.BatchResponse, time.Duration, bool, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, g.opt.BaseURL+path, rd)
 	if err != nil {
-		return 0, nil, 0, err
+		return 0, nil, 0, false, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -382,7 +386,7 @@ func (g *Generator) exchange(ctx context.Context, client *http.Client, method, p
 	g.requests.Inc()
 	if err != nil {
 		g.requestNS.ObserveSince(start)
-		return 0, nil, 0, err
+		return 0, nil, 0, false, err
 	}
 	defer httpResp.Body.Close()
 	switch httpResp.StatusCode {
@@ -391,28 +395,27 @@ func (g *Generator) exchange(ctx context.Context, client *http.Client, method, p
 		err := json.NewDecoder(httpResp.Body).Decode(&br)
 		g.requestNS.ObserveSince(start)
 		if err != nil {
-			return httpResp.StatusCode, nil, 0, fmt.Errorf("load: decoding %d body: %w", httpResp.StatusCode, err)
+			return httpResp.StatusCode, nil, 0, false, fmt.Errorf("load: decoding %d body: %w", httpResp.StatusCode, err)
 		}
-		return httpResp.StatusCode, &br, 0, nil
+		return httpResp.StatusCode, &br, 0, false, nil
 	case http.StatusTooManyRequests:
 		io.Copy(io.Discard, httpResp.Body)
 		g.requestNS.ObserveSince(start)
 		g.status429.Inc()
-		var retry time.Duration
-		if secs, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			retry = time.Duration(secs) * time.Second
-		}
-		return httpResp.StatusCode, nil, retry, nil
+		retry, ok := api.ParseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
+		return httpResp.StatusCode, nil, retry, ok, nil
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
 		g.requestNS.ObserveSince(start)
-		return httpResp.StatusCode, nil, 0, fmt.Errorf("load: %s %s: status %d: %s", method, path, httpResp.StatusCode, bytes.TrimSpace(msg))
+		return httpResp.StatusCode, nil, 0, false, fmt.Errorf("load: %s %s: status %d: %s", method, path, httpResp.StatusCode, bytes.TrimSpace(msg))
 	}
 }
 
 // Report distils one load run. Latency quantiles come from the obs
-// histograms, so each is the upper bound of its power-of-two bucket —
-// conservative, never flattering.
+// histograms: the upper bound of the power-of-two bucket the target
+// sample falls into, clamped to the slowest sample actually observed
+// — conservative, never flattering, but never reporting a tail beyond
+// anything that happened.
 type Report struct {
 	Elapsed time.Duration
 	Clients int

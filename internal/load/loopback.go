@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"path/filepath"
 	"time"
 
 	"wayplace/internal/check"
@@ -11,6 +12,7 @@ import (
 	"wayplace/internal/obs"
 	"wayplace/internal/serve"
 	"wayplace/internal/sim"
+	"wayplace/internal/store"
 )
 
 // LoopbackOptions sizes the in-process wpserved a load run targets
@@ -35,6 +37,11 @@ type LoopbackOptions struct {
 	// Registry, when non-nil, receives the serve_*/engine metrics
 	// (the generator's load_* metrics live on its own registry).
 	Registry *obs.Registry
+	// StoreDir, when non-empty, layers a persistent CAS result store
+	// under the engine run cache and journals accepted async batches
+	// to StoreDir/journal.wal — the loopback twin of wpserved -store,
+	// which is what the kill/restart choreography exercises.
+	StoreDir string
 }
 
 // Loopback is an in-process wpserved on a real 127.0.0.1 socket — the
@@ -43,7 +50,9 @@ type Loopback struct {
 	URL       string
 	Engine    *engine.Engine
 	Server    *serve.Server
-	Workloads []string // names the synthetic provider serves
+	Workloads []string       // names the synthetic provider serves
+	Store     *store.Store   // nil without StoreDir
+	Journal   *store.Journal // nil without StoreDir
 
 	httpSrv *http.Server
 	ln      net.Listener
@@ -70,6 +79,26 @@ func StartLoopback(opt LoopbackOptions) (*Loopback, error) {
 	if opt.Verify {
 		engOpts = append(engOpts, engine.WithVerify(check.VerifyCell))
 	}
+
+	var st *store.Store
+	var jnl *store.Journal
+	if opt.StoreDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:         opt.StoreDir,
+			Registry:    opt.Registry,
+			Fingerprint: store.Fingerprint(base),
+		})
+		if err != nil {
+			return nil, err
+		}
+		engOpts = append(engOpts, engine.WithStore(st))
+		jnl, err = store.OpenJournal(filepath.Join(opt.StoreDir, "journal.wal"), opt.Registry)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
 	eng := engine.New(SyntheticProvider(opt.Workloads), engOpts...)
 
 	srv, err := serve.New(serve.Options{
@@ -80,13 +109,22 @@ func StartLoopback(opt LoopbackOptions) (*Loopback, error) {
 		MaxBatchCells: opt.MaxBatchCells,
 		JobTTL:        opt.JobTTL,
 		RetryAfter:    opt.RetryAfter,
+		Journal:       jnl,
 	})
 	if err != nil {
+		if st != nil {
+			st.Close()
+			jnl.Close()
+		}
 		return nil, err
 	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
+		if st != nil {
+			st.Close()
+			jnl.Close()
+		}
 		return nil, err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -97,17 +135,31 @@ func StartLoopback(opt LoopbackOptions) (*Loopback, error) {
 		Engine:    eng,
 		Server:    srv,
 		Workloads: SyntheticNames(opt.Workloads),
+		Store:     st,
+		Journal:   jnl,
 		httpSrv:   httpSrv,
 		ln:        ln,
 	}, nil
 }
 
 // Close stops the listener and drains in-flight batches, bounded by
-// ctx.
+// ctx. With a store attached it then flushes write-behind saves, so a
+// graceful close leaves the disk as warm as the run cache was.
 func (l *Loopback) Close(ctx context.Context) error {
 	err := l.httpSrv.Shutdown(ctx)
 	if derr := l.Server.Shutdown(ctx); err == nil {
 		err = derr
+	}
+	if l.Store != nil {
+		l.Store.Flush()
+		if cerr := l.Store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if l.Journal != nil {
+		if cerr := l.Journal.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

@@ -98,6 +98,7 @@ const histBuckets = 65
 type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
+	max     atomic.Uint64
 	buckets [histBuckets]atomic.Uint64
 }
 
@@ -108,6 +109,12 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.count.Add(1)
 	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
 	h.buckets[bits.Len64(v)].Add(1)
 }
 
@@ -153,10 +160,21 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.Sum()) / float64(n)
 }
 
+// Max returns the largest observation recorded, 0 when empty.
+func (h *Histogram) Max() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
 // Quantile returns an upper bound for the q-quantile (0 <= q <= 1):
-// the upper bucket bound the target observation falls into. Under
-// concurrent writers the answer is approximate (count and buckets are
-// read without a barrier), which is fine for monitoring.
+// the upper bucket bound the target observation falls into, clamped
+// to the maximum observed sample. The clamp matters at the top end —
+// without it a p99 in the [2^30, 2^31) bucket reports ~2.1s even when
+// the slowest sample was 1.1s, overstating tail latency by almost 2x.
+// Under concurrent writers the answer is approximate (count, buckets
+// and max are read without a barrier), which is fine for monitoring.
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h == nil {
 		return 0
@@ -169,14 +187,19 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	if target < 1 {
 		target = 1
 	}
+	bound := uint64(math.MaxUint64)
 	var cum uint64
 	for i := 0; i < histBuckets; i++ {
 		cum += h.buckets[i].Load()
 		if cum >= target {
-			return bucketBound(i)
+			bound = bucketBound(i)
+			break
 		}
 	}
-	return math.MaxUint64
+	if m := h.max.Load(); m < bound {
+		bound = m
+	}
+	return bound
 }
 
 // bucketBound is the inclusive upper bound of bucket i.

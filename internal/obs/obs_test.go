@@ -112,12 +112,50 @@ func TestHistogramQuantile(t *testing.T) {
 	if q := h.Quantile(0.5); q != 127 {
 		t.Errorf("p50 = %d, want 127", q)
 	}
-	if q := h.Quantile(0.99); q != (1<<21)-1 {
-		t.Errorf("p99 = %d, want %d", q, (1<<21)-1)
+	// The top bucket's bound is 2^21-1, but no sample exceeded 2^20:
+	// the quantile clamps to the observed maximum.
+	if q := h.Quantile(0.99); q != 1<<20 {
+		t.Errorf("p99 = %d, want %d (bucket bound clamped to max sample)", q, 1<<20)
 	}
 	var empty Histogram
 	if q := empty.Quantile(0.5); q != 0 {
 		t.Errorf("empty histogram quantile = %d, want 0", q)
+	}
+}
+
+func TestHistogramQuantileClampsToMax(t *testing.T) {
+	// One sample: every quantile is exactly that sample, not its
+	// power-of-two bucket bound.
+	var h Histogram
+	h.Observe(1_100_000_000) // 1.1s in ns, bucket bound ~2.1s
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 1_100_000_000 {
+			t.Errorf("Quantile(%v) = %d, want the lone sample 1100000000", q, got)
+		}
+	}
+	if h.Max() != 1_100_000_000 {
+		t.Errorf("Max() = %d, want 1100000000", h.Max())
+	}
+
+	// A quantile landing in a lower bucket than the max still reports
+	// its own bucket bound — the clamp only trims the top.
+	var h2 Histogram
+	for i := 0; i < 99; i++ {
+		h2.Observe(100) // bucket bound 127
+	}
+	h2.Observe(1 << 30)
+	if got := h2.Quantile(0.5); got != 127 {
+		t.Errorf("p50 = %d, want 127 (clamp must not affect lower buckets)", got)
+	}
+	if got := h2.Quantile(1); got != 1<<30 {
+		t.Errorf("p100 = %d, want %d", got, 1<<30)
+	}
+
+	// Zero is a valid max: a histogram of only zeros reports 0.
+	var h3 Histogram
+	h3.Observe(0)
+	if got := h3.Quantile(0.99); got != 0 {
+		t.Errorf("all-zero histogram p99 = %d, want 0", got)
 	}
 }
 

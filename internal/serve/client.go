@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"time"
 
 	"wayplace/internal/api"
@@ -52,32 +51,38 @@ func (c *Client) Run(ctx context.Context, reqs []api.RunRequest) (*api.BatchResp
 		retries = 4
 	}
 	for attempt := 0; ; attempt++ {
-		resp, retryAfter, err := c.post(ctx, bytes.NewReader(body))
+		resp, retryAfter, retryable, err := c.post(ctx, bytes.NewReader(body))
 		if err == nil {
 			return resp, nil
 		}
-		if retryAfter <= 0 || attempt >= retries {
+		if !retryable || attempt >= retries {
 			return nil, err
 		}
-		select {
-		case <-time.After(retryAfter):
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if retryAfter > 0 {
+			select {
+			case <-time.After(retryAfter):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		} else if err := ctx.Err(); err != nil {
+			// Retry-After: 0 means retry immediately — but never spin
+			// past a cancelled context.
+			return nil, err
 		}
 	}
 }
 
-// post performs one POST /v1/runs exchange. A 429 answer returns the
-// backoff to wait (>0) alongside the error.
-func (c *Client) post(ctx context.Context, body io.Reader) (*api.BatchResponse, time.Duration, error) {
+// post performs one POST /v1/runs exchange. A 429 answer reports
+// whether (and after how long) it may be retried.
+func (c *Client) post(ctx context.Context, body io.Reader) (*api.BatchResponse, time.Duration, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/runs", body)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	httpResp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	defer httpResp.Body.Close()
 	if httpResp.StatusCode == http.StatusTooManyRequests {
@@ -86,33 +91,32 @@ func (c *Client) post(ctx context.Context, body io.Reader) (*api.BatchResponse, 
 		if json.NewDecoder(httpResp.Body).Decode(&eresp) == nil && eresp.Error != "" {
 			msg = eresp.Error
 		}
-		// Retry only when the server sent a backoff hint; a 429
-		// without one (oversized batch) is a permanent rejection.
-		var retry time.Duration
-		if secs, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil && secs > 0 {
-			retry = time.Duration(secs) * time.Second
-		}
-		return nil, retry, fmt.Errorf("serve: %s (429)", msg)
+		// Retry only when the server sent a backoff hint — in either
+		// RFC 9110 form, delta-seconds or HTTP-date, and "0" is a
+		// valid hint meaning retry immediately. A 429 without one
+		// (oversized batch) is a permanent rejection.
+		retry, ok := api.ParseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
+		return nil, retry, ok, fmt.Errorf("serve: %s (429)", msg)
 	}
 	if httpResp.StatusCode != http.StatusOK {
 		var eresp api.ErrorResponse
 		if json.NewDecoder(httpResp.Body).Decode(&eresp) == nil && eresp.Error != "" {
 			if len(eresp.Fields) > 0 {
-				return nil, 0, fmt.Errorf("serve: %s (%d): %w", eresp.Error, httpResp.StatusCode,
+				return nil, 0, false, fmt.Errorf("serve: %s (%d): %w", eresp.Error, httpResp.StatusCode,
 					&api.ValidationError{Fields: eresp.Fields})
 			}
-			return nil, 0, fmt.Errorf("serve: %s (%d)", eresp.Error, httpResp.StatusCode)
+			return nil, 0, false, fmt.Errorf("serve: %s (%d)", eresp.Error, httpResp.StatusCode)
 		}
-		return nil, 0, fmt.Errorf("serve: unexpected status %d", httpResp.StatusCode)
+		return nil, 0, false, fmt.Errorf("serve: unexpected status %d", httpResp.StatusCode)
 	}
 	var resp api.BatchResponse
 	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
-		return nil, 0, fmt.Errorf("serve: decoding response: %w", err)
+		return nil, 0, false, fmt.Errorf("serve: decoding response: %w", err)
 	}
 	if resp.APIVersion != api.Version {
-		return nil, 0, fmt.Errorf("serve: server speaks api %q, client %q", resp.APIVersion, api.Version)
+		return nil, 0, false, fmt.Errorf("serve: server speaks api %q, client %q", resp.APIVersion, api.Version)
 	}
-	return &resp, 0, nil
+	return &resp, 0, false, nil
 }
 
 // Health fetches GET /healthz.

@@ -34,6 +34,7 @@ import (
 	"wayplace/internal/api"
 	"wayplace/internal/engine"
 	"wayplace/internal/obs"
+	"wayplace/internal/store"
 )
 
 // Metric names the server registers on the installed registry, next
@@ -54,6 +55,11 @@ const (
 	// headers were sent. The client saw a truncated 200 — invisible in
 	// status-code metrics, so it gets its own counter.
 	MetricWriteErrors = "serve_write_errors_total"
+	// MetricReplayJobs: journal jobs currently being replayed after a
+	// restart (gauge — drops to 0 once boot recovery is complete).
+	MetricReplayJobs = "serve_replay_jobs"
+	// MetricReplayedJobs: journal jobs recovered across restarts, ever.
+	MetricReplayedJobs = "serve_replayed_jobs_total"
 
 	// keyCardinalityCap bounds the number of distinct per-key series;
 	// past it, further cells land on the key="overflow" series so a
@@ -94,6 +100,14 @@ type Options struct {
 	// recomputes against the warm run cache). 0 means the default of
 	// 10 minutes; negative disables eviction.
 	JobTTL time.Duration
+	// Journal, when non-nil, makes async jobs crash-durable: every
+	// accepted batch is appended and fsync'd *before* its 202 leaves
+	// the server, completions are marked, and New replays the journal
+	// — unfinished jobs resume execution, finished ones stay pollable
+	// for the remainder of their JobTTL. Pair it with a store-backed
+	// engine (engine.WithStore) so replayed finished jobs reload their
+	// results instead of re-simulating.
+	Journal *store.Journal
 }
 
 // Server is the HTTP facade over one shared engine.
@@ -106,11 +120,18 @@ type Server struct {
 	draining  bool
 	asyncHeld int // queue slots currently held by async batches
 	slots     chan struct{}
+	// evictions tracks the TTL timer armed per finished job, so
+	// Shutdown can stop them: an untracked time.AfterFunc would
+	// outlive the drain and fire into a dead server.
+	evictions map[string]*time.Timer
+	stopped   bool // Shutdown completed; no new eviction timers
 
 	batches   *obs.Counter
 	rejected  *obs.Counter
 	writeErrs *obs.Counter
 	inflight  *obs.Gauge
+	replaying *obs.Gauge
+	replayed  *obs.Counter
 	keyMu     sync.Mutex
 	keySet    map[string]*obs.Counter
 	overflow  *obs.Counter // the shared past-the-cap hit series
@@ -152,15 +173,83 @@ func New(opt Options) (*Server, error) {
 	if opt.JobTTL == 0 {
 		opt.JobTTL = 10 * time.Minute
 	}
-	return &Server{
+	s := &Server{
 		opt:       opt,
 		slots:     make(chan struct{}, opt.QueueDepth),
+		evictions: make(map[string]*time.Timer),
 		batches:   opt.Registry.Counter(MetricBatches),
 		rejected:  opt.Registry.Counter(MetricRejected),
 		writeErrs: opt.Registry.Counter(MetricWriteErrors),
 		inflight:  opt.Registry.Gauge(MetricInflight),
+		replaying: opt.Registry.Gauge(MetricReplayJobs),
+		replayed:  opt.Registry.Counter(MetricReplayedJobs),
 		keySet:    make(map[string]*obs.Counter),
-	}, nil
+	}
+	if opt.Journal != nil {
+		if err := s.replayJournal(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// replayJournal is boot recovery: decode the journal, drop expired
+// done jobs, compact the file to the survivors, and re-register every
+// live job — unfinished ones resume execution, finished ones are
+// recomputed (pure store/run-cache hits when the engine has a durable
+// tier) so their 202 ids poll 200 again. Replayed jobs run outside
+// the queue: they already held capacity when they were accepted, and
+// refusing them now would orphan ids the server promised to honour.
+func (s *Server) replayJournal() error {
+	jobs, err := s.opt.Journal.Replay()
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	var live []store.JournalJob
+	for _, jj := range jobs {
+		if jj.Done && s.opt.JobTTL >= 0 && now.Sub(jj.DoneAt) >= s.opt.JobTTL {
+			continue // finished and expired: clients were told 404 already
+		}
+		live = append(live, jj)
+	}
+	if err := s.opt.Journal.Compact(live); err != nil {
+		return err
+	}
+	for _, jj := range live {
+		specs, err := api.ToSpecs(jj.Batch.Requests)
+		if err != nil {
+			// A batch that validated when accepted no longer does —
+			// schema drift across a version upgrade. Nothing can run
+			// it; dropping it is the honest answer (polls get 404).
+			log.Printf("serve: journal job %s no longer validates, dropping: %v", jj.ID, err)
+			continue
+		}
+		j := &job{id: jj.ID, status: api.StatusQueued, done: make(chan struct{})}
+		s.jobs.Store(jj.ID, j)
+		ttl := s.opt.JobTTL
+		if jj.Done && ttl >= 0 {
+			ttl -= now.Sub(jj.DoneAt) // keep, don't extend, the original eviction horizon
+		}
+		jj := jj
+		s.wg.Add(1)
+		s.replaying.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.replaying.Add(-1)
+			j.setStatus(api.StatusRunning)
+			resp := s.runBatch(context.Background(), &jj.Batch, specs)
+			j.finish(resp)
+			if !jj.Done {
+				if err := s.opt.Journal.Done(jj.ID); err != nil {
+					log.Printf("serve: journal done mark for %s failed: %v", jj.ID, err)
+				}
+			}
+			s.replayed.Inc()
+			s.scheduleEvictionAfter(jj.ID, ttl)
+		}()
+	}
+	return nil
 }
 
 // Handler returns the route mux. Mount it on an http.Server (wpserved
@@ -188,8 +277,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		s.stopEvictions()
 		return nil
 	case <-ctx.Done():
+		s.stopEvictions()
 		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
 	}
 }
@@ -316,6 +407,20 @@ func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs
 		s.writeBusy(w, "server at capacity")
 		return
 	}
+	// Crash-ordering invariant: the accept record is on disk (fsync'd)
+	// before any 202 can leave the server, so every id a client holds
+	// is replayable after a SIGKILL. The journal write happens before
+	// the job is published; losing the publish race below at worst
+	// leaves a duplicate accept record, which replay deduplicates.
+	if s.opt.Journal != nil {
+		if err := s.opt.Journal.Accept(id, breq); err != nil {
+			s.release(true)
+			s.writeError(w, http.StatusInternalServerError, api.ErrorResponse{
+				Error: "journal append failed; refusing to hand out a non-durable job id: " + err.Error(),
+			})
+			return
+		}
+	}
 	j := &job{id: id, status: api.StatusQueued, done: make(chan struct{})}
 	if cur, loaded := s.jobs.LoadOrStore(id, j); loaded {
 		// Lost a publish race against an identical submission that
@@ -332,6 +437,11 @@ func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs
 		// under the background context; Shutdown waits for them.
 		resp := s.runBatch(context.Background(), breq, specs)
 		j.finish(resp)
+		if s.opt.Journal != nil {
+			if err := s.opt.Journal.Done(id); err != nil {
+				log.Printf("serve: journal done mark for %s failed (job replays as unfinished): %v", id, err)
+			}
+		}
 		s.scheduleEviction(id)
 	}()
 	s.writeJSON(w, http.StatusAccepted, api.BatchResponse{
@@ -344,10 +454,48 @@ func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs
 // batch forever. Polls after eviction answer 404; resubmitting the
 // batch recomputes it against the still-warm run cache.
 func (s *Server) scheduleEviction(id string) {
+	s.scheduleEvictionAfter(id, s.opt.JobTTL)
+}
+
+// scheduleEvictionAfter arms (and tracks) the eviction timer for one
+// finished job. Timers are registered under s.mu so Shutdown can stop
+// every outstanding one — the old untracked time.AfterFunc outlived
+// the drain and fired into a dead server. After Shutdown no new
+// timers are armed.
+func (s *Server) scheduleEvictionAfter(id string, ttl time.Duration) {
 	if s.opt.JobTTL < 0 {
 		return
 	}
-	time.AfterFunc(s.opt.JobTTL, func() { s.jobs.Delete(id) })
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return
+	}
+	if old, ok := s.evictions[id]; ok {
+		old.Stop()
+	}
+	var t *time.Timer
+	t = time.AfterFunc(ttl, func() {
+		s.jobs.Delete(id)
+		s.mu.Lock()
+		if s.evictions[id] == t {
+			delete(s.evictions, id)
+		}
+		s.mu.Unlock()
+	})
+	s.evictions[id] = t
+}
+
+// stopEvictions stops and forgets every armed eviction timer and
+// blocks new ones; part of Shutdown.
+func (s *Server) stopEvictions() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	for id, t := range s.evictions {
+		t.Stop()
+		delete(s.evictions, id)
+	}
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,247 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"wayplace/internal/api"
+	"wayplace/internal/obs"
+)
+
+// Journal is the append-only log of accepted async batches. One
+// accept record (carrying the verbatim api.BatchRequest) is fsync'd
+// before the server's 202 leaves the process; one done record marks
+// completion. On boot the server replays the journal: jobs with no
+// done record resume execution, done jobs stay pollable until their
+// TTL, and the file is compacted down to the records that still
+// matter.
+//
+// The file is JSON lines. A SIGKILL can tear at most the final line
+// (appends are single writes followed by fsync), so the decoder
+// treats an unparsable or unterminated tail as corruption to skip —
+// counted on store_corrupt_total — never as a reason to refuse boot.
+type Journal struct {
+	path    string
+	corrupt *obs.Counter
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenJournal opens (creating if absent) the journal at path for
+// appending. Reading happens via Replay.
+func OpenJournal(path string, reg *obs.Registry) (*Journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	return &Journal{path: path, f: f, corrupt: reg.Counter(MetricCorrupt)}, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// JournalJob is one job reconstructed from the journal: the batch to
+// (re-)run and where its lifecycle stood at the crash.
+type JournalJob struct {
+	ID         string
+	Batch      api.BatchRequest
+	AcceptedAt time.Time
+	Done       bool
+	DoneAt     time.Time
+}
+
+// Replay decodes the journal into its surviving jobs, skipping (and
+// counting) corrupt records and the torn tail. Records are folded in
+// file order, so a done record marks the accept that precedes it.
+func (j *Journal) Replay() ([]JournalJob, error) {
+	data, err := os.ReadFile(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("store: journal: %w", err)
+	}
+	recs, bad := DecodeJournal(data)
+	j.corrupt.Add(uint64(bad))
+	var order []string
+	jobs := make(map[string]*JournalJob)
+	for _, rec := range recs {
+		switch rec.Op {
+		case api.JournalOpAccept:
+			if _, ok := jobs[rec.Job]; ok {
+				continue // duplicate accept: first one wins
+			}
+			jobs[rec.Job] = &JournalJob{
+				ID:         rec.Job,
+				Batch:      *rec.Batch,
+				AcceptedAt: time.Unix(rec.Unix, 0),
+			}
+			order = append(order, rec.Job)
+		case api.JournalOpDone:
+			job, ok := jobs[rec.Job]
+			if !ok {
+				// A done mark whose accept was lost (torn or corrupt):
+				// nothing to resume, nothing to poll.
+				j.corrupt.Inc()
+				continue
+			}
+			job.Done, job.DoneAt = true, time.Unix(rec.Unix, 0)
+		}
+	}
+	out := make([]JournalJob, len(order))
+	for i, id := range order {
+		out[i] = *jobs[id]
+	}
+	return out, nil
+}
+
+// DecodeJournal parses journal bytes into valid records, returning
+// how many lines were skipped as corrupt. It is total: any input —
+// torn tails, garbage, embedded NULs — yields a result, never a
+// panic (FuzzDecodeJournal enforces this).
+func DecodeJournal(data []byte) (recs []api.JournalRecord, corrupt int) {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		var line []byte
+		if nl < 0 {
+			// Unterminated tail: the append it belonged to never
+			// finished; a complete record always ends in '\n' before
+			// its fsync.
+			line, data = data, nil
+			if len(bytes.TrimSpace(line)) > 0 {
+				corrupt++
+			}
+			break
+		}
+		line, data = data[:nl], data[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec api.JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			corrupt++
+			continue
+		}
+		if !validRecord(&rec) {
+			corrupt++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	return recs, corrupt
+}
+
+func validRecord(rec *api.JournalRecord) bool {
+	if rec.Schema != api.JournalSchema || rec.Job == "" {
+		return false
+	}
+	switch rec.Op {
+	case api.JournalOpAccept:
+		return rec.Batch != nil && len(rec.Batch.Requests) > 0
+	case api.JournalOpDone:
+		return true
+	}
+	return false
+}
+
+// Accept appends and fsyncs the accept record for one async batch.
+// It MUST complete before the 202 response is written — that ordering
+// is what makes every id a client holds crash-durable.
+func (j *Journal) Accept(id string, batch *api.BatchRequest) error {
+	return j.append(api.JournalRecord{
+		Schema: api.JournalSchema, Op: api.JournalOpAccept,
+		Job: id, Unix: time.Now().Unix(), Batch: batch,
+	})
+}
+
+// Done appends and fsyncs the completion record for a job. Results
+// need not be durable first: a done job replayed without its stored
+// results is simply recomputed, deterministically, on boot.
+func (j *Journal) Done(id string) error {
+	return j.append(api.JournalRecord{
+		Schema: api.JournalSchema, Op: api.JournalOpDone,
+		Job: id, Unix: time.Now().Unix(),
+	})
+}
+
+func (j *Journal) append(rec api.JournalRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal: closed")
+	}
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	return nil
+}
+
+// Compact atomically rewrites the journal to exactly the given jobs
+// (their accept records, plus done records where applicable), then
+// reopens it for appending. Boot replay calls it after expiring old
+// jobs, so the file stays proportional to the live set instead of
+// growing for the life of the deployment.
+func (j *Journal) Compact(live []JournalJob) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range live {
+		job := &live[i]
+		if err := enc.Encode(api.JournalRecord{
+			Schema: api.JournalSchema, Op: api.JournalOpAccept,
+			Job: job.ID, Unix: job.AcceptedAt.Unix(), Batch: &job.Batch,
+		}); err != nil {
+			return fmt.Errorf("store: journal: %w", err)
+		}
+		if job.Done {
+			if err := enc.Encode(api.JournalRecord{
+				Schema: api.JournalSchema, Op: api.JournalOpDone,
+				Job: job.ID, Unix: job.DoneAt.Unix(),
+			}); err != nil {
+				return fmt.Errorf("store: journal: %w", err)
+			}
+		}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f != nil {
+		j.f.Close()
+	}
+	if err := writeFileAtomic(j.path, buf.Bytes()); err != nil {
+		return fmt.Errorf("store: journal: compact: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: journal: %w", err)
+	}
+	j.f = f
+	return nil
+}
+
+// Close closes the append handle.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

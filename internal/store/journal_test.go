@@ -1,0 +1,300 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wayplace/internal/api"
+	"wayplace/internal/obs"
+)
+
+func testBatch(workload string) *api.BatchRequest {
+	return &api.BatchRequest{
+		APIVersion: api.Version,
+		Async:      true,
+		Requests: []api.RunRequest{{
+			Workload: workload,
+			ICache:   api.CacheGeometry{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32},
+			Scheme:   api.SchemeBaseline,
+		}},
+	}
+}
+
+func TestJournalReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("job-1", testBatch("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("job-2", testBatch("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done("job-1"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	jobs, err := j2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].ID != "job-1" || !jobs[0].Done {
+		t.Errorf("job-1 = %+v, want done", jobs[0])
+	}
+	if jobs[1].ID != "job-2" || jobs[1].Done {
+		t.Errorf("job-2 = %+v, want not done", jobs[1])
+	}
+	if got := jobs[1].Batch.Requests[0].Workload; got != "b" {
+		t.Errorf("job-2 batch workload %q, want %q (the verbatim accepted batch)", got, "b")
+	}
+}
+
+// Duplicate accepts happen when two submitters race the same batch id
+// before the journal append and both lose: replay keeps the first.
+func TestJournalReplayDeduplicatesAccepts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Accept("job-1", testBatch("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("job-1", testBatch("second")); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("replayed %d jobs, want 1", len(jobs))
+	}
+	if got := jobs[0].Batch.Requests[0].Workload; got != "first" {
+		t.Errorf("kept batch %q, want the first accept", got)
+	}
+}
+
+// A SIGKILL can tear the final append. The torn tail — unterminated
+// or garbled — is skipped and counted, never a boot failure, and
+// every record before it survives.
+func TestJournalTornTail(t *testing.T) {
+	reg := obs.NewRegistry()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := OpenJournal(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("job-1", testBatch("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("job-2", testBatch("b")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Tear the file mid-final-record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	jobs, err := j2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "job-1" {
+		t.Fatalf("replay after torn tail = %+v, want exactly job-1", jobs)
+	}
+	if got := reg.Counter(MetricCorrupt).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1 (the torn record)", MetricCorrupt, got)
+	}
+}
+
+// A done record whose accept was lost to corruption has nothing to
+// resume and nothing to poll: skipped, counted, boot proceeds.
+func TestJournalDoneWithoutAccept(t *testing.T) {
+	reg := obs.NewRegistry()
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := OpenJournal(path, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Done("job-ghost"); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Fatalf("replayed %d jobs, want 0", len(jobs))
+	}
+	if got := reg.Counter(MetricCorrupt).Value(); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricCorrupt, got)
+	}
+}
+
+// Garbage lines anywhere in the file — not just the tail — are
+// skipped individually; valid records around them survive.
+func TestJournalGarbageLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Accept("job-1", testBatch("a")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := "not json at all\n" + string(data) + "{\"schema\":\"wrong/v9\"}\n\x00\x01\x02\n" + string(data)
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	jobs, err := j2.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "job-1" {
+		t.Fatalf("replay with embedded garbage = %+v, want exactly job-1", jobs)
+	}
+}
+
+func TestJournalCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.wal")
+	j, err := OpenJournal(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, id := range []string{"job-1", "job-2", "job-3"} {
+		if err := j.Accept(id, testBatch(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Done("job-2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compact down to job-2 (done, still pollable) and job-3 (live).
+	live := []JournalJob{
+		{ID: "job-2", Batch: *testBatch("job-2"), AcceptedAt: time.Unix(100, 0), Done: true, DoneAt: time.Unix(200, 0)},
+		{ID: "job-3", Batch: *testBatch("job-3"), AcceptedAt: time.Unix(150, 0)},
+	}
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "job-1") {
+		t.Error("compacted journal still mentions the expired job-1")
+	}
+
+	// The append handle survives compaction.
+	if err := j.Accept("job-4", testBatch("job-4")); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := j.Replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("replayed %d jobs after compact+append, want 3", len(jobs))
+	}
+	if !jobs[0].Done || jobs[0].ID != "job-2" {
+		t.Errorf("job-2 lost its done mark across compaction: %+v", jobs[0])
+	}
+	if jobs[0].DoneAt != time.Unix(200, 0) {
+		t.Errorf("job-2 DoneAt %v, want the original %v", jobs[0].DoneAt, time.Unix(200, 0))
+	}
+}
+
+func TestDecodeJournalCounts(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		recs    int
+		corrupt int
+	}{
+		{"empty", "", 0, 0},
+		{"blank lines only", "\n\n  \n", 0, 0},
+		{"unterminated nonempty tail", `{"schema":"wpjournal/v1"`, 0, 1},
+		{"unterminated whitespace tail", "   ", 0, 0},
+		{"garbage line", "garbage\n", 0, 1},
+		{"valid done", `{"schema":"wpjournal/v1","op":"done","job":"j"}` + "\n", 1, 0},
+		{"wrong schema", `{"schema":"wpjournal/v2","op":"done","job":"j"}` + "\n", 0, 1},
+		{"missing job", `{"schema":"wpjournal/v1","op":"done"}` + "\n", 0, 1},
+		{"unknown op", `{"schema":"wpjournal/v1","op":"pause","job":"j"}` + "\n", 0, 1},
+		{"accept without batch", `{"schema":"wpjournal/v1","op":"accept","job":"j"}` + "\n", 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, corrupt := DecodeJournal([]byte(tc.input))
+			if len(recs) != tc.recs || corrupt != tc.corrupt {
+				t.Errorf("DecodeJournal(%q) = %d recs, %d corrupt; want %d, %d",
+					tc.input, len(recs), corrupt, tc.recs, tc.corrupt)
+			}
+		})
+	}
+}
+
+// FuzzDecodeJournal enforces the decoder's totality: any byte soup —
+// torn tails, NULs, deeply nested JSON — yields records plus a
+// corrupt count, never a panic, and every returned record is valid.
+func FuzzDecodeJournal(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n"))
+	f.Add([]byte(`{"schema":"wpjournal/v1","op":"done","job":"j","unix":1}` + "\n"))
+	f.Add([]byte(`{"schema":"wpjournal/v1","op":"accept","job":"j","batch":{"requests":[{"workload":"w"}]}}` + "\n"))
+	f.Add([]byte(`{"schema":"wpjournal/v1","op":"acc`))
+	f.Add([]byte("\x00\xff\xfe\n{}\n[]\ntrue\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, corrupt := DecodeJournal(data)
+		if corrupt < 0 {
+			t.Fatalf("negative corrupt count %d", corrupt)
+		}
+		for i, rec := range recs {
+			if !validRecord(&rec) {
+				t.Fatalf("record %d is invalid: %+v", i, rec)
+			}
+		}
+	})
+}
