@@ -49,6 +49,7 @@ import (
 	"wayplace/internal/experiment"
 	"wayplace/internal/load"
 	"wayplace/internal/obs"
+	"wayplace/internal/serve"
 )
 
 func main() {
@@ -73,6 +74,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", "also dump the client-side load_* registry as JSON here")
 	smoke := flag.Bool("smoke", false, "CI smoke: loopback, 200 clients, 2s, SLOs asserted, exit 1 on violation")
 	crash := flag.Bool("crash", false, "kill/restart durability choreography: SIGKILL a store-backed daemon mid-load, restart, assert nothing observable was lost")
+	fleetN := flag.Int("fleet", 0, "fleet mode: N loopback backends behind an in-process coordinator; measures 1-vs-N cold-pool scaling, asserts once-per-fleet, then load-tests the fleet")
+	fleetSmoke := flag.Bool("fleet-smoke", false, "CI fleet smoke: 3 backends, once-per-fleet invariant plus a 2s SLO-checked load run (no scaling measurement)")
+	minSpeedup := flag.Float64("fleet-speedup", 2.5, "minimum fleet/single cells-per-second ratio -fleet must reach")
 
 	sloP50 := flag.Duration("slo-p50", 0, "max HTTP p50 (0 = unchecked)")
 	sloP99 := flag.Duration("slo-p99", 0, "max HTTP p99 (0 = unchecked)")
@@ -91,7 +95,7 @@ func main() {
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if *smoke {
+	if *smoke || *fleetSmoke {
 		// Presets only where the user did not choose: -smoke -clients 500
 		// smokes with 500 clients.
 		if !set["clients"] {
@@ -102,6 +106,12 @@ func main() {
 		}
 		if !set["slo-p50"] {
 			*sloP50 = 250 * time.Millisecond
+			if *fleetSmoke {
+				// The coordinator hop re-encodes every batch both ways,
+				// which on a starved CI core lands the median one
+				// latency bucket higher than a direct backend's.
+				*sloP50 = 500 * time.Millisecond
+			}
 		}
 		if !set["slo-p99"] {
 			*sloP99 = 2 * time.Second
@@ -117,6 +127,43 @@ func main() {
 		if !set["slo-errors"] {
 			*sloErrors = 0.01
 		}
+	}
+
+	if *fleetN > 0 || *fleetSmoke {
+		n := *fleetN
+		if n == 0 {
+			n = 3 // -fleet-smoke default
+		}
+		if n < 2 {
+			fail(fmt.Errorf("-fleet needs >= 2 backends, got %d", n))
+		}
+		code := runFleet(fleetRun{
+			backends:     n,
+			smokeOnly:    *fleetSmoke && *fleetN == 0,
+			minSpeedup:   *minSpeedup,
+			workloads:    *workloads,
+			queue:        *queue,
+			clients:      *clients,
+			duration:     *duration,
+			async:        *async,
+			batch:        *batch,
+			zipf:         *zipf,
+			churn:        *churn,
+			retries:      *retries,
+			seed:         *seed,
+			snapshotPath: *snapshotPath,
+			metricsPath:  *metricsPath,
+			slo: load.SLO{
+				HTTPP50Max:   *sloP50,
+				HTTPP99Max:   *sloP99,
+				CellP99Max:   *sloCellP99,
+				Max429Rate:   *slo429,
+				MaxErrorRate: *sloErrors,
+			},
+			sloChecked: *smoke || *fleetSmoke || *sloP50 > 0 || *sloP99 > 0 ||
+				*sloCellP99 > 0 || *slo429 >= 0 || *sloErrors >= 0,
+		})
+		os.Exit(code)
 	}
 
 	// The pool: synthetic cells on the loopback geometry, or the named
@@ -218,6 +265,161 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wpload: SLOs ok\n")
 	}
+}
+
+// fleetRun carries the resolved flag values for a -fleet/-fleet-smoke
+// run.
+type fleetRun struct {
+	backends   int
+	smokeOnly  bool // -fleet-smoke: skip the 1-vs-N scaling measurement
+	minSpeedup float64
+	workloads  int
+	queue      int
+
+	clients  int
+	duration time.Duration
+	async    float64
+	batch    int
+	zipf     float64
+	churn    float64
+	retries  int
+	seed     int64
+
+	snapshotPath string
+	metricsPath  string
+	slo          load.SLO
+	sloChecked   bool
+}
+
+// runFleet is the fleet harness: (1) with -fleet, measure 1-vs-N
+// backend cold-pool throughput and require -fleet-speedup; (2) prove
+// the once-per-fleet invariant deterministically — the whole pool
+// pushed through the coordinator twice simulates each cell exactly
+// once fleet-wide; (3) drive the normal zipfian client load at the
+// coordinator and check the SLOs. Returns the process exit code.
+func runFleet(cfg fleetRun) int {
+	ctx := context.Background()
+
+	// Scaling measurement on dedicated cold fleets (1 backend, then
+	// N), each backend pinned to one engine worker so backends are the
+	// unit of parallelism.
+	var fleetSection *load.FleetSnapshot
+	if !cfg.smokeOnly {
+		bench, err := load.FleetBench(ctx, load.FleetBenchOptions{
+			Backends:   cfg.backends,
+			MinSpeedup: cfg.minSpeedup,
+			Log:        os.Stderr,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fleetSection = bench.FleetSection(cfg.minSpeedup)
+		fmt.Fprintf(os.Stderr, "wpload: fleet scaling: %d backends %.2fx over 1 (%.0f vs %.0f cells/s), once-per-fleet ok (%d cells simulated for a %d-cell pool)\n",
+			bench.Backends, bench.Speedup, bench.FleetCellsPerSecond, bench.SingleCellsPerSecond,
+			bench.SimulatedCells, bench.PoolCells)
+	}
+
+	// The serving fleet for the load leg.
+	serverReg := obs.NewRegistry()
+	f, err := load.StartFleet(load.FleetOptions{
+		Backends:     cfg.backends,
+		Workloads:    cfg.workloads,
+		BackendQueue: cfg.queue,
+		Registry:     serverReg,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		f.Close(sctx)
+	}()
+	pool := load.Pool(load.SyntheticNames(cfg.workloads), load.SyntheticGeometry(), []uint32{1 << 10, 2 << 10})
+	fmt.Fprintf(os.Stderr, "wpload: fleet of %d backends behind coordinator %s (%d-cell pool)\n",
+		cfg.backends, f.URL, len(pool))
+
+	// Once-per-fleet, deterministically: every pool cell through the
+	// coordinator twice, before any client can abandon a request
+	// mid-simulation. Exactly len(pool) simulations may happen, all on
+	// the first pass.
+	client := serve.NewClient(f.URL)
+	for pass := 0; pass < 2; pass++ {
+		resp, err := client.Run(ctx, pool)
+		if err != nil {
+			fail(err)
+		}
+		if resp.Status != api.StatusDone || len(resp.Errors) != 0 {
+			fail(fmt.Errorf("fleet warm-up pass %d ended %q with %d failures", pass, resp.Status, len(resp.Errors)))
+		}
+	}
+	if sim := f.SimulatedCells(); sim != uint64(len(pool)) {
+		fail(fmt.Errorf("fleet simulated %d cells for a %d-cell pool — the once-per-fleet invariant is broken", sim, len(pool)))
+	}
+	fmt.Fprintf(os.Stderr, "wpload: once-per-fleet ok (%d cells simulated once across %d backends)\n",
+		len(pool), cfg.backends)
+	if fleetSection == nil {
+		fleetSection = &load.FleetSnapshot{
+			Backends:       cfg.backends,
+			ScalePoolCells: len(pool),
+			SimulatedCells: uint64(len(pool)),
+			OncePerFleet:   true,
+		}
+	}
+
+	// The standard zipfian client load, aimed at the coordinator.
+	opt := load.Options{
+		BaseURL:       f.URL,
+		Pool:          pool,
+		Clients:       cfg.clients,
+		Duration:      cfg.duration,
+		AsyncFraction: cfg.async,
+		MaxBatchCells: cfg.batch,
+		ZipfS:         cfg.zipf,
+		Churn:         cfg.churn,
+		MaxRetries:    cfg.retries,
+		Seed:          cfg.seed,
+	}
+	gen, err := load.New(opt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wpload: %d clients for %v against the %d-backend fleet (async %.2f, churn %.2f)\n",
+		cfg.clients, cfg.duration, cfg.backends, cfg.async, cfg.churn)
+	report, err := gen.Run(ctx)
+	if err != nil {
+		fail(err)
+	}
+	printReport(report)
+
+	var sloPtr *load.SLO
+	if cfg.sloChecked {
+		sloPtr = &cfg.slo
+	}
+	snap := report.Snapshot(commandLine(), fmt.Sprintf("fleet:%d", cfg.backends), api.Version, opt, sloPtr)
+	snap.UnixTime = time.Now().Unix()
+	snap.Fleet = fleetSection
+	if cfg.snapshotPath != "" {
+		if err := snap.WriteFile(cfg.snapshotPath); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wpload: snapshot written to %s\n", cfg.snapshotPath)
+	}
+	if cfg.metricsPath != "" {
+		if err := writeMetrics(gen.Registry(), cfg.metricsPath); err != nil {
+			fail(err)
+		}
+	}
+	if cfg.sloChecked {
+		if violations := cfg.slo.Check(report); len(violations) != 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "wpload: SLO VIOLATION: %s\n", v)
+			}
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wpload: SLOs ok\n")
+	}
+	return 0
 }
 
 func printReport(r *load.Report) {

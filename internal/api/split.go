@@ -1,0 +1,98 @@
+package api
+
+import "sort"
+
+// SubBatch is the slice of one batch routed to a single executor — a
+// backend of the sharded fleet, in practice. Indices remember where
+// each request sat in the original batch, so a merged response can put
+// every result back in the caller's cell order no matter how the
+// batch was partitioned.
+type SubBatch struct {
+	// Owner is the executor index the split function assigned.
+	Owner int
+	// Indices[i] is the original batch position of Requests[i].
+	Indices []int
+	// Requests are the cells routed to Owner, in original relative
+	// order.
+	Requests []RunRequest
+}
+
+// SplitBatch partitions a batch by the owner function (request index →
+// executor index in [0,n)), preserving relative request order inside
+// each sub-batch. Only non-empty sub-batches are returned, in
+// ascending owner order, so the split is deterministic for a given
+// owner assignment.
+func SplitBatch(reqs []RunRequest, n int, owner func(i int) int) []SubBatch {
+	byOwner := make(map[int]*SubBatch, n)
+	for i, r := range reqs {
+		o := owner(i)
+		sb, ok := byOwner[o]
+		if !ok {
+			sb = &SubBatch{Owner: o}
+			byOwner[o] = sb
+		}
+		sb.Indices = append(sb.Indices, i)
+		sb.Requests = append(sb.Requests, r)
+	}
+	subs := make([]SubBatch, 0, len(byOwner))
+	for _, sb := range byOwner {
+		subs = append(subs, *sb)
+	}
+	sort.Slice(subs, func(a, b int) bool { return subs[a].Owner < subs[b].Owner })
+	return subs
+}
+
+// MergeSubResponses reassembles per-executor responses into one
+// BatchResponse covering the original batch: results land back at
+// their original indices and per-cell failure indices are remapped
+// from sub-batch positions to batch positions. A sub-batch whose
+// response is missing (resps[i] == nil) fails wholesale with errs[i]
+// — every one of its cells gets an indexed CellFailure and an
+// echoed-request result shell, exactly the shape the serve layer uses
+// for cells that never produced stats.
+//
+// The merged status is StatusDone unless any cell failed. Errors are
+// sorted by cell index, so the merged response is deterministic
+// regardless of executor completion order. JobID is left empty for
+// the caller to stamp (the coordinator uses the batch's own
+// deterministic BatchKey, not any sub-batch's).
+func MergeSubResponses(total int, subs []SubBatch, resps []*BatchResponse, errs []error) *BatchResponse {
+	out := &BatchResponse{
+		APIVersion: Version,
+		Status:     StatusDone,
+		Results:    make([]RunResult, total),
+	}
+	for si, sub := range subs {
+		if resps[si] == nil {
+			msg := "sub-batch failed"
+			if si < len(errs) && errs[si] != nil {
+				msg = errs[si].Error()
+			}
+			for j, orig := range sub.Indices {
+				out.Status = StatusFailed
+				out.Errors = append(out.Errors, CellFailure{Index: orig, Key: sub.Requests[j].Key(), Error: msg})
+				out.Results[orig] = RunResult{Request: sub.Requests[j], Key: sub.Requests[j].Key()}
+			}
+			continue
+		}
+		resp := resps[si]
+		for j, orig := range sub.Indices {
+			if j < len(resp.Results) {
+				out.Results[orig] = resp.Results[j]
+			}
+		}
+		if resp.Status != StatusDone {
+			out.Status = StatusFailed
+		}
+		for _, f := range resp.Errors {
+			remapped := f
+			if f.Index >= 0 && f.Index < len(sub.Indices) {
+				remapped.Index = sub.Indices[f.Index]
+			}
+			out.Status = StatusFailed
+			out.Errors = append(out.Errors, remapped)
+		}
+	}
+	sort.Slice(out.Errors, func(a, b int) bool { return out.Errors[a].Index < out.Errors[b].Index })
+	return out
+}

@@ -1,0 +1,157 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"wayplace/internal/sim"
+)
+
+func splitPool(n int) []RunRequest {
+	geo := CacheGeometry{SizeBytes: 8 << 10, Ways: 8, LineBytes: 32}
+	reqs := make([]RunRequest, n)
+	for i := range reqs {
+		reqs[i] = RunRequest{Workload: fmt.Sprintf("w%d", i), ICache: geo, Scheme: SchemeBaseline}
+	}
+	return reqs
+}
+
+func TestSplitBatchPartition(t *testing.T) {
+	reqs := splitPool(10)
+	subs := SplitBatch(reqs, 3, func(i int) int { return i % 3 })
+	if len(subs) != 3 {
+		t.Fatalf("got %d sub-batches, want 3", len(subs))
+	}
+	seen := make(map[int]bool)
+	for si, sub := range subs {
+		if si > 0 && subs[si-1].Owner >= sub.Owner {
+			t.Errorf("sub-batches not in ascending owner order: %d then %d", subs[si-1].Owner, sub.Owner)
+		}
+		if len(sub.Indices) != len(sub.Requests) {
+			t.Fatalf("owner %d: %d indices for %d requests", sub.Owner, len(sub.Indices), len(sub.Requests))
+		}
+		for j, orig := range sub.Indices {
+			if orig%3 != sub.Owner {
+				t.Errorf("cell %d routed to owner %d, want %d", orig, sub.Owner, orig%3)
+			}
+			if !reflect.DeepEqual(sub.Requests[j], reqs[orig]) {
+				t.Errorf("owner %d slot %d does not hold original request %d", sub.Owner, j, orig)
+			}
+			if seen[orig] {
+				t.Errorf("cell %d appears in two sub-batches", orig)
+			}
+			seen[orig] = true
+		}
+		// Relative order inside a sub-batch must be original order.
+		for j := 1; j < len(sub.Indices); j++ {
+			if sub.Indices[j-1] >= sub.Indices[j] {
+				t.Errorf("owner %d indices out of order: %v", sub.Owner, sub.Indices)
+			}
+		}
+	}
+	if len(seen) != len(reqs) {
+		t.Fatalf("split covered %d of %d cells", len(seen), len(reqs))
+	}
+}
+
+func TestSplitBatchSkipsEmptyOwners(t *testing.T) {
+	subs := SplitBatch(splitPool(4), 8, func(i int) int { return 5 })
+	if len(subs) != 1 || subs[0].Owner != 5 || len(subs[0].Requests) != 4 {
+		t.Fatalf("want one sub-batch with owner 5 holding 4 cells, got %+v", subs)
+	}
+}
+
+func TestMergeSubResponsesRestoresOrder(t *testing.T) {
+	reqs := splitPool(7)
+	subs := SplitBatch(reqs, 2, func(i int) int { return i % 2 })
+	resps := make([]*BatchResponse, len(subs))
+	for si, sub := range subs {
+		resp := &BatchResponse{APIVersion: Version, Status: StatusDone}
+		for _, orig := range sub.Indices {
+			resp.Results = append(resp.Results, RunResult{
+				Request: reqs[orig],
+				Key:     fmt.Sprintf("key-%d", orig),
+				Stats:   &sim.RunStats{Instrs: uint64(orig)},
+			})
+		}
+		resps[si] = resp
+	}
+	out := MergeSubResponses(len(reqs), subs, resps, make([]error, len(subs)))
+	if out.Status != StatusDone || len(out.Errors) != 0 {
+		t.Fatalf("merged status %q errors %v, want done/none", out.Status, out.Errors)
+	}
+	if len(out.Results) != len(reqs) {
+		t.Fatalf("merged %d results, want %d", len(out.Results), len(reqs))
+	}
+	for i, rr := range out.Results {
+		if rr.Key != fmt.Sprintf("key-%d", i) || rr.Stats == nil || rr.Stats.Instrs != uint64(i) {
+			t.Errorf("result %d out of place: key %q stats %+v", i, rr.Key, rr.Stats)
+		}
+	}
+}
+
+func TestMergeSubResponsesRemapsFailureIndices(t *testing.T) {
+	reqs := splitPool(6)
+	subs := SplitBatch(reqs, 2, func(i int) int { return i % 2 })
+	resps := make([]*BatchResponse, len(subs))
+	errs := make([]error, len(subs))
+	for si, sub := range subs {
+		resp := &BatchResponse{APIVersion: Version, Status: StatusDone,
+			Results: make([]RunResult, len(sub.Requests))}
+		for j, orig := range sub.Indices {
+			resp.Results[j] = RunResult{Request: reqs[orig], Key: fmt.Sprintf("key-%d", orig)}
+		}
+		resps[si] = resp
+	}
+	// Fail the second cell of the owner-1 sub-batch: original index 3.
+	resps[1].Status = StatusFailed
+	resps[1].Errors = []CellFailure{{Index: 1, Error: "boom"}}
+	resps[1].Results[1].Stats = nil
+
+	out := MergeSubResponses(len(reqs), subs, resps, errs)
+	if out.Status != StatusFailed {
+		t.Fatalf("merged status %q, want failed", out.Status)
+	}
+	if len(out.Errors) != 1 || out.Errors[0].Index != 3 || out.Errors[0].Error != "boom" {
+		t.Fatalf("failure index not remapped: %+v", out.Errors)
+	}
+}
+
+func TestMergeSubResponsesMissingSubFailsItsCells(t *testing.T) {
+	reqs := splitPool(6)
+	subs := SplitBatch(reqs, 3, func(i int) int { return i % 3 })
+	resps := make([]*BatchResponse, len(subs))
+	errs := make([]error, len(subs))
+	for si, sub := range subs {
+		if sub.Owner == 1 {
+			errs[si] = errors.New("backend unreachable")
+			continue
+		}
+		resp := &BatchResponse{APIVersion: Version, Status: StatusDone,
+			Results: make([]RunResult, len(sub.Requests))}
+		for j, orig := range sub.Indices {
+			resp.Results[j] = RunResult{Request: reqs[orig], Stats: &sim.RunStats{Instrs: 1}}
+		}
+		resps[si] = resp
+	}
+	out := MergeSubResponses(len(reqs), subs, resps, errs)
+	if out.Status != StatusFailed {
+		t.Fatalf("merged status %q, want failed", out.Status)
+	}
+	if len(out.Errors) != 2 {
+		t.Fatalf("got %d failures, want 2 (cells 1 and 4): %+v", len(out.Errors), out.Errors)
+	}
+	if out.Errors[0].Index != 1 || out.Errors[1].Index != 4 {
+		t.Errorf("failure indices %d,%d want 1,4", out.Errors[0].Index, out.Errors[1].Index)
+	}
+	for _, f := range out.Errors {
+		if f.Error != "backend unreachable" {
+			t.Errorf("failure %d carries %q, want the sub-batch error", f.Index, f.Error)
+		}
+		if out.Results[f.Index].Stats != nil {
+			t.Errorf("failed cell %d has stats", f.Index)
+		}
+	}
+}

@@ -1,0 +1,541 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"wayplace/internal/api"
+	"wayplace/internal/obs"
+	"wayplace/internal/serve"
+)
+
+// Metric names the coordinator registers on the installed registry.
+// The per-backend families are labelled with the backend's name, so a
+// scrape shows how load, latency and cache warmth distribute across
+// the ring.
+const (
+	// MetricBatches: batches accepted (sync and async).
+	MetricBatches = "fleet_batches_total"
+	// MetricRejected: batches the coordinator refused with 429
+	// (its own queue full, or every owner busy past the retry budget).
+	MetricRejected = "fleet_rejected_total"
+	// MetricInflight: batches currently being scattered or merged.
+	MetricInflight = "fleet_inflight_batches"
+	// MetricSubBatches: per-backend sub-batches dispatched.
+	MetricSubBatches = "fleet_subbatches_total"
+	// MetricFailovers: sub-batches rerouted to a successor ring node
+	// after their owner failed.
+	MetricFailovers = "fleet_failovers_total"
+	// MetricBackendRequests / MetricBackendErrors / MetricBackendNS:
+	// per-backend request counts, hard failures and round-trip latency.
+	MetricBackendRequests = "fleet_backend_requests_total"
+	MetricBackendErrors   = "fleet_backend_errors_total"
+	MetricBackendNS       = "fleet_backend_request_ns"
+	// MetricBackendHits / MetricBackendMisses: cells a backend answered
+	// from its warm cache vs cells it had to simulate — summed across
+	// the ring they are the fleet-wide hit ratio, and per backend they
+	// show whether sharding is keeping each key's repeats on one node.
+	MetricBackendHits   = "fleet_backend_cell_hits_total"
+	MetricBackendMisses = "fleet_backend_cell_misses_total"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Backends are the wpserved base URLs forming the ring; required.
+	Backends []string
+	// Registry, when non-nil, receives the fleet_* instruments and is
+	// re-exposed at GET /metrics.
+	Registry *obs.Registry
+	// VNodes is the ring's virtual-node count per backend; <= 0 means
+	// DefaultVNodes.
+	VNodes int
+	// QueueDepth bounds concurrently coordinated batches; further
+	// POSTs get 429. Default 64 (a coordinator only scatters and
+	// merges, so its slots are much cheaper than a backend's).
+	QueueDepth int
+	// MaxBatchCells bounds the cells of one incoming batch. Default
+	// 4096. It must not exceed the backends' own limit: a sub-batch is
+	// never larger than its batch.
+	MaxBatchCells int
+	// Failover is how many successor ring nodes a sub-batch tries
+	// after its owner hard-fails (connection refused, 5xx). 429s are
+	// NOT failed over — they are retried against the owner with its
+	// Retry-After hint and then propagated, preserving the
+	// one-cell-one-backend cache affinity. Default 1; negative
+	// disables failover.
+	Failover int
+	// BackendRetries bounds per-attempt 429 retries against one
+	// backend. Default 4.
+	BackendRetries int
+	// BackendRetryBackoff caps how much of a backend's Retry-After
+	// hint the coordinator honours per retry. Default 250ms.
+	BackendRetryBackoff time.Duration
+	// RetryAfter is the coordinator's own 429 backoff hint. Default 1s.
+	RetryAfter time.Duration
+	// JobTTL is how long a finished async job stays pollable. 0 means
+	// 10 minutes; negative disables eviction.
+	JobTTL time.Duration
+	// HealthTimeout bounds each backend probe of GET /healthz.
+	// Default 2s.
+	HealthTimeout time.Duration
+	// HTTP is the client used for backend traffic; nil means a
+	// keep-alive pooled transport (serve.NewTransport) sized so a full
+	// queue of concurrent sub-batches reuses connections.
+	HTTP *http.Client
+}
+
+// backend is one ring member plus its client and instruments.
+type backend struct {
+	name   string // metric label: the URL without its scheme
+	url    string
+	health *serve.Client
+
+	requests *obs.Counter
+	errors   *obs.Counter
+	reqNS    *obs.Histogram
+	hits     *obs.Counter
+	misses   *obs.Counter
+}
+
+// Coordinator scatters v1 batches over a consistent-hash ring of
+// wpserved backends and gathers the answers. It speaks the identical
+// wire surface a single wpserved does — POST /v1/runs (sync and
+// async), GET /v1/runs/{id}, /healthz, /metrics — so serve.Client and
+// RemoteRunner point at it unchanged.
+type Coordinator struct {
+	opt      Options
+	ring     *Ring
+	backends []*backend
+	httpc    *http.Client
+
+	jobs sync.Map // coordinator job id -> *fleetJob
+	wg   sync.WaitGroup
+
+	mu        sync.Mutex
+	draining  bool
+	stopped   bool
+	evictions map[string]*time.Timer
+	slots     chan struct{}
+
+	batches    *obs.Counter
+	rejected   *obs.Counter
+	subbatches *obs.Counter
+	failovers  *obs.Counter
+	inflight   *obs.Gauge
+}
+
+// New builds a coordinator over the given backend URLs.
+func New(opt Options) (*Coordinator, error) {
+	if len(opt.Backends) == 0 {
+		return nil, errors.New("fleet: Options.Backends is required")
+	}
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = 64
+	}
+	if opt.MaxBatchCells <= 0 {
+		opt.MaxBatchCells = 4096
+	}
+	if opt.BackendRetries <= 0 {
+		opt.BackendRetries = 4
+	}
+	if opt.BackendRetryBackoff <= 0 {
+		opt.BackendRetryBackoff = 250 * time.Millisecond
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = time.Second
+	}
+	if opt.JobTTL == 0 {
+		opt.JobTTL = 10 * time.Minute
+	}
+	if opt.HealthTimeout <= 0 {
+		opt.HealthTimeout = 2 * time.Second
+	}
+	ring, err := NewRing(opt.Backends, opt.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	httpc := opt.HTTP
+	if httpc == nil {
+		httpc = &http.Client{Transport: serve.NewTransport(opt.QueueDepth * 2)}
+	}
+	c := &Coordinator{
+		opt:        opt,
+		ring:       ring,
+		httpc:      httpc,
+		evictions:  make(map[string]*time.Timer),
+		slots:      make(chan struct{}, opt.QueueDepth),
+		batches:    opt.Registry.Counter(MetricBatches),
+		rejected:   opt.Registry.Counter(MetricRejected),
+		subbatches: opt.Registry.Counter(MetricSubBatches),
+		failovers:  opt.Registry.Counter(MetricFailovers),
+		inflight:   opt.Registry.Gauge(MetricInflight),
+	}
+	for _, url := range opt.Backends {
+		name := strings.TrimPrefix(strings.TrimPrefix(url, "http://"), "https://")
+		c.backends = append(c.backends, &backend{
+			name:     name,
+			url:      strings.TrimRight(url, "/"),
+			health:   &serve.Client{BaseURL: url, HTTP: httpc},
+			requests: opt.Registry.Counter(obs.LabeledName(MetricBackendRequests, "backend", name)),
+			errors:   opt.Registry.Counter(obs.LabeledName(MetricBackendErrors, "backend", name)),
+			reqNS:    opt.Registry.Histogram(obs.LabeledName(MetricBackendNS, "backend", name)),
+			hits:     opt.Registry.Counter(obs.LabeledName(MetricBackendHits, "backend", name)),
+			misses:   opt.Registry.Counter(obs.LabeledName(MetricBackendMisses, "backend", name)),
+		})
+	}
+	return c, nil
+}
+
+// Ring returns the coordinator's hash ring (read-only).
+func (c *Coordinator) Ring() *Ring { return c.ring }
+
+// Handler returns the route mux — the same shape as serve.Server's.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", c.handleRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", c.handleJob)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+// Shutdown refuses new batches and waits for in-flight scatters to
+// finish, then stops the job-eviction timers.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		c.wg.Wait()
+		close(done)
+	}()
+	defer c.stopEvictions()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("fleet: shutdown: %w", ctx.Err())
+	}
+}
+
+func (c *Coordinator) acquire() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return false
+	}
+	select {
+	case c.slots <- struct{}{}:
+		c.wg.Add(1)
+		c.inflight.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+func (c *Coordinator) release() {
+	<-c.slots
+	c.wg.Done()
+	c.inflight.Add(-1)
+}
+
+func (c *Coordinator) handleRuns(w http.ResponseWriter, r *http.Request) {
+	var breq api.BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&breq); err != nil {
+		c.writeError(w, http.StatusBadRequest, api.ErrorResponse{Error: "malformed JSON: " + err.Error()})
+		return
+	}
+	if breq.APIVersion != "" && breq.APIVersion != api.Version {
+		c.writeError(w, http.StatusBadRequest, api.ErrorResponse{
+			Error: fmt.Sprintf("api_version %q not supported (coordinator speaks %q)", breq.APIVersion, api.Version),
+		})
+		return
+	}
+	if len(breq.Requests) == 0 {
+		c.writeError(w, http.StatusBadRequest, api.ErrorResponse{
+			Error:  "empty batch",
+			Fields: []api.FieldError{{Field: "requests", Message: "must contain at least one run request"}},
+		})
+		return
+	}
+	if len(breq.Requests) > c.opt.MaxBatchCells {
+		c.rejected.Inc()
+		c.writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
+			Error: fmt.Sprintf("batch of %d cells exceeds the coordinator limit of %d; split the sweep",
+				len(breq.Requests), c.opt.MaxBatchCells),
+		})
+		return
+	}
+	// Validate centrally — a batch either shards cleanly or fails with
+	// the same field-level 400 a single backend would give. Validation
+	// also yields the canonical keys the ring routes by.
+	specs, err := api.ToSpecs(breq.Requests)
+	if err != nil {
+		resp := api.ErrorResponse{Error: "invalid batch"}
+		if verr, ok := err.(*api.ValidationError); ok {
+			resp.Fields = verr.Fields
+		} else {
+			resp.Error = err.Error()
+		}
+		c.writeError(w, http.StatusBadRequest, resp)
+		return
+	}
+	keys := make([]string, len(specs))
+	for i, s := range specs {
+		keys[i] = s.Key()
+	}
+	subs := api.SplitBatch(breq.Requests, c.ring.Len(), func(i int) int { return c.ring.Owner(keys[i]) })
+
+	if !c.acquire() {
+		c.rejected.Inc()
+		c.writeBusy(w, "coordinator at capacity", c.opt.RetryAfter)
+		return
+	}
+	defer c.release()
+	c.batches.Inc()
+
+	if breq.Async {
+		c.startAsync(w, r.Context(), &breq, subs, keys)
+		return
+	}
+
+	outs := c.scatter(r.Context(), &breq, subs, keys, false)
+	if retry, busy := busyOutcome(outs); busy {
+		c.rejected.Inc()
+		c.writeBusy(w, "fleet at capacity", retry)
+		return
+	}
+	resp := mergeOutcomes(breq.Requests, subs, outs)
+	c.writeBatchResponse(w, http.StatusOK, resp)
+}
+
+// subOutcome is one sub-batch's scatter result.
+type subOutcome struct {
+	resp    *api.BatchResponse // nil when the sub-batch failed
+	err     error              // terminal error when resp is nil
+	busy    *serve.BusyError   // set when the terminal error was a retryable 429
+	backend int                // backend index that answered (post-failover)
+}
+
+// scatter dispatches every sub-batch to its ring owner concurrently
+// and waits for all of them. async selects the backend-side execution
+// mode (the 202 responses then carry each backend's sub job id).
+func (c *Coordinator) scatter(ctx context.Context, breq *api.BatchRequest, subs []api.SubBatch, keys []string, async bool) []subOutcome {
+	outs := make([]subOutcome, len(subs))
+	var wg sync.WaitGroup
+	for si := range subs {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			outs[si] = c.runSub(ctx, breq, subs[si], keys, async)
+		}(si)
+	}
+	wg.Wait()
+	return outs
+}
+
+// runSub sends one sub-batch to its owner, retrying 429s against the
+// same backend with its Retry-After hint, and failing over to up to
+// Options.Failover successor ring nodes only on hard errors
+// (connection failures, 5xx). Busy owners are NOT failed over: moving
+// a saturated shard's keys to its neighbour would simulate them a
+// second time and melt the neighbour too — backpressure propagates to
+// the client instead.
+func (c *Coordinator) runSub(ctx context.Context, breq *api.BatchRequest, sub api.SubBatch, keys []string, async bool) subOutcome {
+	body, err := json.Marshal(api.BatchRequest{
+		APIVersion: api.Version,
+		Requests:   sub.Requests,
+		Async:      async,
+		Coalesce:   breq.Coalesce,
+	})
+	if err != nil {
+		return subOutcome{err: err}
+	}
+	seq := c.ring.Sequence(keys[sub.Indices[0]], 1+max(0, c.opt.Failover))
+	var last subOutcome
+	for ai, bi := range seq {
+		if ai > 0 {
+			c.failovers.Inc()
+		}
+		c.subbatches.Inc()
+		b := c.backends[bi]
+		resp, err := c.trySubmit(ctx, b, body)
+		if err == nil {
+			if !async {
+				c.countCells(b, resp)
+			}
+			return subOutcome{resp: resp, backend: bi}
+		}
+		var busy *serve.BusyError
+		if errors.As(err, &busy) && !busy.Permanent {
+			// The owner is alive but saturated: propagate its hint.
+			return subOutcome{err: err, busy: busy}
+		}
+		last = subOutcome{err: fmt.Errorf("fleet: backend %s: %w", b.name, err)}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return last
+}
+
+// trySubmit performs one sub-batch POST against one backend with a
+// bounded 429-retry loop honouring Retry-After (capped at
+// BackendRetryBackoff so a deep hint cannot park a sync caller).
+func (c *Coordinator) trySubmit(ctx context.Context, b *backend, body []byte) (*api.BatchResponse, error) {
+	for attempt := 0; ; attempt++ {
+		status, resp, retryAfter, hasHint, err := c.exchange(ctx, b, http.MethodPost, "/v1/runs", body)
+		switch {
+		case err != nil:
+			return nil, err
+		case status == http.StatusOK || status == http.StatusAccepted:
+			return resp, nil
+		case status != http.StatusTooManyRequests:
+			return nil, fmt.Errorf("unexpected status %d", status)
+		case !hasHint:
+			return nil, &serve.BusyError{Msg: "backend rejected the sub-batch permanently", Permanent: true}
+		case attempt >= c.opt.BackendRetries:
+			return nil, &serve.BusyError{Msg: "backend busy past the retry budget", RetryAfter: retryAfter}
+		}
+		backoff := retryAfter
+		if backoff > c.opt.BackendRetryBackoff {
+			backoff = c.opt.BackendRetryBackoff
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// exchange is one instrumented HTTP round trip to a backend. 200/202
+// parse into a BatchResponse; 429 reports the Retry-After hint; 5xx
+// and transport failures return errors (the failover triggers).
+func (c *Coordinator) exchange(ctx context.Context, b *backend, method, path string, body []byte) (int, *api.BatchResponse, time.Duration, bool, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.url+path, rd)
+	if err != nil {
+		return 0, nil, 0, false, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	b.requests.Inc()
+	start := time.Now()
+	httpResp, err := c.httpc.Do(req)
+	if err != nil {
+		b.reqNS.ObserveSince(start)
+		b.errors.Inc()
+		return 0, nil, 0, false, err
+	}
+	defer httpResp.Body.Close()
+	switch httpResp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var resp api.BatchResponse
+		derr := json.NewDecoder(httpResp.Body).Decode(&resp)
+		// Drain the residual body (trailing newline, chunk terminator)
+		// so the transport sees EOF and pools the connection.
+		io.Copy(io.Discard, httpResp.Body)
+		b.reqNS.ObserveSince(start)
+		if derr != nil {
+			b.errors.Inc()
+			return httpResp.StatusCode, nil, 0, false, fmt.Errorf("decoding %d body: %w", httpResp.StatusCode, derr)
+		}
+		if resp.APIVersion != api.Version {
+			b.errors.Inc()
+			return httpResp.StatusCode, nil, 0, false, fmt.Errorf("backend speaks api %q, coordinator %q", resp.APIVersion, api.Version)
+		}
+		return httpResp.StatusCode, &resp, 0, false, nil
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, httpResp.Body)
+		b.reqNS.ObserveSince(start)
+		retry, ok := api.ParseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
+		return httpResp.StatusCode, nil, retry, ok, nil
+	case http.StatusNotFound:
+		io.Copy(io.Discard, httpResp.Body)
+		b.reqNS.ObserveSince(start)
+		return httpResp.StatusCode, nil, 0, false, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
+		b.reqNS.ObserveSince(start)
+		b.errors.Inc()
+		return httpResp.StatusCode, nil, 0, false,
+			fmt.Errorf("%s %s: status %d: %s", method, path, httpResp.StatusCode, bytes.TrimSpace(msg))
+	}
+}
+
+// countCells books each answered cell on the backend's hit/miss
+// series. Summed across backends these are the fleet-wide cache
+// ratio; a healthy ring shows every repeat key as a hit on exactly
+// one backend.
+func (c *Coordinator) countCells(b *backend, resp *api.BatchResponse) {
+	for i := range resp.Results {
+		if resp.Results[i].Stats == nil {
+			continue
+		}
+		if resp.Results[i].CacheHit {
+			b.hits.Inc()
+		} else {
+			b.misses.Inc()
+		}
+	}
+}
+
+// busyOutcome decides whether a scatter should surface as coordinator
+// backpressure: at least one sub-batch ended busy-retryable and none
+// hard-failed. The propagated Retry-After is the largest hint any
+// backend sent. (Results already gathered are discarded — they are
+// warm on their backends, so the client's resubmission re-collects
+// them as pure cache hits.)
+func busyOutcome(outs []subOutcome) (time.Duration, bool) {
+	var retry time.Duration
+	busy := false
+	for _, o := range outs {
+		if o.resp == nil && o.busy == nil {
+			return 0, false // a hard failure: report per-cell errors instead
+		}
+		if o.busy != nil {
+			busy = true
+			if o.busy.RetryAfter > retry {
+				retry = o.busy.RetryAfter
+			}
+		}
+	}
+	return retry, busy
+}
+
+// mergeOutcomes reassembles sub-batch responses into the batch answer
+// in original cell order, stamping the batch's own deterministic job
+// id.
+func mergeOutcomes(reqs []api.RunRequest, subs []api.SubBatch, outs []subOutcome) *api.BatchResponse {
+	resps := make([]*api.BatchResponse, len(outs))
+	errs := make([]error, len(outs))
+	for i, o := range outs {
+		resps[i], errs[i] = o.resp, o.err
+	}
+	resp := api.MergeSubResponses(len(reqs), subs, resps, errs)
+	resp.JobID = api.BatchKey(reqs)
+	return resp
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,340 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wayplace/internal/api"
+)
+
+// maxSubPollFailures is how many consecutive failed polls of one
+// backend sub-job are tolerated (network blips, a backend mid-restart
+// replaying its journal) before the sub-job's cells are declared
+// failed.
+const maxSubPollFailures = 3
+
+// fleetSub is one backend's slice of an async fleet job.
+type fleetSub struct {
+	sub       api.SubBatch
+	backend   int    // resolved backend index (post-failover)
+	jobID     string // the backend's own job id for this sub-batch
+	resp      *api.BatchResponse
+	err       error
+	pollFails int
+}
+
+func (fs *fleetSub) final() bool { return fs.resp != nil || fs.err != nil }
+
+// fleetJob is a scattered async batch: the coordinator holds only the
+// routing table (which backend runs which original indices under which
+// sub job id); the work and its results live on the backends until a
+// poll gathers them.
+type fleetJob struct {
+	id   string
+	reqs []api.RunRequest
+
+	mu    sync.Mutex
+	subs  []*fleetSub
+	final *api.BatchResponse
+}
+
+// startAsync scatters the batch in async mode and answers 202 with the
+// coordinator's own deterministic job id (api.BatchKey — the id a
+// single wpserved would assign the identical batch). Duplicate
+// submissions attach to the existing job; their backend-side
+// sub-submissions deduplicate the same way, since sub job ids are
+// BatchKeys too.
+func (c *Coordinator) startAsync(w http.ResponseWriter, ctx context.Context, breq *api.BatchRequest, subs []api.SubBatch, keys []string) {
+	id := api.BatchKey(breq.Requests)
+	if cur, ok := c.jobs.Load(id); ok {
+		snap := cur.(*fleetJob).snapshot()
+		if snap.Status != api.StatusFailed {
+			c.writeBatchResponse(w, http.StatusAccepted, snap)
+			return
+		}
+		// A failed fleet job is retried, not served: drop the corpse
+		// and rescatter. The backends apply the same rule to its
+		// failed sub-jobs, so the whole path heals on resubmission.
+		c.jobs.CompareAndDelete(id, cur)
+		c.cancelEviction(id)
+	}
+	// Detached from the submitter: an accepted async job survives its
+	// client hanging up, exactly as on a single wpserved. Scattering
+	// under the request context would publish a poisoned
+	// permanently-failed job under this batch's deterministic id the
+	// moment a submitter disconnects mid-scatter — every later
+	// submission of the same batch would then attach to the corpse.
+	outs := c.scatter(context.WithoutCancel(ctx), breq, subs, keys, true)
+	if retry, busy := busyOutcome(outs); busy {
+		c.rejected.Inc()
+		c.writeBusy(w, "fleet at capacity", retry)
+		return
+	}
+	j := &fleetJob{id: id, reqs: breq.Requests}
+	for si, o := range outs {
+		fs := &fleetSub{sub: subs[si], backend: o.backend, err: o.err}
+		if o.resp != nil {
+			fs.jobID = o.resp.JobID
+			if done(o.resp.Status) {
+				// The backend answered the whole sub-batch from cache
+				// before even queueing: gather it now.
+				fs.resp = o.resp
+				c.countCells(c.backends[o.backend], o.resp)
+			}
+		}
+		j.subs = append(j.subs, fs)
+	}
+	if cur, loaded := c.jobs.LoadOrStore(id, j); loaded {
+		// A concurrent identical submission won the publish; the
+		// backends deduplicated our sub-submissions against its.
+		c.writeBatchResponse(w, http.StatusAccepted, cur.(*fleetJob).snapshot())
+		return
+	}
+	c.writeBatchResponse(w, http.StatusAccepted, j.snapshot())
+}
+
+func done(status string) bool {
+	return status == api.StatusDone || status == api.StatusFailed
+}
+
+// handleJob answers GET /v1/runs/{id}. The coordinator polls lazily:
+// each client poll fans a poll out to the backends still holding
+// unfinished sub-jobs, and the first poll that finds everything done
+// merges and caches the batch answer.
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := c.jobs.Load(id)
+	if !ok {
+		c.writeError(w, http.StatusNotFound, api.ErrorResponse{Error: fmt.Sprintf("unknown job %q", id)})
+		return
+	}
+	j := v.(*fleetJob)
+	if c.pollJob(r.Context(), j) {
+		c.scheduleEviction(id)
+	}
+	c.writeBatchResponse(w, http.StatusOK, j.snapshot())
+}
+
+// pollJob advances one fleet job: polls every non-final sub-job's
+// backend, gathers finished answers, and merges once all subs are
+// final. Returns true the one time the job transitions to final (the
+// caller arms the eviction timer). Concurrent client polls serialise
+// on the job's lock — the backends see one poll stream per job.
+func (c *Coordinator) pollJob(ctx context.Context, j *fleetJob) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.final != nil {
+		return false
+	}
+	for _, fs := range j.subs {
+		if fs.final() {
+			continue
+		}
+		b := c.backends[fs.backend]
+		status, resp, _, _, err := c.exchange(ctx, b, http.MethodGet, "/v1/runs/"+fs.jobID, nil)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				// The polling client hung up — that says nothing about
+				// the backend's health, so it spends no failure budget.
+				return false
+			}
+			if fs.pollFails++; fs.pollFails >= maxSubPollFailures {
+				fs.err = fmt.Errorf("fleet: backend %s unreachable for %d polls: %w", b.name, fs.pollFails, err)
+			}
+		case status == http.StatusNotFound:
+			// The backend no longer knows the job (evicted, or it lost
+			// unjournaled state in a crash). The cells cannot be
+			// recovered from here — the client resubmits the batch.
+			fs.err = fmt.Errorf("fleet: backend %s forgot job %s; resubmit the batch", b.name, fs.jobID)
+		case resp != nil && done(resp.Status):
+			fs.pollFails = 0
+			fs.resp = resp
+			c.countCells(b, resp)
+		default:
+			fs.pollFails = 0 // still queued or running: healthy
+		}
+	}
+	for _, fs := range j.subs {
+		if !fs.final() {
+			return false
+		}
+	}
+	outs := make([]subOutcome, len(j.subs))
+	subs := make([]api.SubBatch, len(j.subs))
+	for i, fs := range j.subs {
+		outs[i] = subOutcome{resp: fs.resp, err: fs.err}
+		subs[i] = fs.sub
+	}
+	merged := mergeOutcomes(j.reqs, subs, outs)
+	merged.JobID = j.id
+	j.final = merged
+	return true
+}
+
+// snapshot renders the job's poll answer: the merged response once
+// final, a status-only shell while sub-jobs are still running.
+func (j *fleetJob) snapshot() *api.BatchResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.final != nil {
+		return j.final
+	}
+	return &api.BatchResponse{APIVersion: api.Version, JobID: j.id, Status: api.StatusRunning}
+}
+
+// scheduleEviction deletes a finished job after JobTTL; negative TTL
+// keeps jobs forever. Timers are tracked so Shutdown can stop them.
+func (c *Coordinator) scheduleEviction(id string) {
+	if c.opt.JobTTL < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped || c.evictions[id] != nil {
+		return
+	}
+	c.evictions[id] = time.AfterFunc(c.opt.JobTTL, func() {
+		c.jobs.Delete(id)
+		c.mu.Lock()
+		delete(c.evictions, id)
+		c.mu.Unlock()
+	})
+}
+
+// cancelEviction stops one job's eviction timer after the job was
+// dropped early (a failed job displaced by a retrying resubmission).
+func (c *Coordinator) cancelEviction(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.evictions[id]; ok {
+		t.Stop()
+		delete(c.evictions, id)
+	}
+}
+
+func (c *Coordinator) stopEvictions() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+	for id, t := range c.evictions {
+		t.Stop()
+		delete(c.evictions, id)
+	}
+}
+
+// handleHealthz aggregates fleet health: the coordinator's own state,
+// the ring shape, and a live probe of every backend's /healthz
+// (concurrent, bounded by HealthTimeout). Overall status is "ok" only
+// when every backend answered.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	draining := c.draining
+	c.mu.Unlock()
+
+	type backendHealth struct {
+		Name   string         `json:"name"`
+		OK     bool           `json:"ok"`
+		Error  string         `json:"error,omitempty"`
+		Detail map[string]any `json:"detail,omitempty"`
+	}
+	healths := make([]backendHealth, len(c.backends))
+	var wg sync.WaitGroup
+	for i, b := range c.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), c.opt.HealthTimeout)
+			defer cancel()
+			h, err := b.health.Health(ctx)
+			bh := backendHealth{Name: b.name, OK: err == nil, Detail: h}
+			if err != nil {
+				bh.Error = err.Error()
+			}
+			healths[i] = bh
+		}(i, b)
+	}
+	wg.Wait()
+
+	status := "ok"
+	if draining {
+		status = "draining"
+	}
+	healthy := 0
+	for _, bh := range healths {
+		if bh.OK {
+			healthy++
+		}
+	}
+	if healthy < len(healths) && status == "ok" {
+		status = "degraded"
+	}
+	c.writeJSON(w, http.StatusOK, map[string]any{
+		"status":      status,
+		"api_version": api.Version,
+		"role":        "coordinator",
+		"queue_depth": c.opt.QueueDepth,
+		"inflight":    len(c.slots),
+		"ring": map[string]any{
+			"backends":         c.ring.Backends(),
+			"vnodes":           c.ring.VNodes(),
+			"failover":         c.opt.Failover,
+			"healthy_backends": healthy,
+		},
+		"backends": healths,
+	})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if c.opt.Registry == nil {
+		http.Error(w, "no metrics registry installed", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		c.opt.Registry.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.opt.Registry.WritePrometheus(w)
+}
+
+// writeBusy answers 429 with the Retry-After header and a JSON body
+// mirroring it, exactly as wpserved does — clients cannot tell a
+// coordinator's backpressure from a single backend's.
+func (c *Coordinator) writeBusy(w http.ResponseWriter, msg string, retry time.Duration) {
+	if retry <= 0 {
+		retry = c.opt.RetryAfter
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
+	c.writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
+		Error:             msg,
+		RetryAfterSeconds: retry.Seconds(),
+	})
+}
+
+func (c *Coordinator) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("fleet: response body write failed after headers: %v", err)
+	}
+}
+
+func (c *Coordinator) writeBatchResponse(w http.ResponseWriter, code int, resp *api.BatchResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := api.EncodeBatchResponse(w, resp); err != nil {
+		log.Printf("fleet: response body write failed after headers: %v", err)
+	}
+}
+
+func (c *Coordinator) writeError(w http.ResponseWriter, code int, resp api.ErrorResponse) {
+	c.writeJSON(w, code, resp)
+}

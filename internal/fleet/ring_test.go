@@ -1,0 +1,148 @@
+package fleet_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wayplace/internal/fleet"
+	"wayplace/internal/load"
+)
+
+// poolKeys is the canonical wpload key population the ring is judged
+// against: the same Pool construction the load harness draws batches
+// from, widened to enough workloads and WP sizes that per-backend
+// counts are statistically meaningful.
+func poolKeys(t testing.TB, workloads int) []string {
+	t.Helper()
+	sizes := []uint32{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}
+	pool := load.Pool(load.SyntheticNames(workloads), load.SyntheticGeometry(), sizes)
+	keys := make([]string, len(pool))
+	for i, r := range pool {
+		keys[i] = r.Key()
+		if keys[i] == "" {
+			t.Fatalf("pool request %d has no canonical key: %+v", i, r)
+		}
+	}
+	return keys
+}
+
+func backendNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://127.0.0.1:%d", 9000+i)
+	}
+	return names
+}
+
+// TestRingBalance: over the canonical wpload pool keys, every backend
+// of a 4- to 16-backend ring holds within ±25% of the ideal share.
+func TestRingBalance(t *testing.T) {
+	keys := poolKeys(t, 768) // 768 workloads x 8 cells = 6144 keys
+	for _, n := range []int{4, 8, 12, 16} {
+		ring, err := fleet.NewRing(backendNames(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, n)
+		for _, k := range keys {
+			counts[ring.Owner(k)]++
+		}
+		ideal := float64(len(keys)) / float64(n)
+		for b, c := range counts {
+			if dev := float64(c)/ideal - 1; dev < -0.25 || dev > 0.25 {
+				t.Errorf("%d backends: backend %d holds %d keys (ideal %.1f, deviation %+.0f%%)",
+					n, b, c, ideal, dev*100)
+			}
+		}
+		if t.Failed() {
+			t.Logf("%d backends: counts %v", n, counts)
+		}
+	}
+}
+
+// TestRingMinimalMovement: adding or removing one backend moves fewer
+// than 35% of the keys — the consistent-hashing property that keeps
+// most of the fleet-wide warm cache valid across a resize.
+func TestRingMinimalMovement(t *testing.T) {
+	keys := poolKeys(t, 192)
+	for _, n := range []int{4, 8, 15} {
+		small, err := fleet.NewRing(backendNames(n), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := fleet.NewRing(backendNames(n+1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare by name: the shared backends keep their names in
+		// both rings, so a key is "moved" iff its owning name changed.
+		smallNames, bigNames := small.Backends(), big.Backends()
+		moved := 0
+		for _, k := range keys {
+			if smallNames[small.Owner(k)] != bigNames[big.Owner(k)] {
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(len(keys))
+		if frac >= 0.35 {
+			t.Errorf("%d->%d backends: %.0f%% of keys moved, want <35%%", n, n+1, frac*100)
+		}
+		// And every key that moved must have moved TO the new backend
+		// when growing — a grown ring never reshuffles between old
+		// backends.
+		for _, k := range keys {
+			if o, b := smallNames[small.Owner(k)], bigNames[big.Owner(k)]; o != b && b != bigNames[n] {
+				t.Fatalf("%d->%d backends: key moved between surviving backends (%s -> %s)", n, n+1, o, b)
+			}
+		}
+	}
+}
+
+func TestRingSequenceDistinctAndOwnerFirst(t *testing.T) {
+	ring, err := fleet.NewRing(backendNames(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range poolKeys(t, 8) {
+		seq := ring.Sequence(k, 3)
+		if len(seq) != 3 {
+			t.Fatalf("sequence length %d, want 3", len(seq))
+		}
+		if seq[0] != ring.Owner(k) {
+			t.Fatalf("sequence %v does not start at owner %d", seq, ring.Owner(k))
+		}
+		seen := map[int]bool{}
+		for _, b := range seq {
+			if seen[b] {
+				t.Fatalf("sequence %v repeats backend %d", seq, b)
+			}
+			seen[b] = true
+		}
+	}
+	// n clamps to the backend count.
+	if got := ring.Sequence("anything", 99); len(got) != 5 {
+		t.Fatalf("clamped sequence length %d, want 5", len(got))
+	}
+}
+
+func TestRingRejectsBadBackends(t *testing.T) {
+	if _, err := fleet.NewRing(nil, 0); err == nil {
+		t.Error("empty backend list accepted")
+	}
+	if _, err := fleet.NewRing([]string{"a", ""}, 0); err == nil {
+		t.Error("empty backend name accepted")
+	}
+	if _, err := fleet.NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Error("duplicate backend accepted")
+	}
+}
+
+func TestRingDeterministicAcrossConstructions(t *testing.T) {
+	a, _ := fleet.NewRing(backendNames(6), 64)
+	b, _ := fleet.NewRing(backendNames(6), 64)
+	for _, k := range poolKeys(t, 8) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner of %q differs across identical rings", k)
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"wayplace/internal/api"
 	"wayplace/internal/obs"
+	"wayplace/internal/serve"
 )
 
 // Metric names the generator registers. All are client-side views:
@@ -135,6 +136,13 @@ func (o *Options) setDefaults() {
 type Generator struct {
 	opt Options
 
+	// transport is shared by every client: one keep-alive pool sized
+	// for the whole fleet of clients (serve.NewTransport), so a steady
+	// run reuses a bounded set of warm connections instead of cycling
+	// an ephemeral port per request. Clients stay independent above it
+	// — each owns its RNG and http.Client — but the sockets pool.
+	transport *http.Transport
+
 	requestNS *obs.Histogram
 	batchNS   *obs.Histogram
 	cellNS    *obs.Histogram
@@ -171,6 +179,7 @@ func New(opt Options) (*Generator, error) {
 	r := opt.Registry
 	return &Generator{
 		opt:       opt,
+		transport: serve.NewTransport(opt.Clients),
 		requestNS: r.Histogram(MetricRequestNS),
 		batchNS:   r.Histogram(MetricBatchNS),
 		cellNS:    r.Histogram(MetricCellNS),
@@ -207,6 +216,7 @@ func (g *Generator) Run(ctx context.Context) (*Report, error) {
 		}(i)
 	}
 	wg.Wait()
+	g.transport.CloseIdleConnections()
 	return g.report(time.Since(start)), nil
 }
 
@@ -221,14 +231,12 @@ func newPicker(rng *rand.Rand, s float64, n int) func() int {
 }
 
 // runClient is one client's life: build a batch, submit it (sync or
-// async), repeat until the run ends. Each client owns its RNG and its
-// HTTP connections, so clients interleave but never share state.
+// async), repeat until the run ends. Each client owns its RNG; the
+// HTTP connections pool in the generator's shared transport.
 func (g *Generator) runClient(ctx context.Context, id int) {
 	rng := rand.New(rand.NewSource(g.opt.Seed + 7919*int64(id)))
 	pick := newPicker(rng, g.opt.ZipfS, len(g.opt.Pool))
-	transport := &http.Transport{MaxIdleConnsPerHost: 2}
-	client := &http.Client{Transport: transport}
-	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: g.transport}
 
 	for ctx.Err() == nil {
 		n := 1 + rng.Intn(g.opt.MaxBatchCells)
@@ -238,14 +246,14 @@ func (g *Generator) runClient(ctx context.Context, id int) {
 		}
 		async := rng.Float64() < g.opt.AsyncFraction
 		abort := rng.Float64() < g.opt.Churn
-		g.oneBatch(ctx, client, transport, rng, reqs, async, abort)
+		g.oneBatch(ctx, client, rng, reqs, async, abort)
 	}
 }
 
 // oneBatch submits one batch and follows it to completion: retry
 // loop on 429, poll loop when async, context hang-up when this
 // client is churning.
-func (g *Generator) oneBatch(ctx context.Context, client *http.Client, transport *http.Transport, rng *rand.Rand, reqs []api.RunRequest, async, abort bool) {
+func (g *Generator) oneBatch(ctx context.Context, client *http.Client, rng *rand.Rand, reqs []api.RunRequest, async, abort bool) {
 	body, err := json.Marshal(api.BatchRequest{APIVersion: api.Version, Requests: reqs, Async: async})
 	if err != nil {
 		g.errors.Inc()
@@ -257,14 +265,16 @@ func (g *Generator) oneBatch(ctx context.Context, client *http.Client, transport
 	if abort {
 		// Churn: hang up mid-request (0–2ms in) and reconnect fresh.
 		// Whatever the server had done so far is abandoned; the only
-		// record is the abort counter.
+		// record is the abort counter. Cancelling the context kills
+		// this request's own connection — the shared transport's other
+		// pooled connections (other clients' warm sockets) are
+		// untouched, exactly like one process crashing out of a fleet.
 		actx, acancel := context.WithCancel(bctx)
 		timer := time.AfterFunc(time.Duration(rng.Int63n(int64(2*time.Millisecond))), acancel)
 		g.exchange(actx, client, http.MethodPost, "/v1/runs", body)
 		timer.Stop()
 		acancel()
 		g.aborts.Inc()
-		transport.CloseIdleConnections()
 		return
 	}
 
@@ -393,6 +403,10 @@ func (g *Generator) exchange(ctx context.Context, client *http.Client, method, p
 	case http.StatusOK, http.StatusAccepted:
 		var br api.BatchResponse
 		err := json.NewDecoder(httpResp.Body).Decode(&br)
+		// Drain the residual body (trailing newline, chunk terminator)
+		// so the transport sees EOF and pools the connection; an
+		// undrained body closes the socket instead of reusing it.
+		io.Copy(io.Discard, httpResp.Body)
 		g.requestNS.ObserveSince(start)
 		if err != nil {
 			return httpResp.StatusCode, nil, 0, false, fmt.Errorf("load: decoding %d body: %w", httpResp.StatusCode, err)

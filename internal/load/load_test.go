@@ -12,6 +12,7 @@ import (
 
 	"wayplace/internal/load"
 	"wayplace/internal/obs"
+	"wayplace/internal/serve"
 )
 
 func startLoopback(t *testing.T, opt load.LoopbackOptions) *load.Loopback {
@@ -144,6 +145,18 @@ func TestChurnAborts(t *testing.T) {
 	}
 	if r.Errors != 0 {
 		t.Fatalf("aborted submissions counted as %d errors", r.Errors)
+	}
+
+	// Let the abort backlog unwind before the timed clean window: on a
+	// starved -race runner the server spends a while finishing ~10³
+	// cancelled handlers, and a 200ms generator window that starts
+	// behind that queue completes nothing. One blocking round trip
+	// with a generous deadline is the settle barrier.
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	pool := load.Pool(lb.Workloads, load.SyntheticGeometry(), []uint32{1 << 10, 2 << 10})
+	if _, err := serve.NewClient(lb.URL).Run(sctx, pool[:1]); err != nil {
+		t.Fatalf("server unresponsive after churn: %v", err)
 	}
 
 	// The server survived the churn: a clean client still gets served.

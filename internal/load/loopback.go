@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"wayplace/internal/check"
@@ -29,6 +30,13 @@ type LoopbackOptions struct {
 	MaxBatchCells int           // per-batch cell cap (default serve's 4096)
 	JobTTL        time.Duration // async job eviction TTL (default serve's 10m)
 	RetryAfter    time.Duration // 429 backoff hint (default 1s; serve rounds up to whole seconds on the wire)
+	// PrepDelay, when > 0, adds a fixed latency to every workload
+	// preparation, modelling what dominates a production backend's
+	// cold-cell service time: fetching the binary, reading profiles,
+	// hitting the store. Scaling benches need it — on a CPU-starved
+	// host a purely CPU-bound backend cannot show fleet parallelism no
+	// matter how well the coordinator overlaps its sub-batches.
+	PrepDelay time.Duration
 	// Verify installs check.VerifyCell on the engine. Off by default:
 	// the checker re-verifies every cell on every request including
 	// run-cache hits, which under thousands of hot-key requests would
@@ -55,8 +63,28 @@ type Loopback struct {
 	Journal   *store.Journal // nil without StoreDir
 
 	httpSrv *http.Server
-	ln      net.Listener
+	ln      *countingListener
 }
+
+// countingListener counts accepted TCP connections — the ground truth
+// for the keep-alive assertion: a pooled-transport load run must
+// accept orders of magnitude fewer connections than it serves
+// requests.
+type countingListener struct {
+	net.Listener
+	conns atomic.Uint64
+}
+
+func (l *countingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.conns.Add(1)
+	}
+	return c, err
+}
+
+// Conns returns how many TCP connections the server has accepted.
+func (l *Loopback) Conns() uint64 { return l.ln.conns.Load() }
 
 // StartLoopback builds the synthetic-workload engine, the serve
 // facade and the listener, and starts serving.
@@ -99,7 +127,22 @@ func StartLoopback(opt LoopbackOptions) (*Loopback, error) {
 			return nil, err
 		}
 	}
-	eng := engine.New(SyntheticProvider(opt.Workloads), engOpts...)
+	provider := SyntheticProvider(opt.Workloads)
+	if opt.PrepDelay > 0 {
+		inner := provider
+		delay := opt.PrepDelay
+		provider = func(ctx context.Context, name string) (*engine.Workload, error) {
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return inner(ctx, name)
+		}
+	}
+	eng := engine.New(provider, engOpts...)
 
 	srv, err := serve.New(serve.Options{
 		Engine:        eng,
@@ -127,8 +170,9 @@ func StartLoopback(opt LoopbackOptions) (*Loopback, error) {
 		}
 		return nil, err
 	}
+	cln := &countingListener{Listener: ln}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	go httpSrv.Serve(ln)
+	go httpSrv.Serve(cln)
 
 	return &Loopback{
 		URL:       "http://" + ln.Addr().String(),
@@ -138,7 +182,7 @@ func StartLoopback(opt LoopbackOptions) (*Loopback, error) {
 		Store:     st,
 		Journal:   jnl,
 		httpSrv:   httpSrv,
-		ln:        ln,
+		ln:        cln,
 	}, nil
 }
 

@@ -68,6 +68,41 @@ type Snapshot struct {
 	CellsPerSecond   float64 `json:"cells_per_second"`
 
 	SLO *SLOResult `json:"slo,omitempty"`
+	// Fleet records the sharded-serving measurement when the run went
+	// through a wpcoordd-style coordinator (wpload -fleet).
+	Fleet *FleetSnapshot `json:"fleet,omitempty"`
+}
+
+// FleetSnapshot is the fleet section of BENCH_wpload.json: the
+// 1-vs-N cold-pool scaling measurement and the once-per-fleet cache
+// invariant.
+type FleetSnapshot struct {
+	Backends             int     `json:"backends"`
+	ScalePoolCells       int     `json:"scale_pool_cells"`
+	PrepDelaySeconds     float64 `json:"prep_delay_seconds,omitempty"`
+	HostCPUs             int     `json:"host_cpus,omitempty"`
+	SingleCellsPerSecond float64 `json:"single_backend_cells_per_second"`
+	FleetCellsPerSecond  float64 `json:"fleet_cells_per_second"`
+	Speedup              float64 `json:"speedup"`
+	MinSpeedup           float64 `json:"min_speedup,omitempty"`
+	SimulatedCells       uint64  `json:"simulated_cells"`
+	OncePerFleet         bool    `json:"once_per_fleet"`
+}
+
+// FleetSection converts a bench result for the snapshot.
+func (r *FleetBenchResult) FleetSection(minSpeedup float64) *FleetSnapshot {
+	return &FleetSnapshot{
+		Backends:             r.Backends,
+		ScalePoolCells:       r.PoolCells,
+		PrepDelaySeconds:     r.PrepDelay.Seconds(),
+		HostCPUs:             r.HostCPUs,
+		SingleCellsPerSecond: r.SingleCellsPerSecond,
+		FleetCellsPerSecond:  r.FleetCellsPerSecond,
+		Speedup:              r.Speedup,
+		MinSpeedup:           minSpeedup,
+		SimulatedCells:       r.SimulatedCells,
+		OncePerFleet:         r.OncePerFleet,
+	}
 }
 
 // Snapshot converts a Report into the persistent form. slo may be nil

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"time"
 
@@ -14,11 +15,64 @@ import (
 	"wayplace/internal/sim"
 )
 
-// Client talks the api schema to a wpserved instance.
+// NewTransport returns an http.Transport tuned for sustained fan-out
+// against one (or a few) wpserved hosts: keep-alives on and an idle
+// pool of perHost connections per host, so a coordinator fanning a
+// batch stream out to its backends — or a wpload fleet hammering one
+// daemon — reuses warm connections instead of opening (and
+// TIME_WAIT-parking) a fresh ephemeral port per request. perHost
+// should be at least the caller's request concurrency toward a single
+// host; values <= 0 pick 256. (net/http's DefaultTransport caps idle
+// connections at 2 per host, which under a 200-client fan-out closes
+// and reopens almost every connection.)
+func NewTransport(perHost int) *http.Transport {
+	if perHost <= 0 {
+		perHost = 256
+	}
+	return &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   30 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:        2 * perHost,
+		MaxIdleConnsPerHost: perHost,
+		IdleConnTimeout:     90 * time.Second,
+	}
+}
+
+// defaultClient backs every Client whose HTTP field is nil. One
+// shared tuned transport (rather than http.DefaultClient) means all
+// default clients in a process pool their connections.
+var defaultClient = &http.Client{Transport: NewTransport(0)}
+
+// BusyError is the typed form of a 429 the client could not retry
+// away: either the retry budget ran out while the server kept
+// answering busy-with-Retry-After, or the rejection was permanent (no
+// Retry-After — an oversized batch that can never succeed as-is).
+// Callers that can reroute work — the fleet coordinator failing over
+// to another backend, or propagating the backoff hint upstream — use
+// errors.As to tell the two apart.
+type BusyError struct {
+	// Msg is the server's error message.
+	Msg string
+	// RetryAfter is the last backoff hint received; zero when the
+	// rejection was permanent.
+	RetryAfter time.Duration
+	// Permanent means no Retry-After accompanied the 429: resubmitting
+	// the same request can never succeed.
+	Permanent bool
+}
+
+func (e *BusyError) Error() string { return fmt.Sprintf("serve: %s (429)", e.Msg) }
+
+// Client talks the api schema to a wpserved instance — or to a
+// wpcoordd coordinator, which speaks the identical v1 surface.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8100".
 	BaseURL string
-	// HTTP is the transport; nil means http.DefaultClient.
+	// HTTP is the transport; nil means a process-wide client over a
+	// keep-alive pooled transport (NewTransport).
 	HTTP *http.Client
 	// MaxRetries bounds how many 429 answers are retried (honouring
 	// Retry-After) before giving up. Default 4; negative disables
@@ -35,7 +89,7 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultClient
 }
 
 // Run executes one synchronous batch, retrying on 429 with the
@@ -96,7 +150,7 @@ func (c *Client) post(ctx context.Context, body io.Reader) (*api.BatchResponse, 
 		// valid hint meaning retry immediately. A 429 without one
 		// (oversized batch) is a permanent rejection.
 		retry, ok := api.ParseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
-		return nil, retry, ok, fmt.Errorf("serve: %s (429)", msg)
+		return nil, retry, ok, &BusyError{Msg: msg, RetryAfter: retry, Permanent: !ok}
 	}
 	if httpResp.StatusCode != http.StatusOK {
 		var eresp api.ErrorResponse
@@ -110,7 +164,11 @@ func (c *Client) post(ctx context.Context, body io.Reader) (*api.BatchResponse, 
 		return nil, 0, false, fmt.Errorf("serve: unexpected status %d", httpResp.StatusCode)
 	}
 	var resp api.BatchResponse
-	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+	err = json.NewDecoder(httpResp.Body).Decode(&resp)
+	// Drain the residual body (trailing newline, chunk terminator) so
+	// the transport sees EOF and pools the connection for reuse.
+	io.Copy(io.Discard, httpResp.Body)
+	if err != nil {
 		return nil, 0, false, fmt.Errorf("serve: decoding response: %w", err)
 	}
 	if resp.APIVersion != api.Version {
@@ -134,7 +192,9 @@ func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 		return nil, fmt.Errorf("serve: healthz status %d", httpResp.StatusCode)
 	}
 	var h map[string]any
-	if err := json.NewDecoder(httpResp.Body).Decode(&h); err != nil {
+	err = json.NewDecoder(httpResp.Body).Decode(&h)
+	io.Copy(io.Discard, httpResp.Body)
+	if err != nil {
 		return nil, err
 	}
 	return h, nil

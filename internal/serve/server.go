@@ -397,10 +397,20 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs []engine.RunSpec) {
 	id := api.BatchKey(breq.Requests)
 	if cur, ok := s.jobs.Load(id); ok {
-		// Identical batch already known: report its current state
-		// instead of queueing duplicate work — no slot needed.
-		s.writeBatchResponse(w, http.StatusAccepted, cur.(*job).snapshot())
-		return
+		snap := cur.(*job).snapshot()
+		if snap.Status != api.StatusFailed {
+			// Identical batch already known: report its current state
+			// instead of queueing duplicate work — no slot needed.
+			s.writeBatchResponse(w, http.StatusAccepted, snap)
+			return
+		}
+		// A failed job is a tombstone, not a result worth serving: its
+		// failure may have been transient (typically it waited on a run
+		// entry whose owning request was cancelled mid-simulation).
+		// Resubmitting the identical batch is the client's retry —
+		// drop the corpse and queue the batch afresh.
+		s.jobs.CompareAndDelete(id, cur)
+		s.cancelEviction(id)
 	}
 	if !s.acquire(true) {
 		s.rejected.Inc()
@@ -484,6 +494,19 @@ func (s *Server) scheduleEvictionAfter(id string, ttl time.Duration) {
 		s.mu.Unlock()
 	})
 	s.evictions[id] = t
+}
+
+// cancelEviction stops and forgets one job's eviction timer, for when
+// the job itself has been dropped early (a failed job displaced by a
+// retrying resubmission) and the stale timer must not fire into the
+// replacement.
+func (s *Server) cancelEviction(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.evictions[id]; ok {
+		t.Stop()
+		delete(s.evictions, id)
+	}
 }
 
 // stopEvictions stops and forgets every armed eviction timer and
