@@ -31,8 +31,15 @@
 //	wpcoordd -backends http://h1:8100,http://h2:8100[,...]
 //	         [-addr host:port] [-queue N] [-maxbatch N] [-failover N]
 //	         [-retries N] [-vnodes N] [-jobttl d] [-retryafter d]
-//	         [-drain d]
+//	         [-tenantslots N] [-drain d]
 //	wpcoordd -oneshot
+//
+// Tenant identity (X-WP-Tenant, defaulting to the caller's remote
+// address) is forwarded on every scattered sub-batch, so backend-side
+// quotas and weighted-fair dequeue see the real client, not the
+// coordinator. -tenantslots additionally caps, per tenant, how many
+// batches the coordinator itself will hold in flight: the tenant at
+// its cap gets 429 over_quota while others keep admitting.
 //
 // -oneshot is the self-test behind ROADMAP's tier-1 gate: it boots
 // three in-process wpserved backends over synthetic workloads, drives
@@ -77,6 +84,7 @@ func main() {
 	jobTTL := flag.Duration("jobttl", 10*time.Minute, "how long finished async jobs stay pollable (negative = forever)")
 	retryAfter := flag.Duration("retryafter", time.Second, "the coordinator's own 429 backoff hint")
 	drain := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight scatters")
+	tenantSlots := flag.Int("tenantslots", 0, "coordination slots one tenant (X-WP-Tenant, or remote addr) may hold at once; past it that tenant alone gets 429 over_quota (0 = no per-tenant cap)")
 	oneshot := flag.Bool("oneshot", false, "boot 3 loopback backends, prove coordinated results identical to a direct engine run, and exit")
 	flag.Parse()
 
@@ -98,6 +106,7 @@ func main() {
 		BackendRetries: *retries,
 		RetryAfter:     *retryAfter,
 		JobTTL:         *jobTTL,
+		TenantSlots:    *tenantSlots,
 	})
 	if err != nil {
 		fail(err)

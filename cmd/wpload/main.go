@@ -35,6 +35,13 @@
 // asserts every pre-kill job id resolves to results byte-identical to
 // a direct engine run — then proves a third, cold-memory daemon
 // serves the warm store without re-simulating a single cell.
+//
+// -tenants N is the fairness gate: one hog fleet an order of
+// magnitude past its per-tenant quota and N-1 polite fleets run
+// concurrently against a quota'd loopback; each polite tenant must
+// keep the latency and throughput a solo baseline run measured,
+// while the hog — and only the hog — absorbs over_quota 429s.
+// -tenants-smoke is the tier-1 short form (3 tenants, short legs).
 package main
 
 import (
@@ -77,6 +84,8 @@ func main() {
 	fleetN := flag.Int("fleet", 0, "fleet mode: N loopback backends behind an in-process coordinator; measures 1-vs-N cold-pool scaling, asserts once-per-fleet, then load-tests the fleet")
 	fleetSmoke := flag.Bool("fleet-smoke", false, "CI fleet smoke: 3 backends, once-per-fleet invariant plus a 2s SLO-checked load run (no scaling measurement)")
 	minSpeedup := flag.Float64("fleet-speedup", 2.5, "minimum fleet/single cells-per-second ratio -fleet must reach")
+	tenantsN := flag.Int("tenants", 0, "fairness mode: 1 hog + N-1 polite tenant fleets against a quota'd loopback; asserts polite p99/throughput within a band of a solo baseline, then runs the standard load leg")
+	tenantsSmoke := flag.Bool("tenants-smoke", false, "CI fairness smoke: 3 tenants with short legs plus a 2s SLO-checked load run")
 
 	sloP50 := flag.Duration("slo-p50", 0, "max HTTP p50 (0 = unchecked)")
 	sloP99 := flag.Duration("slo-p99", 0, "max HTTP p99 (0 = unchecked)")
@@ -95,7 +104,7 @@ func main() {
 
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if *smoke || *fleetSmoke {
+	if *smoke || *fleetSmoke || *tenantsSmoke {
 		// Presets only where the user did not choose: -smoke -clients 500
 		// smokes with 500 clients.
 		if !set["clients"] {
@@ -127,6 +136,42 @@ func main() {
 		if !set["slo-errors"] {
 			*sloErrors = 0.01
 		}
+	}
+
+	if *tenantsN > 0 || *tenantsSmoke {
+		n := *tenantsN
+		if n == 0 {
+			n = 3 // -tenants-smoke default
+		}
+		benchDuration := 3 * time.Second
+		if *tenantsSmoke && *tenantsN == 0 {
+			benchDuration = 1200 * time.Millisecond
+		}
+		code := runTenants(tenantsRun{
+			tenants:       n,
+			benchDuration: benchDuration,
+			workloads:     *workloads,
+			clients:       *clients,
+			duration:      *duration,
+			async:         *async,
+			batch:         *batch,
+			zipf:          *zipf,
+			churn:         *churn,
+			retries:       *retries,
+			seed:          *seed,
+			snapshotPath:  *snapshotPath,
+			metricsPath:   *metricsPath,
+			slo: load.SLO{
+				HTTPP50Max:   *sloP50,
+				HTTPP99Max:   *sloP99,
+				CellP99Max:   *sloCellP99,
+				Max429Rate:   *slo429,
+				MaxErrorRate: *sloErrors,
+			},
+			sloChecked: *smoke || *tenantsSmoke || *sloP50 > 0 || *sloP99 > 0 ||
+				*sloCellP99 > 0 || *slo429 >= 0 || *sloErrors >= 0,
+		})
+		os.Exit(code)
 	}
 
 	if *fleetN > 0 || *fleetSmoke {
@@ -265,6 +310,130 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wpload: SLOs ok\n")
 	}
+}
+
+// tenantsRun carries the resolved flag values for a
+// -tenants/-tenants-smoke run.
+type tenantsRun struct {
+	tenants       int
+	benchDuration time.Duration
+	workloads     int
+
+	clients  int
+	duration time.Duration
+	async    float64
+	batch    int
+	zipf     float64
+	churn    float64
+	retries  int
+	seed     int64
+
+	snapshotPath string
+	metricsPath  string
+	slo          load.SLO
+	sloChecked   bool
+}
+
+// runTenants is the fairness harness: (1) measure quota isolation —
+// a solo polite baseline, then 1 hog + N-1 polite fleets against a
+// quota'd loopback, gated on each polite tenant keeping solo-like
+// p99 and throughput; (2) drive the standard zipfian load at a plain
+// (tenancy-off) loopback and check the SLOs, proving the tenant-aware
+// admission path costs the single-tenant baseline nothing. Returns
+// the process exit code.
+func runTenants(cfg tenantsRun) int {
+	ctx := context.Background()
+
+	bench, err := load.TenantBench(ctx, load.TenantBenchOptions{
+		Tenants:  cfg.tenants,
+		Duration: cfg.benchDuration,
+		Log:      os.Stderr,
+	})
+	if err != nil && bench == nil {
+		fail(err)
+	}
+	failed := false
+	for _, v := range bench.Violations {
+		fmt.Fprintf(os.Stderr, "wpload: FAIRNESS VIOLATION: %s\n", v)
+		failed = true
+	}
+	if !failed {
+		fmt.Fprintf(os.Stderr, "wpload: fairness ok: %d polite tenants held the solo band (p99 %v) against the hog (%d over-quota rejections)\n",
+			cfg.tenants-1, bench.Solo.BatchP99, bench.Hog.OverQuota)
+	}
+
+	// The standard zipfian load leg on a plain loopback — the
+	// single-tenant baseline the redesign must not perturb.
+	serverReg := obs.NewRegistry()
+	lb, err := load.StartLoopback(load.LoopbackOptions{
+		Workloads: cfg.workloads,
+		Registry:  serverReg,
+	})
+	if err != nil {
+		fail(err)
+	}
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		lb.Close(sctx)
+	}()
+	pool := load.Pool(lb.Workloads, load.SyntheticGeometry(), []uint32{1 << 10, 2 << 10})
+	opt := load.Options{
+		BaseURL:       lb.URL,
+		Pool:          pool,
+		Clients:       cfg.clients,
+		Duration:      cfg.duration,
+		AsyncFraction: cfg.async,
+		MaxBatchCells: cfg.batch,
+		ZipfS:         cfg.zipf,
+		Churn:         cfg.churn,
+		MaxRetries:    cfg.retries,
+		Seed:          cfg.seed,
+	}
+	gen, err := load.New(opt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wpload: %d clients for %v against loopback (%d-cell pool, async %.2f, churn %.2f)\n",
+		cfg.clients, cfg.duration, len(pool), cfg.async, cfg.churn)
+	report, err := gen.Run(ctx)
+	if err != nil {
+		fail(err)
+	}
+	printReport(report)
+
+	var sloPtr *load.SLO
+	if cfg.sloChecked {
+		sloPtr = &cfg.slo
+	}
+	snap := report.Snapshot(commandLine(), fmt.Sprintf("tenants:%d", cfg.tenants), api.Version, opt, sloPtr)
+	snap.UnixTime = time.Now().Unix()
+	snap.Tenants = bench.TenantsSection()
+	if cfg.snapshotPath != "" {
+		if err := snap.WriteFile(cfg.snapshotPath); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wpload: snapshot written to %s\n", cfg.snapshotPath)
+	}
+	if cfg.metricsPath != "" {
+		if err := writeMetrics(gen.Registry(), cfg.metricsPath); err != nil {
+			fail(err)
+		}
+	}
+	if cfg.sloChecked {
+		if violations := cfg.slo.Check(report); len(violations) != 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "wpload: SLO VIOLATION: %s\n", v)
+			}
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "wpload: SLOs ok\n")
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 // fleetRun carries the resolved flag values for a -fleet/-fleet-smoke

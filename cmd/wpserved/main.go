@@ -18,6 +18,13 @@
 // the daemon stops accepting batches and drains in-flight cells for
 // up to -drain before exiting.
 //
+// Multi-tenancy: requests carry an identity in X-WP-Tenant (default:
+// the caller's remote address). -tenantslots caps the queue slots one
+// tenant may hold — past it that tenant alone gets 429 over_quota
+// while others keep admitting; -tenantwait parks briefly-contended
+// admissions in per-tenant sub-queues drained deficit-round-robin,
+// weighted by -tenantweights.
+//
 // Durability: with -store DIR the daemon layers a disk-backed
 // content-addressed result store under the engine run cache (one file
 // per canonical cell key, atomic fsync'd writes) and journals every
@@ -31,6 +38,7 @@
 //
 //	wpserved [-addr host:port] [-jobs N] [-queue N] [-asyncslots N]
 //	         [-maxbatch N] [-jobttl d] [-timeout d] [-drain d]
+//	         [-tenantslots N] [-tenantwait d] [-tenantweights a=4,b=1]
 //	         [-store DIR] [-journal FILE] [-store-fsck]
 //	         [-noverify] [-oneshot]
 //
@@ -52,6 +60,8 @@ import (
 	"os/signal"
 	"path/filepath"
 	"reflect"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,7 +89,15 @@ func main() {
 	storeDir := flag.String("store", "", "persistent result store directory (empty = in-memory only)")
 	journalPath := flag.String("journal", "", "async-job journal file (default <store>/journal.wal; requires -store)")
 	storeFsck := flag.Bool("store-fsck", false, "verify every CAS object in -store re-hashes to its key, then exit (non-zero on corruption)")
+	tenantSlots := flag.Int("tenantslots", 0, "queue slots one tenant (X-WP-Tenant, or remote addr) may hold at once; past it that tenant gets 429 over_quota while others keep admitting (0 = no per-tenant quota)")
+	tenantWait := flag.Duration("tenantwait", 0, "how long an admission may park in its tenant sub-queue for the weighted-fair dispatcher before 429 queue_full (0 = no parking, pre-tenancy behaviour)")
+	tenantWeights := flag.String("tenantweights", "", "per-tenant dequeue weights as name=w,name=w (unlisted tenants weigh 1)")
 	flag.Parse()
+
+	weights, err := parseWeights(*tenantWeights)
+	if err != nil {
+		fail(err)
+	}
 
 	if *storeFsck {
 		os.Exit(runFsck(*storeDir))
@@ -140,6 +158,11 @@ func main() {
 		JobTTL:        *jobTTL,
 		RunTimeout:    *timeout,
 		Journal:       journal,
+		Tenancy: serve.TenancyOptions{
+			Slots:     *tenantSlots,
+			AdmitWait: *tenantWait,
+			Weights:   weights,
+		},
 	})
 	if err != nil {
 		fail(err)
@@ -185,6 +208,29 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wpserved: drained (%d simulated, %d cache hits)\n",
 		eng.Misses(), eng.Hits())
+}
+
+// parseWeights turns "teamA=4,teamB=1" into the tenancy weight map.
+func parseWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	weights := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("-tenantweights: %q is not name=weight", pair)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-tenantweights: %q: weight must be a positive integer", pair)
+		}
+		if _, err := api.ParseTenant(name); err != nil {
+			return nil, fmt.Errorf("-tenantweights: %w", err)
+		}
+		weights[name] = n
+	}
+	return weights, nil
 }
 
 // runFsck walks the store and verifies every CAS object decodes and

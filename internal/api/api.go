@@ -406,17 +406,57 @@ type BatchRequest struct {
 // Results holds one entry per request, in request order, with nil
 // Stats (and a matching entry in Errors) for failed cells.
 type BatchResponse struct {
-	APIVersion string        `json:"api_version"`
-	JobID      string        `json:"job_id"`
-	Status     string        `json:"status"`
-	Results    []RunResult   `json:"results,omitempty"`
-	Errors     []CellFailure `json:"errors,omitempty"`
+	APIVersion string `json:"api_version"`
+	JobID      string `json:"job_id"`
+	Status     string `json:"status"`
+	// Tenant echoes the X-WP-Tenant header of the submitting request.
+	// Omitted when the client sent none — a derived default tenant is
+	// an accounting detail, not part of the client's wire contract.
+	Tenant  string        `json:"tenant,omitempty"`
+	Results []RunResult   `json:"results,omitempty"`
+	Errors  []CellFailure `json:"errors,omitempty"`
 }
+
+// Machine-readable error codes carried by ErrorResponse.Code. Codes
+// are additive to the v1 schema: old clients ignore them and keep
+// inferring retryability from the Retry-After header; code-aware
+// clients switch on Code/Retryable instead.
+const (
+	// CodeInvalidRequest: the request body failed validation (details
+	// in Fields). Not retryable as-is.
+	CodeInvalidRequest = "invalid_request"
+	// CodeUnsupportedVersion: the client speaks an api_version this
+	// server does not. Not retryable.
+	CodeUnsupportedVersion = "unsupported_version"
+	// CodeQueueFull: the server-wide slot pool (or async pool) is
+	// exhausted, or the server is draining — a global condition every
+	// tenant observes. Retryable after the global Retry-After hint.
+	CodeQueueFull = "queue_full"
+	// CodeOverQuota: this tenant is at its own concurrency quota while
+	// other tenants' capacity remains. Retryable after the per-tenant
+	// Retry-After hint; polite tenants never see it.
+	CodeOverQuota = "over_quota"
+	// CodeBatchTooLarge: the batch exceeds the server's max cell
+	// count. Never retryable as-is — resubmit as smaller batches.
+	CodeBatchTooLarge = "batch_too_large"
+	// CodeJobUnknown: the polled job id is unknown (expired, evicted,
+	// or never submitted here). Not retryable.
+	CodeJobUnknown = "job_unknown"
+	// CodeStoreFailure: the durable journal/store rejected the write;
+	// the request itself is fine. Retryable.
+	CodeStoreFailure = "store_failure"
+)
 
 // ErrorResponse is the body of every non-2xx answer.
 type ErrorResponse struct {
 	Error  string       `json:"error"`
 	Fields []FieldError `json:"fields,omitempty"`
+	// Code is the machine-readable error class (one of the Code*
+	// constants); empty on answers from pre-code servers.
+	Code string `json:"code,omitempty"`
+	// Retryable reports whether resubmitting the identical request can
+	// succeed once the condition named by Code clears.
+	Retryable bool `json:"retryable,omitempty"`
 	// RetryAfterSeconds accompanies 429 responses (mirrors the
 	// Retry-After header for clients that only read bodies).
 	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`

@@ -24,6 +24,11 @@ func EncodeBatchResponse(w io.Writer, resp *BatchResponse) error {
 	); err != nil {
 		return err
 	}
+	if resp.Tenant != "" {
+		if err := writeChunks(w, []byte(`,"tenant":`), jsonBytes(resp.Tenant)); err != nil {
+			return err
+		}
+	}
 	if len(resp.Results) > 0 {
 		if _, err := w.Write([]byte(`,"results":[`)); err != nil {
 			return err

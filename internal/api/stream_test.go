@@ -19,6 +19,11 @@ func streamResp(n int) *api.BatchResponse {
 		JobID:      `job-<&>"quoted"`,
 		Status:     api.StatusDone,
 	}
+	if n%2 == 1 {
+		// Odd sizes carry a tenant echo so byte-compat covers both the
+		// omitted and the present form of the field.
+		resp.Tenant = "team-a"
+	}
 	for i := 0; i < n; i++ {
 		rr := api.RunResult{
 			Request: api.RunRequest{

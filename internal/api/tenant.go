@@ -1,0 +1,85 @@
+package api
+
+import (
+	"fmt"
+	"net"
+)
+
+// TenantHeader carries the tenant identity on every v1 request. The
+// header is optional: a request without one is accounted under a
+// tenant derived from the peer address (DefaultTenant), which keeps
+// tenant-less clients byte-compatible — they never see the identity
+// they were assigned.
+const TenantHeader = "X-WP-Tenant"
+
+// MaxTenantLen bounds explicit tenant names. Long enough for an
+// IPv6 address or a service name, short enough that tenant ids stay
+// cheap as map keys and metric labels.
+const MaxTenantLen = 64
+
+// Tenant identifies the accounting principal of a request: quotas,
+// weighted-fair scheduling and per-tenant metrics all key on it.
+type Tenant string
+
+// Validate checks length and charset. The charset admits hostnames,
+// IPv4/IPv6 addresses (DefaultTenant produces those) and the usual
+// service-name alphabet, and nothing that needs escaping in a metric
+// label or a log line.
+func (t Tenant) Validate() error {
+	if t == "" {
+		return fmt.Errorf("tenant must not be empty")
+	}
+	if len(t) > MaxTenantLen {
+		return fmt.Errorf("tenant exceeds %d bytes", MaxTenantLen)
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-' || c == ':':
+		default:
+			return fmt.Errorf("tenant byte %d: %q not in [A-Za-z0-9._:-]", i, c)
+		}
+	}
+	return nil
+}
+
+// ParseTenant validates an explicit tenant name from the wire.
+func ParseTenant(s string) (Tenant, error) {
+	t := Tenant(s)
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	return t, nil
+}
+
+// DefaultTenant derives the accounting tenant for a request that
+// carries no X-WP-Tenant header: the peer's host with the ephemeral
+// port stripped, so all connections from one machine collapse into
+// one tenant instead of one tenant per TCP connection.
+func DefaultTenant(remoteAddr string) Tenant {
+	host, _, err := net.SplitHostPort(remoteAddr)
+	if err != nil {
+		host = remoteAddr
+	}
+	if t := Tenant(host); t.Validate() == nil {
+		return t
+	}
+	return "unknown"
+}
+
+// ResolveTenant resolves the accounting tenant of a request from its
+// header value and peer address. explicit reports whether the client
+// named the tenant itself — only explicit tenants are echoed back in
+// responses. An invalid header is a client error (invalid_request),
+// never silently remapped.
+func ResolveTenant(header, remoteAddr string) (t Tenant, explicit bool, err error) {
+	if header == "" {
+		return DefaultTenant(remoteAddr), false, nil
+	}
+	t, err = ParseTenant(header)
+	if err != nil {
+		return "", false, err
+	}
+	return t, true, nil
+}

@@ -1,0 +1,138 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseTenantTable(t *testing.T) {
+	cases := []struct {
+		in string
+		ok bool
+	}{
+		{"team-a", true},
+		{"svc.prod_1", true},
+		{"127.0.0.1", true},
+		{"::1", true},
+		{"2001:db8::42", true},
+		{strings.Repeat("a", MaxTenantLen), true},
+		{"", false},
+		{strings.Repeat("a", MaxTenantLen+1), false},
+		{"has space", false},
+		{"semi;colon", false},
+		{"tab\tname", false},
+		{"quote\"name", false},
+		{"каша", false}, // non-ASCII
+	}
+	for _, c := range cases {
+		got, err := ParseTenant(c.in)
+		if c.ok && err != nil {
+			t.Errorf("ParseTenant(%q): unexpected error %v", c.in, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseTenant(%q): want error, got %q", c.in, got)
+		}
+		if c.ok && string(got) != c.in {
+			t.Errorf("ParseTenant(%q) = %q, want identity", c.in, got)
+		}
+	}
+}
+
+func TestDefaultTenantStripsPort(t *testing.T) {
+	cases := []struct {
+		addr string
+		want Tenant
+	}{
+		{"127.0.0.1:51234", "127.0.0.1"},
+		{"127.0.0.1:8100", "127.0.0.1"},
+		{"[::1]:9999", "::1"},
+		{"10.0.0.7", "10.0.0.7"}, // no port at all
+		{"", "unknown"},
+		{"bad addr with spaces", "unknown"},
+	}
+	for _, c := range cases {
+		if got := DefaultTenant(c.addr); got != c.want {
+			t.Errorf("DefaultTenant(%q) = %q, want %q", c.addr, got, c.want)
+		}
+	}
+	// Two connections from the same host collapse into one tenant.
+	if DefaultTenant("127.0.0.1:1111") != DefaultTenant("127.0.0.1:2222") {
+		t.Fatalf("same host, different ports should share a tenant")
+	}
+}
+
+func TestResolveTenant(t *testing.T) {
+	ten, explicit, err := ResolveTenant("team-a", "127.0.0.1:5555")
+	if err != nil || !explicit || ten != "team-a" {
+		t.Fatalf("explicit header: got (%q, %v, %v)", ten, explicit, err)
+	}
+	ten, explicit, err = ResolveTenant("", "127.0.0.1:5555")
+	if err != nil || explicit || ten != "127.0.0.1" {
+		t.Fatalf("derived default: got (%q, %v, %v)", ten, explicit, err)
+	}
+	if _, _, err := ResolveTenant("bad tenant", "127.0.0.1:5555"); err == nil {
+		t.Fatalf("invalid header must error, not remap")
+	}
+}
+
+// The tenant and code fields are additive: requests and responses
+// that do not use them must marshal to exactly the bytes the v1
+// schema produced before they existed.
+func TestTenantlessWireBytesUnchanged(t *testing.T) {
+	breq := BatchRequest{APIVersion: Version, Requests: []RunRequest{{
+		Workload: "w", Scheme: SchemeBaseline,
+		ICache: CacheGeometry{SizeBytes: 1024, Ways: 2, LineBytes: 16},
+	}}}
+	gotReq, err := json.Marshal(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReq := `{"api_version":"v1","requests":[{"workload":"w","icache":{"size_bytes":1024,"ways":2,"line_bytes":16},"scheme":"baseline"}]}`
+	if string(gotReq) != wantReq {
+		t.Errorf("BatchRequest bytes drifted:\n got %s\nwant %s", gotReq, wantReq)
+	}
+
+	bresp := BatchResponse{APIVersion: Version, JobID: "job-abc", Status: StatusDone}
+	gotResp, err := json.Marshal(bresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantResp := `{"api_version":"v1","job_id":"job-abc","status":"done"}`
+	if string(gotResp) != wantResp {
+		t.Errorf("BatchResponse bytes drifted:\n got %s\nwant %s", gotResp, wantResp)
+	}
+
+	eresp := ErrorResponse{Error: "server at capacity", RetryAfterSeconds: 1}
+	gotErr, err := json.Marshal(eresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := `{"error":"server at capacity","retry_after_seconds":1}`
+	if string(gotErr) != wantErr {
+		t.Errorf("ErrorResponse bytes drifted:\n got %s\nwant %s", gotErr, wantErr)
+	}
+}
+
+// With a tenant echoed and a code attached, the new fields appear in
+// fixed positions — and old decoders simply ignore them.
+func TestTenantAndCodeFieldsAreAdditive(t *testing.T) {
+	bresp := BatchResponse{APIVersion: Version, JobID: "j", Status: StatusDone, Tenant: "team-a"}
+	got, err := json.Marshal(bresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"api_version":"v1","job_id":"j","status":"done","tenant":"team-a"}`
+	if string(got) != want {
+		t.Errorf("tenant echo bytes:\n got %s\nwant %s", got, want)
+	}
+	eresp := ErrorResponse{Error: "tenant over quota", Code: CodeOverQuota, Retryable: true, RetryAfterSeconds: 0.5}
+	gotE, err := json.Marshal(eresp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantE := `{"error":"tenant over quota","code":"over_quota","retryable":true,"retry_after_seconds":0.5}`
+	if string(gotE) != wantE {
+		t.Errorf("coded error bytes:\n got %s\nwant %s", gotE, wantE)
+	}
+}

@@ -27,6 +27,9 @@ const (
 	// MetricRejected: batches the coordinator refused with 429
 	// (its own queue full, or every owner busy past the retry budget).
 	MetricRejected = "fleet_rejected_total"
+	// MetricOverQuota: batches refused because the submitting tenant
+	// was already running TenantSlots batches through this coordinator.
+	MetricOverQuota = "fleet_over_quota_total"
 	// MetricInflight: batches currently being scattered or merged.
 	MetricInflight = "fleet_inflight_batches"
 	// MetricSubBatches: per-backend sub-batches dispatched.
@@ -61,6 +64,18 @@ type Options struct {
 	// POSTs get 429. Default 64 (a coordinator only scatters and
 	// merges, so its slots are much cheaper than a backend's).
 	QueueDepth int
+	// TenantSlots bounds how many batches one tenant may have in
+	// flight through the coordinator at once; beyond it the tenant
+	// gets 429 over_quota while other tenants keep their share of
+	// QueueDepth. 0 disables per-tenant limiting (pre-tenancy
+	// behaviour). The deeper weighted-fair queueing happens on the
+	// backends — the coordinator only caps, it does not reorder.
+	TenantSlots int
+	// Tenant, when non-empty, overrides the identity the coordinator
+	// forwards to its backends for ALL traffic — a fleet owned by one
+	// team. Normally empty: each client's own X-WP-Tenant (or derived
+	// remote address) is forwarded instead.
+	Tenant api.Tenant
 	// MaxBatchCells bounds the cells of one incoming batch. Default
 	// 4096. It must not exceed the backends' own limit: a sub-batch is
 	// never larger than its batch.
@@ -124,9 +139,14 @@ type Coordinator struct {
 	stopped   bool
 	evictions map[string]*time.Timer
 	slots     chan struct{}
+	// tenantHeld counts in-flight batches per tenant under mu.
+	// Entries are deleted the moment they reach zero, so an
+	// adversarial flood of unique tenants leaves nothing behind.
+	tenantHeld map[string]int
 
 	batches    *obs.Counter
 	rejected   *obs.Counter
+	overQuota  *obs.Counter
 	subbatches *obs.Counter
 	failovers  *obs.Counter
 	inflight   *obs.Gauge
@@ -172,8 +192,10 @@ func New(opt Options) (*Coordinator, error) {
 		httpc:      httpc,
 		evictions:  make(map[string]*time.Timer),
 		slots:      make(chan struct{}, opt.QueueDepth),
+		tenantHeld: make(map[string]int),
 		batches:    opt.Registry.Counter(MetricBatches),
 		rejected:   opt.Registry.Counter(MetricRejected),
+		overQuota:  opt.Registry.Counter(MetricOverQuota),
 		subbatches: opt.Registry.Counter(MetricSubBatches),
 		failovers:  opt.Registry.Counter(MetricFailovers),
 		inflight:   opt.Registry.Gauge(MetricInflight),
@@ -227,44 +249,104 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	}
 }
 
-func (c *Coordinator) acquire() bool {
+// coordVerdict is the coordinator's admission answer: admitted, the
+// tenant's own cap hit (over_quota), or global capacity / draining
+// (queue_full).
+type coordVerdict int
+
+const (
+	coordOK coordVerdict = iota
+	coordOverQuota
+	coordQueueFull
+)
+
+func (c *Coordinator) acquire(tenant string) coordVerdict {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.draining {
-		return false
+		return coordQueueFull
+	}
+	// The per-tenant cap is checked before the global pool so a hog
+	// saturating its own quota never reads as fleet-wide backpressure
+	// — unless the quota IS the whole pool, where the global answer
+	// stays the honest one.
+	if c.opt.TenantSlots > 0 && c.opt.TenantSlots < c.opt.QueueDepth &&
+		c.tenantHeld[tenant] >= c.opt.TenantSlots {
+		return coordOverQuota
 	}
 	select {
 	case c.slots <- struct{}{}:
+		c.tenantHeld[tenant]++
 		c.wg.Add(1)
 		c.inflight.Add(1)
-		return true
+		return coordOK
 	default:
-		return false
+		return coordQueueFull
 	}
 }
 
-func (c *Coordinator) release() {
+func (c *Coordinator) release(tenant string) {
+	c.mu.Lock()
+	if n := c.tenantHeld[tenant] - 1; n > 0 {
+		c.tenantHeld[tenant] = n
+	} else {
+		delete(c.tenantHeld, tenant)
+	}
+	c.mu.Unlock()
 	<-c.slots
 	c.wg.Done()
 	c.inflight.Add(-1)
 }
 
+// resolveTenant decides the identity a request is accounted and
+// forwarded under: Options.Tenant when the whole coordinator is
+// pinned to one, otherwise the client's explicit X-WP-Tenant header,
+// otherwise its remote address. echo is non-empty only for an
+// explicitly named tenant — derived defaults never appear on the
+// wire back to the client.
+func (c *Coordinator) resolveTenant(r *http.Request) (tenant, echo string, err error) {
+	if c.opt.Tenant != "" {
+		return string(c.opt.Tenant), "", nil
+	}
+	t, explicit, err := api.ResolveTenant(r.Header.Get(api.TenantHeader), r.RemoteAddr)
+	if err != nil {
+		return "", "", err
+	}
+	if explicit {
+		echo = string(t)
+	}
+	return string(t), echo, nil
+}
+
 func (c *Coordinator) handleRuns(w http.ResponseWriter, r *http.Request) {
+	tenant, echo, terr := c.resolveTenant(r)
+	if terr != nil {
+		c.writeError(w, http.StatusBadRequest, api.ErrorResponse{
+			Error:  "invalid " + api.TenantHeader + " header",
+			Code:   api.CodeInvalidRequest,
+			Fields: []api.FieldError{{Field: api.TenantHeader, Message: terr.Error()}},
+		})
+		return
+	}
 	var breq api.BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(&breq); err != nil {
-		c.writeError(w, http.StatusBadRequest, api.ErrorResponse{Error: "malformed JSON: " + err.Error()})
+		c.writeError(w, http.StatusBadRequest, api.ErrorResponse{
+			Error: "malformed JSON: " + err.Error(), Code: api.CodeInvalidRequest,
+		})
 		return
 	}
 	if breq.APIVersion != "" && breq.APIVersion != api.Version {
 		c.writeError(w, http.StatusBadRequest, api.ErrorResponse{
 			Error: fmt.Sprintf("api_version %q not supported (coordinator speaks %q)", breq.APIVersion, api.Version),
+			Code:  api.CodeUnsupportedVersion,
 		})
 		return
 	}
 	if len(breq.Requests) == 0 {
 		c.writeError(w, http.StatusBadRequest, api.ErrorResponse{
 			Error:  "empty batch",
+			Code:   api.CodeInvalidRequest,
 			Fields: []api.FieldError{{Field: "requests", Message: "must contain at least one run request"}},
 		})
 		return
@@ -274,6 +356,7 @@ func (c *Coordinator) handleRuns(w http.ResponseWriter, r *http.Request) {
 		c.writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
 			Error: fmt.Sprintf("batch of %d cells exceeds the coordinator limit of %d; split the sweep",
 				len(breq.Requests), c.opt.MaxBatchCells),
+			Code: api.CodeBatchTooLarge,
 		})
 		return
 	}
@@ -282,7 +365,7 @@ func (c *Coordinator) handleRuns(w http.ResponseWriter, r *http.Request) {
 	// also yields the canonical keys the ring routes by.
 	specs, err := api.ToSpecs(breq.Requests)
 	if err != nil {
-		resp := api.ErrorResponse{Error: "invalid batch"}
+		resp := api.ErrorResponse{Error: "invalid batch", Code: api.CodeInvalidRequest}
 		if verr, ok := err.(*api.ValidationError); ok {
 			resp.Fields = verr.Fields
 		} else {
@@ -297,26 +380,34 @@ func (c *Coordinator) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 	subs := api.SplitBatch(breq.Requests, c.ring.Len(), func(i int) int { return c.ring.Owner(keys[i]) })
 
-	if !c.acquire() {
+	switch c.acquire(tenant) {
+	case coordOverQuota:
 		c.rejected.Inc()
-		c.writeBusy(w, "coordinator at capacity", c.opt.RetryAfter)
+		c.overQuota.Inc()
+		c.writeBusy(w, fmt.Sprintf("tenant %q over quota on this coordinator", tenant),
+			api.CodeOverQuota, c.opt.RetryAfter)
+		return
+	case coordQueueFull:
+		c.rejected.Inc()
+		c.writeBusy(w, "coordinator at capacity", api.CodeQueueFull, c.opt.RetryAfter)
 		return
 	}
-	defer c.release()
+	defer c.release(tenant)
 	c.batches.Inc()
 
 	if breq.Async {
-		c.startAsync(w, r.Context(), &breq, subs, keys)
+		c.startAsync(w, r.Context(), tenant, echo, &breq, subs, keys)
 		return
 	}
 
-	outs := c.scatter(r.Context(), &breq, subs, keys, false)
-	if retry, busy := busyOutcome(outs); busy {
+	outs := c.scatter(r.Context(), tenant, &breq, subs, keys, false)
+	if retry, code, busy := busyOutcome(outs); busy {
 		c.rejected.Inc()
-		c.writeBusy(w, "fleet at capacity", retry)
+		c.writeBusy(w, "fleet at capacity", code, retry)
 		return
 	}
 	resp := mergeOutcomes(breq.Requests, subs, outs)
+	resp.Tenant = echo
 	c.writeBatchResponse(w, http.StatusOK, resp)
 }
 
@@ -329,16 +420,19 @@ type subOutcome struct {
 }
 
 // scatter dispatches every sub-batch to its ring owner concurrently
-// and waits for all of them. async selects the backend-side execution
+// and waits for all of them. The resolved tenant rides along as the
+// X-WP-Tenant header of every sub-request, so each backend's own
+// quota and weighted-fair scheduler sees the originating client, not
+// the coordinator's address. async selects the backend-side execution
 // mode (the 202 responses then carry each backend's sub job id).
-func (c *Coordinator) scatter(ctx context.Context, breq *api.BatchRequest, subs []api.SubBatch, keys []string, async bool) []subOutcome {
+func (c *Coordinator) scatter(ctx context.Context, tenant string, breq *api.BatchRequest, subs []api.SubBatch, keys []string, async bool) []subOutcome {
 	outs := make([]subOutcome, len(subs))
 	var wg sync.WaitGroup
 	for si := range subs {
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			outs[si] = c.runSub(ctx, breq, subs[si], keys, async)
+			outs[si] = c.runSub(ctx, tenant, breq, subs[si], keys, async)
 		}(si)
 	}
 	wg.Wait()
@@ -352,7 +446,7 @@ func (c *Coordinator) scatter(ctx context.Context, breq *api.BatchRequest, subs 
 // a saturated shard's keys to its neighbour would simulate them a
 // second time and melt the neighbour too — backpressure propagates to
 // the client instead.
-func (c *Coordinator) runSub(ctx context.Context, breq *api.BatchRequest, sub api.SubBatch, keys []string, async bool) subOutcome {
+func (c *Coordinator) runSub(ctx context.Context, tenant string, breq *api.BatchRequest, sub api.SubBatch, keys []string, async bool) subOutcome {
 	body, err := json.Marshal(api.BatchRequest{
 		APIVersion: api.Version,
 		Requests:   sub.Requests,
@@ -370,7 +464,7 @@ func (c *Coordinator) runSub(ctx context.Context, breq *api.BatchRequest, sub ap
 		}
 		c.subbatches.Inc()
 		b := c.backends[bi]
-		resp, err := c.trySubmit(ctx, b, body)
+		resp, err := c.trySubmit(ctx, b, tenant, body)
 		if err == nil {
 			if !async {
 				c.countCells(b, resp)
@@ -393,9 +487,9 @@ func (c *Coordinator) runSub(ctx context.Context, breq *api.BatchRequest, sub ap
 // trySubmit performs one sub-batch POST against one backend with a
 // bounded 429-retry loop honouring Retry-After (capped at
 // BackendRetryBackoff so a deep hint cannot park a sync caller).
-func (c *Coordinator) trySubmit(ctx context.Context, b *backend, body []byte) (*api.BatchResponse, error) {
+func (c *Coordinator) trySubmit(ctx context.Context, b *backend, tenant string, body []byte) (*api.BatchResponse, error) {
 	for attempt := 0; ; attempt++ {
-		status, resp, retryAfter, hasHint, err := c.exchange(ctx, b, http.MethodPost, "/v1/runs", body)
+		status, resp, busy, err := c.exchange(ctx, b, http.MethodPost, "/v1/runs", tenant, body)
 		switch {
 		case err != nil:
 			return nil, err
@@ -403,12 +497,14 @@ func (c *Coordinator) trySubmit(ctx context.Context, b *backend, body []byte) (*
 			return resp, nil
 		case status != http.StatusTooManyRequests:
 			return nil, fmt.Errorf("unexpected status %d", status)
-		case !hasHint:
-			return nil, &serve.BusyError{Msg: "backend rejected the sub-batch permanently", Permanent: true}
+		case busy.Permanent:
+			return nil, busy
 		case attempt >= c.opt.BackendRetries:
-			return nil, &serve.BusyError{Msg: "backend busy past the retry budget", RetryAfter: retryAfter}
+			return nil, &serve.BusyError{
+				Msg: "backend busy past the retry budget", Code: busy.Code, RetryAfter: busy.RetryAfter,
+			}
 		}
-		backoff := retryAfter
+		backoff := busy.RetryAfter
 		if backoff > c.opt.BackendRetryBackoff {
 			backoff = c.opt.BackendRetryBackoff
 		}
@@ -420,20 +516,25 @@ func (c *Coordinator) trySubmit(ctx context.Context, b *backend, body []byte) (*
 	}
 }
 
-// exchange is one instrumented HTTP round trip to a backend. 200/202
-// parse into a BatchResponse; 429 reports the Retry-After hint; 5xx
-// and transport failures return errors (the failover triggers).
-func (c *Coordinator) exchange(ctx context.Context, b *backend, method, path string, body []byte) (int, *api.BatchResponse, time.Duration, bool, error) {
+// exchange is one instrumented HTTP round trip to a backend, sent
+// under the given tenant identity (empty adds no header). 200/202
+// parse into a BatchResponse; 429 returns the decoded BusyError
+// (code, retryability, Retry-After hint); 5xx and transport failures
+// return errors (the failover triggers).
+func (c *Coordinator) exchange(ctx context.Context, b *backend, method, path, tenant string, body []byte) (int, *api.BatchResponse, *serve.BusyError, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, b.url+path, rd)
 	if err != nil {
-		return 0, nil, 0, false, err
+		return 0, nil, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tenant != "" {
+		req.Header.Set(api.TenantHeader, tenant)
 	}
 	b.requests.Inc()
 	start := time.Now()
@@ -441,7 +542,7 @@ func (c *Coordinator) exchange(ctx context.Context, b *backend, method, path str
 	if err != nil {
 		b.reqNS.ObserveSince(start)
 		b.errors.Inc()
-		return 0, nil, 0, false, err
+		return 0, nil, nil, err
 	}
 	defer httpResp.Body.Close()
 	switch httpResp.StatusCode {
@@ -454,27 +555,40 @@ func (c *Coordinator) exchange(ctx context.Context, b *backend, method, path str
 		b.reqNS.ObserveSince(start)
 		if derr != nil {
 			b.errors.Inc()
-			return httpResp.StatusCode, nil, 0, false, fmt.Errorf("decoding %d body: %w", httpResp.StatusCode, derr)
+			return httpResp.StatusCode, nil, nil, fmt.Errorf("decoding %d body: %w", httpResp.StatusCode, derr)
 		}
 		if resp.APIVersion != api.Version {
 			b.errors.Inc()
-			return httpResp.StatusCode, nil, 0, false, fmt.Errorf("backend speaks api %q, coordinator %q", resp.APIVersion, api.Version)
+			return httpResp.StatusCode, nil, nil, fmt.Errorf("backend speaks api %q, coordinator %q", resp.APIVersion, api.Version)
 		}
-		return httpResp.StatusCode, &resp, 0, false, nil
+		return httpResp.StatusCode, &resp, nil, nil
 	case http.StatusTooManyRequests:
+		var eresp api.ErrorResponse
+		json.NewDecoder(io.LimitReader(httpResp.Body, 4096)).Decode(&eresp)
 		io.Copy(io.Discard, httpResp.Body)
 		b.reqNS.ObserveSince(start)
-		retry, ok := api.ParseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
-		return httpResp.StatusCode, nil, retry, ok, nil
+		retry, hinted := api.ParseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
+		// Coded answers state retryability; pre-code backends are read
+		// by their Retry-After hint, where absence means permanent.
+		ok := hinted
+		if eresp.Code != "" {
+			ok = eresp.Retryable
+		}
+		msg := eresp.Error
+		if msg == "" {
+			msg = "backend rejected the sub-batch"
+		}
+		return httpResp.StatusCode, nil,
+			&serve.BusyError{Msg: msg, Code: eresp.Code, RetryAfter: retry, Permanent: !ok}, nil
 	case http.StatusNotFound:
 		io.Copy(io.Discard, httpResp.Body)
 		b.reqNS.ObserveSince(start)
-		return httpResp.StatusCode, nil, 0, false, nil
+		return httpResp.StatusCode, nil, nil, nil
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
 		b.reqNS.ObserveSince(start)
 		b.errors.Inc()
-		return httpResp.StatusCode, nil, 0, false,
+		return httpResp.StatusCode, nil, nil,
 			fmt.Errorf("%s %s: status %d: %s", method, path, httpResp.StatusCode, bytes.TrimSpace(msg))
 	}
 }
@@ -499,24 +613,36 @@ func (c *Coordinator) countCells(b *backend, resp *api.BatchResponse) {
 // busyOutcome decides whether a scatter should surface as coordinator
 // backpressure: at least one sub-batch ended busy-retryable and none
 // hard-failed. The propagated Retry-After is the largest hint any
-// backend sent. (Results already gathered are discarded — they are
-// warm on their backends, so the client's resubmission re-collects
-// them as pure cache hits.)
-func busyOutcome(outs []subOutcome) (time.Duration, bool) {
+// backend sent, and the propagated code is the most global condition
+// observed — one backend's queue_full dominates another's over_quota,
+// since resubmitting cannot help while any owner's pool is full.
+// (Results already gathered are discarded — they are warm on their
+// backends, so the client's resubmission re-collects them as pure
+// cache hits.)
+func busyOutcome(outs []subOutcome) (time.Duration, string, bool) {
 	var retry time.Duration
+	code := ""
 	busy := false
 	for _, o := range outs {
 		if o.resp == nil && o.busy == nil {
-			return 0, false // a hard failure: report per-cell errors instead
+			return 0, "", false // a hard failure: report per-cell errors instead
 		}
 		if o.busy != nil {
 			busy = true
 			if o.busy.RetryAfter > retry {
 				retry = o.busy.RetryAfter
 			}
+			if code != api.CodeQueueFull {
+				if o.busy.Code == api.CodeQueueFull || o.busy.Code == api.CodeOverQuota {
+					code = o.busy.Code
+				}
+			}
 		}
 	}
-	return retry, busy
+	if code == "" && busy {
+		code = api.CodeQueueFull
+	}
+	return retry, code, busy
 }
 
 // mergeOutcomes reassembles sub-batch responses into the batch answer

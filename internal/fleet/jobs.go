@@ -50,12 +50,12 @@ type fleetJob struct {
 // submissions attach to the existing job; their backend-side
 // sub-submissions deduplicate the same way, since sub job ids are
 // BatchKeys too.
-func (c *Coordinator) startAsync(w http.ResponseWriter, ctx context.Context, breq *api.BatchRequest, subs []api.SubBatch, keys []string) {
+func (c *Coordinator) startAsync(w http.ResponseWriter, ctx context.Context, tenant, echo string, breq *api.BatchRequest, subs []api.SubBatch, keys []string) {
 	id := api.BatchKey(breq.Requests)
 	if cur, ok := c.jobs.Load(id); ok {
 		snap := cur.(*fleetJob).snapshot()
 		if snap.Status != api.StatusFailed {
-			c.writeBatchResponse(w, http.StatusAccepted, snap)
+			c.writeBatchResponse(w, http.StatusAccepted, withTenant(snap, echo))
 			return
 		}
 		// A failed fleet job is retried, not served: drop the corpse
@@ -70,10 +70,10 @@ func (c *Coordinator) startAsync(w http.ResponseWriter, ctx context.Context, bre
 	// permanently-failed job under this batch's deterministic id the
 	// moment a submitter disconnects mid-scatter — every later
 	// submission of the same batch would then attach to the corpse.
-	outs := c.scatter(context.WithoutCancel(ctx), breq, subs, keys, true)
-	if retry, busy := busyOutcome(outs); busy {
+	outs := c.scatter(context.WithoutCancel(ctx), tenant, breq, subs, keys, true)
+	if retry, code, busy := busyOutcome(outs); busy {
 		c.rejected.Inc()
-		c.writeBusy(w, "fleet at capacity", retry)
+		c.writeBusy(w, "fleet at capacity", code, retry)
 		return
 	}
 	j := &fleetJob{id: id, reqs: breq.Requests}
@@ -93,10 +93,21 @@ func (c *Coordinator) startAsync(w http.ResponseWriter, ctx context.Context, bre
 	if cur, loaded := c.jobs.LoadOrStore(id, j); loaded {
 		// A concurrent identical submission won the publish; the
 		// backends deduplicated our sub-submissions against its.
-		c.writeBatchResponse(w, http.StatusAccepted, cur.(*fleetJob).snapshot())
+		c.writeBatchResponse(w, http.StatusAccepted, withTenant(cur.(*fleetJob).snapshot(), echo))
 		return
 	}
-	c.writeBatchResponse(w, http.StatusAccepted, j.snapshot())
+	c.writeBatchResponse(w, http.StatusAccepted, withTenant(j.snapshot(), echo))
+}
+
+// withTenant echoes an explicit tenant on a possibly shared response
+// via a shallow copy — shared job snapshots are never mutated.
+func withTenant(resp *api.BatchResponse, tenant string) *api.BatchResponse {
+	if tenant == "" || resp.Tenant == tenant {
+		return resp
+	}
+	cp := *resp
+	cp.Tenant = tenant
+	return &cp
 }
 
 func done(status string) bool {
@@ -111,14 +122,24 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	v, ok := c.jobs.Load(id)
 	if !ok {
-		c.writeError(w, http.StatusNotFound, api.ErrorResponse{Error: fmt.Sprintf("unknown job %q", id)})
+		c.writeError(w, http.StatusNotFound, api.ErrorResponse{
+			Error: fmt.Sprintf("unknown job %q", id), Code: api.CodeJobUnknown,
+		})
 		return
 	}
 	j := v.(*fleetJob)
 	if c.pollJob(r.Context(), j) {
 		c.scheduleEviction(id)
 	}
-	c.writeBatchResponse(w, http.StatusOK, j.snapshot())
+	// Like a single wpserved, poll answers echo the poller's own
+	// explicit tenant — jobs are shared across identical submissions.
+	echo := ""
+	if c.opt.Tenant == "" {
+		if ten, explicit, err := api.ResolveTenant(r.Header.Get(api.TenantHeader), r.RemoteAddr); err == nil && explicit {
+			echo = string(ten)
+		}
+	}
+	c.writeBatchResponse(w, http.StatusOK, withTenant(j.snapshot(), echo))
 }
 
 // pollJob advances one fleet job: polls every non-final sub-job's
@@ -137,7 +158,7 @@ func (c *Coordinator) pollJob(ctx context.Context, j *fleetJob) bool {
 			continue
 		}
 		b := c.backends[fs.backend]
-		status, resp, _, _, err := c.exchange(ctx, b, http.MethodGet, "/v1/runs/"+fs.jobID, nil)
+		status, resp, _, err := c.exchange(ctx, b, http.MethodGet, "/v1/runs/"+fs.jobID, "", nil)
 		switch {
 		case err != nil:
 			if ctx.Err() != nil {
@@ -305,16 +326,19 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c.opt.Registry.WritePrometheus(w)
 }
 
-// writeBusy answers 429 with the Retry-After header and a JSON body
-// mirroring it, exactly as wpserved does — clients cannot tell a
-// coordinator's backpressure from a single backend's.
-func (c *Coordinator) writeBusy(w http.ResponseWriter, msg string, retry time.Duration) {
+// writeBusy answers 429 with the machine-readable code, the
+// Retry-After header and a JSON body mirroring it, exactly as
+// wpserved does — clients cannot tell a coordinator's backpressure
+// from a single backend's.
+func (c *Coordinator) writeBusy(w http.ResponseWriter, msg, code string, retry time.Duration) {
 	if retry <= 0 {
 		retry = c.opt.RetryAfter
 	}
 	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 	c.writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
 		Error:             msg,
+		Code:              code,
+		Retryable:         true,
 		RetryAfterSeconds: retry.Seconds(),
 	})
 }

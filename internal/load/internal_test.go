@@ -1,9 +1,14 @@
 package load
 
 import (
+	"context"
+	"encoding/json"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -141,6 +146,69 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	}
 	if _, err := ReadSnapshotFile(path); err == nil || !strings.Contains(err.Error(), "schema") {
 		t.Fatalf("foreign schema accepted: %v", err)
+	}
+}
+
+// TestCodedRetryDecisions: the retry loop trusts the machine-readable
+// code over Retry-After sniffing — a coded retryable 429 without a
+// header is retried, a coded permanent 429 with a header is not, and
+// over_quota rejections are tallied on their own counter.
+func TestCodedRetryDecisions(t *testing.T) {
+	cases := []struct {
+		name        string
+		code        string
+		retryable   bool
+		retryHeader string
+		wantBatch   bool   // submitWithRetry eventually succeeds
+		wantRetries uint64 // load_retries_total after the call
+		wantQuota   uint64 // load_http_over_quota_total after the call
+	}{
+		{"coded retryable without header", api.CodeQueueFull, true, "", true, 1, 0},
+		{"coded permanent despite header", api.CodeBatchTooLarge, false, "1", false, 0, 0},
+		{"over quota counted separately", api.CodeOverQuota, true, "0", true, 1, 1},
+		{"pre-code server sniffs header", "", false, "0", true, 1, 0},
+		{"pre-code server without header", "", false, "", false, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var calls atomic.Uint64
+			srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if calls.Add(1) == 1 {
+					if c.retryHeader != "" {
+						w.Header().Set("Retry-After", c.retryHeader)
+					}
+					w.WriteHeader(http.StatusTooManyRequests)
+					json.NewEncoder(w).Encode(api.ErrorResponse{
+						Error: "busy", Code: c.code, Retryable: c.retryable,
+					})
+					return
+				}
+				json.NewEncoder(w).Encode(api.BatchResponse{
+					APIVersion: api.Version, Status: api.StatusDone,
+				})
+			}))
+			defer srv.Close()
+
+			g, err := New(Options{BaseURL: srv.URL, Pool: Pool([]string{"w"}, SyntheticGeometry(), nil)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := json.Marshal(api.BatchRequest{APIVersion: api.Version, Requests: g.opt.Pool[:1]})
+			rng := rand.New(rand.NewSource(1))
+			_, ok := g.submitWithRetry(context.Background(), srv.Client(), rng, body)
+			if ok != c.wantBatch {
+				t.Errorf("submitWithRetry ok=%v, want %v", ok, c.wantBatch)
+			}
+			if got := g.retries.Value(); got != c.wantRetries {
+				t.Errorf("retries = %d, want %d", got, c.wantRetries)
+			}
+			if got := g.overQuota.Value(); got != c.wantQuota {
+				t.Errorf("over-quota counter = %d, want %d", got, c.wantQuota)
+			}
+			if !c.wantBatch && g.errors.Value() != 1 {
+				t.Errorf("permanent rejection not counted as an error (errors=%d)", g.errors.Value())
+			}
+		})
 	}
 }
 

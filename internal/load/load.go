@@ -40,6 +40,7 @@ const (
 	MetricBatches   = "load_batches_total"
 	MetricCells     = "load_cells_total"
 	Metric429       = "load_http_429_total"
+	MetricOverQuota = "load_http_over_quota_total"
 	MetricRetries   = "load_retries_total"
 	MetricDropped   = "load_dropped_total"
 	MetricErrors    = "load_errors_total"
@@ -60,9 +61,19 @@ type Options struct {
 	Clients  int           // concurrent clients (default 200)
 	Duration time.Duration // how long clients keep submitting (default 5s)
 
+	// Tenant, when non-empty, stamps every request with the
+	// X-WP-Tenant header, so the whole fleet is accounted (and
+	// quota'd) as one tenant on the server.
+	Tenant api.Tenant
+
 	// AsyncFraction of batches submit with "async": true and poll
-	// GET /v1/runs/{id} until done (default 0.25).
+	// GET /v1/runs/{id} until done (default 0.25). Set SyncOnly to
+	// suppress async submission entirely (0 here selects the default).
 	AsyncFraction float64
+	// SyncOnly forces every batch through the synchronous path — the
+	// fairness bench uses it so batch latency measures admission
+	// scheduling, not poll cadence.
+	SyncOnly bool
 	// MaxBatchCells bounds batch size; each batch holds uniform
 	// 1..MaxBatchCells cells (default 8).
 	MaxBatchCells int
@@ -104,6 +115,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.AsyncFraction == 0 {
 		o.AsyncFraction = 0.25
+	}
+	if o.SyncOnly {
+		o.AsyncFraction = 0
 	}
 	if o.MaxBatchCells == 0 {
 		o.MaxBatchCells = 8
@@ -150,6 +164,7 @@ type Generator struct {
 	batches   *obs.Counter
 	cells     *obs.Counter
 	status429 *obs.Counter
+	overQuota *obs.Counter
 	retries   *obs.Counter
 	dropped   *obs.Counter
 	errors    *obs.Counter
@@ -187,6 +202,7 @@ func New(opt Options) (*Generator, error) {
 		batches:   r.Counter(MetricBatches),
 		cells:     r.Counter(MetricCells),
 		status429: r.Counter(Metric429),
+		overQuota: r.Counter(MetricOverQuota),
 		retries:   r.Counter(MetricRetries),
 		dropped:   r.Counter(MetricDropped),
 		errors:    r.Counter(MetricErrors),
@@ -391,6 +407,9 @@ func (g *Generator) exchange(ctx context.Context, client *http.Client, method, p
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if g.opt.Tenant != "" {
+		req.Header.Set(api.TenantHeader, string(g.opt.Tenant))
+	}
 	start := time.Now()
 	httpResp, err := client.Do(req)
 	g.requests.Inc()
@@ -413,10 +432,24 @@ func (g *Generator) exchange(ctx context.Context, client *http.Client, method, p
 		}
 		return httpResp.StatusCode, &br, 0, false, nil
 	case http.StatusTooManyRequests:
+		// Decode the coded error body: a code-aware server states
+		// retryability outright (and names over_quota rejections, which
+		// are this tenant's own doing, separately from global
+		// queue_full backpressure). A pre-code server's 429 falls back
+		// to the historical contract — retryable iff a Retry-After hint
+		// was present.
+		var eresp api.ErrorResponse
+		json.NewDecoder(io.LimitReader(httpResp.Body, 4096)).Decode(&eresp)
 		io.Copy(io.Discard, httpResp.Body)
 		g.requestNS.ObserveSince(start)
 		g.status429.Inc()
+		if eresp.Code == api.CodeOverQuota {
+			g.overQuota.Inc()
+		}
 		retry, ok := api.ParseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
+		if eresp.Code != "" {
+			ok = eresp.Retryable
+		}
 		return httpResp.StatusCode, nil, retry, ok, nil
 	default:
 		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 512))
@@ -438,6 +471,7 @@ type Report struct {
 	Batches    uint64 // batches completed with status done
 	Cells      uint64 // cells inside completed batches
 	Status429  uint64 // backpressured responses observed
+	OverQuota  uint64 // 429s carrying code=over_quota (our own quota)
 	Retries    uint64 // resubmissions after a 429
 	Dropped    uint64 // batches given up after MaxRetries
 	Errors     uint64 // batches ending in transport/decode/non-done errors
@@ -462,6 +496,7 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 		Batches:    g.batches.Value(),
 		Cells:      g.cells.Value(),
 		Status429:  g.status429.Value(),
+		OverQuota:  g.overQuota.Value(),
 		Retries:    g.retries.Value(),
 		Dropped:    g.dropped.Value(),
 		Errors:     g.errors.Value(),

@@ -50,6 +50,13 @@ type LoopbackOptions struct {
 	// to StoreDir/journal.wal — the loopback twin of wpserved -store,
 	// which is what the kill/restart choreography exercises.
 	StoreDir string
+	// Tenancy configures the serve layer's per-tenant quotas and
+	// weighted-fair dispatch — the fairness bench runs against it.
+	Tenancy serve.TenancyOptions
+	// ServiceDelay is serve's artificial per-cell service time (held
+	// inside the admission slot). The fairness bench sets it so slot
+	// occupancy, not CPU, is what tenants contend for.
+	ServiceDelay time.Duration
 }
 
 // Loopback is an in-process wpserved on a real 127.0.0.1 socket — the
@@ -153,6 +160,8 @@ func StartLoopback(opt LoopbackOptions) (*Loopback, error) {
 		JobTTL:        opt.JobTTL,
 		RetryAfter:    opt.RetryAfter,
 		Journal:       jnl,
+		Tenancy:       opt.Tenancy,
+		ServiceDelay:  opt.ServiceDelay,
 	})
 	if err != nil {
 		if st != nil {

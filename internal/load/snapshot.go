@@ -71,6 +71,9 @@ type Snapshot struct {
 	// Fleet records the sharded-serving measurement when the run went
 	// through a wpcoordd-style coordinator (wpload -fleet).
 	Fleet *FleetSnapshot `json:"fleet,omitempty"`
+	// Tenants records the hog-vs-polite fairness measurement
+	// (wpload -tenants).
+	Tenants *TenantsSnapshot `json:"tenants,omitempty"`
 }
 
 // FleetSnapshot is the fleet section of BENCH_wpload.json: the
@@ -87,6 +90,62 @@ type FleetSnapshot struct {
 	MinSpeedup           float64 `json:"min_speedup,omitempty"`
 	SimulatedCells       uint64  `json:"simulated_cells"`
 	OncePerFleet         bool    `json:"once_per_fleet"`
+}
+
+// TenantLegSnapshot is one tenant's view of one fairness leg.
+type TenantLegSnapshot struct {
+	Tenant           string  `json:"tenant"`
+	Batches          uint64  `json:"batches_done"`
+	Dropped          uint64  `json:"batches_dropped,omitempty"`
+	OverQuota        uint64  `json:"http_over_quota"`
+	BatchesPerSecond float64 `json:"batches_per_second"`
+	BatchP50Seconds  float64 `json:"batch_p50_seconds"`
+	BatchP99Seconds  float64 `json:"batch_p99_seconds"`
+}
+
+// TenantsSnapshot is the fairness section of BENCH_wpload.json: the
+// solo baseline, the hog's view, each polite tenant's view, and the
+// gate verdict.
+type TenantsSnapshot struct {
+	Tenants             int                 `json:"tenants"`
+	QueueDepth          int                 `json:"queue_depth"`
+	TenantSlots         int                 `json:"tenant_slots"`
+	ServiceDelaySeconds float64             `json:"service_delay_seconds"`
+	Solo                TenantLegSnapshot   `json:"solo"`
+	Hog                 TenantLegSnapshot   `json:"hog"`
+	Polite              []TenantLegSnapshot `json:"polite"`
+	Violations          []string            `json:"violations,omitempty"`
+	Pass                bool                `json:"pass"`
+}
+
+func tenantLegSection(l TenantLeg) TenantLegSnapshot {
+	return TenantLegSnapshot{
+		Tenant:           l.Tenant,
+		Batches:          l.Batches,
+		Dropped:          l.Dropped,
+		OverQuota:        l.OverQuota,
+		BatchesPerSecond: l.BatchesPerSecond,
+		BatchP50Seconds:  l.BatchP50.Seconds(),
+		BatchP99Seconds:  l.BatchP99.Seconds(),
+	}
+}
+
+// TenantsSection converts a fairness bench result for the snapshot.
+func (r *TenantBenchResult) TenantsSection() *TenantsSnapshot {
+	s := &TenantsSnapshot{
+		Tenants:             r.Tenants,
+		QueueDepth:          r.QueueDepth,
+		TenantSlots:         r.TenantSlots,
+		ServiceDelaySeconds: r.ServiceDelay.Seconds(),
+		Solo:                tenantLegSection(r.Solo),
+		Hog:                 tenantLegSection(r.Hog),
+		Violations:          r.Violations,
+		Pass:                len(r.Violations) == 0,
+	}
+	for _, p := range r.Polite {
+		s.Polite = append(s.Polite, tenantLegSection(p))
+	}
+	return s
 }
 
 // FleetSection converts a bench result for the snapshot.

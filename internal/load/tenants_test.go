@@ -1,0 +1,60 @@
+// Fairness-harness tests: the TenantBench measurement end to end on a
+// deliberately small configuration. Kept short for -race; cmd/wpload
+// -tenants is where the full hog-vs-polite gate lives.
+package load_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"wayplace/internal/load"
+)
+
+// TestTenantBenchIsolation exercises the fairness measurement with a
+// hog well past its quota. The bench's own gate must pass — each
+// polite tenant's p99 within the solo band, throughput at its share —
+// and the hog must actually have been told off, otherwise the run
+// proved nothing. The band factors are far looser than the wpload
+// -tenants defaults: under -race on a starved runner the hog's
+// clients compete with the polite clients for CPU, not just for
+// admission slots, which is client-side noise the real gate (plain
+// binary, tier-1 -tenants-smoke) does not have.
+func TestTenantBenchIsolation(t *testing.T) {
+	res, err := load.TenantBench(context.Background(), load.TenantBenchOptions{
+		Tenants:        3,
+		Duration:       1200 * time.Millisecond,
+		PoliteClients:  4,
+		HogClients:     24,
+		QueueDepth:     16,
+		TenantSlots:    4,
+		ServiceDelay:   4 * time.Millisecond,
+		MaxP99Factor:   6,
+		MinShareFactor: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("fairness gate violations: %v", res.Violations)
+	}
+	if res.Hog.OverQuota == 0 {
+		t.Error("hog saw no over_quota rejections — the bench never engaged the quota")
+	}
+	if res.Solo.Batches == 0 || res.Hog.Batches == 0 {
+		t.Errorf("empty legs: solo %d batches, hog %d batches", res.Solo.Batches, res.Hog.Batches)
+	}
+	for _, p := range res.Polite {
+		if p.OverQuota != 0 {
+			t.Errorf("%s absorbed %d over_quota rejections", p.Tenant, p.OverQuota)
+		}
+	}
+}
+
+// TestTenantBenchValidation: a 1-tenant bench has no hog/polite split
+// to measure.
+func TestTenantBenchValidation(t *testing.T) {
+	if _, err := load.TenantBench(context.Background(), load.TenantBenchOptions{Tenants: 1}); err == nil {
+		t.Fatal("Tenants=1 accepted, want error")
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import "sync"
+
+// memoFactor bounds a vec's label→counter memo relative to its
+// cardinality cap: entries past the cap alias the one overflow
+// counter, so a memo entry costs a map slot, not a registry series.
+// Past cap*memoFactor the memo itself stops growing and the hot path
+// answers the cached overflow counter directly.
+const memoFactor = 8
+
+// CounterVec is a family of counters keyed by one label value, with a
+// hard cardinality cap: the first cap distinct values get their own
+// registry series, every later value lands on the shared
+// value="overflow" series, so hostile or unbounded label sets (cell
+// keys, tenant ids) cannot grow the registry without bound. The memo
+// is keyed by the *original* value even when it resolves to the
+// overflow counter, so any value seen before is one map read — no
+// registry lookup, no re-store.
+type CounterVec struct {
+	reg   *Registry
+	name  string
+	label string
+	cap   int
+
+	mu       sync.Mutex
+	memo     map[string]*Counter
+	overflow *Counter // the shared past-the-cap series
+}
+
+// CounterVec returns a labeled counter family on the registry. Series
+// are named LabeledName(name, label, value). A nil registry returns a
+// nil vec whose methods are no-ops, matching the other instruments.
+// cardinalityCap <= 0 picks 1024.
+func (r *Registry) CounterVec(name, label string, cardinalityCap int) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	if cardinalityCap <= 0 {
+		cardinalityCap = 1024
+	}
+	return &CounterVec{
+		reg:   r,
+		name:  name,
+		label: label,
+		cap:   cardinalityCap,
+		memo:  make(map[string]*Counter),
+	}
+}
+
+// With returns the counter for one label value, creating the series on
+// first use and folding values past the cardinality cap into the
+// overflow series. Callers on a hot path may hold the returned
+// pointer. A nil vec returns a nil (no-op) counter.
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	c, ok := v.memo[value]
+	if !ok {
+		if len(v.memo) < v.cap {
+			c = v.reg.Counter(LabeledName(v.name, v.label, value))
+		} else {
+			if v.overflow == nil {
+				v.overflow = v.reg.Counter(LabeledName(v.name, v.label, "overflow"))
+			}
+			c = v.overflow
+		}
+		if len(v.memo) < v.cap*memoFactor {
+			v.memo[value] = c
+		}
+	}
+	v.mu.Unlock()
+	return c
+}
+
+// Overflow returns the shared past-the-cap counter, nil until any
+// value has overflowed. Useful in tests and capacity dashboards.
+func (v *CounterVec) Overflow() *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.overflow
+}

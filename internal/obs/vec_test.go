@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Past the cardinality cap every fresh value must (a) land on the one
+// shared overflow counter and (b) be memoized under its *original*
+// value, so repeat hits are a single map read. The registry itself
+// must grow by exactly cap+1 series, however many values arrive.
+func TestCounterVecMemoizesPastCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	const cap = 8
+	v := reg.CounterVec("test_hits_total", "key", cap)
+
+	for i := 0; i < cap; i++ {
+		v.With(fmt.Sprintf("key-%d", i)).Inc()
+	}
+	if v.Overflow() != nil {
+		t.Fatalf("overflow counter exists before the cap is exceeded")
+	}
+
+	const extra = 3 * cap
+	for i := 0; i < extra; i++ {
+		v.With(fmt.Sprintf("spill-%d", i)).Inc()
+	}
+	of := v.Overflow()
+	if of == nil {
+		t.Fatalf("no overflow counter after %d past-cap values", extra)
+	}
+	if got := of.Value(); got != extra {
+		t.Fatalf("overflow counter = %d, want %d", got, extra)
+	}
+
+	// The memo holds each spilled value, aliased to the overflow
+	// counter — not a literal "overflow" entry.
+	v.mu.Lock()
+	aliased, ok := v.memo["spill-0"]
+	_, literal := v.memo["overflow"]
+	memoLen := len(v.memo)
+	v.mu.Unlock()
+	if !ok || aliased != of {
+		t.Fatalf("spill-0 not memoized onto the overflow counter")
+	}
+	if literal {
+		t.Fatalf("memo stores a literal \"overflow\" entry instead of the original values")
+	}
+	if memoLen != cap+extra {
+		t.Fatalf("memo holds %d entries, want %d", memoLen, cap+extra)
+	}
+
+	// Registry growth is bounded: cap per-value series + 1 overflow.
+	if got := len(reg.Dump().Counters); got != cap+1 {
+		t.Fatalf("registry holds %d series, want %d", got, cap+1)
+	}
+
+	// A repeat past-cap hit still lands on the shared counter.
+	v.With("spill-0").Inc()
+	if got := of.Value(); got != extra+1 {
+		t.Fatalf("repeat spill hit: overflow = %d, want %d", got, extra+1)
+	}
+}
+
+// Past memoFactor*cap the memo itself must stop growing; further
+// fresh values still count on the overflow series.
+func TestCounterVecMemoBounded(t *testing.T) {
+	reg := NewRegistry()
+	const cap = 4
+	v := reg.CounterVec("test_hits_total", "key", cap)
+	total := cap*memoFactor + 100
+	for i := 0; i < total; i++ {
+		v.With(fmt.Sprintf("k-%d", i)).Inc()
+	}
+	v.mu.Lock()
+	memoLen := len(v.memo)
+	v.mu.Unlock()
+	if memoLen != cap*memoFactor {
+		t.Fatalf("memo holds %d entries, want the bound %d", memoLen, cap*memoFactor)
+	}
+	if got := v.Overflow().Value(); got != uint64(total-cap) {
+		t.Fatalf("overflow = %d, want %d", got, total-cap)
+	}
+	if got := len(reg.Dump().Counters); got != cap+1 {
+		t.Fatalf("registry holds %d series, want %d", got, cap+1)
+	}
+}
+
+// A nil registry hands out a nil vec whose methods are no-ops, like
+// every other instrument.
+func TestCounterVecNilSafe(t *testing.T) {
+	var reg *Registry
+	v := reg.CounterVec("x", "key", 0)
+	if v != nil {
+		t.Fatalf("nil registry must return a nil vec")
+	}
+	v.With("a").Inc() // must not panic
+	if v.Overflow() != nil {
+		t.Fatalf("nil vec overflow must be nil")
+	}
+}

@@ -56,11 +56,18 @@ var defaultClient = &http.Client{Transport: NewTransport(0)}
 type BusyError struct {
 	// Msg is the server's error message.
 	Msg string
+	// Code is the machine-readable error code from the server's
+	// ErrorResponse (api.CodeQueueFull, api.CodeOverQuota,
+	// api.CodeBatchTooLarge, ...). Empty when talking to a pre-code
+	// server.
+	Code string
 	// RetryAfter is the last backoff hint received; zero when the
 	// rejection was permanent.
 	RetryAfter time.Duration
-	// Permanent means no Retry-After accompanied the 429: resubmitting
-	// the same request can never succeed.
+	// Permanent means the rejection cannot be retried away:
+	// retryable=false in the coded schema, or — against a pre-code
+	// server — no Retry-After accompanied the 429 (an oversized batch
+	// that can never succeed as-is).
 	Permanent bool
 }
 
@@ -78,6 +85,10 @@ type Client struct {
 	// Retry-After) before giving up. Default 4; negative disables
 	// retrying.
 	MaxRetries int
+	// Tenant, when non-empty, is sent as the X-WP-Tenant header on
+	// every request, so the server accounts and schedules this
+	// client's work under that identity instead of its remote address.
+	Tenant api.Tenant
 }
 
 // NewClient returns a client for the given server root.
@@ -134,6 +145,9 @@ func (c *Client) post(ctx context.Context, body io.Reader) (*api.BatchResponse, 
 		return nil, 0, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		req.Header.Set(api.TenantHeader, string(c.Tenant))
+	}
 	httpResp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, 0, false, err
@@ -145,12 +159,17 @@ func (c *Client) post(ctx context.Context, body io.Reader) (*api.BatchResponse, 
 		if json.NewDecoder(httpResp.Body).Decode(&eresp) == nil && eresp.Error != "" {
 			msg = eresp.Error
 		}
-		// Retry only when the server sent a backoff hint — in either
-		// RFC 9110 form, delta-seconds or HTTP-date, and "0" is a
-		// valid hint meaning retry immediately. A 429 without one
-		// (oversized batch) is a permanent rejection.
-		retry, ok := api.ParseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
-		return nil, retry, ok, &BusyError{Msg: msg, RetryAfter: retry, Permanent: !ok}
+		retry, hinted := api.ParseRetryAfter(httpResp.Header.Get("Retry-After"), time.Now())
+		// A coded answer states retryability outright; against a
+		// pre-code server, fall back to sniffing the Retry-After hint —
+		// in either RFC 9110 form, delta-seconds or HTTP-date, where
+		// "0" is a valid hint meaning retry immediately. A 429 without
+		// one (oversized batch) is a permanent rejection.
+		ok := hinted
+		if eresp.Code != "" {
+			ok = eresp.Retryable
+		}
+		return nil, retry, ok, &BusyError{Msg: msg, Code: eresp.Code, RetryAfter: retry, Permanent: !ok}
 	}
 	if httpResp.StatusCode != http.StatusOK {
 		var eresp api.ErrorResponse

@@ -60,16 +60,30 @@ const (
 	MetricReplayJobs = "serve_replay_jobs"
 	// MetricReplayedJobs: journal jobs recovered across restarts, ever.
 	MetricReplayedJobs = "serve_replayed_jobs_total"
+	// MetricTenantBatches is the per-tenant accepted-batch family,
+	// labelled by tenant id (cardinality-capped like MetricCellHits).
+	MetricTenantBatches = "serve_tenant_batches_total"
+	// MetricTenantOverQuota counts per-tenant quota rejections — the
+	// 429s only that tenant's own traffic caused.
+	MetricTenantOverQuota = "serve_tenant_over_quota_total"
+	// MetricTenantRejected counts per-tenant queue_full rejections —
+	// global backpressure attributed to whoever observed it.
+	MetricTenantRejected = "serve_tenant_rejected_total"
+	// MetricTenants: tenants currently tracked by the admission
+	// scheduler (gauge; idle tenants age out after Tenancy.IdleTTL).
+	MetricTenants = "serve_tenants"
+	// MetricAdmitWait is the admission-wait histogram in nanoseconds:
+	// time from arrival to slot grant for admitted batches. Near zero
+	// with an uncontended pool; under contention it is the queueing
+	// delay the weighted-fair dispatcher is distributing.
+	MetricAdmitWait = "serve_admission_wait_ns"
 
-	// keyCardinalityCap bounds the number of distinct per-key series;
-	// past it, further cells land on the key="overflow" series so a
-	// hostile or huge sweep cannot grow the registry without bound.
+	// keyCardinalityCap bounds the number of distinct series per
+	// labeled family (cell keys, tenant ids); past it, further values
+	// land on the shared "overflow" series so a hostile or huge label
+	// set cannot grow the registry without bound. The memo/overflow
+	// mechanics live in obs.CounterVec.
 	keyCardinalityCap = 1024
-	// keyMemoCap bounds the key→counter memo map itself (entries past
-	// the cardinality cap alias the one overflow counter, so the memo
-	// costs a map entry per key, not a registry series). Past this the
-	// hot path answers the cached overflow counter without memoizing.
-	keyMemoCap = 8 * keyCardinalityCap
 )
 
 // Options configures a Server.
@@ -108,18 +122,28 @@ type Options struct {
 	// engine (engine.WithStore) so replayed finished jobs reload their
 	// results instead of re-simulating.
 	Journal *store.Journal
+	// Tenancy configures per-tenant quotas and weighted-fair dispatch.
+	// The zero value is exactly the pre-tenancy behaviour: one shared
+	// pool, immediate 429 when full.
+	Tenancy TenancyOptions
+	// ServiceDelay adds an artificial per-cell service time to every
+	// batch, held while the batch occupies its admission slot. Load
+	// and fairness harnesses need it: warm-cache cells are answered in
+	// microseconds, so without a floor on slot occupancy the admission
+	// scheduler never becomes the contended resource being measured.
+	// 0 (the default, and the only sensible production value) adds
+	// nothing.
+	ServiceDelay time.Duration
 }
 
 // Server is the HTTP facade over one shared engine.
 type Server struct {
-	opt  Options
-	jobs sync.Map // job id -> *job
-	wg   sync.WaitGroup
+	opt   Options
+	jobs  sync.Map // job id -> *job
+	wg    sync.WaitGroup
+	sched *sched // tenant-aware slot pool; owns the draining flag
 
-	mu        sync.Mutex
-	draining  bool
-	asyncHeld int // queue slots currently held by async batches
-	slots     chan struct{}
+	mu sync.Mutex
 	// evictions tracks the TTL timer armed per finished job, so
 	// Shutdown can stop them: an untracked time.AfterFunc would
 	// outlive the drain and fire into a dead server.
@@ -132,9 +156,13 @@ type Server struct {
 	inflight  *obs.Gauge
 	replaying *obs.Gauge
 	replayed  *obs.Counter
-	keyMu     sync.Mutex
-	keySet    map[string]*obs.Counter
-	overflow  *obs.Counter // the shared past-the-cap hit series
+	admitWait *obs.Histogram
+	// hits is the per-key run-cache hit family; the tenant families
+	// share the same cardinality-cap discipline (obs.CounterVec).
+	hits            *obs.CounterVec
+	tenantBatches   *obs.CounterVec
+	tenantOverQuota *obs.CounterVec
+	tenantRejected  *obs.CounterVec
 }
 
 // job is one async batch. done closes when resp is final.
@@ -174,17 +202,21 @@ func New(opt Options) (*Server, error) {
 		opt.JobTTL = 10 * time.Minute
 	}
 	s := &Server{
-		opt:       opt,
-		slots:     make(chan struct{}, opt.QueueDepth),
-		evictions: make(map[string]*time.Timer),
-		batches:   opt.Registry.Counter(MetricBatches),
-		rejected:  opt.Registry.Counter(MetricRejected),
-		writeErrs: opt.Registry.Counter(MetricWriteErrors),
-		inflight:  opt.Registry.Gauge(MetricInflight),
-		replaying: opt.Registry.Gauge(MetricReplayJobs),
-		replayed:  opt.Registry.Counter(MetricReplayedJobs),
-		keySet:    make(map[string]*obs.Counter),
+		opt:             opt,
+		evictions:       make(map[string]*time.Timer),
+		batches:         opt.Registry.Counter(MetricBatches),
+		rejected:        opt.Registry.Counter(MetricRejected),
+		writeErrs:       opt.Registry.Counter(MetricWriteErrors),
+		inflight:        opt.Registry.Gauge(MetricInflight),
+		replaying:       opt.Registry.Gauge(MetricReplayJobs),
+		replayed:        opt.Registry.Counter(MetricReplayedJobs),
+		admitWait:       opt.Registry.Histogram(MetricAdmitWait),
+		hits:            opt.Registry.CounterVec(MetricCellHits, "key", keyCardinalityCap),
+		tenantBatches:   opt.Registry.CounterVec(MetricTenantBatches, "tenant", keyCardinalityCap),
+		tenantOverQuota: opt.Registry.CounterVec(MetricTenantOverQuota, "tenant", keyCardinalityCap),
+		tenantRejected:  opt.Registry.CounterVec(MetricTenantRejected, "tenant", keyCardinalityCap),
 	}
+	s.sched = newSched(opt.QueueDepth, opt.AsyncSlots, opt.Tenancy, opt.Registry.Gauge(MetricTenants))
 	if opt.Journal != nil {
 		if err := s.replayJournal(); err != nil {
 			return nil, err
@@ -267,9 +299,7 @@ func (s *Server) Handler() http.Handler {
 // the call blocks until every queued and in-flight batch (sync and
 // async) has completed, or ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	s.draining = true
-	s.mu.Unlock()
+	s.sched.setDraining()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -285,78 +315,105 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// acquire claims a queue slot without blocking; ok=false means the
-// caller must answer 429. While a drain is in progress no new slots
-// are handed out. Async batches are additionally capped at
+// acquire claims a queue slot through the tenant-aware scheduler.
+// With zero TenancyOptions this is the old non-blocking bounded
+// queue; with AdmitWait set, contended admissions park in their
+// tenant's sub-queue for the weighted-fair dispatcher. The global
+// async reservation still holds: async batches are capped at
 // Options.AsyncSlots held slots, so at least one slot always remains
 // that only sync callers can take — an async burst saturating the
 // queue cannot starve sync traffic indefinitely.
-func (s *Server) acquire(async bool) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
-		return false
-	}
-	if async && s.asyncHeld >= s.opt.AsyncSlots {
-		return false
-	}
-	select {
-	case s.slots <- struct{}{}:
-		if async {
-			s.asyncHeld++
-		}
+func (s *Server) acquire(ctx context.Context, tenant api.Tenant, async bool, cells int) admitVerdict {
+	start := time.Now()
+	v := s.sched.admit(ctx, string(tenant), async, cells)
+	if v == admitOK {
+		s.admitWait.ObserveSince(start)
 		s.wg.Add(1)
 		s.inflight.Add(1)
-		return true
-	default:
-		return false
 	}
+	return v
 }
 
-func (s *Server) release(async bool) {
-	<-s.slots
-	if async {
-		s.mu.Lock()
-		s.asyncHeld--
-		s.mu.Unlock()
-	}
+func (s *Server) release(tenant api.Tenant, async bool) {
+	s.sched.release(string(tenant), async)
 	s.wg.Done()
 	s.inflight.Add(-1)
 }
 
+// reject answers one refused admission with the right machine-
+// readable code and backoff hint: over_quota is the tenant's own
+// condition with the (typically shorter) per-tenant hint, queue_full
+// is global backpressure with the global hint.
+func (s *Server) reject(w http.ResponseWriter, tenant api.Tenant, verdict admitVerdict) {
+	s.rejected.Inc()
+	if verdict == admitOverQuota {
+		s.tenantOverQuota.With(string(tenant)).Inc()
+		retry := s.opt.Tenancy.RetryAfter
+		if retry <= 0 {
+			retry = s.opt.RetryAfter
+		}
+		s.writeBusy(w, fmt.Sprintf("tenant %q over quota", tenant), api.CodeOverQuota, retry)
+		return
+	}
+	s.tenantRejected.With(string(tenant)).Inc()
+	s.writeBusy(w, "server at capacity", api.CodeQueueFull, s.opt.RetryAfter)
+}
+
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	tenant, explicit, terr := api.ResolveTenant(r.Header.Get(api.TenantHeader), r.RemoteAddr)
+	if terr != nil {
+		s.writeError(w, http.StatusBadRequest, api.ErrorResponse{
+			Error:  "invalid " + api.TenantHeader + " header",
+			Code:   api.CodeInvalidRequest,
+			Fields: []api.FieldError{{Field: api.TenantHeader, Message: terr.Error()}},
+		})
+		return
+	}
+	// Only an explicitly named tenant is echoed back: a derived
+	// default is an accounting detail, and echoing it would change the
+	// wire bytes tenant-less clients see today.
+	echo := ""
+	if explicit {
+		echo = string(tenant)
+	}
 	var breq api.BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err := dec.Decode(&breq); err != nil {
-		s.writeError(w, http.StatusBadRequest, api.ErrorResponse{Error: "malformed JSON: " + err.Error()})
+		s.writeError(w, http.StatusBadRequest, api.ErrorResponse{
+			Error: "malformed JSON: " + err.Error(), Code: api.CodeInvalidRequest,
+		})
 		return
 	}
 	if breq.APIVersion != "" && breq.APIVersion != api.Version {
 		s.writeError(w, http.StatusBadRequest, api.ErrorResponse{
 			Error: fmt.Sprintf("api_version %q not supported (server speaks %q)", breq.APIVersion, api.Version),
+			Code:  api.CodeUnsupportedVersion,
 		})
 		return
 	}
 	if len(breq.Requests) == 0 {
 		s.writeError(w, http.StatusBadRequest, api.ErrorResponse{
 			Error:  "empty batch",
+			Code:   api.CodeInvalidRequest,
 			Fields: []api.FieldError{{Field: "requests", Message: "must contain at least one run request"}},
 		})
 		return
 	}
 	if len(breq.Requests) > s.opt.MaxBatchCells {
-		// 429 without Retry-After: resubmitting the same batch can
-		// never succeed — the client must split the sweep.
+		// 429 without Retry-After (and retryable=false): resubmitting
+		// the same batch can never succeed — the client must split the
+		// sweep.
 		s.rejected.Inc()
 		s.writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
 			Error: fmt.Sprintf("batch of %d cells exceeds the server limit of %d; split the sweep",
 				len(breq.Requests), s.opt.MaxBatchCells),
+			Code: api.CodeBatchTooLarge,
 		})
 		return
 	}
 	specs, err := api.ToSpecs(breq.Requests)
 	if err != nil {
-		resp := api.ErrorResponse{Error: "invalid batch"}
+		resp := api.ErrorResponse{Error: "invalid batch", Code: api.CodeInvalidRequest}
 		if verr, ok := err.(*api.ValidationError); ok {
 			resp.Fields = verr.Fields
 		} else {
@@ -367,20 +424,21 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if breq.Async {
-		s.startAsync(w, &breq, specs)
+		s.startAsync(w, r, tenant, echo, &breq, specs)
 		return
 	}
-	if !s.acquire(false) {
-		s.rejected.Inc()
-		s.writeBusy(w, "server at capacity")
+	if verdict := s.acquire(r.Context(), tenant, false, len(breq.Requests)); verdict != admitOK {
+		s.reject(w, tenant, verdict)
 		return
 	}
-	defer s.release(false)
+	defer s.release(tenant, false)
 	s.batches.Inc()
+	s.tenantBatches.With(string(tenant)).Inc()
 	// Run under the request context so a disconnected client cancels
 	// its own cells; Shutdown still drains connected clients because
 	// http.Server.Shutdown leaves active request contexts alone.
 	resp := s.runBatch(r.Context(), &breq, specs)
+	resp.Tenant = echo
 	s.writeBatchResponse(w, http.StatusOK, resp)
 }
 
@@ -394,14 +452,15 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 // told 202 with an id that would never run and then 404 on every
 // poll. Now a job is only ever visible once its slot is secured, and
 // the only deletions are TTL evictions after completion.
-func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs []engine.RunSpec) {
+func (s *Server) startAsync(w http.ResponseWriter, r *http.Request, tenant api.Tenant, echo string, breq *api.BatchRequest, specs []engine.RunSpec) {
 	id := api.BatchKey(breq.Requests)
 	if cur, ok := s.jobs.Load(id); ok {
 		snap := cur.(*job).snapshot()
 		if snap.Status != api.StatusFailed {
 			// Identical batch already known: report its current state
-			// instead of queueing duplicate work — no slot needed.
-			s.writeBatchResponse(w, http.StatusAccepted, snap)
+			// instead of queueing duplicate work — no slot needed (and
+			// no quota charged: the work is shared).
+			s.writeBatchResponse(w, http.StatusAccepted, withTenant(snap, echo))
 			return
 		}
 		// A failed job is a tombstone, not a result worth serving: its
@@ -412,9 +471,8 @@ func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs
 		s.jobs.CompareAndDelete(id, cur)
 		s.cancelEviction(id)
 	}
-	if !s.acquire(true) {
-		s.rejected.Inc()
-		s.writeBusy(w, "server at capacity")
+	if verdict := s.acquire(r.Context(), tenant, true, len(breq.Requests)); verdict != admitOK {
+		s.reject(w, tenant, verdict)
 		return
 	}
 	// Crash-ordering invariant: the accept record is on disk (fsync'd)
@@ -424,9 +482,11 @@ func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs
 	// leaves a duplicate accept record, which replay deduplicates.
 	if s.opt.Journal != nil {
 		if err := s.opt.Journal.Accept(id, breq); err != nil {
-			s.release(true)
+			s.release(tenant, true)
 			s.writeError(w, http.StatusInternalServerError, api.ErrorResponse{
-				Error: "journal append failed; refusing to hand out a non-durable job id: " + err.Error(),
+				Error:     "journal append failed; refusing to hand out a non-durable job id: " + err.Error(),
+				Code:      api.CodeStoreFailure,
+				Retryable: true,
 			})
 			return
 		}
@@ -435,13 +495,14 @@ func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs
 	if cur, loaded := s.jobs.LoadOrStore(id, j); loaded {
 		// Lost a publish race against an identical submission that
 		// acquired its own slot: attach to the winner.
-		s.release(true)
-		s.writeBatchResponse(w, http.StatusAccepted, cur.(*job).snapshot())
+		s.release(tenant, true)
+		s.writeBatchResponse(w, http.StatusAccepted, withTenant(cur.(*job).snapshot(), echo))
 		return
 	}
 	s.batches.Inc()
+	s.tenantBatches.With(string(tenant)).Inc()
 	go func() {
-		defer s.release(true)
+		defer s.release(tenant, true)
 		j.setStatus(api.StatusRunning)
 		// Async jobs outlive their submitting request, so they run
 		// under the background context; Shutdown waits for them.
@@ -455,7 +516,7 @@ func (s *Server) startAsync(w http.ResponseWriter, breq *api.BatchRequest, specs
 		s.scheduleEviction(id)
 	}()
 	s.writeJSON(w, http.StatusAccepted, api.BatchResponse{
-		APIVersion: api.Version, JobID: id, Status: api.StatusQueued,
+		APIVersion: api.Version, JobID: id, Status: api.StatusQueued, Tenant: echo,
 	})
 }
 
@@ -525,12 +586,34 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	v, ok := s.jobs.Load(id)
 	if !ok {
-		s.writeError(w, http.StatusNotFound, api.ErrorResponse{Error: fmt.Sprintf("unknown job %q", id)})
+		s.writeError(w, http.StatusNotFound, api.ErrorResponse{
+			Error: fmt.Sprintf("unknown job %q", id), Code: api.CodeJobUnknown,
+		})
 		return
+	}
+	// Job-status answers echo the poller's own explicit tenant — jobs
+	// are shared across identical submissions, so the submitter's
+	// identity would be wrong for an attached poller.
+	echo := ""
+	if ten, explicit, err := api.ResolveTenant(r.Header.Get(api.TenantHeader), r.RemoteAddr); err == nil && explicit {
+		echo = string(ten)
 	}
 	// A finished job's snapshot carries the full result set, so polls
 	// stream it like the sync path does.
-	s.writeBatchResponse(w, http.StatusOK, v.(*job).snapshot())
+	s.writeBatchResponse(w, http.StatusOK, withTenant(v.(*job).snapshot(), echo))
+}
+
+// withTenant echoes an explicit tenant on a possibly shared response.
+// Shared snapshots are never mutated — the echo rides a shallow copy
+// (the result slices stay shared, so this is cheap even for full
+// result sets).
+func withTenant(resp *api.BatchResponse, tenant string) *api.BatchResponse {
+	if tenant == "" || resp.Tenant == tenant {
+		return resp
+	}
+	cp := *resp
+	cp.Tenant = tenant
+	return &cp
 }
 
 // runBatch executes one validated batch on the shared engine and maps
@@ -549,6 +632,14 @@ func (s *Server) runBatch(ctx context.Context, breq *api.BatchRequest, specs []e
 	var opts []engine.Option
 	if breq.Coalesce != nil {
 		opts = append(opts, engine.WithCoalesce(*breq.Coalesce))
+	}
+	if s.opt.ServiceDelay > 0 {
+		t := time.NewTimer(time.Duration(len(specs)) * s.opt.ServiceDelay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+		}
 	}
 	results, err := s.opt.Engine.Run(ctx, specs, opts...)
 	resp := &api.BatchResponse{
@@ -590,50 +681,24 @@ func (s *Server) runBatch(ctx context.Context, breq *api.BatchRequest, specs []e
 	return resp
 }
 
-// countHit bumps the per-key run-cache hit series, folding keys past
-// the cardinality cap into one overflow series. The memo is keyed by
-// the *original* key even when it resolves to the overflow counter —
-// the old code stored under the literal "overflow", so every repeat
-// hit on a fresh past-the-cap key took the lock *and* a registry
-// lookup and re-stored the same entry; now any key seen before is one
-// map read. Past keyMemoCap the memo itself stops growing and the
-// cached overflow counter answers directly.
+// countHit bumps the per-key run-cache hit series; obs.CounterVec
+// folds keys past the cardinality cap into one overflow series and
+// memoizes every key it has seen.
 func (s *Server) countHit(key string) {
-	if s.opt.Registry == nil {
-		return
-	}
-	s.keyMu.Lock()
-	c, ok := s.keySet[key]
-	if !ok {
-		if len(s.keySet) < keyCardinalityCap {
-			c = s.opt.Registry.Counter(obs.LabeledName(MetricCellHits, "key", key))
-		} else {
-			if s.overflow == nil {
-				s.overflow = s.opt.Registry.Counter(obs.LabeledName(MetricCellHits, "key", "overflow"))
-			}
-			c = s.overflow
-		}
-		if len(s.keySet) < keyMemoCap {
-			s.keySet[key] = c
-		}
-	}
-	s.keyMu.Unlock()
-	c.Inc()
+	s.hits.With(key).Inc()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	draining := s.draining
-	s.mu.Unlock()
 	status := "ok"
-	if draining {
+	if s.sched.isDraining() {
 		status = "draining"
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":       status,
 		"api_version":  api.Version,
 		"queue_depth":  s.opt.QueueDepth,
-		"inflight":     len(s.slots),
+		"inflight":     s.sched.inflight(),
+		"tenants":      s.sched.tenantCount(),
 		"cache_hits":   s.opt.Engine.Hits(),
 		"cache_misses": s.opt.Engine.Misses(),
 	})
@@ -653,13 +718,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.opt.Registry.WritePrometheus(w)
 }
 
-// writeBusy answers 429 with the Retry-After header and a body that
-// mirrors it for clients that only parse JSON.
-func (s *Server) writeBusy(w http.ResponseWriter, msg string) {
-	retry := s.opt.RetryAfter
+// writeBusy answers 429 with the Retry-After header, a body that
+// mirrors it for clients that only parse JSON, and the machine-
+// readable code (queue_full or over_quota — both retryable by
+// definition; the unretryable 429, batch_too_large, never comes
+// through here).
+func (s *Server) writeBusy(w http.ResponseWriter, msg, code string, retry time.Duration) {
 	w.Header().Set("Retry-After", strconv.Itoa(int((retry+time.Second-1)/time.Second)))
 	s.writeError(w, http.StatusTooManyRequests, api.ErrorResponse{
 		Error:             msg,
+		Code:              code,
+		Retryable:         true,
 		RetryAfterSeconds: retry.Seconds(),
 	})
 }
